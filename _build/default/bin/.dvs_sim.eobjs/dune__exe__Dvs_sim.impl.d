@@ -1,0 +1,1 @@
+bin/dvs_sim.ml: Arg Cmd Cmdliner Dvs_impl Format Full_system Ioa List Membership Msg_intf Prelude Printf Proc Random Sim Stats Term To_broadcast

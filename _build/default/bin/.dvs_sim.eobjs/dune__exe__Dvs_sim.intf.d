@@ -1,0 +1,1 @@
+bin/dvs_sim.mli:

@@ -1,0 +1,1 @@
+bin/model_check.ml: Arg Check Cmd Cmdliner Core Format Ioa Msg_intf Prelude Proc Random Term Vs

@@ -1,0 +1,1 @@
+bin/model_check.mli:

@@ -1,0 +1,299 @@
+(* dvs-sim: command-line driver for the DVS reproduction.
+
+   Subcommands:
+     availability  dynamic vs static primary availability under churn (E6)
+     impl          random executions of DVS-IMPL, checking invariants
+                   5.1-5.6 and the Theorem 5.9 refinement (E3/E4)
+     to            random executions of TO-IMPL, checking invariants
+                   6.1-6.3 and the Theorem 6.4 refinement (E5)
+     full          random executions of the assembled stack with the
+                   refinement to DVS-IMPL (E11)                            *)
+
+open Prelude
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* availability                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_availability procs epochs trials split merge crash recover drift
+    complete seed =
+  let initial = Proc.Set.universe procs in
+  let quorum = Membership.Static_quorum.majority ~universe:initial in
+  let stat = ref [] and dyn = ref [] and formed = ref 0 and dual = ref 0 in
+  for t = 1 to trials do
+    let rng = Random.State.make [| seed + t |] in
+    let cfg =
+      {
+        (Sim.Churn.default ~initial ~epochs) with
+        split_prob = split;
+        merge_prob = merge;
+        crash_prob = crash;
+        recover_prob = recover;
+        drift_prob = drift;
+      }
+    in
+    let history = Sim.Churn.generate rng cfg in
+    let r_static =
+      Sim.Availability.run rng history (Sim.Availability.Static quorum)
+    in
+    let r_dyn =
+      Sim.Availability.run rng history
+        (Sim.Availability.Dynamic { complete_prob = complete })
+    in
+    stat := r_static.Sim.Availability.availability :: !stat;
+    dyn := r_dyn.Sim.Availability.availability :: !dyn;
+    formed := !formed + r_dyn.Sim.Availability.primaries_formed;
+    dual := !dual + r_dyn.Sim.Availability.dual_primaries
+  done;
+  Printf.printf
+    "universe=%d epochs=%d trials=%d churn(split=%.2f merge=%.2f crash=%.2f \
+     recover=%.2f drift=%.2f)\n"
+    procs epochs trials split merge crash recover drift;
+  Printf.printf "static majority availability : %s\n" (Stats.pct (Stats.mean !stat));
+  Printf.printf "dynamic (DVS) availability   : %s\n" (Stats.pct (Stats.mean !dyn));
+  Printf.printf "dynamic primaries formed     : %d (dual primaries: %d — must be 0)\n"
+    !formed !dual;
+  if !dual > 0 then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* impl                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Sys_ = Dvs_impl.System.Make (Msg_intf.String_msg)
+module Iinv = Dvs_impl.Impl_invariants.Make (Msg_intf.String_msg)
+module Ref_ = Dvs_impl.Refinement_f.Make (Msg_intf.String_msg)
+
+let run_impl universe steps seeds schedule variant strict =
+  let p0 = Proc.Set.universe universe in
+  let inv_bad = ref 0 and ref_bad = ref 0 and total_steps = ref 0 in
+  for seed = 1 to seeds do
+    let rng = Random.State.make [| seed |] in
+    let rng_views = Random.State.make [| seed + 1000 |] in
+    let cfg =
+      { (Sys_.default_config ~payloads:[ "x"; "y" ] ~universe) with schedule; variant }
+    in
+    let gen = Sys_.generative cfg ~rng_views in
+    let exec, _ = Ioa.Exec.run gen ~rng ~steps ~init:(Sys_.initial ~universe ~p0) in
+    total_steps := !total_steps + Ioa.Exec.length exec;
+    (match Ioa.Invariant.check_execution Iinv.all exec with
+    | Ok () -> ()
+    | Error v ->
+        incr inv_bad;
+        if !inv_bad = 1 then
+          Format.printf "first invariant violation (seed %d): %a@." seed
+            (Ioa.Invariant.pp_violation Sys_.pp_state)
+            v);
+    match Ref_.check ~strict_safe:strict ~p0 exec with
+    | Ok () -> ()
+    | Error f ->
+        incr ref_bad;
+        if !ref_bad = 1 then
+          Format.printf "first refinement failure (seed %d): %a@." seed
+            Ioa.Refinement.pp_failure f
+  done;
+  Printf.printf "DVS-IMPL: %d executions, %d steps total\n" seeds !total_steps;
+  Printf.printf "invariant violations : %d / %d executions\n" !inv_bad seeds;
+  Printf.printf "refinement failures  : %d / %d executions (%s DVS spec)\n" !ref_bad
+    seeds
+    (if strict then "strict" else "relaxed");
+  if !inv_bad > 0 || !ref_bad > 0 then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* to                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Timpl = To_broadcast.To_impl
+module Tinv = To_broadcast.To_invariants
+module Tref = To_broadcast.To_refinement
+
+let run_to universe steps seeds max_views =
+  let p0 = Proc.Set.universe universe in
+  let inv_bad = ref 0 and ref_bad = ref 0 and delivered = ref 0 in
+  for seed = 1 to seeds do
+    let rng = Random.State.make [| seed |] in
+    let rng_views = Random.State.make [| seed + 1000 |] in
+    let cfg =
+      { (Timpl.default_config ~payloads:[ "x"; "y"; "z" ] ~universe) with max_views }
+    in
+    let gen = Timpl.generative cfg ~rng_views in
+    let exec, _ = Ioa.Exec.run gen ~rng ~steps ~init:(Timpl.initial ~universe ~p0) in
+    (match Ioa.Invariant.check_execution Tinv.all exec with
+    | Ok () -> ()
+    | Error v ->
+        incr inv_bad;
+        if !inv_bad = 1 then
+          Format.printf "first invariant violation (seed %d): %a@." seed
+            (Ioa.Invariant.pp_violation Timpl.pp_state)
+            v);
+    (match Tref.check exec with
+    | Ok () -> ()
+    | Error f ->
+        incr ref_bad;
+        if !ref_bad = 1 then
+          Format.printf "first refinement failure (seed %d): %a@." seed
+            Ioa.Refinement.pp_failure f);
+    delivered :=
+      !delivered
+      + List.length
+          (List.filter
+             (function Timpl.Brcv _ -> true | _ -> false)
+             (Ioa.Exec.actions exec))
+  done;
+  Printf.printf "TO-IMPL: %d executions, %d client deliveries\n" seeds !delivered;
+  Printf.printf "invariant violations : %d / %d executions\n" !inv_bad seeds;
+  Printf.printf "refinement failures  : %d / %d executions\n" !ref_bad seeds;
+  if !inv_bad > 0 || !ref_bad > 0 then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* full                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Full = Full_system.Full_stack.Make (Msg_intf.String_msg)
+module Fref = Full_system.Full_refinement.Make (Msg_intf.String_msg)
+
+let run_full universe steps seeds =
+  let p0 = Proc.Set.universe universe in
+  let bad = ref 0 and packets = ref 0 and deliveries = ref 0 and attempts = ref 0 in
+  for seed = 1 to seeds do
+    let rng = Random.State.make [| seed |] in
+    let rng_views = Random.State.make [| seed + 1000 |] in
+    let cfg = Full.default_config ~payloads:[ "x"; "y" ] ~universe in
+    let gen = Full.generative cfg ~rng_views in
+    let exec, _ = Ioa.Exec.run gen ~rng ~steps ~init:(Full.initial ~universe ~p0) in
+    List.iter
+      (fun a ->
+        match a with
+        | Full.Stk_send _ -> incr packets
+        | Full.Dvs_gprcv _ -> incr deliveries
+        | Full.Dvs_newview _ -> incr attempts
+        | _ -> ())
+      (Ioa.Exec.actions exec);
+    match Fref.check ~universe ~p0 exec with
+    | Ok () -> ()
+    | Error f ->
+        incr bad;
+        if !bad = 1 then
+          Format.printf "first refinement failure (seed %d): %a@." seed
+            Ioa.Refinement.pp_failure f
+  done;
+  Printf.printf
+    "full stack: %d executions — %d packets, %d primary attempts, %d client \
+     deliveries\n"
+    seeds !packets !attempts !deliveries;
+  Printf.printf "refinement Full ⊑ DVS-IMPL: %d failing / %d executions\n" !bad seeds;
+  if !bad > 0 then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* cmdliner plumbing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let procs_t =
+  Arg.(value & opt int 10 & info [ "n"; "procs" ] ~docv:"N" ~doc:"Universe size.")
+
+let seed_t = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Random seed base.")
+
+let availability_cmd =
+  let epochs = Arg.(value & opt int 200 & info [ "epochs" ] ~doc:"Epochs per trial.") in
+  let trials = Arg.(value & opt int 40 & info [ "trials" ] ~doc:"Number of trials.") in
+  let fprob name default doc = Arg.(value & opt float default & info [ name ] ~doc) in
+  let term =
+    Term.(
+      const run_availability $ procs_t $ epochs $ trials
+      $ fprob "split" 0.25 "Split probability per epoch."
+      $ fprob "merge" 0.25 "Merge probability per epoch."
+      $ fprob "crash" 0.10 "Crash probability per epoch."
+      $ fprob "recover" 0.10 "Recovery probability per epoch."
+      $ fprob "drift" 0.0 "Universe drift probability per epoch."
+      $ fprob "complete" 1.0 "Probability a dynamic formation completes."
+      $ seed_t)
+  in
+  Cmd.v
+    (Cmd.info "availability"
+       ~doc:"Dynamic vs static primary availability under churn (experiment E6).")
+    term
+
+let schedule_conv =
+  let parse = function
+    | "unrestricted" -> Ok Sys_.Unrestricted
+    | "eager" -> Ok Sys_.Eager_clients
+    | "synchronized" -> Ok Sys_.Synchronized
+    | s -> Error (`Msg (Printf.sprintf "unknown schedule %S" s))
+  in
+  let print ppf s =
+    Format.pp_print_string ppf
+      (match s with
+      | Sys_.Unrestricted -> "unrestricted"
+      | Sys_.Eager_clients -> "eager"
+      | Sys_.Synchronized -> "synchronized")
+  in
+  Arg.conv (parse, print)
+
+let variant_conv =
+  let parse = function
+    | "faithful" -> Ok Dvs_impl.Vs_to_dvs.Faithful
+    | "no-majority" -> Ok Dvs_impl.Vs_to_dvs.No_majority
+    | "no-info-wait" -> Ok Dvs_impl.Vs_to_dvs.No_info_wait
+    | "ignore-amb" -> Ok Dvs_impl.Vs_to_dvs.Ignore_amb
+    | s -> Error (`Msg (Printf.sprintf "unknown variant %S" s))
+  in
+  Arg.conv (parse, Dvs_impl.Vs_to_dvs.pp_variant)
+
+let impl_cmd =
+  let steps = Arg.(value & opt int 400 & info [ "steps" ] ~doc:"Steps per execution.") in
+  let seeds = Arg.(value & opt int 30 & info [ "seeds" ] ~doc:"Number of executions.") in
+  let schedule =
+    Arg.(
+      value
+      & opt schedule_conv Sys_.Eager_clients
+      & info [ "schedule" ] ~doc:"unrestricted | eager | synchronized.")
+  in
+  let variant =
+    Arg.(
+      value
+      & opt variant_conv Dvs_impl.Vs_to_dvs.Faithful
+      & info [ "variant" ]
+          ~doc:"faithful | no-majority | no-info-wait | ignore-amb.")
+  in
+  let strict =
+    Arg.(value & flag & info [ "strict-safe" ] ~doc:"Check the strict DVS-SAFE clause.")
+  in
+  let procs =
+    Arg.(value & opt int 4 & info [ "n"; "procs" ] ~docv:"N" ~doc:"Universe size.")
+  in
+  Cmd.v
+    (Cmd.info "impl"
+       ~doc:"Random executions of DVS-IMPL with invariant and refinement checks.")
+    Term.(const run_impl $ procs $ steps $ seeds $ schedule $ variant $ strict)
+
+let to_cmd =
+  let steps = Arg.(value & opt int 600 & info [ "steps" ] ~doc:"Steps per execution.") in
+  let seeds = Arg.(value & opt int 25 & info [ "seeds" ] ~doc:"Number of executions.") in
+  let max_views = Arg.(value & opt int 4 & info [ "max-views" ] ~doc:"View budget.") in
+  let procs =
+    Arg.(value & opt int 3 & info [ "n"; "procs" ] ~docv:"N" ~doc:"Universe size.")
+  in
+  Cmd.v
+    (Cmd.info "to"
+       ~doc:"Random executions of TO-IMPL with invariant and refinement checks.")
+    Term.(const run_to $ procs $ steps $ seeds $ max_views)
+
+let full_cmd =
+  let steps = Arg.(value & opt int 700 & info [ "steps" ] ~doc:"Steps per execution.") in
+  let seeds = Arg.(value & opt int 15 & info [ "seeds" ] ~doc:"Number of executions.") in
+  let procs =
+    Arg.(value & opt int 3 & info [ "n"; "procs" ] ~docv:"N" ~doc:"Universe size.")
+  in
+  Cmd.v
+    (Cmd.info "full"
+       ~doc:
+         "Random executions of the full stack (Figure 3 over the real VS \
+          engine over the network), with the refinement check.")
+    Term.(const run_full $ procs $ steps $ seeds)
+
+let () =
+  let info =
+    Cmd.info "dvs-sim" ~version:"1.0.0"
+      ~doc:"Simulation and checking driver for the DVS reproduction."
+  in
+  exit (Cmd.eval (Cmd.group info [ availability_cmd; impl_cmd; to_cmd; full_cmd ]))

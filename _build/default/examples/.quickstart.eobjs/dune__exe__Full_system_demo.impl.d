@@ -1,0 +1,1 @@
+examples/full_system_demo.ml: Array Format Full_system Ioa List Msg_intf Prelude Printf Proc Random Sys View Vs_impl

@@ -1,0 +1,1 @@
+examples/full_system_demo.mli:

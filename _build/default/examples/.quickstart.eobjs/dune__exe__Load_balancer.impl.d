@@ -1,0 +1,1 @@
+examples/load_balancer.ml: Dvs_impl Format Hashtbl List Msg_intf Option Prelude Printf Proc String View

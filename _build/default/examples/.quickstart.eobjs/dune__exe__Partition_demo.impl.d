@@ -1,0 +1,1 @@
+examples/partition_demo.ml: Dvs_impl Format Gid Ioa List Membership Msg_intf Prelude Printf Proc View

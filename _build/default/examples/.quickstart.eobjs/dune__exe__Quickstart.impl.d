@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Prelude Printf Proc Seqs String To_broadcast View

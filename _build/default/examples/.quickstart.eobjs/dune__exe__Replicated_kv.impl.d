@@ -1,0 +1,1 @@
+examples/replicated_kv.ml: Array Format List Map Prelude Printf Proc String To_broadcast View

@@ -1,0 +1,64 @@
+(* Quickstart: totally-ordered broadcast over the DVS service.
+
+   Three processes broadcast messages concurrently; the TO application
+   (Figure 5 of the paper) labels them, multicasts them through DVS, and
+   delivers them to every client in one system-wide total order — across a
+   primary view change.
+
+   Run with:  dune exec examples/quickstart.exe                            *)
+
+open Prelude
+module Impl = To_broadcast.To_impl
+module Driver = To_broadcast.To_driver
+
+let print_deliveries label ds =
+  Printf.printf "%s\n" label;
+  List.iter
+    (fun d ->
+      Printf.printf "  client %d delivers %-8s (from %d)\n" d.Driver.dst
+        d.Driver.payload d.Driver.origin)
+    ds
+
+let () =
+  let p0 = Proc.Set.of_list [ 0; 1; 2 ] in
+  let s = Impl.initial ~universe:3 ~p0 in
+  Printf.printf "== quickstart: TO broadcast over DVS ==\n\n";
+
+  (* concurrent broadcasts in the initial view *)
+  let s = Driver.bcast s 0 "alpha" in
+  let s = Driver.bcast s 1 "bravo" in
+  let s = Driver.bcast s 2 "charlie" in
+  let s, d1, _ = Driver.drain s in
+  print_deliveries "in view g0 (all three clients):" d1;
+
+  (* a primary view change: process 2 drops out *)
+  let v1 = View.make ~id:1 ~set:(Proc.Set.of_list [ 0; 1 ]) in
+  Printf.printf "\n-- view change to %s (state exchange + registration) --\n"
+    (Format.asprintf "%a" View.pp v1);
+  let s, d2, steps = Driver.view_change s v1 in
+  Printf.printf "view established in %d protocol steps\n" steps;
+  print_deliveries "deliveries during recovery:" d2;
+
+  (* new traffic in the new view *)
+  let s = Driver.bcast s 1 "delta" in
+  let s = Driver.bcast s 0 "echo" in
+  let _, d3, _ = Driver.drain s in
+  print_deliveries "\nin view g1 (the surviving pair):" d3;
+
+  (* every client saw a consistent prefix of one total order *)
+  let per_client =
+    List.fold_left
+      (fun acc d ->
+        Proc.Map.add d.Driver.dst
+          ((d.Driver.origin, d.Driver.payload)
+          :: Proc.Map.find_or ~default:[] d.Driver.dst acc)
+          acc)
+      Proc.Map.empty
+      (d1 @ d2 @ d3)
+  in
+  let seqs =
+    List.map (fun (_, l) -> Seqs.of_list (List.rev l)) (Proc.Map.bindings per_client)
+  in
+  let eq (p, a) (q, b) = Proc.equal p q && String.equal a b in
+  Printf.printf "\ntotal-order check: delivery sequences pairwise consistent = %b\n"
+    (Seqs.consistent ~equal:eq seqs)

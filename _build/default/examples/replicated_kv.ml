@@ -1,0 +1,84 @@
+(* A replicated key-value store over totally-ordered broadcast — the
+   "coherent data" application motivating primary views in the paper's
+   introduction.
+
+   Each replica applies SET operations in TO delivery order, so all replicas
+   move through the same sequence of states; reads served by any replica are
+   consistent with a single system-wide operation order.  The demo runs
+   conflicting writes from different clients, a view change in the middle,
+   and checks that every replica converges to byte-identical state.
+
+   Run with:  dune exec examples/replicated_kv.exe                         *)
+
+open Prelude
+module Impl = To_broadcast.To_impl
+module Driver = To_broadcast.To_driver
+
+(* Operations are encoded as payload strings "key=value". *)
+let encode k v = k ^ "=" ^ v
+
+let decode payload =
+  match String.index_opt payload '=' with
+  | Some i ->
+      ( String.sub payload 0 i,
+        String.sub payload (i + 1) (String.length payload - i - 1) )
+  | None -> (payload, "")
+
+module Store = Map.Make (String)
+
+type replica = string Store.t
+
+let apply (r : replica) payload =
+  let k, v = decode payload in
+  Store.add k v r
+
+let dump (r : replica) =
+  Store.bindings r
+  |> List.map (fun (k, v) -> k ^ "=" ^ v)
+  |> String.concat ", "
+
+let () =
+  let n = 4 in
+  let p0 = Proc.Set.universe n in
+  let s = Impl.initial ~universe:n ~p0 in
+  let replicas = Array.make n (Store.empty : replica) in
+  let apply_deliveries ds =
+    List.iter
+      (fun d -> replicas.(d.Driver.dst) <- apply replicas.(d.Driver.dst) d.Driver.payload)
+      ds
+  in
+  Printf.printf "== replicated KV store over TO broadcast (%d replicas) ==\n\n" n;
+
+  (* conflicting writes to the same key from different clients *)
+  let s = Driver.bcast s 0 (encode "x" "from-client-0") in
+  let s = Driver.bcast s 1 (encode "x" "from-client-1") in
+  let s = Driver.bcast s 2 (encode "y" "yellow") in
+  let s, d1, _ = Driver.drain s in
+  apply_deliveries d1;
+  Printf.printf "after round 1 (conflicting writes to x):\n";
+  Array.iteri (fun i r -> Printf.printf "  replica %d: {%s}\n" i (dump r)) replicas;
+
+  (* the membership shrinks: a dynamic primary view without process 3 *)
+  let v1 = View.make ~id:1 ~set:(Proc.Set.of_list [ 0; 1; 2 ]) in
+  Printf.printf "\n-- view change to %s --\n" (Format.asprintf "%a" View.pp v1);
+  let s, d2, _ = Driver.view_change s v1 in
+  apply_deliveries d2;
+
+  (* more writes in the new view; replica 3 no longer participates *)
+  let s = Driver.bcast s 2 (encode "x" "final") in
+  let s = Driver.bcast s 0 (encode "z" "zed") in
+  let _, d3, _ = Driver.drain s in
+  apply_deliveries d3;
+  Printf.printf "\nafter round 2 (in the shrunken primary):\n";
+  Array.iteri (fun i r -> Printf.printf "  replica %d: {%s}\n" i (dump r)) replicas;
+
+  (* all members of the current view hold identical state *)
+  let in_view = [ 0; 1; 2 ] in
+  let canonical = dump replicas.(0) in
+  let coherent =
+    List.for_all (fun i -> String.equal (dump replicas.(i)) canonical) in_view
+  in
+  Printf.printf "\ncoherence check (replicas 0-2 identical): %b\n" coherent;
+  Printf.printf
+    "replica 3 stopped at its last delivered prefix: {%s} (a prefix of the others)\n"
+    (dump replicas.(3))

@@ -1,0 +1,1 @@
+lib/check/explorer.ml: Format Hashtbl Ioa List Option Queue Random

@@ -1,0 +1,1 @@
+lib/check/explorer.mli: Format Ioa

@@ -1,0 +1,79 @@
+type stats = { states : int; transitions : int; depth : int; truncated : bool }
+
+let pp_stats ppf s =
+  Format.fprintf ppf "%d states, %d transitions, depth %d%s" s.states
+    s.transitions s.depth
+    (if s.truncated then " (truncated)" else "")
+
+type ('s, 'a) outcome = {
+  stats : stats;
+  violation : 's Ioa.Invariant.violation option;
+  step_failure : (('s, 'a) Ioa.Exec.step * string) option;
+}
+
+let run (type s a)
+    (module A : Ioa.Automaton.GENERATIVE with type state = s and type action = a)
+    ~key ~invariants ?(max_states = 200_000) ?max_depth ?check_step ~init () =
+  (* A fixed RNG makes generative candidate sets deterministic; exhaustive
+     soundness relies on the candidate function not sampling (instantiate the
+     generators with degenerate configs for exploration). *)
+  let rng = Random.State.make [| 0 |] in
+  let seen = Hashtbl.create 4096 in
+  let queue = Queue.create () in
+  let check_state index state =
+    List.find_opt
+      (fun inv -> not (inv.Ioa.Invariant.holds state))
+      invariants
+    |> Option.map (fun inv ->
+           { Ioa.Invariant.invariant = inv.Ioa.Invariant.name; index; state })
+  in
+  let stats = ref { states = 0; transitions = 0; depth = 0; truncated = false } in
+  let violation = ref None in
+  let step_failure = ref None in
+  let push depth state =
+    let k = key state in
+    if not (Hashtbl.mem seen k) then begin
+      Hashtbl.add seen k ();
+      stats :=
+        { !stats with states = !stats.states + 1; depth = max !stats.depth depth };
+      if !stats.states > max_states then stats := { !stats with truncated = true }
+      else begin
+        match check_state !stats.states state with
+        | Some v -> violation := Some v
+        | None -> Queue.add (depth, state) queue
+      end
+    end
+  in
+  push 0 init;
+  let continue () = !violation = None && !step_failure = None && not !stats.truncated in
+  let rec loop () =
+    if continue () && not (Queue.is_empty queue) then begin
+      let depth, state = Queue.pop queue in
+      let expand =
+        match max_depth with Some d -> depth < d | None -> true
+      in
+      if expand then begin
+        let actions =
+          List.filter (A.enabled state) (A.candidates rng state)
+        in
+        List.iter
+          (fun action ->
+            if continue () then begin
+              let post = A.step state action in
+              stats := { !stats with transitions = !stats.transitions + 1 };
+              (match check_step with
+              | None -> ()
+              | Some f -> (
+                  let step = { Ioa.Exec.pre = state; action; post } in
+                  match f step with
+                  | Ok () -> ()
+                  | Error msg -> step_failure := Some (step, msg)));
+              if continue () then push (depth + 1) post
+            end)
+          actions
+      end;
+      loop ()
+    end
+  in
+  loop ();
+  { stats = !stats; violation = !violation; step_failure = !step_failure }

@@ -1,0 +1,50 @@
+(** Bounded-exhaustive state-space exploration.
+
+    For small instances (2–3 processes, a couple of views, one or two
+    payloads) the automata of this repository have small enough reachable
+    state spaces to enumerate outright.  The explorer performs a BFS from
+    the initial state, deduplicating states by a caller-provided canonical
+    key, checking the given invariants at every reachable state, and
+    optionally checking a per-step property (used for exhaustive refinement
+    checking).
+
+    Unlike the random engine, candidates must be generated deterministically
+    and must over-approximate the enabled action set relative to the chosen
+    finite environment; the [deterministic] wrapper below fixes the RNG the
+    generative modules expect. *)
+
+type stats = {
+  states : int;  (** distinct states visited *)
+  transitions : int;  (** transitions traversed *)
+  depth : int;  (** BFS depth reached *)
+  truncated : bool;  (** whether a bound stopped the search *)
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+type ('s, 'a) outcome = {
+  stats : stats;
+  violation : 's Ioa.Invariant.violation option;
+      (** first invariant violation found, if any *)
+  step_failure : (('s, 'a) Ioa.Exec.step * string) option;
+      (** first per-step property failure, if any *)
+}
+
+(** [run (module A) ~key ~invariants ~init ()] explores breadth-first.
+
+    @param key canonical rendering used to deduplicate states.
+    @param max_states stop after visiting this many distinct states
+           (default 200_000).
+    @param max_depth stop expanding beyond this depth (default unbounded).
+    @param check_step optional per-transition property; return [Error msg]
+           to report.  Exploration stops at the first failure. *)
+val run :
+  (module Ioa.Automaton.GENERATIVE with type state = 's and type action = 'a) ->
+  key:('s -> string) ->
+  invariants:'s Ioa.Invariant.t list ->
+  ?max_states:int ->
+  ?max_depth:int ->
+  ?check_step:(('s, 'a) Ioa.Exec.step -> (unit, string) result) ->
+  init:'s ->
+  unit ->
+  ('s, 'a) outcome

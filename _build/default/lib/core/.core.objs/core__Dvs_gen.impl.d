@@ -1,0 +1,1 @@
+lib/core/dvs_gen.ml: Dvs_spec Fun Gid Ioa List Msg_intf Pg_map Prelude Proc Random Seqs View

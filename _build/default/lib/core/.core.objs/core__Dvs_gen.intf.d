@@ -1,0 +1,1 @@
+lib/core/dvs_gen.mli: Dvs_spec Ioa Prelude Random

@@ -1,0 +1,1 @@
+lib/core/dvs_invariants.ml: Dvs_spec Gid Ioa List Msg_intf Prelude Proc View

@@ -1,0 +1,1 @@
+lib/core/dvs_invariants.mli: Dvs_spec Ioa Prelude

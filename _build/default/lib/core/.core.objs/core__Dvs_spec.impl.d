@@ -1,0 +1,1 @@
+lib/core/dvs_spec.ml: Buffer Format Gid Int Msg_intf Option Pg_map Prelude Proc Seqs View

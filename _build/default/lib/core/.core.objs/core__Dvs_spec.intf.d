@@ -1,0 +1,1 @@
+lib/core/dvs_spec.mli: Ioa Prelude

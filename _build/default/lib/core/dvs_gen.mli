@@ -1,0 +1,31 @@
+(** A generative environment for the DVS specification, closing its inputs
+    (client sends and registrations) and resolving internal nondeterminism
+    (primary-view creation, ordering) with finitely many proposals per state.
+    Proposed [createview]s are filtered through the Figure 2 precondition by
+    the engine, so only legal primary views are ever created. *)
+
+module Make (M : Prelude.Msg_intf.S) : sig
+  module Spec : module type of Dvs_spec.Make (M)
+
+  type config = {
+    universe : int;
+    payloads : M.t list;
+    max_views : int;
+    max_sends : int;
+    register_eagerly : bool;
+        (** when true, propose [dvs-register] for every process with a
+            current view — mimics well-behaved clients *)
+    view_proposals : [ `Random | `All_subsets ];
+        (** how [createview] membership sets are proposed; [`All_subsets] is
+            deterministic, for exhaustive exploration *)
+  }
+
+  val default_config : payloads:M.t list -> universe:int -> config
+
+  val generative :
+    config ->
+    rng_views:Random.State.t ->
+    (module Ioa.Automaton.GENERATIVE
+       with type state = Spec.state
+        and type action = Spec.action)
+end

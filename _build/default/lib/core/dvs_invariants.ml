@@ -1,0 +1,57 @@
+open Prelude
+
+module Make (M : Msg_intf.S) = struct
+  module Spec = Dvs_spec.Make (M)
+
+  let pairs_of_created (s : Spec.state) =
+    let views = View.Set.elements s.Spec.created in
+    List.concat_map
+      (fun v ->
+        List.filter_map
+          (fun w -> if Gid.lt (View.id v) (View.id w) then Some (v, w) else None)
+          views)
+      views
+
+  let invariant_4_1 =
+    Ioa.Invariant.make "DVS 4.1: dynamic view intersection" (fun s ->
+        List.for_all
+          (fun (v, w) ->
+            Spec.tot_reg_between s (View.id v) (View.id w)
+            || View.intersects v w)
+          (pairs_of_created s))
+
+  let invariant_4_2 =
+    Ioa.Invariant.make "DVS 4.2: totally attempted views retire older ones"
+      (fun s ->
+        let totatt = Spec.tot_att s in
+        View.Set.for_all
+          (fun v ->
+            View.Set.for_all
+              (fun w ->
+                (not (Gid.lt (View.id v) (View.id w)))
+                || Proc.Set.exists
+                     (fun p ->
+                       match Spec.current_viewid_of s p with
+                       | None -> false
+                       | Some g -> Gid.gt g (View.id v))
+                     (View.set v))
+              totatt)
+          s.Spec.created)
+
+  let invariant_unique_ids =
+    Ioa.Invariant.make "DVS: created ids unique" (fun s ->
+        let ids = View.Set.fold (fun v acc -> View.id v :: acc) s.Spec.created [] in
+        List.length ids = List.length (List.sort_uniq Gid.compare ids))
+
+  let invariant_membership =
+    Ioa.Invariant.make "DVS: registered ⊆ attempted ⊆ membership" (fun s ->
+        View.Set.for_all
+          (fun v ->
+            let g = View.id v in
+            Proc.Set.subset (Spec.registered_of s g) (Spec.attempted_of s g)
+            && Proc.Set.subset (Spec.attempted_of s g) (View.set v))
+          s.Spec.created)
+
+  let all =
+    [ invariant_4_1; invariant_4_2; invariant_unique_ids; invariant_membership ]
+end

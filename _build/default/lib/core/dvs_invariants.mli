@@ -1,0 +1,32 @@
+(** The stated invariants of the DVS specification (Section 4), as executable
+    predicates over {!Dvs_spec} states.
+
+    The paper proves these from the automaton code; we check them on every
+    state of randomly generated and exhaustively explored executions, and we
+    check that they *fail* for mutated variants of the service (see the test
+    suites), so the checks are demonstrably discriminating. *)
+
+module Make (M : Prelude.Msg_intf.S) : sig
+  module Spec : module type of Dvs_spec.Make (M)
+
+  (** Invariant 4.1 — the dynamic intersection property: if [v, w ∈ created],
+      [v.id < w.id], and no totally-registered view lies strictly between
+      them, then [v.set ∩ w.set ≠ ∅]. *)
+  val invariant_4_1 : Spec.state Ioa.Invariant.t
+
+  (** Invariant 4.2: if [v ∈ created], [w ∈ TotAtt] and [v.id < w.id], then
+      some member of [v] has moved past [v]
+      ([current-viewid[p] > v.id]). *)
+  val invariant_4_2 : Spec.state Ioa.Invariant.t
+
+  (** Same-id uniqueness, the DVS analogue of Invariant 3.1 (implied by the
+      [createview] precondition). *)
+  val invariant_unique_ids : Spec.state Ioa.Invariant.t
+
+  (** Structural sanity: for every created view [v],
+      [registered[v.id] ⊆ attempted[v.id] ⊆ v.set] — a process can only
+      register a view it was notified of, and only members are notified. *)
+  val invariant_membership : Spec.state Ioa.Invariant.t
+
+  val all : Spec.state Ioa.Invariant.t list
+end

@@ -1,0 +1,1 @@
+lib/dvs_impl/driver.ml: Format List Msg_intf Pg_map Prelude Proc Seqs System View Vs_to_dvs

@@ -1,0 +1,1 @@
+lib/dvs_impl/driver.mli: Prelude System Vs_to_dvs

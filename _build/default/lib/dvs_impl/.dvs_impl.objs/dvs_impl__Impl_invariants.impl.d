@@ -1,0 +1,1 @@
+lib/dvs_impl/impl_invariants.ml: Gid Ioa List Msg_intf Pg_map Prelude Proc System View

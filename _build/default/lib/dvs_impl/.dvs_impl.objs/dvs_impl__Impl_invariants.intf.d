@@ -1,0 +1,1 @@
+lib/dvs_impl/impl_invariants.mli: Ioa Prelude System

@@ -1,0 +1,1 @@
+lib/dvs_impl/props.ml: Format Gid Ioa List Msg_intf Option Pg_map Prelude Proc Seqs System View

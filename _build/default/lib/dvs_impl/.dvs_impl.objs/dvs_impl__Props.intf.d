@@ -1,0 +1,1 @@
+lib/dvs_impl/props.mli: Format Ioa Prelude System

@@ -1,0 +1,1 @@
+lib/dvs_impl/refinement_f.ml: Core Format Gid Ioa List Msg_intf Option Pg_map Prelude Proc Seqs System View Wire

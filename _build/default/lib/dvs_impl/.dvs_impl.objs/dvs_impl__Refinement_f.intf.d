@@ -1,0 +1,1 @@
+lib/dvs_impl/refinement_f.mli: Core Ioa Prelude System

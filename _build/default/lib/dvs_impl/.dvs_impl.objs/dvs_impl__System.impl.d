@@ -1,0 +1,1 @@
+lib/dvs_impl/system.ml: Format Fun Gid Ioa List Msg_intf Pg_map Prelude Proc Random Seqs View Vs Vs_to_dvs Wire

@@ -1,0 +1,1 @@
+lib/dvs_impl/system.mli: Format Ioa Prelude Random Vs Vs_to_dvs Wire

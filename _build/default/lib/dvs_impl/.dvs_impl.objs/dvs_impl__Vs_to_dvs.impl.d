@@ -1,0 +1,1 @@
+lib/dvs_impl/vs_to_dvs.ml: Format Gid Ioa Msg_intf Option Pg_map Prelude Proc Seqs View Wire

@@ -1,0 +1,1 @@
+lib/dvs_impl/vs_to_dvs.mli: Format Ioa Prelude Wire

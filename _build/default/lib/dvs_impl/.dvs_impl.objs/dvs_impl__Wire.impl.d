@@ -1,0 +1,1 @@
+lib/dvs_impl/wire.ml: Format Msg_intf Prelude View

@@ -1,0 +1,1 @@
+lib/dvs_impl/wire.mli: Prelude

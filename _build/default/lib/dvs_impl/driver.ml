@@ -1,0 +1,155 @@
+open Prelude
+
+module Make (M : Msg_intf.S) = struct
+  module Impl = System.Make (M)
+  module Node = Impl.Node
+
+  let step_counted variant (s, k) a =
+    if not (Impl.enabled_v variant s a) then
+      failwith
+        (Format.asprintf "Driver: step not enabled: %a" Impl.pp_action a);
+    (Impl.step_v variant s a, k + 1)
+
+  (* One pass of "anything deliverable": VS sends, VS orders, VS deliveries,
+     relay drains, safe deliveries.  Returns None when nothing is enabled. *)
+  let next_flow_action variant s =
+    let procs = List.map fst (Proc.Map.bindings s.Impl.nodes) in
+    let vs_send =
+      List.find_map
+        (fun p ->
+          let n = Impl.node s p in
+          match n.Node.cur with
+          | None -> None
+          | Some cur -> (
+              match Seqs.head_opt (Node.msgs_to_vs_of n (View.id cur)) with
+              | Some m when Impl.enabled_v variant s (Impl.Vs_gpsnd (p, m)) ->
+                  Some (Impl.Vs_gpsnd (p, m))
+              | Some _ | None -> None))
+        procs
+    in
+    let vs_order () =
+      Pg_map.fold
+        (fun (p, g) q acc ->
+          match acc with
+          | Some _ -> acc
+          | None -> (
+              match Seqs.head_opt q with
+              | Some m -> Some (Impl.Vs_order (m, p, g))
+              | None -> None))
+        s.Impl.vs.Impl.Vsw.pending None
+    in
+    let vs_deliver () =
+      List.find_map
+        (fun dst ->
+          match Impl.Vsw.current_viewid_of s.Impl.vs dst with
+          | None -> None
+          | Some gid -> (
+              let q = Impl.Vsw.queue_of s.Impl.vs gid in
+              match Seqs.nth1_opt q (Impl.Vsw.next_of s.Impl.vs dst gid) with
+              | Some (msg, src) -> Some (Impl.Vs_gprcv { src; dst; msg; gid })
+              | None -> (
+                  match
+                    Seqs.nth1_opt q (Impl.Vsw.next_safe_of s.Impl.vs dst gid)
+                  with
+                  | Some (msg, src) ->
+                      let a = Impl.Vs_safe { src; dst; msg; gid } in
+                      if Impl.enabled_v variant s a then Some a else None
+                  | None -> None)))
+        procs
+    in
+    let drain () =
+      List.find_map
+        (fun p ->
+          let n = Impl.node s p in
+          match n.Node.client_cur with
+          | None -> None
+          | Some cc -> (
+              let g = View.id cc in
+              match Seqs.head_opt (Node.msgs_from_vs_of n g) with
+              | Some (msg, src) -> Some (Impl.Dvs_gprcv { src; dst = p; msg })
+              | None -> (
+                  match Seqs.head_opt (Node.safe_from_vs_of n g) with
+                  | Some (msg, src) -> Some (Impl.Dvs_safe { src; dst = p; msg })
+                  | None -> None)))
+        procs
+    in
+    match vs_send with
+    | Some a -> Some a
+    | None -> (
+        match vs_order () with
+        | Some a -> Some a
+        | None -> (
+            match vs_deliver () with
+            | Some a -> Some a
+            | None -> drain ()))
+
+  let drain ?(variant = Vs_to_dvs.Faithful) s =
+    let rec go (s, k) =
+      match next_flow_action variant s with
+      | Some a -> go (step_counted variant (s, k) a)
+      | None -> (s, k)
+    in
+    go (s, 0)
+
+  let attempt_view_change ?(variant = Vs_to_dvs.Faithful) s v =
+    let members = Proc.Set.elements (View.set v) in
+    let sk = (s, 0) in
+    let sk = step_counted variant sk (Impl.Vs_createview v) in
+    let sk =
+      List.fold_left
+        (fun sk p -> step_counted variant sk (Impl.Vs_newview (v, p)))
+        sk members
+    in
+    (* pump the info exchange *)
+    let s, k = sk in
+    let s, k' = drain ~variant s in
+    let sk = (s, k + k') in
+    (* attempt at every member *)
+    let s, _ = sk in
+    if
+      not
+        (List.for_all
+           (fun p -> Impl.enabled_v variant s (Impl.Dvs_newview (v, p)))
+           members)
+    then None
+    else begin
+      let sk =
+        List.fold_left
+          (fun sk p -> step_counted variant sk (Impl.Dvs_newview (v, p)))
+          sk members
+      in
+      (* register everywhere, pump, garbage collect *)
+      let sk =
+        List.fold_left
+          (fun sk p -> step_counted variant sk (Impl.Dvs_register p))
+          sk members
+      in
+      let s, k = sk in
+      let s, k' = drain ~variant s in
+      let sk = (s, k + k') in
+      let sk =
+        (* garbage collection when the variant permits it (No_gc disables) *)
+        List.fold_left
+          (fun sk p ->
+            let s, _ = sk in
+            if Impl.enabled_v variant s (Impl.Garbage_collect (p, v)) then
+              step_counted variant sk (Impl.Garbage_collect (p, v))
+            else sk)
+          sk members
+      in
+      Some sk
+    end
+
+  let exec_view_change ?(variant = Vs_to_dvs.Faithful) s v =
+    match attempt_view_change ~variant s v with
+    | Some sk -> sk
+    | None ->
+        failwith
+          (Format.asprintf "Driver: view %a not admitted as primary" View.pp v)
+
+  let broadcast_and_deliver ?(variant = Vs_to_dvs.Faithful) s ~src m =
+    let sk = step_counted variant (s, 0) (Impl.Dvs_gpsnd (src, m)) in
+    let s, k = sk in
+    let s, k' = drain ~variant s in
+    (s, k + k')
+end

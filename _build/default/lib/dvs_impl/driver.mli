@@ -1,0 +1,44 @@
+(** A deterministic driver for DVS-IMPL: convenience functions that push the
+    composed system through whole protocol phases (view change with info
+    exchange, registration round, client message delivery).  Every step goes
+    through the automaton's [enabled]/[step], so driven executions are real
+    executions; the driver merely resolves nondeterminism in a fixed order.
+
+    Used by the benchmarks (cost of a view change as a function of group
+    size) and the examples; tests use it to set up deep states quickly. *)
+
+module Make (M : Prelude.Msg_intf.S) : sig
+  module Impl : module type of System.Make (M)
+
+  (** [exec_view_change s v] drives a complete view change to [v]: VS
+      creates [v], reports it to all members, members exchange ["info"]
+      messages, attempt the view, register it, exchange ["registered"]
+      messages, and garbage-collect.  Returns the resulting state and the
+      number of automaton steps taken.  Raises [Failure] if some phase
+      cannot complete (e.g. the view fails the admission test). *)
+  val exec_view_change :
+    ?variant:Vs_to_dvs.variant -> Impl.state -> Prelude.View.t -> Impl.state * int
+
+  (** [attempt_view_change s v] is like {!exec_view_change} but returns
+      [None] (after the info exchange) when the view is not admitted as
+      primary, instead of raising. *)
+  val attempt_view_change :
+    ?variant:Vs_to_dvs.variant ->
+    Impl.state ->
+    Prelude.View.t ->
+    (Impl.state * int) option
+
+  (** [broadcast_and_deliver s ~src m] sends client message [m] from [src]
+      and drives it to every member of [src]'s current client view,
+      including safe indications.  Returns the state and steps taken. *)
+  val broadcast_and_deliver :
+    ?variant:Vs_to_dvs.variant ->
+    Impl.state ->
+    src:Prelude.Proc.t ->
+    M.t ->
+    Impl.state * int
+
+  (** Deliver everything deliverable (VS sends, orders, deliveries, relay
+      drains) until quiescent.  Returns state and steps. *)
+  val drain : ?variant:Vs_to_dvs.variant -> Impl.state -> Impl.state * int
+end

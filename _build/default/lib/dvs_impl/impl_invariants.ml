@@ -1,0 +1,181 @@
+open Prelude
+
+module Make (M : Msg_intf.S) = struct
+  module Impl = System.Make (M)
+  module Node = Impl.Node
+
+  let procs s = List.map fst (Proc.Map.bindings s.Impl.nodes)
+
+  (* 5.1: v ∈ attempted_p ∧ q ∈ v.set ⟹ cur.id_q ≥ v.id. *)
+  let invariant_5_1 =
+    Ioa.Invariant.make "DVS-IMPL 5.1: attempts imply members moved" (fun s ->
+        List.for_all
+          (fun p ->
+            View.Set.for_all
+              (fun v ->
+                Proc.Set.for_all
+                  (fun q ->
+                    match (Impl.node s q).Node.cur with
+                    | None -> false
+                    | Some c -> Gid.ge (View.id c) (View.id v))
+                  (View.set v))
+              (Impl.node s p).Node.attempted)
+          (procs s))
+
+  (* 5.2: the six clauses about act, amb and info-sent. *)
+  let invariant_5_2 =
+    Ioa.Invariant.make "DVS-IMPL 5.2: act/amb/info-sent sanity" (fun s ->
+        let totreg = Impl.tot_reg s in
+        List.for_all
+          (fun p ->
+            let n = Impl.node s p in
+            let c1 = View.Set.mem n.Node.act totreg in
+            let c2 =
+              View.Set.for_all
+                (fun w -> Gid.lt (View.id n.Node.act) (View.id w))
+                n.Node.amb
+            in
+            (* Clause 3, corrected (see the interface note): the paper bounds
+               [use] by [client-cur], but info messages and garbage collection
+               can teach a process about views newer than anything its client
+               has attempted.  What holds — and what the proofs of 5.4/5.5
+               need — is the bound by [cur], with equality only for the
+               attempted current view itself. *)
+            let c3 =
+              match n.Node.cur with
+              | None ->
+                  View.Set.equal (Node.use n) (View.Set.singleton n.Node.act)
+              | Some cur ->
+                  View.Set.for_all
+                    (fun w ->
+                      Gid.lt (View.id w) (View.id cur)
+                      || (View.equal w cur
+                         && match n.Node.client_cur with
+                            | Some cc -> View.equal cc cur
+                            | None -> false))
+                    (Node.use n)
+            in
+            let c456 =
+              Gid.Map.for_all
+                (fun g (x, xs) ->
+                  View.Set.mem x totreg
+                  && View.Set.for_all
+                       (fun w -> Gid.lt (View.id x) (View.id w))
+                       xs
+                  && View.Set.for_all
+                       (fun w -> Gid.lt (View.id w) g)
+                       (View.Set.add x xs))
+                n.Node.info_sent
+            in
+            c1 && c2 && c3 && c456)
+          (procs s))
+
+  (* 5.3 part 1 (restricted to w.id < g, see the interface note) and part 2. *)
+  let invariant_5_3 =
+    Ioa.Invariant.make "DVS-IMPL 5.3: views appear in info messages" (fun s ->
+        List.for_all
+          (fun p ->
+            let n = Impl.node s p in
+            let part1 =
+              Gid.Map.for_all
+                (fun g (x, xs) ->
+                  View.Set.for_all
+                    (fun w ->
+                      (not (Gid.lt (View.id w) g))
+                      || View.Set.mem w (View.Set.add x xs)
+                      || Gid.lt (View.id w) (View.id x))
+                    n.Node.attempted)
+                n.Node.info_sent
+            in
+            let part2 =
+              Pg_map.for_all
+                (fun (_, _) (x, xs) ->
+                  View.Set.for_all
+                    (fun w ->
+                      View.Set.mem w (Node.use n)
+                      || Gid.lt (View.id w) (View.id n.Node.act))
+                    (View.Set.add x xs))
+                n.Node.info_rcvd
+            in
+            part1 && part2)
+          (procs s))
+
+  let no_totreg_between s a b = not (Impl.tot_reg_between s a b)
+
+  (* 5.4: attempted views sharing a member and not separated by a totally
+     registered view intersect in a majority of the older one. *)
+  let invariant_5_4 =
+    Ioa.Invariant.make "DVS-IMPL 5.4: chained attempts majority-intersect"
+      (fun s ->
+        List.for_all
+          (fun p ->
+            View.Set.for_all
+              (fun v ->
+                Proc.Set.for_all
+                  (fun q ->
+                    View.Set.for_all
+                      (fun w ->
+                        (not (Gid.lt (View.id w) (View.id v)))
+                        || (not (no_totreg_between s (View.id w) (View.id v)))
+                        || View.majority_intersects v ~of_:w)
+                      (Impl.node s q).Node.attempted)
+                  (View.set v))
+              (Impl.node s p).Node.attempted)
+          (procs s))
+
+  (* 5.5: any attempted view majority-intersects the latest preceding totally
+     registered view. *)
+  let invariant_5_5 =
+    Ioa.Invariant.make "DVS-IMPL 5.5: attempts cover last totally registered"
+      (fun s ->
+        let totreg = Impl.tot_reg s in
+        View.Set.for_all
+          (fun v ->
+            View.Set.for_all
+              (fun w ->
+                (not (Gid.lt (View.id w) (View.id v)))
+                || (not (no_totreg_between s (View.id w) (View.id v)))
+                || View.majority_intersects v ~of_:w)
+              totreg)
+          (Impl.att s))
+
+  (* 5.6: attempted views not separated by a totally registered view
+     intersect — the key fact behind the refinement's createview case. *)
+  let invariant_5_6 =
+    Ioa.Invariant.make "DVS-IMPL 5.6: unseparated attempts intersect" (fun s ->
+        let atts = View.Set.elements (Impl.att s) in
+        List.for_all
+          (fun v ->
+            List.for_all
+              (fun w ->
+                (not (Gid.lt (View.id w) (View.id v)))
+                || (not (no_totreg_between s (View.id w) (View.id v)))
+                || View.intersects v w)
+              atts)
+          atts)
+
+  let invariant_cur_agreement =
+    Ioa.Invariant.make "DVS-IMPL: cur agrees with VS current-viewid" (fun s ->
+        Proc.Map.for_all
+          (fun p n ->
+            Gid.Bot.equal (Node.cur_id n) (Impl.Vsw.current_viewid_of s.Impl.vs p)
+            &&
+            match n.Node.cur with
+            | None -> true
+            | Some c -> (
+                match Impl.Vsw.created_view s.Impl.vs (View.id c) with
+                | Some v -> View.equal v c
+                | None -> false))
+          s.Impl.nodes)
+
+  let all =
+    [
+      invariant_5_1;
+      invariant_5_2;
+      invariant_5_3;
+      invariant_5_4;
+      invariant_5_5;
+      invariant_5_6;
+      invariant_cur_agreement;
+    ]
+end

@@ -1,0 +1,44 @@
+(** The invariants of DVS-IMPL (Section 5.2) as executable predicates.
+
+    These are exactly the statements the paper proves by induction; our test
+    and bench harnesses evaluate them on every state of generated executions
+    (and exhaustively on small instances), both for the faithful algorithm —
+    where they must hold — and for the {!Vs_to_dvs.variant} mutants — where
+    the intersection invariants must fail, demonstrating that the checks
+    discriminate.
+
+    Two reading notes, both found by running these checks against the
+    faithful algorithm (they are errata to the paper's statements, not to
+    its algorithm — the corrected forms are exactly what the proofs of
+    Invariants 5.4/5.5 use):
+
+    - Invariant 5.3 part 1 is stated without a bound on [w]; it is applied
+      (in the proof of Invariant 5.4) only to views [w] with [w.id < g], and
+      only that restricted form is an invariant (a process may attempt views
+      with identifiers [≥ g] after sending its ["info"] message for [g]).
+      We check the restricted form.
+    - Invariant 5.2 clause 3 bounds [use_p] by [client-cur_p]; that is false
+      for the paper's own algorithm: ["info"] messages received in a new
+      view can add views newer than anything the local client has attempted
+      to [amb_p], and garbage collection can advance [act_p] past
+      [client-cur_p].  The true bound — sufficient for the 5.4/5.5 proofs —
+      is by [cur_p], with equality only for an attempted current view.  We
+      check the corrected clause.  See EXPERIMENTS.md (E3). *)
+
+module Make (M : Prelude.Msg_intf.S) : sig
+  module Impl : module type of System.Make (M)
+
+  val invariant_5_1 : Impl.state Ioa.Invariant.t
+  val invariant_5_2 : Impl.state Ioa.Invariant.t
+  val invariant_5_3 : Impl.state Ioa.Invariant.t
+  val invariant_5_4 : Impl.state Ioa.Invariant.t
+  val invariant_5_5 : Impl.state Ioa.Invariant.t
+  val invariant_5_6 : Impl.state Ioa.Invariant.t
+
+  (** Structural glue used implicitly throughout Section 5: each process's
+      [cur] agrees with the VS service's [current-viewid], and [cur] is a
+      created VS view. *)
+  val invariant_cur_agreement : Impl.state Ioa.Invariant.t
+
+  val all : Impl.state Ioa.Invariant.t list
+end

@@ -1,0 +1,131 @@
+open Prelude
+
+module Make (M : Msg_intf.S) = struct
+  module Impl = System.Make (M)
+  module Node = Impl.Node
+
+  type co_movement = {
+    transitions : int;
+    identical : int;
+    prefix_consistent : int;
+  }
+
+  let pp_co_movement ppf c =
+    Format.fprintf ppf
+      "%d co-moving cases: %d identical deliveries, %d prefix-consistent"
+      c.transitions c.identical c.prefix_consistent
+
+  (* Deliveries to each process per client view: from Dvs_gprcv actions,
+     attributed to the receiver's client view at the time. *)
+  let deliveries_per_view (exec : (Impl.state, Impl.action) Ioa.Exec.t) =
+    List.fold_left
+      (fun acc (st : (Impl.state, Impl.action) Ioa.Exec.step) ->
+        match st.Ioa.Exec.action with
+        | Impl.Dvs_gprcv { src; dst; msg } -> (
+            match (Impl.node st.Ioa.Exec.pre dst).Node.client_cur with
+            | None -> acc
+            | Some cc ->
+                let key = (dst, View.id cc) in
+                Pg_map.add key
+                  ((msg, src) :: Pg_map.find_or ~default:[] key acc)
+                  acc)
+        | _ -> acc)
+      Pg_map.empty exec.Ioa.Exec.steps
+
+  (* Which processes attempted which views, from Dvs_newview actions. *)
+  let attempts (exec : (Impl.state, Impl.action) Ioa.Exec.t) =
+    List.fold_left
+      (fun acc a ->
+        match a with
+        | Impl.Dvs_newview (v, p) ->
+            let g = View.id v in
+            Gid.Map.add g
+              (Proc.Set.add p
+                 (Option.value ~default:Proc.Set.empty (Gid.Map.find_opt g acc)))
+              acc
+        | _ -> acc)
+      Gid.Map.empty (Ioa.Exec.actions exec)
+
+  let co_movement exec =
+    let per_view = deliveries_per_view exec in
+    let att = attempts exec in
+    (* consecutive attempted views by id *)
+    let gids = List.map fst (Gid.Map.bindings att) in
+    let eq (m, p) (m', p') = M.equal m m' && Proc.equal p p' in
+    let rec pairs acc = function
+      | g :: (g' :: _ as rest) ->
+          let both =
+            Proc.Set.inter
+              (Option.value ~default:Proc.Set.empty (Gid.Map.find_opt g att))
+              (Option.value ~default:Proc.Set.empty (Gid.Map.find_opt g' att))
+          in
+          let members = Proc.Set.elements both in
+          let acc =
+            List.fold_left
+              (fun acc p ->
+                List.fold_left
+                  (fun acc q ->
+                    if p >= q then acc
+                    else begin
+                      let seq_of r =
+                        Seqs.of_list
+                          (List.rev (Pg_map.find_or ~default:[] (r, g) per_view))
+                      in
+                      let sp = seq_of p and sq = seq_of q in
+                      let identical = Seqs.equal eq sp sq in
+                      let prefix =
+                        Seqs.is_prefix ~equal:eq sp ~of_:sq
+                        || Seqs.is_prefix ~equal:eq sq ~of_:sp
+                      in
+                      {
+                        transitions = acc.transitions + 1;
+                        identical = (acc.identical + if identical then 1 else 0);
+                        prefix_consistent =
+                          (acc.prefix_consistent + if prefix then 1 else 0);
+                      }
+                    end)
+                  acc members)
+              acc members
+          in
+          pairs acc rest
+      | [ _ ] | [] -> acc
+    in
+    pairs { transitions = 0; identical = 0; prefix_consistent = 0 } gids
+
+  type use_stats = {
+    samples : int;
+    max_use : int;
+    mean_use : float;
+    gc_events : int;
+  }
+
+  let pp_use_stats ppf u =
+    Format.fprintf ppf "|use|: max %d, mean %.2f over %d samples; %d gc events"
+      u.max_use u.mean_use u.samples u.gc_events
+
+  let use_stats (exec : (Impl.state, Impl.action) Ioa.Exec.t) =
+    let samples = ref 0 and total = ref 0 and max_use = ref 0 in
+    List.iter
+      (fun (s : Impl.state) ->
+        Proc.Map.iter
+          (fun _ n ->
+            let size = View.Set.cardinal (Node.use n) in
+            incr samples;
+            total := !total + size;
+            if size > !max_use then max_use := size)
+          s.Impl.nodes)
+      (Ioa.Exec.states exec);
+    let gc_events =
+      List.length
+        (List.filter
+           (function Impl.Garbage_collect _ -> true | _ -> false)
+           (Ioa.Exec.actions exec))
+    in
+    {
+      samples = !samples;
+      max_use = !max_use;
+      mean_use =
+        (if !samples = 0 then 0. else float_of_int !total /. float_of_int !samples);
+      gc_events;
+    }
+end

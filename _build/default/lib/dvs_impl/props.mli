@@ -1,0 +1,42 @@
+(** Trace-level analyses over DVS-IMPL executions, supporting the paper's
+    Section 7 discussion and the design-choice ablations (E12/E13).
+
+    - {b Isis co-movement}: Isis guarantees that processes moving together
+      from one view to the next received exactly the same messages in the
+      first view.  The paper deliberately omits this from DVS ("not needed to
+      verify applications such as totally-ordered broadcast"); DVS only
+      guarantees prefix agreement.  {!co_movement} measures, over an
+      execution, how often co-moving pairs actually received identical
+      message sequences versus merely consistent prefixes — quantifying the
+      gap between what DVS provides and what Isis would.
+
+    - {b Garbage-collection effectiveness}: the size of [use = {act} ∪ amb]
+      bounds the admission test's constraint set; garbage collection is what
+      keeps it small.  {!use_stats} samples it across an execution. *)
+
+module Make (M : Prelude.Msg_intf.S) : sig
+  module Impl : module type of System.Make (M)
+
+  type co_movement = {
+    transitions : int;  (** co-moving (process-pair, view-pair) cases *)
+    identical : int;  (** pairs that received exactly the same messages *)
+    prefix_consistent : int;  (** pairs where one received a prefix *)
+  }
+
+  val pp_co_movement : Format.formatter -> co_movement -> unit
+
+  (** Analyse an execution: for every pair of processes that both attempted
+      consecutive primary views [v] then [v'], compare the client-message
+      sequences they received while in [v]. *)
+  val co_movement : (Impl.state, Impl.action) Ioa.Exec.t -> co_movement
+
+  type use_stats = {
+    samples : int;
+    max_use : int;  (** largest [|use_p|] seen at any process/state *)
+    mean_use : float;
+    gc_events : int;  (** garbage collections performed *)
+  }
+
+  val pp_use_stats : Format.formatter -> use_stats -> unit
+  val use_stats : (Impl.state, Impl.action) Ioa.Exec.t -> use_stats
+end

@@ -1,0 +1,262 @@
+open Prelude
+
+module Make (M : Msg_intf.S) = struct
+  module Impl = System.Make (M)
+  module Spec = Core.Dvs_spec.Make (M)
+  module Node = Impl.Node
+  module Vsw = Impl.Vsw
+
+  let purge q =
+    Seqs.fold_left
+      (fun acc (w, p) ->
+        match Wire.client_payload w with
+        | Some c -> Seqs.append acc (c, p)
+        | None -> acc)
+      Seqs.empty q
+
+  let purge_plain q =
+    Seqs.fold_left
+      (fun acc w ->
+        match Wire.client_payload w with
+        | Some c -> Seqs.append acc c
+        | None -> acc)
+      Seqs.empty q
+
+  let purgesize_prefix q upto =
+    (* number of non-client messages among queue positions 1..upto-1 *)
+    let rec go i n =
+      if i >= upto then n
+      else begin
+        match Seqs.nth1_opt q i with
+        | Some (w, _) -> go (i + 1) (if Wire.is_client w then n else n + 1)
+        | None -> n
+      end
+    in
+    go 1 0
+
+  let procs s = List.map fst (Proc.Map.bindings s.Impl.nodes)
+
+  let gids_touched (s : Impl.state) =
+    (* every view id appearing anywhere we need to translate *)
+    let add g acc = Gid.Set.add g acc in
+    let acc = Gid.Set.empty in
+    let acc = Gid.Map.fold (fun g _ a -> add g a) s.vs.Vsw.queue acc in
+    let acc = Pg_map.fold (fun (_, g) _ a -> add g a) s.vs.Vsw.pending acc in
+    let acc = Pg_map.fold (fun (_, g) _ a -> add g a) s.vs.Vsw.next acc in
+    let acc = Pg_map.fold (fun (_, g) _ a -> add g a) s.vs.Vsw.next_safe acc in
+    Proc.Map.fold
+      (fun _ n acc ->
+        let acc = Gid.Map.fold (fun g _ a -> add g a) n.Node.msgs_to_vs acc in
+        let acc = Gid.Map.fold (fun g _ a -> add g a) n.Node.msgs_from_vs acc in
+        Gid.Map.fold (fun g _ a -> add g a) n.Node.safe_from_vs acc)
+      s.nodes acc
+
+  let abstraction (s : Impl.state) : Spec.state =
+    let created = Impl.created s in
+    let current_viewid =
+      Proc.Map.fold
+        (fun p n acc ->
+          match n.Node.client_cur with
+          | None -> acc
+          | Some cc -> Proc.Map.add p (Gid.Bot.of_gid (View.id cc)) acc)
+        s.Impl.nodes Proc.Map.empty
+    in
+    let attempted =
+      View.Set.fold
+        (fun v acc ->
+          let g = View.id v in
+          let who =
+            Proc.Map.fold
+              (fun p n who ->
+                if View.Set.exists (fun w -> Gid.equal (View.id w) g) n.Node.attempted
+                then Proc.Set.add p who
+                else who)
+              s.Impl.nodes Proc.Set.empty
+          in
+          if Proc.Set.is_empty who then acc else Gid.Map.add g who acc)
+        created Gid.Map.empty
+    in
+    let registered =
+      (* collect over all gids any node has registered *)
+      Proc.Map.fold
+        (fun p n acc ->
+          Gid.Set.fold
+            (fun g acc ->
+              let cur = Option.value ~default:Proc.Set.empty (Gid.Map.find_opt g acc) in
+              Gid.Map.add g (Proc.Set.add p cur) acc)
+            n.Node.reg acc)
+        s.Impl.nodes Gid.Map.empty
+    in
+    let queue =
+      Gid.Map.fold
+        (fun g q acc ->
+          let pq = purge q in
+          if Seqs.is_empty pq then acc else Gid.Map.add g pq acc)
+        s.vs.Vsw.queue Gid.Map.empty
+    in
+    let pending =
+      List.fold_left
+        (fun acc p ->
+          let n = Impl.node s p in
+          let gids =
+            Gid.Set.union
+              (Gid.Map.fold (fun g _ a -> Gid.Set.add g a) n.Node.msgs_to_vs
+                 Gid.Set.empty)
+              (Pg_map.fold
+                 (fun (p', g) _ a -> if Proc.equal p p' then Gid.Set.add g a else a)
+                 s.vs.Vsw.pending Gid.Set.empty)
+          in
+          Gid.Set.fold
+            (fun g acc ->
+              let seq =
+                Seqs.concat
+                  (purge_plain (Vsw.pending_of s.vs p g))
+                  (purge_plain (Node.msgs_to_vs_of n g))
+              in
+              if Seqs.is_empty seq then acc else Pg_map.add (p, g) seq acc)
+            gids acc)
+        Pg_map.empty (procs s)
+    in
+    let next, next_safe =
+      let gids = gids_touched s in
+      List.fold_left
+        (fun (next, next_safe) p ->
+          let n = Impl.node s p in
+          Gid.Set.fold
+            (fun g (next, next_safe) ->
+              let q = Vsw.queue_of s.vs g in
+              let raw_next = Vsw.next_of s.vs p g in
+              let t_next =
+                raw_next
+                - purgesize_prefix q raw_next
+                - Seqs.length (Node.msgs_from_vs_of n g)
+              in
+              let raw_safe = Vsw.next_safe_of s.vs p g in
+              let t_safe =
+                raw_safe
+                - purgesize_prefix q raw_safe
+                - Seqs.length (Node.safe_from_vs_of n g)
+              in
+              let next = if t_next > 1 then Pg_map.add (p, g) t_next next else next in
+              let next_safe =
+                if t_safe > 1 then Pg_map.add (p, g) t_safe next_safe else next_safe
+              in
+              (next, next_safe))
+            gids (next, next_safe))
+        (Pg_map.empty, Pg_map.empty)
+        (procs s)
+    in
+    {
+      Spec.created;
+      current_viewid;
+      queue;
+      attempted;
+      registered;
+      pending;
+      next;
+      next_safe;
+    }
+
+  let match_step (pre : Impl.state) (action : Impl.action) (_post : Impl.state)
+      : Spec.action list =
+    match action with
+    | Impl.Dvs_gpsnd (p, m) -> [ Spec.Gpsnd (p, m) ]
+    | Impl.Dvs_register p -> [ Spec.Register p ]
+    | Impl.Dvs_newview (v, p) ->
+        let already =
+          View.Set.exists (fun w -> View.equal w v) (Impl.created pre)
+        in
+        if already then [ Spec.Newview (v, p) ]
+        else [ Spec.Createview v; Spec.Newview (v, p) ]
+    | Impl.Dvs_gprcv { src; dst; msg } -> (
+        match (Impl.node pre dst).Node.client_cur with
+        | None -> []
+        | Some cc ->
+            [ Spec.Gprcv { src; dst; msg; gid = View.id cc } ])
+    | Impl.Dvs_safe { src; dst; msg } -> (
+        match (Impl.node pre dst).Node.client_cur with
+        | None -> []
+        | Some cc -> [ Spec.Safe { src; dst; msg; gid = View.id cc } ])
+    | Impl.Vs_order (w, p, g) -> (
+        match Wire.client_payload w with
+        | Some c -> [ Spec.Order (c, p, g) ]
+        | None -> [])
+    | Impl.Vs_createview _ | Impl.Vs_newview _ | Impl.Vs_gpsnd _
+    | Impl.Vs_gprcv _ | Impl.Vs_safe _ | Impl.Garbage_collect _ ->
+        []
+
+  let impl_label = function
+    | Impl.Dvs_gpsnd (p, m) ->
+        Some (Format.asprintf "dvs-gpsnd(%a)_%a" M.pp m Proc.pp p)
+    | Impl.Dvs_register p -> Some (Format.asprintf "dvs-register_%a" Proc.pp p)
+    | Impl.Dvs_newview (v, p) ->
+        Some (Format.asprintf "dvs-newview(%a)_%a" View.pp v Proc.pp p)
+    | Impl.Dvs_gprcv { src; dst; msg } ->
+        Some
+          (Format.asprintf "dvs-gprcv(%a)_%a,%a" M.pp msg Proc.pp src Proc.pp dst)
+    | Impl.Dvs_safe { src; dst; msg } ->
+        Some
+          (Format.asprintf "dvs-safe(%a)_%a,%a" M.pp msg Proc.pp src Proc.pp dst)
+    | Impl.Vs_createview _ | Impl.Vs_newview _ | Impl.Vs_gpsnd _
+    | Impl.Vs_order _ | Impl.Vs_gprcv _ | Impl.Vs_safe _
+    | Impl.Garbage_collect _ ->
+        None
+
+  let spec_label = function
+    | Spec.Gpsnd (p, m) ->
+        Some (Format.asprintf "dvs-gpsnd(%a)_%a" M.pp m Proc.pp p)
+    | Spec.Register p -> Some (Format.asprintf "dvs-register_%a" Proc.pp p)
+    | Spec.Newview (v, p) ->
+        Some (Format.asprintf "dvs-newview(%a)_%a" View.pp v Proc.pp p)
+    | Spec.Gprcv { src; dst; msg; gid = _ } ->
+        Some
+          (Format.asprintf "dvs-gprcv(%a)_%a,%a" M.pp msg Proc.pp src Proc.pp dst)
+    | Spec.Safe { src; dst; msg; gid = _ } ->
+        Some
+          (Format.asprintf "dvs-safe(%a)_%a,%a" M.pp msg Proc.pp src Proc.pp dst)
+    | Spec.Createview _ | Spec.Order _ -> None
+
+  let refinement () =
+    {
+      Ioa.Refinement.name = "DVS-IMPL ⊑ DVS (Theorem 5.9)";
+      abstraction;
+      match_step;
+      impl_label;
+      spec_label;
+    }
+
+  (* The relaxed Safe precondition: Figure 2 minus the all-members clause. *)
+  let relaxed_safe_enabled (s : Spec.state) ~src ~dst ~msg ~gid =
+    Gid.Bot.equal (Spec.current_viewid_of s dst) (Gid.Bot.of_gid gid)
+    && Option.is_some (Spec.created_view s gid)
+    &&
+    match Seqs.nth1_opt (Spec.queue_of s gid) (Spec.next_safe_of s dst gid) with
+    | Some (m, p) -> M.equal m msg && Proc.equal p src
+    | None -> false
+
+  let spec_automaton ~strict_safe =
+    (module struct
+      type state = Spec.state
+      type action = Spec.action
+
+      let equal_state = Spec.equal_state
+      let pp_state = Spec.pp_state
+      let pp_action = Spec.pp_action
+
+      let enabled s a =
+        match a with
+        | Spec.Safe { src; dst; msg; gid } when not strict_safe ->
+            relaxed_safe_enabled s ~src ~dst ~msg ~gid
+        | _ -> Spec.enabled s a
+
+      let step = Spec.step
+      let is_external = Spec.is_external
+    end : Ioa.Automaton.S
+      with type state = Spec.state
+       and type action = Spec.action)
+
+  let check ~strict_safe ~p0 exec =
+    Ioa.Refinement.check_execution
+      (spec_automaton ~strict_safe)
+      ~spec_initial:(Spec.initial p0) (refinement ()) exec
+end

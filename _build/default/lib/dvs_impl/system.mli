@@ -1,0 +1,118 @@
+(** The composed system DVS-IMPL (Section 5.1): one {!Vs_to_dvs} automaton
+    per process, composed with the internal VS service, with all VS actions
+    hidden (internal).  External actions are exactly the DVS interface.
+
+    The module also provides the derived view classes [Att], [TotAtt],
+    [Reg], [TotReg] of Section 5.1 and a configurable generative scheduler
+    for producing random executions of the whole system. *)
+
+module Make (M : Prelude.Msg_intf.S) : sig
+  module Node : module type of Vs_to_dvs.Make (M)
+  module Vsw : module type of Vs.Vs_spec.Make (Wire.Make (M))
+
+  type wire = M.t Wire.t
+
+  type state = {
+    vs : Vsw.state;  (** the internal VS service *)
+    nodes : Node.state Prelude.Proc.Map.t;  (** one VS-TO-DVS_p per process *)
+  }
+
+  type action =
+    (* External: the DVS interface. *)
+    | Dvs_gpsnd of Prelude.Proc.t * M.t
+    | Dvs_register of Prelude.Proc.t
+    | Dvs_newview of Prelude.View.t * Prelude.Proc.t
+    | Dvs_gprcv of { src : Prelude.Proc.t; dst : Prelude.Proc.t; msg : M.t }
+    | Dvs_safe of { src : Prelude.Proc.t; dst : Prelude.Proc.t; msg : M.t }
+    (* Internal: the hidden VS service actions and garbage collection. *)
+    | Vs_createview of Prelude.View.t
+    | Vs_newview of Prelude.View.t * Prelude.Proc.t
+    | Vs_gpsnd of Prelude.Proc.t * wire
+    | Vs_order of wire * Prelude.Proc.t * Prelude.Gid.t
+    | Vs_gprcv of {
+        src : Prelude.Proc.t;
+        dst : Prelude.Proc.t;
+        msg : wire;
+        gid : Prelude.Gid.t;
+      }
+    | Vs_safe of {
+        src : Prelude.Proc.t;
+        dst : Prelude.Proc.t;
+        msg : wire;
+        gid : Prelude.Gid.t;
+      }
+    | Garbage_collect of Prelude.Proc.t * Prelude.View.t
+
+  (** [initial ~universe ~p0]: all of [universe] processes exist; members of
+      [p0] start in the initial view [v0]. *)
+  val initial : universe:int -> p0:Prelude.Proc.Set.t -> state
+
+  val node : state -> Prelude.Proc.t -> Node.state
+
+  val enabled_v : Vs_to_dvs.variant -> state -> action -> bool
+  val step_v : Vs_to_dvs.variant -> state -> action -> state
+  val is_external : action -> bool
+  val equal_state : state -> state -> bool
+  val pp_state : Format.formatter -> state -> unit
+  val pp_action : Format.formatter -> action -> unit
+
+  val automaton :
+    Vs_to_dvs.variant ->
+    (module Ioa.Automaton.S with type state = state and type action = action)
+
+  (** {2 Derived variables of Section 5.1} *)
+
+  (** [created s = ⋃_p attempted_p] — the views attempted anywhere (this is
+      also [F(s).created], Figure 4). *)
+  val created : state -> Prelude.View.Set.t
+
+  val att : state -> Prelude.View.Set.t
+  val tot_att : state -> Prelude.View.Set.t
+  val reg : state -> Prelude.View.Set.t
+  val tot_reg : state -> Prelude.View.Set.t
+
+  (** Whether some view of [tot_reg s] has identifier strictly between the
+      two given identifiers. *)
+  val tot_reg_between : state -> Prelude.Gid.t -> Prelude.Gid.t -> bool
+
+  (** {2 Random-execution generation} *)
+
+  (** Scheduling policies for resolving the system's nondeterminism.
+
+      - [Unrestricted]: any enabled action may fire — full adversarial
+        interleaving.
+      - [Eager_clients]: client-facing relay buffers are drained with
+        priority (clients consume promptly).
+      - [Synchronized]: additionally, VS-level safe indications for client
+        messages are delivered only once every view member's client is in
+        the view and has consumed all earlier messages.  Under this policy
+        the *strict* refinement of Theorem 5.9 (including the DVS-SAFE
+        case) holds on every generated execution; see {!Refinement_f} for
+        the discussion of the safe-case gap under [Unrestricted]. *)
+  type schedule = Unrestricted | Eager_clients | Synchronized
+
+  type config = {
+    universe : int;
+    p0 : Prelude.Proc.Set.t;
+    payloads : M.t list;
+    max_views : int;
+    max_sends : int;
+    schedule : schedule;
+    variant : Vs_to_dvs.variant;
+    register_probability : float;
+        (** chance a process with an unregistered current view proposes
+            [dvs-register]; 1.0 = always *)
+    view_proposals : [ `Random | `All_subsets ];
+        (** how view membership sets are proposed; [`All_subsets] is
+            deterministic, for exhaustive exploration *)
+  }
+
+  val default_config : payloads:M.t list -> universe:int -> config
+
+  val generative :
+    config ->
+    rng_views:Random.State.t ->
+    (module Ioa.Automaton.GENERATIVE
+       with type state = state
+        and type action = action)
+end

@@ -1,0 +1,32 @@
+open Prelude
+
+type 'c t =
+  | Client of 'c
+  | Info of View.t * View.Set.t
+  | Registered
+
+let is_client = function Client _ -> true | Info _ | Registered -> false
+let client_payload = function Client c -> Some c | Info _ | Registered -> None
+
+module Make (M : Msg_intf.S) = struct
+  type nonrec t = M.t t
+
+  let compare a b =
+    match (a, b) with
+    | Client x, Client y -> M.compare x y
+    | Client _, (Info _ | Registered) -> -1
+    | Info _, Client _ -> 1
+    | Info (v, vs), Info (w, ws) -> (
+        match View.compare v w with 0 -> View.Set.compare vs ws | c -> c)
+    | Info _, Registered -> -1
+    | Registered, (Client _ | Info _) -> 1
+    | Registered, Registered -> 0
+
+  let equal a b = compare a b = 0
+
+  let pp ppf = function
+    | Client c -> Format.fprintf ppf "client:%a" M.pp c
+    | Info (v, vs) ->
+        Format.fprintf ppf "info(act=%a,amb=%a)" View.pp v View.Set.pp vs
+    | Registered -> Format.pp_print_string ppf "registered"
+end

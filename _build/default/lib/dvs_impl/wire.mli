@@ -1,0 +1,22 @@
+(** The wire alphabet used by VS-TO-DVS over the internal VS service.
+
+    Section 5.1: [M = M_c ∪ ({"info"} × V × 2^V) ∪ {"registered"}] — client
+    messages pass through untouched; ["info"] messages carry the sender's
+    [act] view and [amb] set on a view change; ["registered"] messages
+    propagate client registrations. *)
+
+type 'c t =
+  | Client of 'c
+  | Info of Prelude.View.t * Prelude.View.Set.t  (** sender's [act], [amb] *)
+  | Registered
+
+(** Whether a wire message is a client message ([purge] keeps exactly
+    these — Figure 4). *)
+val is_client : 'c t -> bool
+
+val client_payload : 'c t -> 'c option
+
+(** Package the wire alphabet over a client alphabet as a message module for
+    {!Vs.Vs_spec.Make}. *)
+module Make (M : Prelude.Msg_intf.S) :
+  Prelude.Msg_intf.S with type t = M.t t

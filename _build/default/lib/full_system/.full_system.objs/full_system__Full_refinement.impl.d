@@ -1,0 +1,1 @@
+lib/full_system/full_refinement.ml: Dvs_impl Format Full_stack Ioa Msg_intf Prelude Proc View Vs_impl

@@ -1,0 +1,1 @@
+lib/full_system/full_refinement.mli: Dvs_impl Full_stack Ioa Prelude

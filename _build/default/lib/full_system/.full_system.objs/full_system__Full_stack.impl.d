@@ -1,0 +1,1 @@
+lib/full_system/full_stack.ml: Dvs_impl Format Fun Gid Ioa List Msg_intf Pg_map Prelude Proc Random Seqs View Vs_impl

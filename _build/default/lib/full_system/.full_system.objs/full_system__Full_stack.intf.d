@@ -1,0 +1,1 @@
+lib/full_system/full_stack.mli: Dvs_impl Ioa Prelude Random Vs_impl

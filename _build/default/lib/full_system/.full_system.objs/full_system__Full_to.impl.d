@@ -1,0 +1,1 @@
+lib/full_system/full_to.ml: Dvs_impl Format Full_refinement Full_stack Fun Ioa Label List Prelude Proc Random Seqs To_broadcast View

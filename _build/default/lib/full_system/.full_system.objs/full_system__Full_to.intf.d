@@ -1,0 +1,1 @@
+lib/full_system/full_to.mli: Full_stack Ioa Prelude Random To_broadcast

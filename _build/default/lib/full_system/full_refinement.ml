@@ -1,0 +1,83 @@
+open Prelude
+
+module Make (M : Msg_intf.S) = struct
+  module Impl = Full_stack.Make (M)
+  module Spec = Dvs_impl.System.Make (M)
+  module Sref = Vs_impl.Stack_refinement.Make (Dvs_impl.Wire.Make (M))
+
+  let abstraction (s : Impl.state) : Spec.state =
+    { Spec.vs = Sref.abstraction s.Impl.stk; nodes = s.Impl.nodes }
+
+  let match_step (pre : Impl.state) (action : Impl.action) (_post : Impl.state)
+      : Spec.action list =
+    match action with
+    | Impl.Dvs_gpsnd (p, m) -> [ Spec.Dvs_gpsnd (p, m) ]
+    | Impl.Dvs_register p -> [ Spec.Dvs_register p ]
+    | Impl.Dvs_newview (v, p) -> [ Spec.Dvs_newview (v, p) ]
+    | Impl.Dvs_gprcv { src; dst; msg } -> [ Spec.Dvs_gprcv { src; dst; msg } ]
+    | Impl.Dvs_safe { src; dst; msg } -> [ Spec.Dvs_safe { src; dst; msg } ]
+    | Impl.Garbage_collect (p, v) -> [ Spec.Garbage_collect (p, v) ]
+    | Impl.Vs_gpsnd (p, w) -> [ Spec.Vs_gpsnd (p, w) ]
+    | Impl.Vs_newview (v, p) -> [ Spec.Vs_newview (v, p) ]
+    | Impl.Vs_gprcv { src; dst; msg } -> (
+        match (Impl.Stk.engine pre.Impl.stk dst).Impl.Stk.E.cur with
+        | None -> []
+        | Some v ->
+            [ Spec.Vs_gprcv { src; dst; msg; gid = View.id v } ])
+    | Impl.Vs_safe { src; dst; msg } -> (
+        match (Impl.Stk.engine pre.Impl.stk dst).Impl.Stk.E.cur with
+        | None -> []
+        | Some v -> [ Spec.Vs_safe { src; dst; msg; gid = View.id v } ])
+    | Impl.Stk_createview v -> [ Spec.Vs_createview v ]
+    | Impl.Stk_deliver { src; pkt = Vs_impl.Packet.Fwd { gid; payload }; _ } ->
+        [ Spec.Vs_order (payload, src, gid) ]
+    | Impl.Stk_deliver
+        { pkt = Vs_impl.Packet.Seq _ | Vs_impl.Packet.Ack _ | Vs_impl.Packet.Stable _; _ }
+    | Impl.Stk_send _ | Impl.Stk_reconfigure _ ->
+        []
+
+  let impl_label = function
+    | Impl.Dvs_gpsnd (p, m) ->
+        Some (Format.asprintf "dvs-gpsnd(%a)_%a" M.pp m Proc.pp p)
+    | Impl.Dvs_register p -> Some (Format.asprintf "dvs-register_%a" Proc.pp p)
+    | Impl.Dvs_newview (v, p) ->
+        Some (Format.asprintf "dvs-newview(%a)_%a" View.pp v Proc.pp p)
+    | Impl.Dvs_gprcv { src; dst; msg } ->
+        Some (Format.asprintf "dvs-gprcv(%a)_%a,%a" M.pp msg Proc.pp src Proc.pp dst)
+    | Impl.Dvs_safe { src; dst; msg } ->
+        Some (Format.asprintf "dvs-safe(%a)_%a,%a" M.pp msg Proc.pp src Proc.pp dst)
+    | Impl.Vs_gpsnd _ | Impl.Vs_newview _ | Impl.Vs_gprcv _ | Impl.Vs_safe _
+    | Impl.Garbage_collect _ | Impl.Stk_createview _ | Impl.Stk_reconfigure _
+    | Impl.Stk_send _ | Impl.Stk_deliver _ ->
+        None
+
+  let spec_label = function
+    | Spec.Dvs_gpsnd (p, m) ->
+        Some (Format.asprintf "dvs-gpsnd(%a)_%a" M.pp m Proc.pp p)
+    | Spec.Dvs_register p -> Some (Format.asprintf "dvs-register_%a" Proc.pp p)
+    | Spec.Dvs_newview (v, p) ->
+        Some (Format.asprintf "dvs-newview(%a)_%a" View.pp v Proc.pp p)
+    | Spec.Dvs_gprcv { src; dst; msg } ->
+        Some (Format.asprintf "dvs-gprcv(%a)_%a,%a" M.pp msg Proc.pp src Proc.pp dst)
+    | Spec.Dvs_safe { src; dst; msg } ->
+        Some (Format.asprintf "dvs-safe(%a)_%a,%a" M.pp msg Proc.pp src Proc.pp dst)
+    | Spec.Vs_createview _ | Spec.Vs_newview _ | Spec.Vs_gpsnd _
+    | Spec.Vs_order _ | Spec.Vs_gprcv _ | Spec.Vs_safe _
+    | Spec.Garbage_collect _ ->
+        None
+
+  let refinement () =
+    {
+      Ioa.Refinement.name = "Full stack ⊑ DVS-IMPL";
+      abstraction;
+      match_step;
+      impl_label;
+      spec_label;
+    }
+
+  let check ~universe ~p0 exec =
+    Ioa.Refinement.check_execution
+      (Spec.automaton Dvs_impl.Vs_to_dvs.Faithful)
+      ~spec_initial:(Spec.initial ~universe ~p0)
+      (refinement ()) exec
+end

@@ -1,0 +1,28 @@
+(** The missing link of the full-stack correctness chain: the composed real
+    system ({!Full_stack}: Figure 3 nodes over the VS engine) refines
+    DVS-IMPL (Figure 3 nodes over the Figure 1 VS specification).
+
+    The abstraction reuses the VS-engine refinement on the lower layer and
+    is the identity on the nodes; the step correspondence maps engine
+    internals to the specification's [vs-createview]/[vs-order] and engine
+    plumbing to stuttering.  Combined with the checked refinements
+    DVS-IMPL ⊑ DVS (Theorem 5.9, E4) and VS engine ⊑ VS (E10), every
+    execution of the real stack is, by mechanized transitivity, a behaviour
+    of the DVS specification. *)
+
+module Make (M : Prelude.Msg_intf.S) : sig
+  module Impl : module type of Full_stack.Make (M)
+  module Spec : module type of Dvs_impl.System.Make (M)
+
+  val abstraction : Impl.state -> Spec.state
+  val match_step : Impl.state -> Impl.action -> Impl.state -> Spec.action list
+
+  val refinement :
+    unit -> (Impl.state, Impl.action, Spec.state, Spec.action) Ioa.Refinement.t
+
+  val check :
+    universe:int ->
+    p0:Prelude.Proc.Set.t ->
+    (Impl.state, Impl.action) Ioa.Exec.t ->
+    (unit, Ioa.Refinement.failure) result
+end

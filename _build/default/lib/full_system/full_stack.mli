@@ -1,0 +1,79 @@
+(** The full system, with no specification module anywhere in the stack:
+
+    {v
+      clients
+        │ dvs-gpsnd/gprcv/safe, dvs-register, dvs-newview
+      VS-TO-DVS_p  (Figure 3, lib/dvs_impl)           — dynamic primary views
+        │ vs-gpsnd/gprcv/safe, vs-newview
+      VS engine    (lib/vs_impl: sequencer protocol)  — view-synchronous order
+        │ packets
+      async network with partitions + membership daemon
+    v}
+
+    Externally this composition offers exactly the DVS interface.  Its
+    correctness follows by transitivity from the two mechanized refinements
+    (VS engine ⊑ VS, and DVS-IMPL ⊑ DVS); {!Full_refinement} closes the
+    chain by checking the missing link — this composition refines DVS-IMPL
+    (the Figure 3 nodes over the Figure 1 specification) — step by step on
+    executions. *)
+
+module Make (M : Prelude.Msg_intf.S) : sig
+  module Node : module type of Dvs_impl.Vs_to_dvs.Make (M)
+  module Stk : module type of Vs_impl.Stack.Make (Dvs_impl.Wire.Make (M))
+
+  type wire = M.t Dvs_impl.Wire.t
+  type packet = wire Vs_impl.Packet.t
+
+  type state = { stk : Stk.state; nodes : Node.state Prelude.Proc.Map.t }
+
+  type action =
+    (* external: the DVS interface *)
+    | Dvs_gpsnd of Prelude.Proc.t * M.t
+    | Dvs_register of Prelude.Proc.t
+    | Dvs_newview of Prelude.View.t * Prelude.Proc.t
+    | Dvs_gprcv of { src : Prelude.Proc.t; dst : Prelude.Proc.t; msg : M.t }
+    | Dvs_safe of { src : Prelude.Proc.t; dst : Prelude.Proc.t; msg : M.t }
+    (* hidden: the VS interface between the layers *)
+    | Vs_gpsnd of Prelude.Proc.t * wire
+    | Vs_newview of Prelude.View.t * Prelude.Proc.t
+    | Vs_gprcv of { src : Prelude.Proc.t; dst : Prelude.Proc.t; msg : wire }
+    | Vs_safe of { src : Prelude.Proc.t; dst : Prelude.Proc.t; msg : wire }
+    | Garbage_collect of Prelude.Proc.t * Prelude.View.t
+    (* hidden: engine internals *)
+    | Stk_createview of Prelude.View.t
+    | Stk_reconfigure of Prelude.Proc.Set.t list
+    | Stk_send of { src : Prelude.Proc.t; dst : Prelude.Proc.t; pkt : packet }
+    | Stk_deliver of { src : Prelude.Proc.t; dst : Prelude.Proc.t; pkt : packet }
+
+  val initial : universe:int -> p0:Prelude.Proc.Set.t -> state
+  val node : state -> Prelude.Proc.t -> Node.state
+
+  include Ioa.Automaton.S with type state := state and type action := action
+
+  (** Views attempted anywhere (= the DVS-level [created]). *)
+  val created : state -> Prelude.View.Set.t
+
+  val tot_reg : state -> Prelude.View.Set.t
+
+  type config = {
+    universe : int;
+    p0 : Prelude.Proc.Set.t;
+    payloads : M.t list;
+    max_views : int;
+    max_sends : int;
+    register_probability : float;
+  }
+
+  val default_config : payloads:M.t list -> universe:int -> config
+
+  val generative :
+    config ->
+    rng_views:Random.State.t ->
+    (module Ioa.Automaton.GENERATIVE with type state = state and type action = action)
+
+  (** The raw candidate proposals of {!generative}, exposed so higher
+      compositions (e.g. {!Full_to}) can reuse the engine/network scheduling
+      while overriding the client-facing proposals. *)
+  val candidates :
+    config -> Random.State.t -> Random.State.t -> state -> action list
+end

@@ -1,0 +1,239 @@
+open Prelude
+module Node = To_broadcast.Dvs_to_to
+module Msg = To_broadcast.To_msg
+module Full = Full_stack.Make (To_broadcast.To_msg)
+module Fref = Full_refinement.Make (To_broadcast.To_msg)
+module Dref = Dvs_impl.Refinement_f.Make (To_broadcast.To_msg)
+
+type payload = string
+
+type state = { full : Full.state; nodes : Node.state Proc.Map.t }
+
+type action =
+  | Bcast of Proc.t * payload
+  | Brcv of { origin : Proc.t; dst : Proc.t; payload : payload }
+  | Label_msg of Proc.t * payload
+  | Confirm of Proc.t
+  | To_gpsnd of Proc.t * Msg.t
+  | To_register of Proc.t
+  | Dvs_newview of View.t * Proc.t
+  | Dvs_gprcv of { src : Proc.t; dst : Proc.t; msg : Msg.t }
+  | Dvs_safe of { src : Proc.t; dst : Proc.t; msg : Msg.t }
+  | Lower of Full.action
+
+let initial ~universe ~p0 =
+  let nodes =
+    List.fold_left
+      (fun acc p -> Proc.Map.add p (Node.initial ~p0 p) acc)
+      Proc.Map.empty
+      (List.init universe Fun.id)
+  in
+  { full = Full.initial ~universe ~p0; nodes }
+
+let node s p =
+  match Proc.Map.find_opt p s.nodes with
+  | Some n -> n
+  | None -> invalid_arg "Full_to.node: unknown process"
+
+let with_node s p f = { s with nodes = Proc.Map.add p (f (node s p)) s.nodes }
+
+let lower_internal = function
+  | Full.Dvs_gpsnd _ | Full.Dvs_register _ | Full.Dvs_newview _
+  | Full.Dvs_gprcv _ | Full.Dvs_safe _ ->
+      false (* these cross the layer boundary: use the explicit actions *)
+  | Full.Vs_gpsnd _ | Full.Vs_newview _ | Full.Vs_gprcv _ | Full.Vs_safe _
+  | Full.Garbage_collect _ | Full.Stk_createview _ | Full.Stk_reconfigure _
+  | Full.Stk_send _ | Full.Stk_deliver _ ->
+      true
+
+let enabled s = function
+  | Bcast (_, _) -> true
+  | Brcv { origin; dst; payload } ->
+      Node.enabled (node s dst) (Node.Brcv (origin, payload))
+  | Label_msg (p, a) -> Node.enabled (node s p) (Node.Label_msg a)
+  | Confirm p -> Node.enabled (node s p) Node.Confirm
+  | To_gpsnd (p, m) -> Node.enabled (node s p) (Node.Dvs_gpsnd m)
+  | To_register p -> Node.enabled (node s p) Node.Dvs_register
+  | Dvs_newview (v, p) -> Full.enabled s.full (Full.Dvs_newview (v, p))
+  | Dvs_gprcv { src; dst; msg } ->
+      Full.enabled s.full (Full.Dvs_gprcv { src; dst; msg })
+  | Dvs_safe { src; dst; msg } ->
+      Full.enabled s.full (Full.Dvs_safe { src; dst; msg })
+  | Lower a -> lower_internal a && Full.enabled s.full a
+
+let step s action =
+  match action with
+  | Bcast (p, a) -> with_node s p (fun n -> Node.step n (Node.Bcast a))
+  | Brcv { origin; dst; payload } ->
+      with_node s dst (fun n -> Node.step n (Node.Brcv (origin, payload)))
+  | Label_msg (p, a) -> with_node s p (fun n -> Node.step n (Node.Label_msg a))
+  | Confirm p -> with_node s p (fun n -> Node.step n Node.Confirm)
+  | To_gpsnd (p, m) ->
+      let s = with_node s p (fun n -> Node.step n (Node.Dvs_gpsnd m)) in
+      { s with full = Full.step s.full (Full.Dvs_gpsnd (p, m)) }
+  | To_register p ->
+      let s = with_node s p (fun n -> Node.step n Node.Dvs_register) in
+      { s with full = Full.step s.full (Full.Dvs_register p) }
+  | Dvs_newview (v, p) ->
+      let s = { s with full = Full.step s.full (Full.Dvs_newview (v, p)) } in
+      with_node s p (fun n -> Node.step n (Node.Dvs_newview v))
+  | Dvs_gprcv { src; dst; msg } ->
+      let s = { s with full = Full.step s.full (Full.Dvs_gprcv { src; dst; msg }) } in
+      with_node s dst (fun n -> Node.step n (Node.Dvs_gprcv (src, msg)))
+  | Dvs_safe { src; dst; msg } ->
+      let s = { s with full = Full.step s.full (Full.Dvs_safe { src; dst; msg }) } in
+      with_node s dst (fun n -> Node.step n (Node.Dvs_safe (src, msg)))
+  | Lower a -> { s with full = Full.step s.full a }
+
+let is_external = function
+  | Bcast _ | Brcv _ -> true
+  | Label_msg _ | Confirm _ | To_gpsnd _ | To_register _ | Dvs_newview _
+  | Dvs_gprcv _ | Dvs_safe _ | Lower _ ->
+      false
+
+let equal_state a b =
+  Full.equal_state a.full b.full
+  && Proc.Map.equal Node.equal_state a.nodes b.nodes
+
+let pp_state ppf s =
+  Format.fprintf ppf "@[<v>%a@ %a@]" Full.pp_state s.full
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf (p, n) ->
+         Format.fprintf ppf "to-%a: %a" Proc.pp p Node.pp_state n))
+    (Proc.Map.bindings s.nodes)
+
+let pp_action ppf = function
+  | Bcast (p, a) -> Format.fprintf ppf "bcast(%s)_%a" a Proc.pp p
+  | Brcv { origin; dst; payload } ->
+      Format.fprintf ppf "brcv(%s)_%a,%a" payload Proc.pp origin Proc.pp dst
+  | Label_msg (p, a) -> Format.fprintf ppf "[label(%s)_%a]" a Proc.pp p
+  | Confirm p -> Format.fprintf ppf "[confirm_%a]" Proc.pp p
+  | To_gpsnd (p, m) -> Format.fprintf ppf "[to→dvs gpsnd(%a)_%a]" Msg.pp m Proc.pp p
+  | To_register p -> Format.fprintf ppf "[to→dvs register_%a]" Proc.pp p
+  | Dvs_newview (v, p) ->
+      Format.fprintf ppf "[dvs→to newview(%a)_%a]" View.pp v Proc.pp p
+  | Dvs_gprcv { src; dst; msg } ->
+      Format.fprintf ppf "[dvs→to gprcv(%a)_%a,%a]" Msg.pp msg Proc.pp src Proc.pp dst
+  | Dvs_safe { src; dst; msg } ->
+      Format.fprintf ppf "[dvs→to safe(%a)_%a,%a]" Msg.pp msg Proc.pp src Proc.pp dst
+  | Lower a -> Full.pp_action ppf a
+
+let abstract_to_impl (s : state) : To_broadcast.To_impl.state =
+  let system_state = Fref.abstraction s.full in
+  let dvs_state = Dref.abstraction system_state in
+  { To_broadcast.To_impl.dvs = dvs_state; nodes = s.nodes }
+
+(* ------------------------------------------------------------------ *)
+(* Generation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  universe : int;
+  p0 : Proc.Set.t;
+  payloads : payload list;
+  max_views : int;
+  max_bcasts : int;
+}
+
+let default_config ~payloads ~universe =
+  {
+    universe;
+    p0 = Proc.Set.universe universe;
+    payloads;
+    max_views = 4;
+    max_bcasts = 10;
+  }
+
+let candidates cfg rng_views rng s =
+  let procs = List.init cfg.universe Fun.id in
+  (* reuse the lower-layer scheduling, re-mapping the DVS-interface actions
+     and discarding the client-facing proposals (driven by TO nodes here) *)
+  let full_cfg =
+    {
+      Full.universe = cfg.universe;
+      p0 = cfg.p0;
+      payloads = [];
+      max_views = cfg.max_views;
+      max_sends = max_int;
+      register_probability = 0.;
+    }
+  in
+  let lower =
+    List.filter_map
+      (fun a ->
+        match a with
+        | Full.Dvs_newview (v, p) -> Some (Dvs_newview (v, p))
+        | Full.Dvs_gprcv { src; dst; msg } -> Some (Dvs_gprcv { src; dst; msg })
+        | Full.Dvs_safe { src; dst; msg } -> Some (Dvs_safe { src; dst; msg })
+        | Full.Dvs_gpsnd _ | Full.Dvs_register _ -> None
+        | a when lower_internal a -> Some (Lower a)
+        | _ -> None)
+      (Full.candidates full_cfg rng_views rng s.full)
+  in
+  let total_bcast =
+    Proc.Map.fold
+      (fun _ n acc ->
+        acc + Seqs.length n.Node.delay + Label.Map.cardinal n.Node.content)
+      s.nodes 0
+  in
+  let bcasts =
+    if total_bcast >= cfg.max_bcasts || cfg.payloads = [] then []
+    else begin
+      let m =
+        List.nth cfg.payloads (Random.State.int rng (List.length cfg.payloads))
+      in
+      List.map (fun p -> Bcast (p, m)) procs
+    end
+  in
+  let node_steps =
+    List.concat_map
+      (fun p ->
+        let n = node s p in
+        let labels =
+          match Seqs.head_opt n.Node.delay with
+          | Some a when Node.enabled n (Node.Label_msg a) -> [ Label_msg (p, a) ]
+          | Some _ | None -> []
+        in
+        let sends =
+          match n.Node.status with
+          | Node.Send -> [ To_gpsnd (p, Msg.Summ (Node.summary n)) ]
+          | Node.Normal -> (
+              match Seqs.head_opt n.Node.buffer with
+              | Some l -> (
+                  match Label.Map.find_opt l n.Node.content with
+                  | Some a -> [ To_gpsnd (p, Msg.Data (l, a)) ]
+                  | None -> [])
+              | None -> [])
+          | Node.Collect -> []
+        in
+        let registers =
+          if Node.enabled n Node.Dvs_register then [ To_register p ] else []
+        in
+        let confirms = if Node.enabled n Node.Confirm then [ Confirm p ] else [] in
+        let brcvs =
+          match Seqs.nth1_opt n.Node.order n.Node.nextreport with
+          | Some l when n.Node.nextreport < n.Node.nextconfirm -> (
+              match Label.Map.find_opt l n.Node.content with
+              | Some a -> [ Brcv { origin = l.Label.origin; dst = p; payload = a } ]
+              | None -> [])
+          | Some _ | None -> []
+        in
+        labels @ sends @ registers @ confirms @ brcvs)
+      procs
+  in
+  lower @ bcasts @ node_steps
+
+let generative cfg ~rng_views =
+  (module struct
+    type nonrec state = state
+    type nonrec action = action
+
+    let equal_state = equal_state
+    let pp_state = pp_state
+    let pp_action = pp_action
+    let enabled = enabled
+    let step = step
+    let is_external = is_external
+    let candidates rng s = candidates cfg rng_views rng s
+  end : Ioa.Automaton.GENERATIVE
+    with type state = state
+     and type action = action)

@@ -1,0 +1,91 @@
+(** The complete reproduction, end to end, with no specification module in
+    the executable stack:
+
+    {v
+      clients                      bcast / brcv
+      DVS-TO-TO_p   (Figure 5)     totally-ordered broadcast
+      VS-TO-DVS_p   (Figure 3)     dynamic primary views
+      VS engine     (lib/vs_impl)  per-view sequencer total order
+      network + membership daemon  packets, partitions
+    v}
+
+    Externally this is a totally-ordered broadcast service — {e almost}.
+    The checked refinement chain gives Full stack ⊑ DVS-IMPL ⊑ relaxed-DVS,
+    while Theorem 6.4 (TO-IMPL ⊑ TO) is proven against the {e strict} DVS
+    of Figure 2, whose [dvs-safe] certifies client-level delivery at every
+    member.  The two therefore do not compose as-is, and the gap is real:
+    [test/test_full_system.ml] drives a deterministic schedule on this very
+    composition in which a client that lags its relay across a view change
+    makes two clients report different total orders (reproduction finding
+    #4, see EXPERIMENTS.md).  Under prompt-client schedules — clients drain
+    their relays before the registration round, the discipline under which
+    the strict Theorem 5.9 was checked (E4) — the randomized tests observe
+    no divergence.  The moral for users of the paper's architecture: the
+    safe indication handed to the application is relay-level, and the
+    application must consume its delivery queue before acknowledging a view
+    change. *)
+
+type payload = string
+
+module Node := To_broadcast.Dvs_to_to
+module Full := Full_stack.Make(To_broadcast.To_msg)
+
+type state = { full : Full.state; nodes : Node.state Prelude.Proc.Map.t }
+
+type action =
+  | Bcast of Prelude.Proc.t * payload  (** external input *)
+  | Brcv of {
+      origin : Prelude.Proc.t;
+      dst : Prelude.Proc.t;
+      payload : payload;
+    }  (** external output *)
+  | Label_msg of Prelude.Proc.t * payload  (** internal (TO node) *)
+  | Confirm of Prelude.Proc.t  (** internal (TO node) *)
+  | To_gpsnd of Prelude.Proc.t * To_broadcast.To_msg.t
+      (** internal: TO node → DVS layer *)
+  | To_register of Prelude.Proc.t  (** internal: TO node → DVS layer *)
+  | Dvs_newview of Prelude.View.t * Prelude.Proc.t
+      (** internal: DVS layer → TO node *)
+  | Dvs_gprcv of {
+      src : Prelude.Proc.t;
+      dst : Prelude.Proc.t;
+      msg : To_broadcast.To_msg.t;
+    }  (** internal: DVS layer → TO node *)
+  | Dvs_safe of {
+      src : Prelude.Proc.t;
+      dst : Prelude.Proc.t;
+      msg : To_broadcast.To_msg.t;
+    }  (** internal: DVS layer → TO node *)
+  | Lower of Full.action
+      (** internal actions of the lower three layers, embedded *)
+
+val initial : universe:int -> p0:Prelude.Proc.Set.t -> state
+val node : state -> Prelude.Proc.t -> Node.state
+
+include Ioa.Automaton.S with type state := state and type action := action
+
+(** Abstract the lower layers away: the corresponding TO-IMPL state
+    (Figure 5 nodes over the DVS specification), obtained by composing the
+    two checked refinement functions on the DVS layer.  The Section 6.2
+    invariants can be evaluated on the result. *)
+val abstract_to_impl : state -> To_broadcast.To_impl.state
+
+type config = {
+  universe : int;
+  p0 : Prelude.Proc.Set.t;
+  payloads : payload list;
+  max_views : int;
+  max_bcasts : int;
+}
+
+val default_config : payloads:payload list -> universe:int -> config
+
+val generative :
+  config ->
+  rng_views:Random.State.t ->
+  (module Ioa.Automaton.GENERATIVE with type state = state and type action = action)
+
+(** The raw candidate proposals, exposed for scripted adversarial drivers in
+    the tests (e.g. the end-to-end safe-gap scenario). *)
+val candidates :
+  config -> Random.State.t -> Random.State.t -> state -> action list

@@ -1,0 +1,1 @@
+lib/ioa/invariant.ml: Exec Format List Option

@@ -1,0 +1,1 @@
+lib/ioa/invariant.mli: Exec Format

@@ -1,0 +1,1 @@
+lib/ioa/refinement.ml: Automaton Exec Format List Option String

@@ -1,0 +1,1 @@
+lib/ioa/refinement.mli: Automaton Exec Format

@@ -1,0 +1,39 @@
+(** The I/O-automaton interface (Lynch–Tuttle automata, without fairness).
+
+    An automaton is a (possibly infinite) labelled transition system with a
+    pure transition function.  Purity is what makes the rest of the toolkit —
+    replayable random executions, invariant harnesses, exhaustive exploration
+    and refinement checking — possible.
+
+    [step s a] may assume [enabled s a]; engines always guard calls. *)
+
+module type S = sig
+  type state
+  type action
+
+  val equal_state : state -> state -> bool
+  val pp_state : Format.formatter -> state -> unit
+  val pp_action : Format.formatter -> action -> unit
+
+  (** Whether [a]'s precondition holds in [s].  Input actions are always
+      enabled, as the model requires. *)
+  val enabled : state -> action -> bool
+
+  (** The (deterministic) effect of [a] on [s]. *)
+  val step : state -> action -> state
+
+  (** Whether [a] is an external (input or output) action; internal actions
+      are invisible in traces. *)
+  val is_external : action -> bool
+end
+
+(** An automaton packaged with generation support for execution engines:
+    [candidates] proposes a finite set of actions worth attempting from a
+    state (a sound engine filters them through [enabled]).  For exhaustive
+    exploration [candidates] must over-approximate the enabled set relative
+    to the chosen finite environment. *)
+module type GENERATIVE = sig
+  include S
+
+  val candidates : Random.State.t -> state -> action list
+end

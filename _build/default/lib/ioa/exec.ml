@@ -1,0 +1,47 @@
+type ('s, 'a) step = { pre : 's; action : 'a; post : 's }
+type ('s, 'a) t = { init : 's; steps : ('s, 'a) step list }
+
+let last e =
+  match List.rev e.steps with [] -> e.init | s :: _ -> s.post
+
+let length e = List.length e.steps
+let states e = e.init :: List.map (fun s -> s.post) e.steps
+let actions e = List.map (fun s -> s.action) e.steps
+
+type stop_reason = Step_budget | Quiescent
+
+let run (type s a)
+    (module A : Automaton.GENERATIVE with type action = a and type state = s)
+    ~rng ~steps ~init =
+  let rec go state taken acc =
+    if taken >= steps then ({ init; steps = List.rev acc }, Step_budget)
+    else begin
+      let enabled = List.filter (A.enabled state) (A.candidates rng state) in
+      match enabled with
+      | [] -> ({ init; steps = List.rev acc }, Quiescent)
+      | _ :: _ ->
+          let action = List.nth enabled (Random.State.int rng (List.length enabled)) in
+          let post = A.step state action in
+          go post (taken + 1) ({ pre = state; action; post } :: acc)
+    end
+  in
+  go init 0 []
+
+let replay (type s a)
+    (module A : Automaton.S with type action = a and type state = s) ~init
+    actions =
+  let rec go state i acc = function
+    | [] -> Ok { init; steps = List.rev acc }
+    | action :: rest ->
+        if not (A.enabled state action) then
+          Error (i, Format.asprintf "action %a not enabled" A.pp_action action)
+        else begin
+          let post = A.step state action in
+          go post (i + 1) ({ pre = state; action; post } :: acc) rest
+        end
+  in
+  go init 0 [] actions
+
+let trace (type s a)
+    (module A : Automaton.S with type action = a and type state = s) e =
+  List.filter A.is_external (actions e)

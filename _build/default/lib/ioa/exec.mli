@@ -1,0 +1,53 @@
+(** Finite executions of an I/O automaton.
+
+    An execution is an initial state followed by a sequence of steps
+    [(pre, action, post)].  Executions are values: they can be replayed,
+    projected to traces, and handed to invariant and refinement checkers. *)
+
+type ('s, 'a) step = { pre : 's; action : 'a; post : 's }
+
+type ('s, 'a) t = {
+  init : 's;
+  steps : ('s, 'a) step list;  (** in execution order *)
+}
+
+(** The final state ([init] when there are no steps). *)
+val last : ('s, 'a) t -> 's
+
+val length : ('s, 'a) t -> int
+
+(** All states along the execution, [init] first. *)
+val states : ('s, 'a) t -> 's list
+
+(** The actions along the execution, in order. *)
+val actions : ('s, 'a) t -> 'a list
+
+(** How a random run ended. *)
+type stop_reason =
+  | Step_budget  (** the requested number of steps was taken *)
+  | Quiescent  (** no proposed action was enabled *)
+
+(** [run (module A) ~rng ~steps ~init] produces a pseudo-random execution:
+    at each point it asks [A.candidates] for proposals, keeps the enabled
+    ones, and picks one uniformly.  Deterministic for a given [rng] state. *)
+val run :
+  (module Automaton.GENERATIVE with type action = 'a and type state = 's) ->
+  rng:Random.State.t ->
+  steps:int ->
+  init:'s ->
+  ('s, 'a) t * stop_reason
+
+(** [replay (module A) ~init actions] re-executes a recorded action sequence,
+    checking enabledness at every step.  Returns [Error (i, msg)] if the
+    [i]-th action (0-based) is not enabled. *)
+val replay :
+  (module Automaton.S with type action = 'a and type state = 's) ->
+  init:'s ->
+  'a list ->
+  (('s, 'a) t, int * string) result
+
+(** External actions only, in order — the trace of the execution. *)
+val trace :
+  (module Automaton.S with type action = 'a and type state = 's) ->
+  ('s, 'a) t ->
+  'a list

@@ -1,0 +1,25 @@
+type 's t = { name : string; holds : 's -> bool }
+
+let make name holds = { name; holds }
+
+type 's violation = { invariant : string; index : int; state : 's }
+
+let pp_violation pp_state ppf v =
+  Format.fprintf ppf "invariant %S violated at state #%d:@ %a" v.invariant
+    v.index pp_state v.state
+
+let check_states invs states =
+  let check_one index state =
+    List.find_opt (fun inv -> not (inv.holds state)) invs
+    |> Option.map (fun inv -> { invariant = inv.name; index; state })
+  in
+  let rec go index = function
+    | [] -> Ok ()
+    | s :: rest -> (
+        match check_one index s with
+        | Some violation -> Error violation
+        | None -> go (index + 1) rest)
+  in
+  go 0 states
+
+let check_execution invs exec = check_states invs (Exec.states exec)

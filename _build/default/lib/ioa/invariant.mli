@@ -1,0 +1,25 @@
+(** Invariant checking over executions.
+
+    An invariant is a named predicate on states.  Checkers report the first
+    violating state together with its position, so failures are actionable. *)
+
+type 's t = { name : string; holds : 's -> bool }
+
+val make : string -> ('s -> bool) -> 's t
+
+type 's violation = {
+  invariant : string;
+  index : int;  (** 0 = initial state, k = state after step k *)
+  state : 's;
+}
+
+val pp_violation :
+  (Format.formatter -> 's -> unit) -> Format.formatter -> 's violation -> unit
+
+(** Check every invariant on every state of the execution; [Ok ()] or the
+    first violation in execution order. *)
+val check_execution :
+  's t list -> ('s, 'a) Exec.t -> (unit, 's violation) result
+
+(** Check a bare list of states (used by the exhaustive explorer). *)
+val check_states : 's t list -> 's list -> (unit, 's violation) result

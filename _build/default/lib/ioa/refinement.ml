@@ -1,0 +1,70 @@
+type ('is, 'ia, 'ss, 'sa) t = {
+  name : string;
+  abstraction : 'is -> 'ss;
+  match_step : 'is -> 'ia -> 'is -> 'sa list;
+  impl_label : 'ia -> string option;
+  spec_label : 'sa -> string option;
+}
+
+type failure = { refinement : string; step_index : int; reason : string }
+
+let pp_failure ppf f =
+  Format.fprintf ppf "refinement %S failed at step #%d: %s" f.refinement
+    f.step_index f.reason
+
+let check_step (type ss sa)
+    (module Spec : Automaton.S with type action = sa and type state = ss) r
+    step_index (step : (_, _) Exec.step) =
+  let fail reason = Error { refinement = r.name; step_index; reason } in
+  let spec_pre = r.abstraction step.Exec.pre in
+  let spec_post_expected = r.abstraction step.Exec.post in
+  let spec_actions = r.match_step step.Exec.pre step.Exec.action step.Exec.post in
+  (* Fire the fragment, checking enabledness at each point. *)
+  let rec fire state = function
+    | [] -> Ok state
+    | a :: rest ->
+        if not (Spec.enabled state a) then
+          fail
+            (Format.asprintf "spec action %a not enabled in abstract state %a"
+               Spec.pp_action a Spec.pp_state state)
+        else fire (Spec.step state a) rest
+  in
+  match fire spec_pre spec_actions with
+  | Error _ as e -> e
+  | Ok spec_post ->
+      if not (Spec.equal_state spec_post spec_post_expected) then
+        fail
+          (Format.asprintf
+             "abstract fragment lands on@ %a@ but F(post) is@ %a" Spec.pp_state
+             spec_post Spec.pp_state spec_post_expected)
+      else begin
+        let impl_trace = Option.to_list (r.impl_label step.Exec.action) in
+        let spec_trace = List.filter_map r.spec_label spec_actions in
+        if List.equal String.equal impl_trace spec_trace then Ok ()
+        else
+          fail
+            (Format.asprintf "trace mismatch: impl [%s] vs spec [%s]"
+               (String.concat "; " impl_trace)
+               (String.concat "; " spec_trace))
+      end
+
+let check_execution (type ss sa)
+    (module Spec : Automaton.S with type action = sa and type state = ss)
+    ~spec_initial r (exec : (_, _) Exec.t) =
+  if not (Spec.equal_state (r.abstraction exec.Exec.init) spec_initial) then
+    Error
+      {
+        refinement = r.name;
+        step_index = -1;
+        reason = "F(initial) is not the specification initial state";
+      }
+  else begin
+    let rec go i = function
+      | [] -> Ok ()
+      | step :: rest -> (
+          match check_step (module Spec) r i step with
+          | Error _ as e -> e
+          | Ok () -> go (i + 1) rest)
+    in
+    go 0 exec.Exec.steps
+  end

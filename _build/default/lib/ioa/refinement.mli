@@ -1,0 +1,59 @@
+(** Mechanized refinement (single-valued simulation) checking.
+
+    The paper proves trace inclusion by exhibiting a refinement: a function
+    [F] from implementation states to specification states such that [F]
+    maps initial states to initial states, and for every implementation step
+    [(s, π, s')] there is a specification execution fragment from [F s] to
+    [F s'] with the same trace (Lemmas 5.7/5.8).
+
+    We check exactly this, step by step, on concrete executions.  The user
+    supplies [match_step], the constructive content of the paper's step
+    correspondence: which specification actions simulate a given
+    implementation step.  The checker then verifies, for every step, that
+
+    - each produced specification action is enabled where it fires,
+    - the fragment lands exactly on [F s'], and
+    - the fragment's trace equals the step's trace (external labels match,
+      internal steps are invisible).
+
+    Trace equality is checked on a common rendering of external actions:
+    both sides map their actions to [string option] ([None] = internal). *)
+
+type ('is, 'ia, 'ss, 'sa) t = {
+  name : string;
+  abstraction : 'is -> 'ss;  (** the refinement function [F] *)
+  match_step : 'is -> 'ia -> 'is -> 'sa list;
+      (** specification actions simulating the implementation step
+          [(pre, action, post)] *)
+  impl_label : 'ia -> string option;
+      (** external label of an implementation action, [None] if internal *)
+  spec_label : 'sa -> string option;  (** likewise for the specification *)
+}
+
+(** A refinement-check failure, with enough context to debug. *)
+type failure = {
+  refinement : string;
+  step_index : int;
+  reason : string;
+}
+
+val pp_failure : Format.formatter -> failure -> unit
+
+(** [check_step (module Spec) r i step] verifies the correspondence for one
+    implementation step (at index [i]). *)
+val check_step :
+  (module Automaton.S with type action = 'sa and type state = 'ss) ->
+  ('is, 'ia, 'ss, 'sa) t ->
+  int ->
+  ('is, 'ia) Exec.step ->
+  (unit, failure) result
+
+(** [check_execution (module Spec) ~spec_initial r exec] verifies the full
+    simulation: [F init = spec_initial] and the correspondence for every
+    step. *)
+val check_execution :
+  (module Automaton.S with type action = 'sa and type state = 'ss) ->
+  spec_initial:'ss ->
+  ('is, 'ia, 'ss, 'sa) t ->
+  ('is, 'ia) Exec.t ->
+  (unit, failure) result

@@ -1,0 +1,1 @@
+lib/membership/chain.ml: Format Prelude View

@@ -1,0 +1,1 @@
+lib/membership/chain.mli: Format Prelude

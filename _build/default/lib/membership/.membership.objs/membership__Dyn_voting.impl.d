@@ -1,0 +1,1 @@
+lib/membership/dyn_voting.ml: Format Gid List Prelude Proc View

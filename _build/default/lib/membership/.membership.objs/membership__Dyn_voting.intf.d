@@ -1,0 +1,1 @@
+lib/membership/dyn_voting.mli: Format Prelude

@@ -1,0 +1,1 @@
+lib/membership/static_quorum.ml: Format List Prelude Proc

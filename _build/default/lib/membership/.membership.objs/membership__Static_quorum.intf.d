@@ -1,0 +1,1 @@
+lib/membership/static_quorum.mli: Format Prelude

@@ -1,0 +1,27 @@
+open Prelude
+
+type report = { pairs : int; intersecting : int; majority : int }
+
+let examine history =
+  let rec go acc = function
+    | v :: (w :: _ as rest) ->
+        let acc =
+          {
+            pairs = acc.pairs + 1;
+            intersecting = (acc.intersecting + if View.intersects v w then 1 else 0);
+            majority =
+              (acc.majority + if View.majority_intersects w ~of_:v then 1 else 0);
+          }
+        in
+        go acc rest
+    | [ _ ] | [] -> acc
+  in
+  go { pairs = 0; intersecting = 0; majority = 0 } history
+
+let holds history =
+  let r = examine history in
+  r.pairs = r.intersecting
+
+let pp_report ppf r =
+  Format.fprintf ppf "%d/%d consecutive pairs intersect (%d with majority)"
+    r.intersecting r.pairs r.majority

@@ -1,0 +1,22 @@
+(** Cristian's chain condition, used by Lotem–Keidar–Dolev as the correctness
+    property for dynamic primary views (Section 1): any two primary views in
+    an execution are linked by a chain of primaries in which every
+    consecutive pair shares a member.
+
+    For a totally-ordered history of primaries (as produced by
+    {!Dyn_voting.history} or by a DVS-IMPL execution), the condition is
+    equivalent to every *consecutive* pair intersecting. *)
+
+type report = {
+  pairs : int;  (** consecutive pairs examined *)
+  intersecting : int;  (** pairs with a common member *)
+  majority : int;  (** pairs where the newer has a majority of the older *)
+}
+
+(** Examine a history of primary views, oldest first. *)
+val examine : Prelude.View.t list -> report
+
+(** The chain condition proper: every consecutive pair intersects. *)
+val holds : Prelude.View.t list -> bool
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,82 @@
+open Prelude
+
+type pstate = { act : View.t; amb : View.Set.t }
+type t = { procs : pstate Proc.Map.t; next_id : Gid.t; history : View.t list }
+
+let create ~p0 =
+  let v0 = View.initial p0 in
+  let procs =
+    Proc.Set.fold
+      (fun p acc -> Proc.Map.add p { act = v0; amb = View.Set.empty } acc)
+      p0 Proc.Map.empty
+  in
+  { procs; next_id = Gid.succ Gid.g0; history = [ v0 ] }
+
+let history t = List.rev t.history
+
+let pstate t p =
+  match Proc.Map.find_opt p t.procs with
+  | Some st -> st
+  | None ->
+      (* a process that was never in any primary knows only of the initial
+         view by construction of [create]; late joiners start blank with the
+         oldest known act of the system *)
+      { act = (match List.rev t.history with v :: _ -> v | [] -> assert false);
+        amb = View.Set.empty }
+
+let act_of t p = (pstate t p).act
+
+(* Pool the component's knowledge: the newest act, and every ambiguous view
+   above it. *)
+let pooled t component =
+  let members = Proc.Set.elements component in
+  let act =
+    List.fold_left
+      (fun best p ->
+        let a = (pstate t p).act in
+        if Gid.gt (View.id a) (View.id best) then a else best)
+      (match members with
+      | p :: _ -> (pstate t p).act
+      | [] -> invalid_arg "Dyn_voting: empty component")
+      members
+  in
+  let amb =
+    List.fold_left
+      (fun acc p ->
+        View.Set.union acc
+          (View.Set.above (View.id act) (pstate t p).amb))
+      View.Set.empty members
+  in
+  (act, amb)
+
+let can_form t component =
+  (not (Proc.Set.is_empty component))
+  &&
+  let act, amb = pooled t component in
+  View.Set.for_all
+    (fun w -> Proc.Set.majority_of ~part:component ~whole:(View.set w))
+    (View.Set.add act amb)
+
+let form t component ~complete =
+  if not (can_form t component) then None
+  else begin
+    let v = View.make ~id:t.next_id ~set:component in
+    let update p st =
+      if not (Proc.Set.mem p component) then st
+      else if complete then { act = v; amb = View.Set.empty }
+      else { st with amb = View.Set.add v st.amb }
+    in
+    let procs =
+      (* make sure every member has an entry, then update *)
+      Proc.Set.fold
+        (fun p acc ->
+          if Proc.Map.mem p acc then acc else Proc.Map.add p (pstate t p) acc)
+        component t.procs
+      |> Proc.Map.mapi update
+    in
+    Some ({ procs; next_id = Gid.succ t.next_id; history = v :: t.history }, v)
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "dyn-voting: %d primaries formed, next id %a"
+    (List.length t.history) Gid.pp t.next_id

@@ -1,0 +1,42 @@
+(** Dynamic-voting primary determination — an executable knowledge-level
+    model of the dynamic primary rule shared by the paper's DVS-IMPL and the
+    Lotem–Keidar–Dolev membership algorithm it builds on.
+
+    Each process carries the algorithm's essential memory: [act], the last
+    totally-registered primary it knows, and [amb], the ambiguous views
+    (attempted, possibly primary, not known registered) above it.  When a
+    network component tries to form a primary, members pool their knowledge
+    (this abstracts the ["info"] exchange of Figure 3) and the component is
+    admitted iff it majority-intersects every pooled candidate previous
+    primary.
+
+    A formation can then either *complete* (all members register: [act]
+    advances, ambiguity clears — Figure 3's garbage collection) or be
+    *interrupted* after the attempt (the view joins [amb], constraining all
+    future primaries) — the distinction driving the paper's subtleties.
+
+    This module is used by the availability experiments (E6/E7), where it is
+    compared against {!Static_quorum}; the full message-level algorithm lives
+    in [lib/dvs_impl]. *)
+
+type t
+
+val create : p0:Prelude.Proc.Set.t -> t
+
+(** The views that formed primaries so far, oldest first (the initial view
+    included). *)
+val history : t -> Prelude.View.t list
+
+(** [act] of a process — the newest totally-registered primary it knows. *)
+val act_of : t -> Prelude.Proc.t -> Prelude.View.t
+
+(** Would this component be admitted as a primary right now? (Pure.) *)
+val can_form : t -> Prelude.Proc.Set.t -> bool
+
+(** [form t component ~complete] attempts to create a primary view from
+    [component].  Returns [None] if the admission test fails.  On success
+    the new view is recorded; if [complete] is false the formation is
+    interrupted after the attempt (members keep it only as ambiguous). *)
+val form : t -> Prelude.Proc.Set.t -> complete:bool -> (t * Prelude.View.t) option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,25 @@
+open Prelude
+
+type t = { universe : Proc.Set.t; weight : Proc.t -> int; total : int; name : string }
+
+let majority ~universe =
+  {
+    universe;
+    weight = (fun _ -> 1);
+    total = Proc.Set.cardinal universe;
+    name = "majority";
+  }
+
+let weighted ~weights ~universe =
+  let table = List.to_seq weights |> Proc.Map.of_seq in
+  let weight p = Proc.Map.find_or ~default:1 p table in
+  let total = Proc.Set.fold (fun p acc -> acc + weight p) universe 0 in
+  { universe; weight; total; name = "weighted-majority" }
+
+let is_primary t component =
+  let members = Proc.Set.inter component t.universe in
+  let sum = Proc.Set.fold (fun p acc -> acc + t.weight p) members 0 in
+  2 * sum > t.total
+
+let universe t = t.universe
+let pp ppf t = Format.fprintf ppf "%s over %a" t.name Proc.Set.pp t.universe

@@ -1,0 +1,26 @@
+(** Static primary-view determination — the baseline the paper argues
+    against (Section 1).
+
+    A component of the network is *primary* iff its membership contains a
+    quorum from a predefined quorum system over a static universe.  The
+    default quorum system is majority; weighted majorities are also
+    supported (they are the other classic static scheme). *)
+
+type t
+
+(** [majority ~universe] — primaries are components with
+    [> |universe| / 2] members of the static universe. *)
+val majority : universe:Prelude.Proc.Set.t -> t
+
+(** [weighted ~weights ~universe] — primaries are components whose member
+    weights sum to more than half the total weight.  Processes missing from
+    [weights] count as weight 1. *)
+val weighted : weights:(Prelude.Proc.t * int) list -> universe:Prelude.Proc.Set.t -> t
+
+(** Whether [component] is primary under this quorum system.  Stateless:
+    the answer never depends on history — the defining property (and
+    limitation) of static schemes. *)
+val is_primary : t -> Prelude.Proc.Set.t -> bool
+
+val universe : t -> Prelude.Proc.Set.t
+val pp : Format.formatter -> t -> unit

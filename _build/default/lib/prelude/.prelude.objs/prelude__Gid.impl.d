@@ -1,0 +1,1 @@
+lib/prelude/gid.ml: Format Int Stdlib

@@ -1,0 +1,1 @@
+lib/prelude/gid.mli: Format Stdlib

@@ -1,0 +1,1 @@
+lib/prelude/label.ml: Format Gid Int Proc Stdlib

@@ -1,0 +1,1 @@
+lib/prelude/label.mli: Format Gid Proc Stdlib

@@ -1,0 +1,1 @@
+lib/prelude/msg_intf.ml: Format String

@@ -1,0 +1,1 @@
+lib/prelude/pg_map.mli: Gid Proc Stdlib

@@ -1,0 +1,1 @@
+lib/prelude/proc.ml: Format Fun Int List Stdlib

@@ -1,0 +1,1 @@
+lib/prelude/proc.mli: Format Stdlib

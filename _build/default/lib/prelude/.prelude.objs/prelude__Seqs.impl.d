@@ -1,0 +1,1 @@
+lib/prelude/seqs.ml: Format Int List Map

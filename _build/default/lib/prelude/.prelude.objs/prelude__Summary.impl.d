@@ -1,0 +1,1 @@
+lib/prelude/summary.ml: Format Gid Int Label Proc Seqs Stdlib String

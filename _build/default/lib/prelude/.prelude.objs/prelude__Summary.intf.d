@@ -1,0 +1,1 @@
+lib/prelude/summary.mli: Format Gid Label Proc Seqs

@@ -1,0 +1,1 @@
+lib/prelude/view.ml: Format Gid Proc Stdlib

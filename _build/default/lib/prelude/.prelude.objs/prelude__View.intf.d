@@ -1,0 +1,1 @@
+lib/prelude/view.mli: Format Gid Proc Stdlib

@@ -1,0 +1,35 @@
+type t = int
+
+let compare = Int.compare
+let equal = Int.equal
+let pp ppf p = Format.fprintf ppf "p%d" p
+let to_string p = "p" ^ string_of_int p
+
+module Set = struct
+  include Stdlib.Set.Make (Int)
+
+  let pp ppf s =
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         pp)
+      (elements s)
+
+  let universe n =
+    if n < 0 then invalid_arg "Proc.Set.universe: negative size";
+    List.init n Fun.id |> of_list
+
+  let majority_of ~part ~whole = 2 * cardinal (inter part whole) > cardinal whole
+
+  let nonempty_subsets s =
+    let add_elt elt subsets =
+      List.rev_append subsets (List.rev_map (add elt) subsets)
+    in
+    fold add_elt s [ empty ] |> List.filter (fun sub -> not (is_empty sub))
+end
+
+module Map = struct
+  include Stdlib.Map.Make (Int)
+
+  let find_or ~default p m = match find_opt p m with Some v -> v | None -> default
+end

@@ -1,0 +1,1 @@
+lib/sim/availability.ml: Churn Format List Membership Partition Prelude Proc Random View

@@ -1,0 +1,1 @@
+lib/sim/availability.mli: Churn Format Membership Prelude Random

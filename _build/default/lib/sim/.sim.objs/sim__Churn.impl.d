@@ -1,0 +1,1 @@
+lib/sim/churn.ml: Format List Partition Prelude Proc Random Stdlib

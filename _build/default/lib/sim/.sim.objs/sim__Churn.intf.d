@@ -1,0 +1,1 @@
+lib/sim/churn.mli: Format Partition Prelude Random

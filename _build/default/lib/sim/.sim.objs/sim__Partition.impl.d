@@ -1,0 +1,1 @@
+lib/sim/partition.ml: Format List Prelude Proc Random

@@ -1,0 +1,1 @@
+lib/sim/partition.mli: Format Prelude Random

@@ -1,0 +1,119 @@
+open Prelude
+
+type policy =
+  | Static of Membership.Static_quorum.t
+  | Dynamic of { complete_prob : float }
+
+type result = {
+  epochs : int;
+  available_epochs : int;
+  availability : float;
+  primaries_formed : int;
+  interrupted : int;
+  dual_primaries : int;
+  history : View.t list;
+}
+
+let run_static quorum epochs =
+  let total_time = List.fold_left (fun a (e : Churn.epoch) -> a +. e.duration) 0. epochs in
+  let stats =
+    List.fold_left
+      (fun (avail, time, dual) (e : Churn.epoch) ->
+        let primaries =
+          List.filter
+            (Membership.Static_quorum.is_primary quorum)
+            (Partition.components e.partition)
+        in
+        let has = primaries <> [] in
+        ( (if has then avail + 1 else avail),
+          (if has then time +. e.duration else time),
+          if List.length primaries > 1 then dual + 1 else dual ))
+      (0, 0., 0) epochs
+  in
+  let available_epochs, time_avail, dual = stats in
+  {
+    epochs = List.length epochs;
+    available_epochs;
+    availability = (if total_time > 0. then time_avail /. total_time else 0.);
+    primaries_formed = 0;
+    interrupted = 0;
+    dual_primaries = dual;
+    history = [];
+  }
+
+let run_dynamic rng ~complete_prob epochs =
+  let total_time = List.fold_left (fun a (e : Churn.epoch) -> a +. e.duration) 0. epochs in
+  let initial =
+    match epochs with
+    | [] -> Proc.Set.empty
+    | e :: _ -> Partition.alive e.Churn.partition
+  in
+  let state = ref (Membership.Dyn_voting.create ~p0:initial) in
+  let current_primary = ref (Some (View.initial initial)) in
+  let formed = ref 0 and interrupted = ref 0 and dual = ref 0 in
+  let available_epochs = ref 0 and time_avail = ref 0. in
+  List.iteri
+    (fun i (e : Churn.epoch) ->
+      let components = Partition.components e.Churn.partition in
+      (* does the current primary survive this connectivity state? *)
+      let intact =
+        match !current_primary with
+        | None -> false
+        | Some v ->
+            List.exists
+              (fun c -> Proc.Set.subset (View.set v) c)
+              components
+      in
+      let has_primary =
+        if intact && i > 0 then true
+        else begin
+          current_primary := None;
+          (* every component tries; the admission rule must let at most one
+             succeed *)
+          let successes =
+            List.filter_map
+              (fun c ->
+                if Membership.Dyn_voting.can_form !state c then Some c else None)
+              components
+          in
+          if List.length successes > 1 then incr dual;
+          match successes with
+          | [] -> false
+          | c :: _ -> (
+              let complete = Random.State.float rng 1.0 < complete_prob in
+              match Membership.Dyn_voting.form !state c ~complete with
+              | None -> false
+              | Some (state', v) ->
+                  state := state';
+                  incr formed;
+                  if not complete then incr interrupted
+                  else current_primary := Some v;
+                  (* an interrupted formation was attempted but the epoch still
+                     saw a primary view delivered to its members *)
+                  true)
+        end
+      in
+      if has_primary then begin
+        incr available_epochs;
+        time_avail := !time_avail +. e.duration
+      end)
+    epochs;
+  {
+    epochs = List.length epochs;
+    available_epochs = !available_epochs;
+    availability = (if total_time > 0. then !time_avail /. total_time else 0.);
+    primaries_formed = !formed;
+    interrupted = !interrupted;
+    dual_primaries = !dual;
+    history = Membership.Dyn_voting.history !state;
+  }
+
+let run rng epochs = function
+  | Static quorum -> run_static quorum epochs
+  | Dynamic { complete_prob } -> run_dynamic rng ~complete_prob epochs
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "availability %.1f%% (%d/%d epochs), %d primaries formed (%d interrupted), %d dual"
+    (100. *. r.availability) r.available_epochs r.epochs r.primaries_formed
+    r.interrupted r.dual_primaries

@@ -1,0 +1,30 @@
+(** The availability experiment (E6): run primary-view policies over a
+    connectivity history and measure how often a primary exists.
+
+    - The *static* policy is stateless: an epoch has a primary iff some
+      component holds a quorum of the static universe.
+    - The *dynamic* policy carries {!Membership.Dyn_voting} state: a primary
+      persists while its membership stays inside one component; when
+      connectivity breaks it, components attempt to form a new primary under
+      the dynamic-intersection rule.  Each formation completes (registers
+      fully, advancing the garbage-collection frontier) with probability
+      [complete_prob] — interrupted formations leave ambiguous views that
+      constrain the future, reproducing the paper's central subtlety. *)
+
+type policy =
+  | Static of Membership.Static_quorum.t
+  | Dynamic of { complete_prob : float }
+
+type result = {
+  epochs : int;
+  available_epochs : int;
+  availability : float;  (** time-weighted fraction with a live primary *)
+  primaries_formed : int;
+  interrupted : int;  (** dynamic formations that did not complete *)
+  dual_primaries : int;  (** epochs with two concurrent primaries (must be 0) *)
+  history : Prelude.View.t list;  (** primary views, oldest first *)
+}
+
+val run : Random.State.t -> Churn.epoch list -> policy -> result
+
+val pp_result : Format.formatter -> result -> unit

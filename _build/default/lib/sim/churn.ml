@@ -1,0 +1,88 @@
+open Prelude
+
+type epoch = { partition : Partition.t; duration : float }
+
+type config = {
+  initial : Proc.Set.t;
+  epochs : int;
+  split_prob : float;
+  merge_prob : float;
+  crash_prob : float;
+  recover_prob : float;
+  drift_prob : float;
+  mean_duration : float;
+}
+
+let default ~initial ~epochs =
+  {
+    initial;
+    epochs;
+    split_prob = 0.25;
+    merge_prob = 0.25;
+    crash_prob = 0.1;
+    recover_prob = 0.1;
+    drift_prob = 0.;
+    mean_duration = 1.0;
+  }
+
+let exp_duration rng mean = -.mean *. log (1. -. Random.State.float rng 1.)
+
+let generate rng cfg =
+  let fresh = ref (1 + Proc.Set.fold Stdlib.max cfg.initial 0) in
+  let crashed = ref Proc.Set.empty in
+  let step part =
+    let r = Random.State.float rng 1.0 in
+    if r < cfg.split_prob then Partition.split rng part
+    else if r < cfg.split_prob +. cfg.merge_prob then Partition.merge rng part
+    else if r < cfg.split_prob +. cfg.merge_prob +. cfg.crash_prob then begin
+      let before = Partition.alive part in
+      let part' = Partition.crash rng part in
+      crashed := Proc.Set.union !crashed (Proc.Set.diff before (Partition.alive part'));
+      part'
+    end
+    else if
+      r < cfg.split_prob +. cfg.merge_prob +. cfg.crash_prob +. cfg.recover_prob
+    then begin
+      match Proc.Set.choose_opt !crashed with
+      | None -> part
+      | Some p ->
+          crashed := Proc.Set.remove p !crashed;
+          Partition.join rng p part
+    end
+    else if
+      r
+      < cfg.split_prob +. cfg.merge_prob +. cfg.crash_prob +. cfg.recover_prob
+        +. cfg.drift_prob
+    then begin
+      (* drift: one alive process retires forever, a fresh one joins *)
+      let part' = Partition.crash rng part in
+      let p = !fresh in
+      incr fresh;
+      Partition.join rng p part'
+    end
+    else part
+  in
+  let rec go part k acc =
+    if k >= cfg.epochs then List.rev acc
+    else begin
+      let part' = if k = 0 then part else step part in
+      let e = { partition = part'; duration = exp_duration rng cfg.mean_duration } in
+      go part' (k + 1) (e :: acc)
+    end
+  in
+  go (Partition.whole cfg.initial) 0 []
+
+let time_weighted pred epochs =
+  let total = List.fold_left (fun acc e -> acc +. e.duration) 0. epochs in
+  if total <= 0. then 0.
+  else begin
+    let good =
+      List.fold_left
+        (fun acc e -> if pred e.partition then acc +. e.duration else acc)
+        0. epochs
+    in
+    good /. total
+  end
+
+let pp_epoch ppf e =
+  Format.fprintf ppf "%a for %.2f" Partition.pp e.partition e.duration

@@ -1,0 +1,33 @@
+(** Connectivity-history generation: sequences of epochs, each a stable
+    connectivity state with a duration, produced by a configurable random
+    churn process (splits, merges, crashes, recoveries, and membership
+    *drift* — permanent replacement of processes, the regime motivating
+    dynamic primaries in Section 1 of the paper). *)
+
+type epoch = { partition : Partition.t; duration : float }
+
+type config = {
+  initial : Prelude.Proc.Set.t;  (** processes alive at the start *)
+  epochs : int;
+  split_prob : float;
+  merge_prob : float;
+  crash_prob : float;
+  recover_prob : float;  (** a crashed process rejoins *)
+  drift_prob : float;
+      (** an original process retires for good and a brand-new process
+          (fresh identifier) joins — the universe drifts *)
+  mean_duration : float;  (** epoch durations are Exp(1/mean) *)
+}
+
+(** A calm default: no drift, moderate partitioning. *)
+val default : initial:Prelude.Proc.Set.t -> epochs:int -> config
+
+(** Generate a history.  The first epoch is always the fully-connected
+    initial universe. *)
+val generate : Random.State.t -> config -> epoch list
+
+(** Fraction of epochs (time-weighted) in which a predicate on the
+    connectivity state holds. *)
+val time_weighted : (Partition.t -> bool) -> epoch list -> float
+
+val pp_epoch : Format.formatter -> epoch -> unit

@@ -1,0 +1,88 @@
+open Prelude
+
+type t = Proc.Set.t list
+
+let whole set =
+  if Proc.Set.is_empty set then invalid_arg "Partition.whole: empty universe";
+  [ set ]
+
+let of_components cs =
+  if List.exists Proc.Set.is_empty cs then
+    invalid_arg "Partition.of_components: empty component";
+  let total = List.fold_left (fun n c -> n + Proc.Set.cardinal c) 0 cs in
+  let union = List.fold_left Proc.Set.union Proc.Set.empty cs in
+  if total <> Proc.Set.cardinal union then
+    invalid_arg "Partition.of_components: overlapping components";
+  cs
+
+let components t = t
+let alive t = List.fold_left Proc.Set.union Proc.Set.empty t
+
+let component_of t p = List.find_opt (Proc.Set.mem p) t
+
+let pick rng l =
+  match l with
+  | [] -> None
+  | _ :: _ -> Some (List.nth l (Random.State.int rng (List.length l)))
+
+let split rng t =
+  let splittable = List.filter (fun c -> Proc.Set.cardinal c > 1) t in
+  match pick rng splittable with
+  | None -> t
+  | Some c ->
+      let members = Proc.Set.elements c in
+      (* a random proper, non-empty sub-component *)
+      let rec halves () =
+        let a = List.filter (fun _ -> Random.State.bool rng) members in
+        if a = [] || List.length a = List.length members then halves ()
+        else a
+      in
+      let a = Proc.Set.of_list (halves ()) in
+      let b = Proc.Set.diff c a in
+      a :: b :: List.filter (fun c' -> not (Proc.Set.equal c c')) t
+
+let merge rng t =
+  match t with
+  | [] | [ _ ] -> t
+  | _ :: _ :: _ -> (
+      match pick rng t with
+      | None -> t
+      | Some a -> (
+          let others = List.filter (fun c -> not (Proc.Set.equal a c)) t in
+          match pick rng others with
+          | None -> t
+          | Some b ->
+              Proc.Set.union a b
+              :: List.filter
+                   (fun c ->
+                     not (Proc.Set.equal a c) && not (Proc.Set.equal b c))
+                   t))
+
+let crash rng t =
+  match pick rng (Proc.Set.elements (alive t)) with
+  | None -> t
+  | Some p ->
+      List.filter_map
+        (fun c ->
+          let c' = Proc.Set.remove p c in
+          if Proc.Set.is_empty c' then None else Some c')
+        t
+
+let join rng p t =
+  match t with
+  | [] -> [ Proc.Set.singleton p ]
+  | _ :: _ -> (
+      if Proc.Set.mem p (alive t) then t
+      else
+        match pick rng t with
+        | None -> [ Proc.Set.singleton p ]
+        | Some c ->
+            Proc.Set.add p c
+            :: List.filter (fun c' -> not (Proc.Set.equal c c')) t)
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " | ")
+       Proc.Set.pp)
+    t

@@ -1,0 +1,33 @@
+(** Network connectivity states: a partition of the currently-alive
+    processes into disjoint components.  Crashed processes belong to no
+    component. *)
+
+type t = private Prelude.Proc.Set.t list
+
+(** One component holding everything.  Raises [Invalid_argument] on the
+    empty set. *)
+val whole : Prelude.Proc.Set.t -> t
+
+(** [of_components cs] validates disjointness and non-emptiness. *)
+val of_components : Prelude.Proc.Set.t list -> t
+
+val components : t -> Prelude.Proc.Set.t list
+val alive : t -> Prelude.Proc.Set.t
+
+(** The component containing [p], if alive. *)
+val component_of : t -> Prelude.Proc.t -> Prelude.Proc.Set.t option
+
+(** Split a component in two (members chosen by the rng).  No-op on
+    singleton components. *)
+val split : Random.State.t -> t -> t
+
+(** Merge two random components.  No-op when fewer than two exist. *)
+val merge : Random.State.t -> t -> t
+
+(** Remove a random process (crash).  Empty components disappear. *)
+val crash : Random.State.t -> t -> t
+
+(** Add a process to a random component (join/recover). *)
+val join : Random.State.t -> Prelude.Proc.t -> t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/to/dvs_to_to.ml: Format Gid Int Label List Option Prelude Proc Seqs String Summary To_msg View

@@ -1,0 +1,1 @@
+lib/to/dvs_to_to.mli: Format Ioa Prelude To_msg

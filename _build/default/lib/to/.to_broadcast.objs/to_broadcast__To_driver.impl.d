@@ -1,0 +1,1 @@
+lib/to/to_driver.ml: Dvs_to_to Format Label List Pg_map Prelude Proc Seqs To_impl To_msg View

@@ -1,0 +1,1 @@
+lib/to/to_driver.mli: Prelude To_impl

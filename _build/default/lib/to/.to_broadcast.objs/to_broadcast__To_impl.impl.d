@@ -1,0 +1,1 @@
+lib/to/to_impl.ml: Core Dvs_to_to Format Fun Gid Ioa Label List Pg_map Prelude Proc Random Seqs To_msg View

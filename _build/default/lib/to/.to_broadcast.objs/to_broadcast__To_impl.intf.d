@@ -1,0 +1,1 @@
+lib/to/to_impl.mli: Core Dvs_to_to Ioa Prelude Random To_msg

@@ -1,0 +1,1 @@
+lib/to/to_invariants.ml: Dvs_to_to Gid Ioa Label List Option Pg_map Prelude Proc Seqs String Summary To_impl To_msg View

@@ -1,0 +1,1 @@
+lib/to/to_invariants.mli: Ioa Prelude To_impl

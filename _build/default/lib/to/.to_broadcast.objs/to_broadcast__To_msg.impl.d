@@ -1,0 +1,1 @@
+lib/to/to_msg.ml: Format Label Prelude String Summary

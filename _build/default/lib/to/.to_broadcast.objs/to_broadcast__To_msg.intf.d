@@ -1,0 +1,1 @@
+lib/to/to_msg.mli: Format Prelude

@@ -1,0 +1,1 @@
+lib/to/to_refinement.ml: Dvs_to_to Format Ioa Label List Prelude Proc Seqs Summary To_impl To_invariants To_spec

@@ -1,0 +1,1 @@
+lib/to/to_refinement.mli: Ioa To_impl To_spec

@@ -1,0 +1,1 @@
+lib/to/to_spec.ml: Format Int Ioa Prelude Proc Seqs String

@@ -1,0 +1,1 @@
+lib/to/to_spec.mli: Ioa Prelude

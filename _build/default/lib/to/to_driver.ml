@@ -1,0 +1,114 @@
+open Prelude
+module Impl = To_impl
+module N = Dvs_to_to
+
+type delivery = { dst : Proc.t; origin : Proc.t; payload : string }
+
+let step s a =
+  if not (Impl.enabled s a) then
+    failwith (Format.asprintf "To_driver: not enabled: %a" Impl.pp_action a);
+  Impl.step s a
+
+(* The next enabled action under a fixed priority: node-local progress first
+   (labelling, sending, registering, confirming, reporting), then DVS
+   plumbing (ordering, delivery, safe). *)
+let find_next s =
+  let procs = List.map fst (Proc.Map.bindings s.Impl.nodes) in
+  let node_action p =
+    let n = Impl.node s p in
+    match n.N.status with
+    | N.Send -> Some (Impl.Dvs_gpsnd (p, To_msg.Summ (N.summary n)))
+    | N.Collect | N.Normal -> (
+        let send_data () =
+          match (n.N.status, Seqs.head_opt n.N.buffer) with
+          | N.Normal, Some l -> (
+              match Label.Map.find_opt l n.N.content with
+              | Some a -> Some (Impl.Dvs_gpsnd (p, To_msg.Data (l, a)))
+              | None -> None)
+          | (N.Normal | N.Collect | N.Send), _ -> None
+        in
+        let label () =
+          match Seqs.head_opt n.N.delay with
+          | Some a when Impl.enabled s (Impl.Label_msg (p, a)) ->
+              Some (Impl.Label_msg (p, a))
+          | Some _ | None -> None
+        in
+        let register () =
+          if Impl.enabled s (Impl.Dvs_register p) then Some (Impl.Dvs_register p)
+          else None
+        in
+        let confirm () =
+          if Impl.enabled s (Impl.Confirm p) then Some (Impl.Confirm p) else None
+        in
+        let report () =
+          match Seqs.nth1_opt n.N.order n.N.nextreport with
+          | Some l when n.N.nextreport < n.N.nextconfirm -> (
+              match Label.Map.find_opt l n.N.content with
+              | Some a ->
+                  Some (Impl.Brcv { origin = l.Label.origin; dst = p; payload = a })
+              | None -> None)
+          | Some _ | None -> None
+        in
+        let rec first = function
+          | [] -> None
+          | f :: rest -> ( match f () with Some a -> Some a | None -> first rest)
+        in
+        first [ send_data; label; register; confirm; report ])
+  in
+  let dvs_action () =
+    let order =
+      Pg_map.fold
+        (fun (p, g) q acc ->
+          match (acc, Seqs.head_opt q) with
+          | None, Some m -> Some (Impl.Dvs_order (m, p, g))
+          | acc, _ -> acc)
+        s.Impl.dvs.Impl.Dvs.pending None
+    in
+    match order with
+    | Some a -> Some a
+    | None ->
+        List.find_map
+          (fun dst ->
+            match Impl.Dvs.current_viewid_of s.Impl.dvs dst with
+            | None -> None
+            | Some gid -> (
+                let q = Impl.Dvs.queue_of s.Impl.dvs gid in
+                match Seqs.nth1_opt q (Impl.Dvs.next_of s.Impl.dvs dst gid) with
+                | Some (msg, src) -> Some (Impl.Dvs_gprcv { src; dst; msg; gid })
+                | None -> (
+                    match
+                      Seqs.nth1_opt q (Impl.Dvs.next_safe_of s.Impl.dvs dst gid)
+                    with
+                    | Some (msg, src) ->
+                        let a = Impl.Dvs_safe { src; dst; msg; gid } in
+                        if Impl.enabled s a then Some a else None
+                    | None -> None)))
+          procs
+  in
+  match List.find_map node_action procs with
+  | Some a -> Some a
+  | None -> dvs_action ()
+
+let drain s =
+  let rec go s acc k =
+    match find_next s with
+    | None -> (s, List.rev acc, k)
+    | Some a ->
+        let acc =
+          match a with
+          | Impl.Brcv { origin; dst; payload } -> { dst; origin; payload } :: acc
+          | _ -> acc
+        in
+        go (step s a) acc (k + 1)
+  in
+  go s [] 0
+
+let bcast s p a = step s (Impl.Bcast (p, a))
+
+let view_change s v =
+  let s = step s (Impl.Dvs_createview v) in
+  let s =
+    Proc.Set.fold (fun p s -> step s (Impl.Dvs_newview (v, p))) (View.set v) s
+  in
+  let s, ds, k = drain s in
+  (s, ds, k + 1 + View.cardinal v)

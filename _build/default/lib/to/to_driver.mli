@@ -1,0 +1,28 @@
+(** A deterministic driver for TO-IMPL: pushes the composed system through
+    whole phases (deliver everything deliverable, perform a full primary
+    view change with state exchange and registration), collecting the client
+    deliveries it causes.  Every step goes through [enabled]/[step], so
+    driven executions are real executions of the composition.
+
+    Used by the examples and the end-to-end benchmarks (E9). *)
+
+type delivery = {
+  dst : Prelude.Proc.t;
+  origin : Prelude.Proc.t;
+  payload : string;
+}
+
+(** Drive all enabled activity (labelling, sends, DVS ordering and delivery,
+    confirmation, registration, client reports) until quiescent.  Returns
+    the final state, the deliveries in order, and the number of steps. *)
+val drain : To_impl.state -> To_impl.state * delivery list * int
+
+(** [bcast s p a] injects a client broadcast (one step). *)
+val bcast : To_impl.state -> Prelude.Proc.t -> string -> To_impl.state
+
+(** [view_change s v] performs the DVS view change to [v] (creation +
+    notification to all members) and drains the resulting state exchange.
+    Returns state, deliveries, steps.  Raises [Failure] when the change
+    cannot start (e.g. [v]'s identifier is not fresh). *)
+val view_change :
+  To_impl.state -> Prelude.View.t -> To_impl.state * delivery list * int

@@ -1,0 +1,69 @@
+(** The composed system TO-IMPL (Section 6.1): one {!Dvs_to_to} automaton per
+    process on top of the DVS specification automaton, with all DVS actions
+    hidden.  External actions are exactly the TO interface
+    ([bcast] / [brcv]). *)
+
+module Dvs : module type of Core.Dvs_spec.Make (To_msg)
+
+type payload = string
+
+type state = {
+  dvs : Dvs.state;
+  nodes : Dvs_to_to.state Prelude.Proc.Map.t;
+}
+
+type action =
+  | Bcast of Prelude.Proc.t * payload  (** external input *)
+  | Brcv of {
+      origin : Prelude.Proc.t;
+      dst : Prelude.Proc.t;
+      payload : payload;
+    }  (** external output *)
+  | Label_msg of Prelude.Proc.t * payload
+  | Confirm of Prelude.Proc.t
+  | Dvs_createview of Prelude.View.t
+  | Dvs_newview of Prelude.View.t * Prelude.Proc.t
+  | Dvs_register of Prelude.Proc.t
+  | Dvs_gpsnd of Prelude.Proc.t * To_msg.t
+  | Dvs_order of To_msg.t * Prelude.Proc.t * Prelude.Gid.t
+  | Dvs_gprcv of {
+      src : Prelude.Proc.t;
+      dst : Prelude.Proc.t;
+      msg : To_msg.t;
+      gid : Prelude.Gid.t;
+    }
+  | Dvs_safe of {
+      src : Prelude.Proc.t;
+      dst : Prelude.Proc.t;
+      msg : To_msg.t;
+      gid : Prelude.Gid.t;
+    }
+
+val initial : universe:int -> p0:Prelude.Proc.Set.t -> state
+val node : state -> Prelude.Proc.t -> Dvs_to_to.state
+
+include Ioa.Automaton.S with type state := state and type action := action
+
+(** {2 Derived variables (Section 6.2)} *)
+
+(** [allstate s]: every summary present anywhere — in DVS pending queues,
+    in DVS per-view queues, or recorded in some process's [gotstate]. *)
+val allstate : state -> Prelude.Summary.t list
+
+(** {2 Generation} *)
+
+type config = {
+  universe : int;
+  p0 : Prelude.Proc.Set.t;
+  payloads : payload list;
+  max_views : int;
+  max_bcasts : int;
+  view_proposals : [ `Random | `All_subsets ];
+}
+
+val default_config : payloads:payload list -> universe:int -> config
+
+val generative :
+  config ->
+  rng_views:Random.State.t ->
+  (module Ioa.Automaton.GENERATIVE with type state = state and type action = action)

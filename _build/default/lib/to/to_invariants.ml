@@ -1,0 +1,164 @@
+open Prelude
+module Impl = To_impl
+module Dvs = To_impl.Dvs
+
+let nodes s = List.map snd (Proc.Map.bindings s.Impl.nodes)
+
+let invariant_6_1 =
+  Ioa.Invariant.make "TO-IMPL 6.1: summary highs are totally attempted views"
+    (fun s ->
+      List.for_all
+        (fun (x : Summary.t) ->
+          View.Set.exists
+            (fun w ->
+              Gid.equal x.Summary.high (View.id w)
+              && Proc.Set.subset (View.set w)
+                   (Dvs.attempted_of s.Impl.dvs (View.id w)))
+            s.Impl.dvs.Dvs.created)
+        (Impl.allstate s))
+
+let invariant_6_2 =
+  Ioa.Invariant.make "TO-IMPL 6.2: established views retire older ones" (fun s ->
+      let highs =
+        List.map (fun (x : Summary.t) -> x.Summary.high) (Impl.allstate s)
+      in
+      View.Set.for_all
+        (fun v ->
+          List.for_all
+            (fun high ->
+              (not (Gid.gt high (View.id v)))
+              || Proc.Set.exists
+                   (fun p ->
+                     match (Impl.node s p).Dvs_to_to.current with
+                     | None -> false
+                     | Some c -> Gid.gt (View.id c) (View.id v))
+                   (View.set v))
+            highs)
+        s.Impl.dvs.Dvs.created)
+
+let invariant_6_3 =
+  Ioa.Invariant.make "TO-IMPL 6.3: established orders extend the common prefix"
+    (fun s ->
+      View.Set.for_all
+        (fun v ->
+          let g = View.id v in
+          let moved =
+            Proc.Set.filter
+              (fun p ->
+                match (Impl.node s p).Dvs_to_to.current with
+                | None -> false
+                | Some c -> Gid.gt (View.id c) g)
+              (View.set v)
+          in
+          let all_established =
+            Proc.Set.for_all
+              (fun p -> Dvs_to_to.established_in (Impl.node s p) g)
+              moved
+          in
+          if not all_established then true (* hypothesis unsatisfiable *)
+          else begin
+            let later_summaries =
+              List.filter
+                (fun (x : Summary.t) -> Gid.gt x.Summary.high g)
+                (Impl.allstate s)
+            in
+            if Proc.Set.is_empty moved then
+              (* σ is arbitrary: the conclusion can only hold if there is no
+                 later summary at all (guaranteed by 6.2) *)
+              later_summaries = []
+            else begin
+              let sigma =
+                Seqs.common_prefix ~equal:Label.equal
+                  (List.map
+                     (fun p ->
+                       Option.value ~default:Seqs.empty
+                         (Gid.Map.find_opt g (Impl.node s p).Dvs_to_to.buildorder))
+                     (Proc.Set.elements moved))
+              in
+              List.for_all
+                (fun (x : Summary.t) ->
+                  Seqs.is_prefix ~equal:Label.equal sigma ~of_:x.Summary.ord)
+                later_summaries
+            end
+          end)
+        s.Impl.dvs.Dvs.created)
+
+let confirmed_prefixes s =
+  let from_nodes = List.map Dvs_to_to.confirmed_prefix (nodes s) in
+  let from_summaries =
+    List.map
+      (fun (x : Summary.t) -> Seqs.sub1 x.Summary.ord 1 (x.Summary.next - 1))
+      (Impl.allstate s)
+  in
+  from_nodes @ from_summaries
+
+let invariant_confirmed_consistent =
+  Ioa.Invariant.make "TO-IMPL: confirmed prefixes are consistent" (fun s ->
+      Seqs.consistent ~equal:Label.equal (confirmed_prefixes s))
+
+let invariant_content_functional =
+  Ioa.Invariant.make "TO-IMPL: labels bind one payload system-wide" (fun s ->
+      let bind acc l a =
+        match Label.Map.find_opt l acc with
+        | Some a' when not (String.equal a a') -> raise Exit
+        | Some _ -> acc
+        | None -> Label.Map.add l a acc
+      in
+      try
+        let acc =
+          List.fold_left
+            (fun acc n ->
+              Label.Map.fold (fun l a acc -> bind acc l a) n.Dvs_to_to.content acc)
+            Label.Map.empty (nodes s)
+        in
+        let acc =
+          Pg_map.fold
+            (fun _ q acc ->
+              Seqs.fold_left
+                (fun acc m ->
+                  match m with
+                  | To_msg.Data (l, a) -> bind acc l a
+                  | To_msg.Summ x ->
+                      Label.Map.fold (fun l a acc -> bind acc l a) x.Summary.con acc)
+                acc q)
+            s.Impl.dvs.Dvs.pending acc
+        in
+        let _ =
+          Gid.Map.fold
+            (fun _ q acc ->
+              Seqs.fold_left
+                (fun acc (m, _) ->
+                  match m with
+                  | To_msg.Data (l, a) -> bind acc l a
+                  | To_msg.Summ x ->
+                      Label.Map.fold (fun l a acc -> bind acc l a) x.Summary.con acc)
+                acc q)
+            s.Impl.dvs.Dvs.queue acc
+        in
+        true
+      with Exit -> false)
+
+let invariant_local_sanity =
+  Ioa.Invariant.make "TO-IMPL: local pointers and orders are sane" (fun s ->
+      List.for_all
+        (fun n ->
+          let len = Seqs.length n.Dvs_to_to.order in
+          n.Dvs_to_to.nextreport <= n.Dvs_to_to.nextconfirm
+          && n.Dvs_to_to.nextconfirm <= len + 1
+          && (let labels = Seqs.to_list n.Dvs_to_to.order in
+              List.length labels
+              = Label.Set.cardinal (Label.Set.of_list labels))
+          && Seqs.for_all
+               (fun l -> Label.Map.mem l n.Dvs_to_to.content)
+               n.Dvs_to_to.order)
+        (nodes s))
+
+let all =
+  [
+    invariant_6_1;
+    invariant_6_2;
+    invariant_6_3;
+    invariant_confirmed_consistent;
+    invariant_content_functional;
+    invariant_local_sanity;
+  ]

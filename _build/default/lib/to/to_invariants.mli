@@ -1,0 +1,32 @@
+(** The invariants of TO-IMPL (Section 6.2) as executable predicates.
+
+    Invariant 6.3 is universally quantified over label sequences [σ]; we
+    check the strongest instance: for each created view [v] whose moved-on
+    members have all established it, [σ*] is the longest common prefix of
+    their [buildorder[v.id]] histories, and every summary in the system with
+    [high > v.id] must extend [σ*]. *)
+
+module Impl := To_impl
+
+val invariant_6_1 : Impl.state Ioa.Invariant.t
+val invariant_6_2 : Impl.state Ioa.Invariant.t
+val invariant_6_3 : Impl.state Ioa.Invariant.t
+
+(** Confirmed prefixes across the whole system (process states and in-flight
+    summaries) are pairwise prefix-consistent — the consistency backbone of
+    the TO service ([allconfirm] in the PODC'97 development). *)
+val invariant_confirmed_consistent : Impl.state Ioa.Invariant.t
+
+(** Labels are bound to one payload system-wide. *)
+val invariant_content_functional : Impl.state Ioa.Invariant.t
+
+(** Per-process sanity: [nextreport ≤ nextconfirm ≤ |order| + 1], orders are
+    duplicate-free, and every ordered label has content. *)
+val invariant_local_sanity : Impl.state Ioa.Invariant.t
+
+val all : Impl.state Ioa.Invariant.t list
+
+(** Every confirmed prefix in the system ([order(1..nextconfirm−1)] at each
+    process, [ord(1..next−1)] for each summary in {!To_impl.allstate}), as
+    label sequences.  Exposed for the refinement's [allconfirm]. *)
+val confirmed_prefixes : Impl.state -> Prelude.Label.t Prelude.Seqs.t list

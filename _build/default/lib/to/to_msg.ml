@@ -1,0 +1,27 @@
+(** The message alphabet the TO application sends through DVS (Section 6.1):
+    [C ∪ S] — labelled client messages and state-exchange summaries.
+    Client payloads ([A] in the paper) are opaque strings. *)
+
+open Prelude
+
+type payload = string
+
+type t =
+  | Data of Label.t * payload  (** an element of [C = L × A] *)
+  | Summ of Summary.t  (** an element of [S] *)
+
+let compare a b =
+  match (a, b) with
+  | Data (l, x), Data (l', x') -> (
+      match Label.compare l l' with 0 -> String.compare x x' | c -> c)
+  | Data _, Summ _ -> -1
+  | Summ _, Data _ -> 1
+  | Summ x, Summ y -> Summary.compare x y
+
+let equal a b = compare a b = 0
+
+let pp ppf = function
+  | Data (l, x) -> Format.fprintf ppf "⟨%a,%s⟩" Label.pp l x
+  | Summ x -> Format.fprintf ppf "summary%a" Summary.pp x
+
+let is_summary = function Summ _ -> true | Data _ -> false

@@ -1,0 +1,120 @@
+open Prelude
+module Impl = To_impl
+module Spec = To_spec
+
+(* A global label → payload table (well-defined by
+   [To_invariants.invariant_content_functional]). *)
+let global_content (s : Impl.state) =
+  let acc =
+    Proc.Map.fold
+      (fun _ n acc -> Label.Map.union_left acc n.Dvs_to_to.content)
+      s.Impl.nodes Label.Map.empty
+  in
+  List.fold_left
+    (fun acc (x : Summary.t) -> Label.Map.union_left acc x.Summary.con)
+    acc (Impl.allstate s)
+
+(* [allconfirm]: the lub of every confirmed prefix in the system, as a label
+   sequence. *)
+let allconfirm_labels (s : Impl.state) =
+  Seqs.lub ~equal:Label.equal (To_invariants.confirmed_prefixes s)
+
+let abstraction (s : Impl.state) : Spec.state =
+  let content = global_content s in
+  let payload_of l =
+    match Label.Map.find_opt l content with
+    | Some a -> a
+    | None -> invalid_arg "To_refinement: confirmed label without content"
+  in
+  let confirmed = allconfirm_labels s in
+  let order = Seqs.applytoall (fun l -> (payload_of l, l.Label.origin)) confirmed in
+  let in_order l = Seqs.mem ~equal:Label.equal l confirmed in
+  let pending =
+    Proc.Map.fold
+      (fun p n acc ->
+        let own_unordered =
+          Label.Map.fold
+            (fun l a labels ->
+              if Proc.equal l.Label.origin p && not (in_order l) then
+                (l, a) :: labels
+              else labels)
+            n.Dvs_to_to.content []
+          |> List.sort (fun (l, _) (l', _) -> Label.compare l l')
+          |> List.map snd
+        in
+        let seq = Seqs.concat (Seqs.of_list own_unordered) n.Dvs_to_to.delay in
+        if Seqs.is_empty seq then acc else Proc.Map.add p seq acc)
+      s.Impl.nodes Proc.Map.empty
+  in
+  let next =
+    Proc.Map.fold
+      (fun p n acc ->
+        if n.Dvs_to_to.nextreport > 1 then
+          Proc.Map.add p n.Dvs_to_to.nextreport acc
+        else acc)
+      s.Impl.nodes Proc.Map.empty
+  in
+  { Spec.pending; order; next }
+
+let match_step (pre : Impl.state) (action : Impl.action) (post : Impl.state) :
+    Spec.action list =
+  match action with
+  | Impl.Bcast (p, a) -> [ Spec.Bcast (p, a) ]
+  | Impl.Brcv { origin; dst; payload } -> [ Spec.Brcv { origin; dst; payload } ]
+  | Impl.Confirm _ ->
+      (* emit a to-order for each label newly added to allconfirm *)
+      let before = allconfirm_labels pre in
+      let after = allconfirm_labels post in
+      let content = global_content post in
+      let rec news i acc =
+        if i > Seqs.length after then List.rev acc
+        else begin
+          let l = Seqs.nth1 after i in
+          let acc =
+            if i > Seqs.length before then
+              match Label.Map.find_opt l content with
+              | Some a -> Spec.Order (a, l.Label.origin) :: acc
+              | None -> acc
+            else acc
+          in
+          news (i + 1) acc
+        end
+      in
+      news 1 []
+  | Impl.Label_msg _ | Impl.Dvs_createview _ | Impl.Dvs_newview _
+  | Impl.Dvs_register _ | Impl.Dvs_gpsnd _ | Impl.Dvs_order _ | Impl.Dvs_gprcv _
+  | Impl.Dvs_safe _ ->
+      []
+
+let impl_label = function
+  | Impl.Bcast (p, a) -> Some (Format.asprintf "bcast(%s)_%a" a Proc.pp p)
+  | Impl.Brcv { origin; dst; payload } ->
+      Some (Format.asprintf "brcv(%s)_%a,%a" payload Proc.pp origin Proc.pp dst)
+  | Impl.Label_msg _ | Impl.Confirm _ | Impl.Dvs_createview _
+  | Impl.Dvs_newview _ | Impl.Dvs_register _ | Impl.Dvs_gpsnd _
+  | Impl.Dvs_order _ | Impl.Dvs_gprcv _ | Impl.Dvs_safe _ ->
+      None
+
+let spec_label = function
+  | Spec.Bcast (p, a) -> Some (Format.asprintf "bcast(%s)_%a" a Proc.pp p)
+  | Spec.Brcv { origin; dst; payload } ->
+      Some (Format.asprintf "brcv(%s)_%a,%a" payload Proc.pp origin Proc.pp dst)
+  | Spec.Order _ -> None
+
+let refinement () =
+  {
+    Ioa.Refinement.name = "TO-IMPL ⊑ TO (Theorem 6.4)";
+    abstraction;
+    match_step;
+    impl_label;
+    spec_label;
+  }
+
+let spec_automaton =
+  (module Spec : Ioa.Automaton.S
+    with type state = Spec.state
+     and type action = Spec.action)
+
+let check exec =
+  Ioa.Refinement.check_execution spec_automaton ~spec_initial:Spec.initial
+    (refinement ()) exec

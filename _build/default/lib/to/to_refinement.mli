@@ -1,0 +1,33 @@
+(** The refinement from TO-IMPL states to TO states (Theorem 6.4, following
+    the PODC'97 development).
+
+    The abstract total order is [allconfirm]: the least upper bound of every
+    confirmed prefix present in the system — each process's
+    [order(1..nextconfirm−1)] and each in-flight summary's
+    [ord(1..next−1)] — rendered as (payload, origin) pairs.  Its existence
+    requires those prefixes to be consistent (checked by
+    {!To_invariants.invariant_confirmed_consistent}).
+
+    [pending[p]] is process [p]'s submitted-but-unordered traffic: its
+    labelled messages not yet in [allconfirm], in label (= submission)
+    order, followed by its [delay] buffer.  [next[p] = nextreport_p].
+
+    Step correspondence: [bcast]/[brcv] map to themselves; a [confirm] step
+    that extends [allconfirm] maps to the corresponding [to-order] actions;
+    every other implementation action is invisible. *)
+
+module Impl := To_impl
+module Spec := To_spec
+
+val abstraction : Impl.state -> Spec.state
+val match_step : Impl.state -> Impl.action -> Impl.state -> Spec.action list
+val impl_label : Impl.action -> string option
+val spec_label : Spec.action -> string option
+
+val refinement :
+  unit -> (Impl.state, Impl.action, Spec.state, Spec.action) Ioa.Refinement.t
+
+(** Check one execution end to end ([F(init)] must be the TO initial
+    state). *)
+val check :
+  (Impl.state, Impl.action) Ioa.Exec.t -> (unit, Ioa.Refinement.failure) result

@@ -1,0 +1,38 @@
+(** The totally-ordered-broadcast service specification TO (Section 6,
+    following the PODC'97 specification of Fekete, Lynch, Shvartsman).
+
+    TO is *not* group-oriented: clients see only [bcast]/[brcv].  The service
+    accepts messages from clients and delivers them to all clients according
+    to one system-wide total order; each client receives a gap-free prefix of
+    that order. *)
+
+type payload = string
+
+type state = {
+  pending : payload Prelude.Seqs.t Prelude.Proc.Map.t;
+      (** submitted, not yet placed in the total order; per origin *)
+  order : (payload * Prelude.Proc.t) Prelude.Seqs.t;
+      (** the system-wide total order *)
+  next : int Prelude.Proc.Map.t;  (** per-destination report pointer, init 1 *)
+}
+
+type action =
+  | Bcast of Prelude.Proc.t * payload  (** input: client broadcast *)
+  | Order of payload * Prelude.Proc.t  (** internal: place in the order *)
+  | Brcv of {
+      origin : Prelude.Proc.t;
+      dst : Prelude.Proc.t;
+      payload : payload;
+    }  (** output: delivery at [dst] *)
+
+val initial : state
+
+include Ioa.Automaton.S with type state := state and type action := action
+
+val pending_of : state -> Prelude.Proc.t -> payload Prelude.Seqs.t
+val next_of : state -> Prelude.Proc.t -> int
+
+(** Safety facts of the TO service, used as oracle checks. *)
+
+(** Every report pointer stays within the order. *)
+val invariant_next_bounded : state Ioa.Invariant.t

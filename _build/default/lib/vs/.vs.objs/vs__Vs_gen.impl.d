@@ -1,0 +1,1 @@
+lib/vs/vs_gen.ml: Fun Gid Ioa List Msg_intf Pg_map Prelude Proc Random Seqs View Vs_spec

@@ -1,0 +1,1 @@
+lib/vs/vs_gen.mli: Ioa Prelude Random Vs_spec

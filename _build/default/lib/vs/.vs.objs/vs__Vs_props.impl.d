@@ -1,0 +1,1 @@
+lib/vs/vs_props.ml: Format Gid Hashtbl Ioa List Msg_intf Prelude Proc View Vs_spec

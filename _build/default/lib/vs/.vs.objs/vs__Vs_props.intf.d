@@ -1,0 +1,1 @@
+lib/vs/vs_props.mli: Format Ioa Prelude Vs_spec

@@ -1,0 +1,1 @@
+lib/vs/vs_spec.ml: Buffer Format Gid Int Ioa List Msg_intf Option Pg_map Prelude Proc Seqs View

@@ -1,0 +1,1 @@
+lib/vs/vs_spec.mli: Ioa Prelude

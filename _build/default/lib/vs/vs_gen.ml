@@ -1,0 +1,105 @@
+open Prelude
+
+module Make (M : Msg_intf.S) = struct
+  module Spec = Vs_spec.Make (M)
+
+  type config = {
+    universe : int;
+    payloads : M.t list;
+    max_views : int;
+    max_sends : int;
+    view_proposals : [ `Random | `All_subsets ];
+  }
+
+  let default_config ~payloads ~universe =
+    { universe; payloads; max_views = 6; max_sends = 40; view_proposals = `Random }
+
+  (* Candidate actions proposed from a state.  Proposals may be disabled;
+     the engine filters through [Spec.enabled]. *)
+  let candidates cfg rng_views rng (s : Spec.state) =
+    let procs = List.init cfg.universe Fun.id in
+    let views = View.Set.elements s.Spec.created in
+    let createviews =
+      if View.Set.cardinal s.Spec.created >= cfg.max_views then []
+      else begin
+        let top =
+          View.Set.fold (fun v g -> Gid.max g (View.id v)) s.Spec.created Gid.g0
+        in
+        let fresh = Gid.succ top in
+        match cfg.view_proposals with
+        | `Random ->
+            let members =
+              List.filter (fun _ -> Random.State.bool rng_views) procs
+            in
+            let set =
+              match members with
+              | [] -> Proc.Set.singleton (Random.State.int rng_views cfg.universe)
+              | _ :: _ -> Proc.Set.of_list members
+            in
+            [ Spec.Createview (View.make ~id:fresh ~set) ]
+        | `All_subsets ->
+            List.map
+              (fun set -> Spec.Createview (View.make ~id:fresh ~set))
+              (Proc.Set.nonempty_subsets (Proc.Set.universe cfg.universe))
+      end
+    in
+    let newviews =
+      List.concat_map
+        (fun v ->
+          List.filter_map
+            (fun p -> if View.mem p v then Some (Spec.Newview (v, p)) else None)
+            procs)
+        views
+    in
+    let total_sent =
+      Pg_map.fold (fun _ q n -> n + Seqs.length q) s.Spec.pending 0
+      + Gid.Map.fold (fun _ q n -> n + Seqs.length q) s.Spec.queue 0
+    in
+    let gpsnds =
+      if total_sent >= cfg.max_sends || cfg.payloads = [] then []
+      else begin
+        let m =
+          List.nth cfg.payloads (Random.State.int rng (List.length cfg.payloads))
+        in
+        List.map (fun p -> Spec.Gpsnd (p, m)) procs
+      end
+    in
+    let orders =
+      Pg_map.fold
+        (fun (p, g) q acc ->
+          match Seqs.head_opt q with
+          | Some m -> Spec.Order (m, p, g) :: acc
+          | None -> acc)
+        s.Spec.pending []
+    in
+    let deliveries =
+      List.concat_map
+        (fun dst ->
+          match Spec.current_viewid_of s dst with
+          | None -> []
+          | Some gid ->
+              let q = Spec.queue_of s gid in
+              let rcv =
+                match Seqs.nth1_opt q (Spec.next_of s dst gid) with
+                | Some (msg, src) -> [ Spec.Gprcv { src; dst; msg; gid } ]
+                | None -> []
+              in
+              let safe =
+                match Seqs.nth1_opt q (Spec.next_safe_of s dst gid) with
+                | Some (msg, src) -> [ Spec.Safe { src; dst; msg; gid } ]
+                | None -> []
+              in
+              rcv @ safe)
+        procs
+    in
+    createviews @ newviews @ gpsnds @ orders @ deliveries
+
+  let generative cfg ~rng_views =
+    (module struct
+      include Spec
+
+      let candidates rng s = candidates cfg rng_views rng s
+    end : Ioa.Automaton.GENERATIVE
+      with type state = Spec.state
+       and type action = Spec.action)
+end

@@ -1,0 +1,28 @@
+(** A generative environment for running the VS specification (Figure 1)
+    under a random scheduler: it closes the automaton's open inputs (client
+    sends) and resolves its internal nondeterminism (view creation, ordering)
+    by proposing finitely many candidate actions per state. *)
+
+module Make (M : Prelude.Msg_intf.S) : sig
+  module Spec : module type of Vs_spec.Make (M)
+
+  type config = {
+    universe : int;  (** number of processes; initial view is a subset *)
+    payloads : M.t list;  (** alphabet offered to client sends *)
+    max_views : int;  (** stop proposing [createview] beyond this many *)
+    max_sends : int;  (** stop proposing [gpsnd] beyond this many messages *)
+    view_proposals : [ `Random | `All_subsets ];
+        (** how [createview] membership sets are proposed; [`All_subsets] is
+            deterministic, for exhaustive exploration *)
+  }
+
+  val default_config : payloads:M.t list -> universe:int -> config
+
+  (** A [GENERATIVE] automaton usable with {!Ioa.Exec.run}. *)
+  val generative :
+    config ->
+    rng_views:Random.State.t ->
+    (module Ioa.Automaton.GENERATIVE
+       with type state = Spec.state
+        and type action = Spec.action)
+end

@@ -1,0 +1,133 @@
+open Prelude
+
+type 'm event =
+  | Viewed of { p : Proc.t; view : View.t }
+  | Sent of { p : Proc.t; gid : Gid.t; msg : 'm }
+  | Delivered of { src : Proc.t; dst : Proc.t; gid : Gid.t; msg : 'm }
+
+type report = {
+  events : int;
+  view_identity : bool;
+  monotony : bool;
+  self_inclusion : bool;
+  integrity : bool;
+  no_duplication : bool;
+  fifo : bool;
+}
+
+let holds r =
+  r.view_identity && r.monotony && r.self_inclusion && r.integrity
+  && r.no_duplication && r.fifo
+
+let pp_report ppf r =
+  let b ppf ok = Format.pp_print_string ppf (if ok then "ok" else "VIOLATED") in
+  Format.fprintf ppf
+    "%d events: identity %a, monotony %a, self-inclusion %a, integrity %a, \
+     no-dup %a, fifo %a"
+    r.events b r.view_identity b r.monotony b r.self_inclusion b r.integrity b
+    r.no_duplication b r.fifo
+
+let examine ~equal events =
+  let n = List.length events in
+  (* view identity + self inclusion + per-process monotony *)
+  let view_identity = ref true
+  and monotony = ref true
+  and self_inclusion = ref true in
+  let seen_views : (Gid.t, View.t) Hashtbl.t = Hashtbl.create 16 in
+  let last_gid : (Proc.t, Gid.t) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Viewed { p; view } ->
+          (match Hashtbl.find_opt seen_views (View.id view) with
+          | Some w when not (View.equal w view) -> view_identity := false
+          | Some _ -> ()
+          | None -> Hashtbl.add seen_views (View.id view) view);
+          (match Hashtbl.find_opt last_gid p with
+          | Some g when Gid.ge g (View.id view) -> monotony := false
+          | Some _ | None -> ());
+          Hashtbl.replace last_gid p (View.id view);
+          if not (View.mem p view) then self_inclusion := false
+      | Sent _ | Delivered _ -> ())
+    events;
+  (* per (src, gid): the sent sequence; per (src, dst, gid): delivered *)
+  let sent : (Proc.t * Gid.t, 'a list ref) Hashtbl.t = Hashtbl.create 16 in
+  let delivered : (Proc.t * Proc.t * Gid.t, 'a list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let push tbl key x =
+    match Hashtbl.find_opt tbl key with
+    | Some r -> r := x :: !r
+    | None -> Hashtbl.add tbl key (ref [ x ])
+  in
+  let integrity = ref true in
+  List.iter
+    (function
+      | Sent { p; gid; msg } -> push sent (p, gid) msg
+      | Delivered { src; dst; gid; msg } -> begin
+          (* integrity: the sender must already have sent this message in
+             this view (prefix causality) *)
+          let sends =
+            match Hashtbl.find_opt sent (src, gid) with
+            | Some r -> List.rev !r
+            | None -> []
+          in
+          let dels =
+            match Hashtbl.find_opt delivered (src, dst, gid) with
+            | Some r -> List.length !r
+            | None -> 0
+          in
+          (* the (dels+1)-th delivery must have a matching send available *)
+          if List.length sends < dels + 1 then integrity := false;
+          push delivered (src, dst, gid) msg
+        end
+      | Viewed _ -> ())
+    events;
+  (* no-duplication + fifo: the delivered sequence must be a prefix-respecting
+     subsequence (for our sequencer VS: a sub-multiset in sent order) *)
+  let no_duplication = ref true and fifo = ref true in
+  Hashtbl.iter
+    (fun (src, _, gid) dels ->
+      let sends =
+        match Hashtbl.find_opt sent (src, gid) with
+        | Some r -> List.rev !r
+        | None -> []
+      in
+      let dels = List.rev !dels in
+      if List.length dels > List.length sends then no_duplication := false;
+      (* fifo: dels must be a subsequence of sends, in order *)
+      let rec sub ds ss =
+        match (ds, ss) with
+        | [], _ -> true
+        | _ :: _, [] -> false
+        | d :: drest, s :: srest ->
+            if equal d s then sub drest srest else sub ds srest
+      in
+      if not (sub dels sends) then fifo := false)
+    delivered;
+  {
+    events = n;
+    view_identity = !view_identity;
+    monotony = !monotony;
+    self_inclusion = !self_inclusion;
+    integrity = !integrity;
+    no_duplication = !no_duplication;
+    fifo = !fifo;
+  }
+
+module Of_spec (M : Msg_intf.S) = struct
+  module Spec = Vs_spec.Make (M)
+
+  let events (exec : (Spec.state, Spec.action) Ioa.Exec.t) =
+    List.filter_map
+      (fun (st : (Spec.state, Spec.action) Ioa.Exec.step) ->
+        match st.Ioa.Exec.action with
+        | Spec.Newview (view, p) -> Some (Viewed { p; view })
+        | Spec.Gpsnd (p, msg) -> (
+            match Spec.current_viewid_of st.Ioa.Exec.pre p with
+            | Some gid -> Some (Sent { p; gid; msg })
+            | None -> None)
+        | Spec.Gprcv { src; dst; msg; gid } ->
+            Some (Delivered { src; dst; gid; msg })
+        | Spec.Createview _ | Spec.Order _ | Spec.Safe _ -> None)
+      exec.Ioa.Exec.steps
+end

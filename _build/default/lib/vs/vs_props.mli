@@ -1,0 +1,60 @@
+(** The classical view-synchronous service guarantees, as trace properties.
+
+    The literature (e.g. the Vitenberg–Keidar–Chockler–Dolev survey, and the
+    VS-layer requirements restated by systems built on Transis) distils what
+    a view-synchronous layer owes its users into a handful of trace
+    conditions.  This module checks them over an *event log* extracted from
+    an execution — so the same checker applies to the Figure 1 specification
+    automaton and to the real engine of [lib/vs_impl] (and to anything else
+    claiming to be a VS):
+
+    - {b view identity}: views with the same identifier have the same
+      membership;
+    - {b monotony}: each process is told views in increasing identifier
+      order;
+    - {b self inclusion}: a process is a member of every view it is told;
+    - {b message integrity}: every delivery corresponds to an earlier send
+      by its claimed sender, in the same view;
+    - {b no duplication}: a destination never receives more copies of a
+      sender's view-tagged traffic than were sent;
+    - {b reliable FIFO}: per (sender, destination, view), the delivered
+      sequence is a prefix-respecting subsequence of the sent sequence —
+      for sequencer-ordered VS it is in fact a prefix.
+
+    Extraction helpers for the two VS implementations in this repository are
+    provided. *)
+
+type 'm event =
+  | Viewed of { p : Prelude.Proc.t; view : Prelude.View.t }
+      (** [vs-newview(view)_p] *)
+  | Sent of { p : Prelude.Proc.t; gid : Prelude.Gid.t; msg : 'm }
+      (** [vs-gpsnd(msg)_p] while [p]'s view was [gid] *)
+  | Delivered of {
+      src : Prelude.Proc.t;
+      dst : Prelude.Proc.t;
+      gid : Prelude.Gid.t;
+      msg : 'm;
+    }  (** [vs-gprcv(msg)_{src,dst}] in view [gid] *)
+
+type report = {
+  events : int;
+  view_identity : bool;
+  monotony : bool;
+  self_inclusion : bool;
+  integrity : bool;
+  no_duplication : bool;
+  fifo : bool;
+}
+
+val holds : report -> bool
+val pp_report : Format.formatter -> report -> unit
+
+(** Check an event log (in execution order). *)
+val examine : equal:('m -> 'm -> bool) -> 'm event list -> report
+
+(** Extract the event log of a specification execution. *)
+module Of_spec (M : Prelude.Msg_intf.S) : sig
+  module Spec : module type of Vs_spec.Make (M)
+
+  val events : (Spec.state, Spec.action) Ioa.Exec.t -> M.t event list
+end

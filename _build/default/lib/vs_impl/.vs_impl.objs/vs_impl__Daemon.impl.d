@@ -1,0 +1,1 @@
+lib/vs_impl/daemon.ml: Format Gid List Prelude Proc View

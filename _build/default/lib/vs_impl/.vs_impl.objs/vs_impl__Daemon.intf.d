@@ -1,0 +1,1 @@
+lib/vs_impl/daemon.mli: Format Prelude

@@ -1,0 +1,1 @@
+lib/vs_impl/engine.ml: Format Gid Int Msg_intf Option Packet Pg_map Prelude Proc Seqs View

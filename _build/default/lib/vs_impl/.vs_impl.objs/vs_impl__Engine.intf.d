@@ -1,0 +1,1 @@
+lib/vs_impl/engine.mli: Format Packet Prelude

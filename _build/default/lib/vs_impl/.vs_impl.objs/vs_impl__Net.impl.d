@@ -1,0 +1,1 @@
+lib/vs_impl/net.ml: Format List Msg_intf Packet Pg_map Prelude Proc Seqs

@@ -1,0 +1,1 @@
+lib/vs_impl/net.mli: Format Packet Prelude

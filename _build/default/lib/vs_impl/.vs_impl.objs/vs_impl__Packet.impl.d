@@ -1,0 +1,1 @@
+lib/vs_impl/packet.ml: Format Gid Int Prelude Proc

@@ -1,0 +1,1 @@
+lib/vs_impl/packet.mli: Format Prelude

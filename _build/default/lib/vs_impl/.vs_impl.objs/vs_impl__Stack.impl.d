@@ -1,0 +1,1 @@
+lib/vs_impl/stack.ml: Daemon Engine Format Fun Gid Ioa List Msg_intf Net Packet Pg_map Prelude Proc Random Seqs View

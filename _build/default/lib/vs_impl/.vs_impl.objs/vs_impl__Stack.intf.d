@@ -1,0 +1,1 @@
+lib/vs_impl/stack.mli: Daemon Engine Ioa Net Packet Prelude Random

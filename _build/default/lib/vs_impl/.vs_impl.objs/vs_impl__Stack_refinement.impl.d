@@ -1,0 +1,1 @@
+lib/vs_impl/stack_refinement.ml: Daemon Format Gid Ioa Msg_intf Packet Pg_map Prelude Proc Seqs Stack View Vs

@@ -1,0 +1,1 @@
+lib/vs_impl/stack_refinement.mli: Ioa Prelude Stack Vs

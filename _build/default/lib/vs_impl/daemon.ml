@@ -1,0 +1,51 @@
+open Prelude
+
+type t = {
+  issued : View.Set.t;
+  next_id : Gid.t;
+  notified : Gid.Bot.t Proc.Map.t;
+  components : Proc.Set.t list;
+}
+
+let initial ~p0 =
+  {
+    issued = View.Set.empty;
+    next_id = Gid.succ Gid.g0;
+    notified =
+      Proc.Set.fold
+        (fun p acc -> Proc.Map.add p (Gid.Bot.of_gid Gid.g0) acc)
+        p0 Proc.Map.empty;
+    components = [ p0 ];
+  }
+
+let created ~p0 t = View.Set.add (View.initial p0) t.issued
+
+let reconfigure t components = { t with components }
+
+let create t c =
+  let is_component = List.exists (Proc.Set.equal c) t.components in
+  if not is_component then None
+  else begin
+    let v = View.make ~id:t.next_id ~set:c in
+    Some
+      ( { t with issued = View.Set.add v t.issued; next_id = Gid.succ t.next_id },
+        v )
+  end
+
+let can_notify t v p =
+  View.mem p v
+  && Gid.Bot.lt_gid (Proc.Map.find_or ~default:Gid.Bot.bot p t.notified) (View.id v)
+
+let notify t v p =
+  { t with notified = Proc.Map.add p (Gid.Bot.of_gid (View.id v)) t.notified }
+
+let equal a b =
+  View.Set.equal a.issued b.issued
+  && Gid.equal a.next_id b.next_id
+  && Proc.Map.equal Gid.Bot.equal a.notified b.notified
+  && List.length a.components = List.length b.components
+  && List.for_all2 Proc.Set.equal a.components b.components
+
+let pp ppf t =
+  Format.fprintf ppf "daemon: %d views issued, next %a" (View.Set.cardinal t.issued)
+    Gid.pp t.next_id

@@ -1,0 +1,242 @@
+open Prelude
+
+module Make (M : Msg_intf.S) = struct
+  type packet = M.t Packet.t
+
+  type state = {
+    me : Proc.t;
+    cur : View.t option;
+    views_seen : View.t Gid.Map.t;
+    outq : M.t Seqs.t Gid.Map.t;
+    seq_log : (M.t * Proc.t) Seqs.t Gid.Map.t;
+    bcast_sent : int Pg_map.t;
+    acked_by : int Pg_map.t;
+    stable_sent : int Pg_map.t;
+    rcv_buf : (M.t * Proc.t) Pg_map.t;
+    next_deliver : int Gid.Map.t;
+    next_safe : int Gid.Map.t;
+    acked_upto : int Gid.Map.t;
+    stable_upto : int Gid.Map.t;
+  }
+
+  let initial ~p0 p =
+    let member = Proc.Set.mem p p0 in
+    let v0 = View.initial p0 in
+    {
+      me = p;
+      cur = (if member then Some v0 else None);
+      views_seen = (if member then Gid.Map.singleton Gid.g0 v0 else Gid.Map.empty);
+      outq = Gid.Map.empty;
+      seq_log = Gid.Map.empty;
+      bcast_sent = Pg_map.empty;
+      acked_by = Pg_map.empty;
+      stable_sent = Pg_map.empty;
+      rcv_buf = Pg_map.empty;
+      next_deliver = Gid.Map.empty;
+      next_safe = Gid.Map.empty;
+      acked_upto = Gid.Map.empty;
+      stable_upto = Gid.Map.empty;
+    }
+
+  let sequencer v = Proc.Set.min_elt (View.set v)
+
+  let cur_id st =
+    match st.cur with None -> Gid.Bot.bot | Some v -> Gid.Bot.of_gid (View.id v)
+
+  let gmap_seq m g = Option.value ~default:Seqs.empty (Gid.Map.find_opt g m)
+  let gmap_int ?(default = 1) m g = Option.value ~default (Gid.Map.find_opt g m)
+  let outq_of st g = gmap_seq st.outq g
+  let seq_log_of st g = gmap_seq st.seq_log g
+  let next_deliver_of st g = gmap_int st.next_deliver g
+  let next_safe_of st g = gmap_int st.next_safe g
+  let acked_upto_of st g = gmap_int ~default:0 st.acked_upto g
+  let stable_upto_of st g = gmap_int ~default:0 st.stable_upto g
+
+  (* ---------------- inputs ---------------- *)
+
+  let on_gpsnd st m =
+    match st.cur with
+    | None -> st
+    | Some v ->
+        let g = View.id v in
+        { st with outq = Gid.Map.add g (Seqs.append (outq_of st g) m) st.outq }
+
+  let on_newview st v =
+    {
+      st with
+      cur = Some v;
+      views_seen = Gid.Map.add (View.id v) v st.views_seen;
+    }
+
+  let on_packet st ~src (pkt : packet) =
+    match pkt with
+    | Packet.Fwd { gid; payload } ->
+        (* as (presumed) sequencer of [gid]: assign the next position *)
+        {
+          st with
+          seq_log =
+            Gid.Map.add gid
+              (Seqs.append (seq_log_of st gid) (payload, src))
+              st.seq_log;
+        }
+    | Packet.Seq { gid; sn; origin; payload } ->
+        { st with rcv_buf = Pg_map.add (gid, sn) (payload, origin) st.rcv_buf }
+    | Packet.Ack { gid; upto } ->
+        let old = Pg_map.find_or ~default:0 (src, gid) st.acked_by in
+        { st with acked_by = Pg_map.add (src, gid) (max old upto) st.acked_by }
+    | Packet.Stable { gid; upto } ->
+        let old = stable_upto_of st gid in
+        { st with stable_upto = Gid.Map.add gid (max old upto) st.stable_upto }
+
+  (* ---------------- outputs ---------------- *)
+
+  let fwd_send st =
+    match st.cur with
+    | None -> None
+    | Some v -> (
+        let g = View.id v in
+        match Seqs.head_opt (outq_of st g) with
+        | Some m -> Some (sequencer v, Packet.Fwd { gid = g; payload = m })
+        | None -> None)
+
+  let sent_fwd st =
+    match st.cur with
+    | None -> st
+    | Some v ->
+        let g = View.id v in
+        let q = Seqs.remove_head (outq_of st g) in
+        let outq =
+          if Seqs.is_empty q then Gid.Map.remove g st.outq
+          else Gid.Map.add g q st.outq
+        in
+        { st with outq }
+
+  (* sequencer: rebroadcast log entries per destination, in order *)
+  let bcast_sends st =
+    Gid.Map.fold
+      (fun g log acc ->
+        match Gid.Map.find_opt g st.views_seen with
+        | Some v when Proc.equal (sequencer v) st.me ->
+            Proc.Set.fold
+              (fun dst acc ->
+                let sent = Pg_map.find_or ~default:0 (dst, g) st.bcast_sent in
+                if sent < Seqs.length log then begin
+                  let payload, origin = Seqs.nth1 log (sent + 1) in
+                  (dst, Packet.Seq { gid = g; sn = sent + 1; origin; payload })
+                  :: acc
+                end
+                else acc)
+              (View.set v) acc
+        | Some _ | None -> acc)
+      st.seq_log []
+
+  let sent_bcast st ~dst ~gid =
+    let sent = Pg_map.find_or ~default:0 (dst, gid) st.bcast_sent in
+    { st with bcast_sent = Pg_map.add (dst, gid) (sent + 1) st.bcast_sent }
+
+  (* member: acknowledge delivered prefix, per view *)
+  let ack_sends st =
+    Gid.Map.fold
+      (fun g nd acc ->
+        let delivered = nd - 1 in
+        if acked_upto_of st g < delivered then begin
+          match Gid.Map.find_opt g st.views_seen with
+          | Some v ->
+              (sequencer v, Packet.Ack { gid = g; upto = delivered }) :: acc
+          | None -> acc
+        end
+        else acc)
+      st.next_deliver []
+
+  let sent_ack st ~gid ~upto =
+    { st with acked_upto = Gid.Map.add gid upto st.acked_upto }
+
+  (* sequencer: announce stable prefix per destination *)
+  let stable_of st v =
+    let g = View.id v in
+    Proc.Set.fold
+      (fun r acc -> min acc (Pg_map.find_or ~default:0 (r, g) st.acked_by))
+      (View.set v) max_int
+
+  let stable_sends st =
+    Gid.Map.fold
+      (fun g v acc ->
+        if Proc.equal (sequencer v) st.me then begin
+          let stable = stable_of st v in
+          if stable <= 0 || stable = max_int then acc
+          else
+            Proc.Set.fold
+              (fun dst acc ->
+                if Pg_map.find_or ~default:0 (dst, g) st.stable_sent < stable then
+                  (dst, Packet.Stable { gid = g; upto = stable }) :: acc
+                else acc)
+              (View.set v) acc
+        end
+        else acc)
+      st.views_seen []
+
+  let sent_stable st ~dst ~gid ~upto =
+    { st with stable_sent = Pg_map.add (dst, gid) upto st.stable_sent }
+
+  let deliverable st =
+    match st.cur with
+    | None -> None
+    | Some v -> (
+        let g = View.id v in
+        match Pg_map.find_opt (g, next_deliver_of st g) st.rcv_buf with
+        | Some (m, origin) -> Some (origin, m)
+        | None -> None)
+
+  let delivered st =
+    match st.cur with
+    | None -> st
+    | Some v ->
+        let g = View.id v in
+        {
+          st with
+          next_deliver = Gid.Map.add g (next_deliver_of st g + 1) st.next_deliver;
+        }
+
+  let safe_ready st =
+    match st.cur with
+    | None -> None
+    | Some v -> (
+        let g = View.id v in
+        let k = next_safe_of st g in
+        if k > stable_upto_of st g then None
+        else
+          match Pg_map.find_opt (g, k) st.rcv_buf with
+          | Some (m, origin) -> Some (origin, m)
+          | None -> None)
+
+  let safed st =
+    match st.cur with
+    | None -> st
+    | Some v ->
+        let g = View.id v in
+        { st with next_safe = Gid.Map.add g (next_safe_of st g + 1) st.next_safe }
+
+  let equal a b =
+    Proc.equal a.me b.me
+    && Option.equal View.equal a.cur b.cur
+    && Gid.Map.equal View.equal a.views_seen b.views_seen
+    && Gid.Map.equal (Seqs.equal M.equal) a.outq b.outq
+    && Gid.Map.equal
+         (Seqs.equal (fun (m, p) (m', p') -> M.equal m m' && Proc.equal p p'))
+         a.seq_log b.seq_log
+    && Pg_map.equal Int.equal a.bcast_sent b.bcast_sent
+    && Pg_map.equal Int.equal a.acked_by b.acked_by
+    && Pg_map.equal Int.equal a.stable_sent b.stable_sent
+    && Pg_map.equal
+         (fun (m, p) (m', p') -> M.equal m m' && Proc.equal p p')
+         a.rcv_buf b.rcv_buf
+    && Gid.Map.equal Int.equal a.next_deliver b.next_deliver
+    && Gid.Map.equal Int.equal a.next_safe b.next_safe
+    && Gid.Map.equal Int.equal a.acked_upto b.acked_upto
+    && Gid.Map.equal Int.equal a.stable_upto b.stable_upto
+
+  let pp ppf st =
+    Format.fprintf ppf "engine %a: cur=%a, %d views seen" Proc.pp st.me
+      Gid.Bot.pp (cur_id st)
+      (Gid.Map.cardinal st.views_seen)
+end

@@ -1,0 +1,90 @@
+(** The per-process VS engine: sequencer-based total order within each
+    view.
+
+    Within view [v], the member with the least identifier is the
+    *sequencer*.  A sender forwards each client message to the sequencer
+    ([Fwd]); the sequencer appends it to the view's log and rebroadcasts it
+    with its position ([Seq]); every member delivers in position order and
+    acknowledges cumulatively ([Ack]); the sequencer computes the stable
+    prefix (delivered by all members) and announces it ([Stable]), which
+    licenses the member's safe indications.
+
+    All bookkeeping is per-view and views are never garbage collected, so
+    packets of superseded views are absorbed harmlessly — this is what makes
+    the refinement to Figure 1 exact (the abstract [pending]/[queue] state
+    is total over views).  The engine is a pure state machine; the {!Stack}
+    composition wires it to the {!Net} and {!Daemon} automata. *)
+
+module Make (M : Prelude.Msg_intf.S) : sig
+  type packet = M.t Packet.t
+
+  type state = {
+    me : Prelude.Proc.t;
+    cur : Prelude.View.t option;
+    views_seen : Prelude.View.t Prelude.Gid.Map.t;
+    outq : M.t Prelude.Seqs.t Prelude.Gid.Map.t;
+        (** client messages not yet forwarded, per view *)
+    seq_log : (M.t * Prelude.Proc.t) Prelude.Seqs.t Prelude.Gid.Map.t;
+        (** sequencer role: the view's assigned order *)
+    bcast_sent : int Prelude.Pg_map.t;  (** (dst, gid) → entries rebroadcast *)
+    acked_by : int Prelude.Pg_map.t;  (** (member, gid) → cumulative ack *)
+    stable_sent : int Prelude.Pg_map.t;  (** (dst, gid) → stable bound sent *)
+    rcv_buf : (M.t * Prelude.Proc.t) Prelude.Pg_map.t;
+        (** receiver role, keyed (gid, sn) *)
+    next_deliver : int Prelude.Gid.Map.t;  (** init 1, per view *)
+    next_safe : int Prelude.Gid.Map.t;  (** init 1, per view *)
+    acked_upto : int Prelude.Gid.Map.t;  (** what this process acked, per view *)
+    stable_upto : int Prelude.Gid.Map.t;  (** stable bound learned, per view *)
+  }
+
+  val initial : p0:Prelude.Proc.Set.t -> Prelude.Proc.t -> state
+
+  (** The sequencer of a view: its least-id member. *)
+  val sequencer : Prelude.View.t -> Prelude.Proc.t
+
+  val cur_id : state -> Prelude.Gid.Bot.t
+  val outq_of : state -> Prelude.Gid.t -> M.t Prelude.Seqs.t
+  val seq_log_of : state -> Prelude.Gid.t -> (M.t * Prelude.Proc.t) Prelude.Seqs.t
+  val next_deliver_of : state -> Prelude.Gid.t -> int
+  val next_safe_of : state -> Prelude.Gid.t -> int
+
+  (** {2 Input effects} *)
+
+  val on_gpsnd : state -> M.t -> state
+  val on_newview : state -> Prelude.View.t -> state
+
+  (** Process a packet from the network (sender [src]). *)
+  val on_packet : state -> src:Prelude.Proc.t -> packet -> state
+
+  (** {2 Output candidates and their effects}
+
+      [*_sends] enumerate the network sends currently enabled (destination
+      and packet); the corresponding [sent_*] applies the local effect of
+      performing one.  The {!Stack} uses the enumerations both as
+      enabledness checks and as scheduler candidates. *)
+
+  val fwd_send : state -> (Prelude.Proc.t * packet) option
+  val sent_fwd : state -> state
+
+  val bcast_sends : state -> (Prelude.Proc.t * packet) list
+  val sent_bcast : state -> dst:Prelude.Proc.t -> gid:Prelude.Gid.t -> state
+
+  val ack_sends : state -> (Prelude.Proc.t * packet) list
+  val sent_ack : state -> gid:Prelude.Gid.t -> upto:int -> state
+
+  val stable_sends : state -> (Prelude.Proc.t * packet) list
+  val sent_stable : state -> dst:Prelude.Proc.t -> gid:Prelude.Gid.t -> upto:int -> state
+
+  (** The client delivery currently enabled: [vs-gprcv (origin, payload)]. *)
+  val deliverable : state -> (Prelude.Proc.t * M.t) option
+
+  val delivered : state -> state
+
+  (** The safe indication currently enabled. *)
+  val safe_ready : state -> (Prelude.Proc.t * M.t) option
+
+  val safed : state -> state
+
+  val equal : state -> state -> bool
+  val pp : Format.formatter -> state -> unit
+end

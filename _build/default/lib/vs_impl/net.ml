@@ -1,0 +1,67 @@
+open Prelude
+
+module Make (M : Msg_intf.S) = struct
+  type packet = M.t Packet.t
+
+  type state = {
+    channels : packet Seqs.t Pg_map.t;
+    blocked : (Proc.t * Proc.t) list;
+  }
+
+  let initial = { channels = Pg_map.empty; blocked = [] }
+
+  let connected s p q =
+    not (List.exists (fun (a, b) -> Proc.equal a p && Proc.equal b q) s.blocked)
+
+  let channel s ~src ~dst =
+    Pg_map.find_or ~default:Seqs.empty (src, dst) s.channels
+
+  let send s ~src ~dst pkt =
+    {
+      s with
+      channels = Pg_map.add (src, dst) (Seqs.append (channel s ~src ~dst) pkt) s.channels;
+    }
+
+  let head s ~src ~dst = Seqs.head_opt (channel s ~src ~dst)
+
+  let deliverable s ~src ~dst =
+    if connected s src dst then head s ~src ~dst else None
+
+  let pop s ~src ~dst =
+    let q = Seqs.remove_head (channel s ~src ~dst) in
+    let channels =
+      if Seqs.is_empty q then Pg_map.remove (src, dst) s.channels
+      else Pg_map.add (src, dst) q s.channels
+    in
+    { s with channels }
+
+  let reconfigure s components =
+    let component_of p = List.find_opt (Proc.Set.mem p) components in
+    let all =
+      List.fold_left Proc.Set.union Proc.Set.empty components |> Proc.Set.elements
+    in
+    let blocked =
+      List.concat_map
+        (fun p ->
+          List.filter_map
+            (fun q ->
+              match (component_of p, component_of q) with
+              | Some cp, Some cq when Proc.Set.equal cp cq -> None
+              | _ -> Some (p, q))
+            all)
+        all
+    in
+    { s with blocked }
+
+  let in_flight s = Pg_map.fold (fun _ q n -> n + Seqs.length q) s.channels 0
+
+  let equal a b =
+    Pg_map.equal (Seqs.equal (fun x y -> Packet.compare M.compare x y = 0))
+      a.channels b.channels
+    && List.length a.blocked = List.length b.blocked
+    && List.for_all (fun pair -> List.mem pair b.blocked) a.blocked
+
+  let pp ppf s =
+    Format.fprintf ppf "net: %d in flight, %d blocked pairs" (in_flight s)
+      (List.length s.blocked)
+end

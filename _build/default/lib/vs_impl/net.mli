@@ -1,0 +1,48 @@
+(** An asynchronous point-to-point network with FIFO channels and dynamic
+    partitions.
+
+    Channels never lose or reorder messages; a partition only *blocks*
+    delivery between separated processes (packets wait in the channel and
+    become deliverable again after a merge).  This models a fair-lossless
+    transport with retransmission; losing packets would be observationally
+    equivalent for the safety properties checked here but would complicate
+    the refinement to the VS specification (a lost forwarded message would
+    have to disappear from the abstract [pending] queue, which the Figure 1
+    automaton does not allow).  Crashes are modelled as permanent
+    partitions. *)
+
+module Make (M : Prelude.Msg_intf.S) : sig
+  type packet = M.t Packet.t
+
+  type state = {
+    channels : packet Prelude.Seqs.t Prelude.Pg_map.t;
+        (** FIFO channel keyed by (src, dst) *)
+    blocked : (Prelude.Proc.t * Prelude.Proc.t) list;
+        (** ordered pairs currently separated *)
+  }
+
+  val initial : state
+
+  (** [connected s p q]: may a packet flow from [p] to [q] right now? *)
+  val connected : state -> Prelude.Proc.t -> Prelude.Proc.t -> bool
+
+  (** [send s ~src ~dst pkt]: enqueue (always possible). *)
+  val send : state -> src:Prelude.Proc.t -> dst:Prelude.Proc.t -> packet -> state
+
+  (** Head of the (src, dst) channel, if any. *)
+  val head : state -> src:Prelude.Proc.t -> dst:Prelude.Proc.t -> packet option
+
+  (** [deliverable s ~src ~dst]: head exists and the pair is connected. *)
+  val deliverable : state -> src:Prelude.Proc.t -> dst:Prelude.Proc.t -> packet option
+
+  (** Remove the head (the delivery effect).  Raises if empty. *)
+  val pop : state -> src:Prelude.Proc.t -> dst:Prelude.Proc.t -> state
+
+  (** Install a new connectivity relation from components: pairs in
+      different components are blocked. *)
+  val reconfigure : state -> Prelude.Proc.Set.t list -> state
+
+  val in_flight : state -> int
+  val equal : state -> state -> bool
+  val pp : Format.formatter -> state -> unit
+end

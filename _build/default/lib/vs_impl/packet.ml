@@ -1,0 +1,42 @@
+open Prelude
+
+type 'm t =
+  | Fwd of { gid : Gid.t; payload : 'm }
+  | Seq of { gid : Gid.t; sn : int; origin : Proc.t; payload : 'm }
+  | Ack of { gid : Gid.t; upto : int }
+  | Stable of { gid : Gid.t; upto : int }
+
+let gid = function
+  | Fwd { gid; _ } | Seq { gid; _ } | Ack { gid; _ } | Stable { gid; _ } -> gid
+
+let is_fwd = function Fwd _ -> true | Seq _ | Ack _ | Stable _ -> false
+
+let tag = function Fwd _ -> 0 | Seq _ -> 1 | Ack _ -> 2 | Stable _ -> 3
+
+let compare cmp a b =
+  match (a, b) with
+  | Fwd x, Fwd y -> (
+      match Gid.compare x.gid y.gid with 0 -> cmp x.payload y.payload | c -> c)
+  | Seq x, Seq y -> (
+      match Gid.compare x.gid y.gid with
+      | 0 -> (
+          match Int.compare x.sn y.sn with
+          | 0 -> (
+              match Proc.compare x.origin y.origin with
+              | 0 -> cmp x.payload y.payload
+              | c -> c)
+          | c -> c)
+      | c -> c)
+  | Ack x, Ack y -> (
+      match Gid.compare x.gid y.gid with 0 -> Int.compare x.upto y.upto | c -> c)
+  | Stable x, Stable y -> (
+      match Gid.compare x.gid y.gid with 0 -> Int.compare x.upto y.upto | c -> c)
+  | a, b -> Int.compare (tag a) (tag b)
+
+let pp pp_m ppf = function
+  | Fwd { gid; payload } -> Format.fprintf ppf "fwd[%a](%a)" Gid.pp gid pp_m payload
+  | Seq { gid; sn; origin; payload } ->
+      Format.fprintf ppf "seq[%a]#%d(%a from %a)" Gid.pp gid sn pp_m payload
+        Proc.pp origin
+  | Ack { gid; upto } -> Format.fprintf ppf "ack[%a]≤%d" Gid.pp gid upto
+  | Stable { gid; upto } -> Format.fprintf ppf "stable[%a]≤%d" Gid.pp gid upto

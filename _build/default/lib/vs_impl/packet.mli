@@ -1,0 +1,28 @@
+(** Wire packets of the VS engine (see {!Engine}).
+
+    Within each view, total order is provided by a sequencer (the view's
+    least-id member): senders forward payloads ([Fwd]), the sequencer
+    assigns sequence numbers and rebroadcasts ([Seq]), receivers acknowledge
+    cumulative delivery ([Ack]), and the sequencer announces the stable —
+    everywhere-delivered — prefix ([Stable]), which drives safe
+    indications.  Every packet names its view, so packets of superseded
+    views are processed into that view's (frozen) per-view state and can
+    never leak across views. *)
+
+type 'm t =
+  | Fwd of { gid : Prelude.Gid.t; payload : 'm }
+  | Seq of {
+      gid : Prelude.Gid.t;
+      sn : int;  (** 1-based position in the view's order *)
+      origin : Prelude.Proc.t;
+      payload : 'm;
+    }
+  | Ack of { gid : Prelude.Gid.t; upto : int }  (** cumulative *)
+  | Stable of { gid : Prelude.Gid.t; upto : int }  (** cumulative *)
+
+val gid : 'm t -> Prelude.Gid.t
+val is_fwd : 'm t -> bool
+val compare : ('m -> 'm -> int) -> 'm t -> 'm t -> int
+
+val pp :
+  (Format.formatter -> 'm -> unit) -> Format.formatter -> 'm t -> unit

@@ -1,0 +1,303 @@
+open Prelude
+
+module Make (M : Msg_intf.S) = struct
+  module E = Engine.Make (M)
+  module N = Net.Make (M)
+
+  type packet = M.t Packet.t
+
+  type state = {
+    net : N.state;
+    daemon : Daemon.t;
+    engines : E.state Proc.Map.t;
+    p0 : Proc.Set.t;
+  }
+
+  type action =
+    | Gpsnd of Proc.t * M.t
+    | Newview of View.t * Proc.t
+    | Gprcv of { src : Proc.t; dst : Proc.t; msg : M.t }
+    | Safe of { src : Proc.t; dst : Proc.t; msg : M.t }
+    | Createview of View.t
+    | Reconfigure of Proc.Set.t list
+    | Send of { src : Proc.t; dst : Proc.t; pkt : packet }
+    | Deliver of { src : Proc.t; dst : Proc.t; pkt : packet }
+
+  let initial ~universe ~p0 =
+    let engines =
+      List.fold_left
+        (fun acc p -> Proc.Map.add p (E.initial ~p0 p) acc)
+        Proc.Map.empty
+        (List.init universe Fun.id)
+    in
+    { net = N.initial; daemon = Daemon.initial ~p0; engines; p0 }
+
+  let engine s p =
+    match Proc.Map.find_opt p s.engines with
+    | Some e -> e
+    | None -> invalid_arg "Stack.engine: unknown process"
+
+  let with_engine s p f = { s with engines = Proc.Map.add p (f (engine s p)) s.engines }
+
+  let pkt_equal a b = Packet.compare M.compare a b = 0
+
+  (* Whether engine [src] currently offers exactly this send. *)
+  let send_offered e ~dst pkt =
+    let same (d, p) = Proc.equal d dst && pkt_equal p pkt in
+    match pkt with
+    | Packet.Fwd _ -> ( match E.fwd_send e with Some dp -> same dp | None -> false)
+    | Packet.Seq _ -> List.exists same (E.bcast_sends e)
+    | Packet.Ack _ -> List.exists same (E.ack_sends e)
+    | Packet.Stable _ -> List.exists same (E.stable_sends e)
+
+  let valid_components comps =
+    List.for_all (fun c -> not (Proc.Set.is_empty c)) comps
+    &&
+    let total = List.fold_left (fun n c -> n + Proc.Set.cardinal c) 0 comps in
+    let union = List.fold_left Proc.Set.union Proc.Set.empty comps in
+    total = Proc.Set.cardinal union
+
+  let enabled s = function
+    | Gpsnd (_, _) -> true
+    | Newview (v, p) ->
+        View.Set.mem v (Daemon.created ~p0:s.p0 s.daemon)
+        && Daemon.can_notify s.daemon v p
+    | Gprcv { src; dst; msg } -> (
+        match E.deliverable (engine s dst) with
+        | Some (origin, m) -> Proc.equal origin src && M.equal m msg
+        | None -> false)
+    | Safe { src; dst; msg } -> (
+        match E.safe_ready (engine s dst) with
+        | Some (origin, m) -> Proc.equal origin src && M.equal m msg
+        | None -> false)
+    | Createview v -> (
+        match Daemon.create s.daemon (View.set v) with
+        | Some (_, v') -> View.equal v v'
+        | None -> false)
+    | Reconfigure comps -> valid_components comps
+    | Send { src; dst; pkt } -> send_offered (engine s src) ~dst pkt
+    | Deliver { src; dst; pkt } -> (
+        match N.deliverable s.net ~src ~dst with
+        | Some head -> pkt_equal head pkt
+        | None -> false)
+
+  let step s = function
+    | Gpsnd (p, m) -> with_engine s p (fun e -> E.on_gpsnd e m)
+    | Newview (v, p) ->
+        let s = { s with daemon = Daemon.notify s.daemon v p } in
+        with_engine s p (fun e -> E.on_newview e v)
+    | Gprcv { dst; _ } -> with_engine s dst E.delivered
+    | Safe { dst; _ } -> with_engine s dst E.safed
+    | Createview v -> (
+        match Daemon.create s.daemon (View.set v) with
+        | Some (daemon, _) -> { s with daemon }
+        | None -> s)
+    | Reconfigure comps ->
+        {
+          s with
+          net = N.reconfigure s.net comps;
+          daemon = Daemon.reconfigure s.daemon comps;
+        }
+    | Send { src; dst; pkt } ->
+        let s =
+          with_engine s src (fun e ->
+              match pkt with
+              | Packet.Fwd _ -> E.sent_fwd e
+              | Packet.Seq { gid; _ } -> E.sent_bcast e ~dst ~gid
+              | Packet.Ack { gid; upto } -> E.sent_ack e ~gid ~upto
+              | Packet.Stable { gid; upto } -> E.sent_stable e ~dst ~gid ~upto)
+        in
+        { s with net = N.send s.net ~src ~dst pkt }
+    | Deliver { src; dst; pkt } ->
+        let s = { s with net = N.pop s.net ~src ~dst } in
+        with_engine s dst (fun e -> E.on_packet e ~src pkt)
+
+  let is_external = function
+    | Gpsnd _ | Newview _ | Gprcv _ | Safe _ -> true
+    | Createview _ | Reconfigure _ | Send _ | Deliver _ -> false
+
+  let equal_state a b =
+    N.equal a.net b.net
+    && Daemon.equal a.daemon b.daemon
+    && Proc.Map.equal E.equal a.engines b.engines
+    && Proc.Set.equal a.p0 b.p0
+
+  let pp_state ppf s =
+    Format.fprintf ppf "@[<v>%a@ %a@ %a@]" N.pp s.net Daemon.pp s.daemon
+      (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf (_, e) ->
+           E.pp ppf e))
+      (Proc.Map.bindings s.engines)
+
+  let pp_action ppf = function
+    | Gpsnd (p, m) -> Format.fprintf ppf "vs-gpsnd(%a)_%a" M.pp m Proc.pp p
+    | Newview (v, p) -> Format.fprintf ppf "vs-newview(%a)_%a" View.pp v Proc.pp p
+    | Gprcv { src; dst; msg } ->
+        Format.fprintf ppf "vs-gprcv(%a)_%a,%a" M.pp msg Proc.pp src Proc.pp dst
+    | Safe { src; dst; msg } ->
+        Format.fprintf ppf "vs-safe(%a)_%a,%a" M.pp msg Proc.pp src Proc.pp dst
+    | Createview v -> Format.fprintf ppf "[createview(%a)]" View.pp v
+    | Reconfigure comps ->
+        Format.fprintf ppf "[reconfigure(%d components)]" (List.length comps)
+    | Send { src; dst; pkt } ->
+        Format.fprintf ppf "[send %a→%a: %a]" Proc.pp src Proc.pp dst
+          (Packet.pp M.pp) pkt
+    | Deliver { src; dst; pkt } ->
+        Format.fprintf ppf "[deliver %a→%a: %a]" Proc.pp src Proc.pp dst
+          (Packet.pp M.pp) pkt
+
+  (* ---------------------------------------------------------------- *)
+  (* Generation                                                        *)
+  (* ---------------------------------------------------------------- *)
+
+  type config = {
+    universe : int;
+    p0 : Proc.Set.t;
+    payloads : M.t list;
+    max_views : int;
+    max_sends : int;
+  }
+
+  let default_config ~payloads ~universe =
+    {
+      universe;
+      p0 = Proc.Set.universe universe;
+      payloads;
+      max_views = 4;
+      max_sends = 16;
+    }
+
+  (* Pace view creation on full notification of the latest issued view. *)
+  let latest_settled s =
+    match View.Set.max_id s.daemon.Daemon.issued with
+    | None -> true
+    | Some v ->
+        Proc.Set.for_all
+          (fun p -> not (Daemon.can_notify s.daemon v p))
+          (View.set v)
+
+  let candidates cfg rng_views rng s =
+    let procs = List.init cfg.universe Fun.id in
+    let split_proposal () =
+      let alive = Proc.Set.elements cfg.p0 in
+      let left = List.filter (fun _ -> Random.State.bool rng_views) alive in
+      let right = List.filter (fun p -> not (List.mem p left)) alive in
+      match (left, right) with
+      | [], _ | _, [] -> []
+      | _ -> [ Reconfigure [ Proc.Set.of_list left; Proc.Set.of_list right ] ]
+    in
+    let merge_proposal () =
+      if s.net.N.blocked <> [] then [ Reconfigure [ cfg.p0 ] ] else []
+    in
+    (* connectivity and view changes are rare relative to message flow *)
+    let reconfigs =
+      if Random.State.int rng_views 10 <> 0 then []
+      else if s.net.N.blocked <> [] then merge_proposal ()
+      else split_proposal ()
+    in
+    let createviews =
+      if
+        View.Set.cardinal s.daemon.Daemon.issued >= cfg.max_views
+        || (not (latest_settled s))
+        || Random.State.int rng_views 6 <> 0
+      then []
+      else
+        List.filter_map
+          (fun c ->
+            match Daemon.create s.daemon c with
+            | Some (_, v) -> Some (Createview v)
+            | None -> None)
+          s.daemon.Daemon.components
+    in
+    let newviews =
+      View.Set.fold
+        (fun v acc ->
+          Proc.Set.fold
+            (fun p acc ->
+              if Daemon.can_notify s.daemon v p then Newview (v, p) :: acc
+              else acc)
+            (View.set v) acc)
+        s.daemon.Daemon.issued []
+    in
+    let total_client =
+      Proc.Map.fold
+        (fun _ e acc ->
+          acc
+          + Gid.Map.fold (fun _ q n -> n + Seqs.length q) e.E.outq 0
+          + Gid.Map.fold (fun _ q n -> n + Seqs.length q) e.E.seq_log 0)
+        s.engines 0
+    in
+    let gpsnds =
+      if total_client >= cfg.max_sends || cfg.payloads = [] then []
+      else begin
+        let m =
+          List.nth cfg.payloads (Random.State.int rng (List.length cfg.payloads))
+        in
+        List.map (fun p -> Gpsnd (p, m)) procs
+      end
+    in
+    let engine_sends =
+      List.concat_map
+        (fun p ->
+          let e = engine s p in
+          let fwd =
+            match E.fwd_send e with
+            | Some (dst, pkt) -> [ Send { src = p; dst; pkt } ]
+            | None -> []
+          in
+          let others =
+            List.map
+              (fun (dst, pkt) -> Send { src = p; dst; pkt })
+              (E.bcast_sends e @ E.ack_sends e @ E.stable_sends e)
+          in
+          fwd @ others)
+        procs
+    in
+    let delivers =
+      Pg_map.fold
+        (fun (src, dst) _ acc ->
+          match N.deliverable s.net ~src ~dst with
+          | Some pkt -> Deliver { src; dst; pkt } :: acc
+          | None -> acc)
+        s.net.N.channels []
+    in
+    let outputs =
+      List.concat_map
+        (fun p ->
+          let e = engine s p in
+          let rcv =
+            match E.deliverable e with
+            | Some (src, msg) -> [ Gprcv { src; dst = p; msg } ]
+            | None -> []
+          in
+          let safe =
+            match E.safe_ready e with
+            | Some (src, msg) -> [ Safe { src; dst = p; msg } ]
+            | None -> []
+          in
+          rcv @ safe)
+        procs
+    in
+    let base =
+      reconfigs @ createviews @ newviews @ gpsnds @ engine_sends @ delivers
+      @ outputs
+    in
+    (* never quiesce merely because the rng withheld a proposal: if nothing
+       else is possible, heal the partition so blocked traffic can flow *)
+    if base = [] then merge_proposal () else base
+
+  let generative cfg ~rng_views =
+    (module struct
+      type nonrec state = state
+      type nonrec action = action
+
+      let equal_state = equal_state
+      let pp_state = pp_state
+      let pp_action = pp_action
+      let enabled = enabled
+      let step = step
+      let is_external = is_external
+      let candidates rng s = candidates cfg rng_views rng s
+    end : Ioa.Automaton.GENERATIVE
+      with type state = state
+       and type action = action)
+end

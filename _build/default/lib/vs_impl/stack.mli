@@ -1,0 +1,59 @@
+(** VS-IMPL: the composed VS engine — one {!Engine} per process, the
+    {!Daemon} membership oracle and the {!Net} transport — with exactly the
+    VS interface as its external actions ([vs-gpsnd], [vs-newview],
+    [vs-gprcv], [vs-safe]).  {!Stack_refinement} proves (per execution, via
+    the mechanized checker) that it implements the Figure 1 specification.
+
+    Connectivity changes ([Reconfigure]) and view decisions ([Createview])
+    are internal: like the specification's own [vs-createview], they resolve
+    nondeterminism rather than interact with clients. *)
+
+module Make (M : Prelude.Msg_intf.S) : sig
+  module E : module type of Engine.Make (M)
+  module N : module type of Net.Make (M)
+
+  type packet = M.t Packet.t
+
+  type state = {
+    net : N.state;
+    daemon : Daemon.t;
+    engines : E.state Prelude.Proc.Map.t;
+    p0 : Prelude.Proc.Set.t;  (** static: the initial membership *)
+  }
+
+  type action =
+    | Gpsnd of Prelude.Proc.t * M.t  (** external input *)
+    | Newview of Prelude.View.t * Prelude.Proc.t  (** external output *)
+    | Gprcv of { src : Prelude.Proc.t; dst : Prelude.Proc.t; msg : M.t }
+        (** external output at [dst] *)
+    | Safe of { src : Prelude.Proc.t; dst : Prelude.Proc.t; msg : M.t }
+        (** external output at [dst] *)
+    | Createview of Prelude.View.t  (** internal: daemon decision *)
+    | Reconfigure of Prelude.Proc.Set.t list  (** internal: connectivity *)
+    | Send of { src : Prelude.Proc.t; dst : Prelude.Proc.t; pkt : packet }
+        (** internal: engine → net *)
+    | Deliver of { src : Prelude.Proc.t; dst : Prelude.Proc.t; pkt : packet }
+        (** internal: net → engine *)
+
+  val initial : universe:int -> p0:Prelude.Proc.Set.t -> state
+  val engine : state -> Prelude.Proc.t -> E.state
+
+  include Ioa.Automaton.S with type state := state and type action := action
+
+  (** {2 Generation} *)
+
+  type config = {
+    universe : int;
+    p0 : Prelude.Proc.Set.t;
+    payloads : M.t list;
+    max_views : int;
+    max_sends : int;
+  }
+
+  val default_config : payloads:M.t list -> universe:int -> config
+
+  val generative :
+    config ->
+    rng_views:Random.State.t ->
+    (module Ioa.Automaton.GENERATIVE with type state = state and type action = action)
+end

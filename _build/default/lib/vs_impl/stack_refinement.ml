@@ -1,0 +1,143 @@
+open Prelude
+
+module Make (M : Msg_intf.S) = struct
+  module Impl = Stack.Make (M)
+  module Spec = Vs.Vs_spec.Make (M)
+  module E = Impl.E
+  module N = Impl.N
+
+  let view_of_gid (s : Impl.state) g =
+    View.Set.fold
+      (fun v acc -> if Gid.equal (View.id v) g then Some v else acc)
+      (Daemon.created ~p0:s.Impl.p0 s.Impl.daemon)
+      None
+
+  (* The in-flight Fwd payloads from [p] for view [g], oldest first: the
+     g-subsequence of the (p → sequencer g) channel. *)
+  let inflight_fwds (s : Impl.state) p g =
+    match view_of_gid s g with
+    | None -> Seqs.empty
+    | Some v ->
+        let chan =
+          Pg_map.find_or ~default:Seqs.empty (p, E.sequencer v)
+            s.Impl.net.N.channels
+        in
+        Seqs.fold_left
+          (fun acc pkt ->
+            match pkt with
+            | Packet.Fwd { gid; payload } when Gid.equal gid g ->
+                Seqs.append acc payload
+            | _ -> acc)
+          Seqs.empty chan
+
+  let abstraction (s : Impl.state) : Spec.state =
+    let created = Daemon.created ~p0:s.Impl.p0 s.Impl.daemon in
+    let current_viewid =
+      Proc.Map.fold
+        (fun p e acc ->
+          match e.E.cur with
+          | None -> acc
+          | Some v -> Proc.Map.add p (Gid.Bot.of_gid (View.id v)) acc)
+        s.Impl.engines Proc.Map.empty
+    in
+    (* queue[g] = sequencer's log *)
+    let queue =
+      View.Set.fold
+        (fun v acc ->
+          let g = View.id v in
+          match Proc.Map.find_opt (E.sequencer v) s.Impl.engines with
+          | None -> acc
+          | Some seq_engine ->
+              let log = E.seq_log_of seq_engine g in
+              if Seqs.is_empty log then acc else Gid.Map.add g log acc)
+        created Gid.Map.empty
+    in
+    (* pending[p,g] = in-flight Fwds ++ outq *)
+    let pending =
+      Proc.Map.fold
+        (fun p e acc ->
+          View.Set.fold
+            (fun v acc ->
+              let g = View.id v in
+              let seq = Seqs.concat (inflight_fwds s p g) (E.outq_of e g) in
+              if Seqs.is_empty seq then acc else Pg_map.add (p, g) seq acc)
+            created acc)
+        s.Impl.engines Pg_map.empty
+    in
+    let next, next_safe =
+      Proc.Map.fold
+        (fun p e (next, next_safe) ->
+          let next =
+            Gid.Map.fold
+              (fun g n acc -> if n > 1 then Pg_map.add (p, g) n acc else acc)
+              e.E.next_deliver next
+          in
+          let next_safe =
+            Gid.Map.fold
+              (fun g n acc -> if n > 1 then Pg_map.add (p, g) n acc else acc)
+              e.E.next_safe next_safe
+          in
+          (next, next_safe))
+        s.Impl.engines (Pg_map.empty, Pg_map.empty)
+    in
+    { Spec.created; current_viewid; queue; pending; next; next_safe }
+
+  let match_step (pre : Impl.state) (action : Impl.action) (_post : Impl.state)
+      : Spec.action list =
+    match action with
+    | Impl.Gpsnd (p, m) -> [ Spec.Gpsnd (p, m) ]
+    | Impl.Newview (v, p) -> [ Spec.Newview (v, p) ]
+    | Impl.Createview v -> [ Spec.Createview v ]
+    | Impl.Gprcv { src; dst; msg } -> (
+        match (Impl.engine pre dst).E.cur with
+        | None -> []
+        | Some v -> [ Spec.Gprcv { src; dst; msg; gid = View.id v } ])
+    | Impl.Safe { src; dst; msg } -> (
+        match (Impl.engine pre dst).E.cur with
+        | None -> []
+        | Some v -> [ Spec.Safe { src; dst; msg; gid = View.id v } ])
+    | Impl.Deliver { src; pkt = Packet.Fwd { gid; payload }; _ } ->
+        [ Spec.Order (payload, src, gid) ]
+    | Impl.Deliver { pkt = Packet.Seq _ | Packet.Ack _ | Packet.Stable _; _ }
+    | Impl.Send _ | Impl.Reconfigure _ ->
+        []
+
+  let impl_label = function
+    | Impl.Gpsnd (p, m) -> Some (Format.asprintf "vs-gpsnd(%a)_%a" M.pp m Proc.pp p)
+    | Impl.Newview (v, p) ->
+        Some (Format.asprintf "vs-newview(%a)_%a" View.pp v Proc.pp p)
+    | Impl.Gprcv { src; dst; msg } ->
+        Some (Format.asprintf "vs-gprcv(%a)_%a,%a" M.pp msg Proc.pp src Proc.pp dst)
+    | Impl.Safe { src; dst; msg } ->
+        Some (Format.asprintf "vs-safe(%a)_%a,%a" M.pp msg Proc.pp src Proc.pp dst)
+    | Impl.Createview _ | Impl.Reconfigure _ | Impl.Send _ | Impl.Deliver _ ->
+        None
+
+  let spec_label = function
+    | Spec.Gpsnd (p, m) -> Some (Format.asprintf "vs-gpsnd(%a)_%a" M.pp m Proc.pp p)
+    | Spec.Newview (v, p) ->
+        Some (Format.asprintf "vs-newview(%a)_%a" View.pp v Proc.pp p)
+    | Spec.Gprcv { src; dst; msg; gid = _ } ->
+        Some (Format.asprintf "vs-gprcv(%a)_%a,%a" M.pp msg Proc.pp src Proc.pp dst)
+    | Spec.Safe { src; dst; msg; gid = _ } ->
+        Some (Format.asprintf "vs-safe(%a)_%a,%a" M.pp msg Proc.pp src Proc.pp dst)
+    | Spec.Createview _ | Spec.Order _ -> None
+
+  let refinement () =
+    {
+      Ioa.Refinement.name = "VS engine ⊑ VS (Figure 1)";
+      abstraction;
+      match_step;
+      impl_label;
+      spec_label;
+    }
+
+  let spec_automaton =
+    (module Spec : Ioa.Automaton.S
+      with type state = Spec.state
+       and type action = Spec.action)
+
+  let check ~p0 exec =
+    Ioa.Refinement.check_execution spec_automaton ~spec_initial:(Spec.initial p0)
+      (refinement ()) exec
+end

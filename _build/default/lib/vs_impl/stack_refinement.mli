@@ -1,0 +1,33 @@
+(** The refinement from the VS engine ({!Stack}) to the VS specification
+    (Figure 1), in the same mechanized step-correspondence style as
+    {!Dvs_impl.Refinement_f}:
+
+    - [created] is the daemon's issued views (plus [v0]);
+    - [current-viewid[p]] is engine [p]'s current view;
+    - [pending[p, g]] is the in-flight [Fwd] traffic from [p] to [g]'s
+      sequencer followed by [p]'s unforwarded queue for [g];
+    - [queue[g]] is the sequencer's log for [g];
+    - [next]/[next-safe] are the engines' per-view delivery pointers.
+
+    Unlike the DVS-SAFE case of Theorem 5.9, the safe path here is exact on
+    *all* schedules: acknowledgements are sent only after the service's own
+    [vs-gprcv] outputs, so a [Stable] bound really does certify that every
+    member's abstract [next] pointer has passed the position. *)
+
+module Make (M : Prelude.Msg_intf.S) : sig
+  module Impl : module type of Stack.Make (M)
+  module Spec : module type of Vs.Vs_spec.Make (M)
+
+  val abstraction : Impl.state -> Spec.state
+  val match_step : Impl.state -> Impl.action -> Impl.state -> Spec.action list
+  val impl_label : Impl.action -> string option
+  val spec_label : Spec.action -> string option
+
+  val refinement :
+    unit -> (Impl.state, Impl.action, Spec.state, Spec.action) Ioa.Refinement.t
+
+  val check :
+    p0:Prelude.Proc.Set.t ->
+    (Impl.state, Impl.action) Ioa.Exec.t ->
+    (unit, Ioa.Refinement.failure) result
+end

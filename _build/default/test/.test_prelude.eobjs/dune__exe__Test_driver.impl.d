@@ -1,0 +1,1 @@
+test/test_driver.ml: Alcotest Dvs_impl Gid Hashtbl Ioa List Msg_intf Option Prelude Printf Proc Seqs To_broadcast View

@@ -1,0 +1,1 @@
+test/test_dvs.ml: Alcotest Check Core Format Gid Ioa Msg_intf Prelude Proc Random View

@@ -1,0 +1,1 @@
+test/test_dvs_impl.ml: Alcotest Dvs_impl Ioa List Msg_intf Pg_map Prelude Proc Random Seqs View

@@ -1,0 +1,1 @@
+test/test_full_system.ml: Alcotest Dvs_impl Full_system Ioa Label List Msg_intf Prelude Proc Random Seqs String To_broadcast View

@@ -1,0 +1,1 @@
+test/test_ioa.ml: Alcotest Check Format Int Ioa List Random Stats

@@ -1,0 +1,1 @@
+test/test_membership.ml: Alcotest Fun List Membership Option Prelude Proc QCheck QCheck_alcotest Random Sim View

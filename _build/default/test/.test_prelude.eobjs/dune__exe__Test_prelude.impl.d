@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Gen Gid Int Label List Prelude Proc QCheck QCheck_alcotest Seqs Summary View

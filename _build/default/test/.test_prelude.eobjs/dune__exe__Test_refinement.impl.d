@@ -1,0 +1,1 @@
+test/test_refinement.ml: Alcotest Dvs_impl Format Gid Ioa List Msg_intf Prelude Proc Random Seqs String View

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Gen List Membership Prelude Proc QCheck QCheck_alcotest Random Sim Stats

@@ -1,0 +1,1 @@
+test/test_to.ml: Alcotest Gid Hashtbl Ioa Label List Option Prelude Proc Random Seqs Stdlib String Summary To_broadcast View

@@ -1,0 +1,1 @@
+test/test_vs.ml: Alcotest Check Format Gid Ioa List Msg_intf Pg_map Prelude Proc Random Seqs String View Vs

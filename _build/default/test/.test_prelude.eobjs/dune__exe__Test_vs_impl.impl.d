@@ -1,0 +1,1 @@
+test/test_vs_impl.ml: Alcotest Gid Ioa List Msg_intf Pg_map Prelude Proc Random Seqs String View Vs Vs_impl

@@ -1,0 +1,133 @@
+(* Tests for the deterministic protocol drivers (Dvs_impl.Driver and
+   To_broadcast.To_driver).  The drivers only ever apply enabled actions, so
+   every driven run is a real execution; these tests pin their observable
+   outcomes and check that driven executions satisfy the same invariants as
+   random ones. *)
+
+open Prelude
+module Sys_ = Dvs_impl.System.Make (Msg_intf.String_msg)
+module Driver = Dvs_impl.Driver.Make (Msg_intf.String_msg)
+module Iinv = Dvs_impl.Impl_invariants.Make (Msg_intf.String_msg)
+module Node = Sys_.Node
+module TD = To_broadcast.To_driver
+module Timpl = To_broadcast.To_impl
+
+let view ids g = View.make ~id:g ~set:(Proc.Set.of_list ids)
+
+(* ------------------------------------------------------------------ *)
+(* Dvs_impl.Driver                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_broadcast_and_deliver () =
+  let p0 = Proc.Set.universe 4 in
+  let s = Sys_.initial ~universe:4 ~p0 in
+  let s, steps = Driver.broadcast_and_deliver s ~src:1 "hello" in
+  Alcotest.(check bool) "takes steps" true (steps > 0);
+  (* every member's client received it and got the safe indication *)
+  Proc.Set.iter
+    (fun p ->
+      let n = Sys_.node s p in
+      Alcotest.(check int)
+        (Printf.sprintf "client %d drained" p)
+        0
+        (Seqs.length (Node.msgs_from_vs_of n Gid.g0));
+      Alcotest.(check int)
+        (Printf.sprintf "safe %d drained" p)
+        0
+        (Seqs.length (Node.safe_from_vs_of n Gid.g0)))
+    p0
+
+let test_view_change_then_traffic () =
+  let p0 = Proc.Set.universe 4 in
+  let s = Sys_.initial ~universe:4 ~p0 in
+  let s, _ = Driver.exec_view_change s (view [ 0; 1; 2 ] 1) in
+  Alcotest.(check bool) "registered" true
+    (View.Set.mem (view [ 0; 1; 2 ] 1) (Sys_.tot_reg s));
+  (* traffic flows in the new view *)
+  let s, _ = Driver.broadcast_and_deliver s ~src:0 "post-change" in
+  (match Ioa.Invariant.check_states Iinv.all [ s ] with
+  | Ok () -> ()
+  | Error v -> Alcotest.failf "%a" (Ioa.Invariant.pp_violation Sys_.pp_state) v);
+  (* the outsider (p3) never saw the message: its buffers for view 1 are
+     empty and its client view is still g0 *)
+  let n3 = Sys_.node s 3 in
+  Alcotest.(check bool) "outsider stayed behind" true
+    (Gid.Bot.equal (Node.client_cur_id n3) (Gid.Bot.of_gid Gid.g0))
+
+let test_attempt_refuses_minority () =
+  let p0 = Proc.Set.universe 5 in
+  let s = Sys_.initial ~universe:5 ~p0 in
+  Alcotest.(check bool) "minority refused" true
+    (Driver.attempt_view_change s (view [ 0; 1 ] 1) = None);
+  Alcotest.check_raises "exec raises on refusal"
+    (Failure "Driver: view ⟨g1,{p0,p1}⟩ not admitted as primary") (fun () ->
+      ignore (Driver.exec_view_change s (view [ 0; 1 ] 1)))
+
+let test_drain_idempotent () =
+  let p0 = Proc.Set.universe 3 in
+  let s = Sys_.initial ~universe:3 ~p0 in
+  let s, _ = Driver.broadcast_and_deliver s ~src:0 "x" in
+  let s', k = Driver.drain s in
+  Alcotest.(check int) "nothing left to drain" 0 k;
+  Alcotest.(check bool) "state unchanged" true (Sys_.equal_state s s')
+
+(* ------------------------------------------------------------------ *)
+(* To_broadcast.To_driver                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_to_driver_delivery_order () =
+  let p0 = Proc.Set.universe 3 in
+  let s = Timpl.initial ~universe:3 ~p0 in
+  let s = TD.bcast s 0 "first" in
+  let s = TD.bcast s 1 "second" in
+  let _, ds, _ = TD.drain s in
+  (* each client receives both messages, in one common order *)
+  let per_dst = Hashtbl.create 4 in
+  List.iter
+    (fun d ->
+      Hashtbl.replace per_dst d.TD.dst
+        (d.TD.payload :: Option.value ~default:[] (Hashtbl.find_opt per_dst d.TD.dst)))
+    ds;
+  Alcotest.(check int) "three clients" 3 (Hashtbl.length per_dst);
+  let orders =
+    Hashtbl.fold (fun _ l acc -> List.rev l :: acc) per_dst []
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check int) "single common order" 1 (List.length orders);
+  Alcotest.(check int) "both delivered" 2 (List.length (List.hd orders))
+
+let test_to_driver_view_change_recovers () =
+  let p0 = Proc.Set.universe 3 in
+  let s = Timpl.initial ~universe:3 ~p0 in
+  let s = TD.bcast s 2 "survivor" in
+  let s, d1, _ = TD.drain s in
+  Alcotest.(check int) "delivered to all three" 3 (List.length d1);
+  let s, d2, steps = TD.view_change s (view [ 0; 1 ] 1) in
+  Alcotest.(check bool) "view change costs steps" true (steps > 0);
+  Alcotest.(check (list string)) "no duplicate deliveries on recovery" []
+    (List.map (fun d -> d.TD.payload) d2);
+  (* both survivors established the new view *)
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "p%d established" p)
+        true
+        (To_broadcast.Dvs_to_to.established_in (Timpl.node s p) 1))
+    [ 0; 1 ]
+
+let () =
+  Alcotest.run "drivers"
+    [
+      ( "dvs-impl-driver",
+        [
+          Alcotest.test_case "broadcast and deliver" `Quick test_broadcast_and_deliver;
+          Alcotest.test_case "view change then traffic" `Quick test_view_change_then_traffic;
+          Alcotest.test_case "minority refused" `Quick test_attempt_refuses_minority;
+          Alcotest.test_case "drain idempotent" `Quick test_drain_idempotent;
+        ] );
+      ( "to-driver",
+        [
+          Alcotest.test_case "common delivery order" `Quick test_to_driver_delivery_order;
+          Alcotest.test_case "view change recovers" `Quick test_to_driver_view_change_recovers;
+        ] );
+    ]

@@ -1,0 +1,219 @@
+(* Tests for the DVS specification automaton (Figure 2) and its invariants
+   4.1 / 4.2 — experiment E2.
+
+   Scenario tests exercise the dynamic-primary creation rule; randomized
+   executions check the invariants; "mutation" tests bypass the createview
+   precondition and confirm the invariants detect the damage (the checks
+   discriminate). *)
+
+open Prelude
+module Gen = Core.Dvs_gen.Make (Msg_intf.String_msg)
+module Inv = Core.Dvs_invariants.Make (Msg_intf.String_msg)
+module Spec = Gen.Spec
+
+let p0 = Proc.Set.of_list [ 0; 1; 2; 3; 4 ]
+let mk id l = View.make ~id ~set:(Proc.Set.of_list l)
+
+let run_action s a =
+  Alcotest.(check bool)
+    (Format.asprintf "enabled: %a" Spec.pp_action a)
+    true (Spec.enabled s a);
+  Spec.step s a
+
+(* ------------------------------------------------------------------ *)
+(* The dynamic createview rule                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_createview_requires_intersection () =
+  let s = Spec.initial p0 in
+  (* disjoint from v0, no totally registered view between: rejected *)
+  Alcotest.(check bool) "disjoint rejected" false
+    (Spec.enabled s (Spec.Createview (mk 1 [ 5; 6 ])));
+  (* intersecting: accepted *)
+  Alcotest.(check bool) "intersecting accepted" true
+    (Spec.enabled s (Spec.Createview (mk 1 [ 0; 5; 6 ])))
+
+let test_createview_out_of_order () =
+  (* DVS allows out-of-order creation as long as ids are distinct and the
+     intersection condition holds *)
+  let s = Spec.initial p0 in
+  let s = run_action s (Spec.Createview (mk 5 [ 0; 1; 2 ])) in
+  Alcotest.(check bool) "intervening id ok" true
+    (Spec.enabled s (Spec.Createview (mk 3 [ 1; 2; 3 ])));
+  Alcotest.(check bool) "duplicate id rejected" false
+    (Spec.enabled s (Spec.Createview (mk 5 [ 0; 1 ])))
+
+let register_all s v =
+  Proc.Set.fold
+    (fun p s ->
+      let s = Spec.step s (Spec.Newview (v, p)) in
+      Spec.step s (Spec.Register p))
+    (View.set v) s
+
+let test_total_registration_unlocks_disjoint_views () =
+  (* Once a later view is totally registered, createview no longer requires
+     intersection with views older than it — the heart of "dynamic". *)
+  let s = Spec.initial p0 in
+  let v1 = mk 1 [ 0; 1; 2 ] in
+  let s = run_action s (Spec.Createview v1) in
+  let s = register_all s v1 in
+  Alcotest.(check bool) "v1 totally registered" true
+    (View.Set.mem v1 (Spec.tot_reg s));
+  (* a view disjoint from v0 but intersecting v1: accepted, because v1
+     (totally registered) separates it from v0 *)
+  Alcotest.(check bool) "disjoint-from-v0 accepted after totreg v1" true
+    (Spec.enabled s (Spec.Createview (mk 2 [ 1; 2 ])));
+  (* still must intersect v1 itself *)
+  Alcotest.(check bool) "disjoint-from-v1 rejected" false
+    (Spec.enabled s (Spec.Createview (mk 2 [ 3; 4 ])))
+
+let test_register_requires_current_view () =
+  let s = Spec.initial p0 in
+  (* an outsider registering is a no-op *)
+  let s' = run_action s (Spec.Register 9) in
+  Alcotest.(check bool) "no-op" true (Spec.equal_state s s')
+
+let test_newview_in_order_per_process () =
+  let s = Spec.initial p0 in
+  let v1 = mk 1 [ 0; 1 ] and v2 = mk 2 [ 0; 1 ] in
+  let s = run_action s (Spec.Createview v1) in
+  let s = run_action s (Spec.Createview v2) in
+  let s = run_action s (Spec.Newview (v2, 0)) in
+  (* after seeing v2, process 0 can never be told about v1 *)
+  Alcotest.(check bool) "regression rejected" false
+    (Spec.enabled s (Spec.Newview (v1, 0)));
+  (* but process 1 may still see v1 first *)
+  Alcotest.(check bool) "other process free" true (Spec.enabled s (Spec.Newview (v1, 1)))
+
+(* ------------------------------------------------------------------ *)
+(* Invariants on random executions                                     *)
+(* ------------------------------------------------------------------ *)
+
+let make_exec ~seed ~steps ~universe =
+  let rng = Random.State.make [| seed |] in
+  let rng_views = Random.State.make [| seed + 1000 |] in
+  let cfg = Gen.default_config ~payloads:[ "x"; "y" ] ~universe in
+  let gen = Gen.generative cfg ~rng_views in
+  let init = Spec.initial (Proc.Set.universe universe) in
+  fst (Ioa.Exec.run gen ~rng ~steps ~init)
+
+let test_random_invariants () =
+  for seed = 1 to 30 do
+    let exec = make_exec ~seed ~steps:300 ~universe:5 in
+    match Ioa.Invariant.check_execution Inv.all exec with
+    | Ok () -> ()
+    | Error v ->
+        Alcotest.failf "seed %d: %a" seed
+          (Ioa.Invariant.pp_violation Spec.pp_state)
+          v
+  done
+
+let test_random_views_created () =
+  (* sanity: the generator actually creates and registers views, otherwise
+     the invariant checks above are vacuous *)
+  let exec = make_exec ~seed:7 ~steps:500 ~universe:5 in
+  let final = Ioa.Exec.last exec in
+  Alcotest.(check bool) "several views" true (View.Set.cardinal final.Spec.created >= 2);
+  Alcotest.(check bool) "some later view totally registered" true
+    (View.Set.exists
+       (fun v -> Gid.gt (View.id v) Gid.g0)
+       (Spec.tot_reg final))
+
+let test_exhaustive_regression () =
+  (* bounded-exhaustive exploration of a tiny instance; the state count is a
+     pinned regression value *)
+  let cfg =
+    {
+      (Gen.default_config ~payloads:[ "a" ] ~universe:2) with
+      max_views = 2;
+      max_sends = 1;
+      view_proposals = `All_subsets;
+    }
+  in
+  let gen = Gen.generative cfg ~rng_views:(Random.State.make [| 0 |]) in
+  let outcome =
+    Check.Explorer.run gen ~key:Spec.state_key ~invariants:Inv.all
+      ~init:(Spec.initial (Proc.Set.universe 2))
+      ()
+  in
+  Alcotest.(check bool) "no violation" true
+    (outcome.Check.Explorer.violation = None);
+  Alcotest.(check bool) "not truncated" false
+    outcome.Check.Explorer.stats.Check.Explorer.truncated;
+  Alcotest.(check int) "pinned reachable-state count" 364
+    outcome.Check.Explorer.stats.Check.Explorer.states
+
+(* ------------------------------------------------------------------ *)
+(* Mutations: bypassing the precondition breaks Invariant 4.1          *)
+(* ------------------------------------------------------------------ *)
+
+let test_mutation_disjoint_view_violates_4_1 () =
+  let s = Spec.initial p0 in
+  (* force a disjoint view in, bypassing [enabled] *)
+  let s = Spec.step s (Spec.Createview (mk 1 [ 5; 6 ])) in
+  Alcotest.(check bool) "4.1 violated" false (Inv.invariant_4_1.Ioa.Invariant.holds s)
+
+let test_mutation_totatt_without_retirement_violates_4_2 () =
+  (* craft: v1 = {0}, totally attempted, while v0's members all still have
+     current view v0 — 4.2 demands some member of v0 moved past it. *)
+  let s = Spec.initial p0 in
+  let v1 = mk 1 [ 0 ] in
+  let s = Spec.step s (Spec.Createview v1) in
+  (* hand-edit: mark v1 attempted by 0 without moving current-viewid *)
+  let s = { s with Spec.attempted = Gid.Map.add 1 (Proc.Set.singleton 0) s.Spec.attempted } in
+  Alcotest.(check bool) "4.2 violated" false (Inv.invariant_4_2.Ioa.Invariant.holds s);
+  (* whereas taking the real Newview step preserves it *)
+  let s' = Spec.initial p0 in
+  let s' = Spec.step s' (Spec.Createview v1) in
+  let s' = run_action s' (Spec.Newview (v1, 0)) in
+  Alcotest.(check bool) "4.2 holds on real step" true
+    (Inv.invariant_4_2.Ioa.Invariant.holds s')
+
+let test_mutation_duplicate_id_violates_uniqueness () =
+  let s = Spec.initial p0 in
+  let s = Spec.step s (Spec.Createview (mk 0 [ 0; 1 ])) in
+  Alcotest.(check bool) "uniqueness violated" false
+    (Inv.invariant_unique_ids.Ioa.Invariant.holds s)
+
+(* ------------------------------------------------------------------ *)
+(* Message plumbing matches VS                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_message_path () =
+  let s = Spec.initial p0 in
+  let s = run_action s (Spec.Gpsnd (0, "m")) in
+  let s = run_action s (Spec.Order ("m", 0, Gid.g0)) in
+  let deliver s dst = run_action s (Spec.Gprcv { src = 0; dst; msg = "m"; gid = Gid.g0 }) in
+  let s = Proc.Set.fold (fun dst s -> deliver s dst) p0 s in
+  let s = run_action s (Spec.Safe { src = 0; dst = 2; msg = "m"; gid = Gid.g0 }) in
+  Alcotest.(check int) "safe pointer" 2 (Spec.next_safe_of s 2 Gid.g0)
+
+let () =
+  Alcotest.run "dvs-spec"
+    [
+      ( "createview",
+        [
+          Alcotest.test_case "requires intersection" `Quick test_createview_requires_intersection;
+          Alcotest.test_case "out-of-order ids" `Quick test_createview_out_of_order;
+          Alcotest.test_case "total registration unlocks" `Quick
+            test_total_registration_unlocks_disjoint_views;
+          Alcotest.test_case "register needs view" `Quick test_register_requires_current_view;
+          Alcotest.test_case "newview per-process order" `Quick test_newview_in_order_per_process;
+        ] );
+      ( "random",
+        [
+          Alcotest.test_case "invariants hold" `Quick test_random_invariants;
+          Alcotest.test_case "generator not vacuous" `Quick test_random_views_created;
+          Alcotest.test_case "exhaustive regression" `Quick test_exhaustive_regression;
+        ] );
+      ( "mutations",
+        [
+          Alcotest.test_case "disjoint view breaks 4.1" `Quick
+            test_mutation_disjoint_view_violates_4_1;
+          Alcotest.test_case "unretired totatt breaks 4.2" `Quick
+            test_mutation_totatt_without_retirement_violates_4_2;
+          Alcotest.test_case "duplicate id breaks uniqueness" `Quick
+            test_mutation_duplicate_id_violates_uniqueness;
+        ] );
+      ("messages", [ Alcotest.test_case "end-to-end path" `Quick test_message_path ]);
+    ]

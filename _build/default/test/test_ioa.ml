@@ -1,0 +1,280 @@
+(* Tests for the I/O-automata toolkit itself: executions, replay, traces,
+   invariant harness, refinement checker, exhaustive explorer, and the
+   statistics helpers used by the experiment harness. *)
+
+(* A toy automaton: a counter with increment (input), decrement (output,
+   enabled when positive) and an internal reset when the counter hits a
+   threshold. *)
+module Counter = struct
+  type state = int
+  type action = Incr | Decr | Reset
+
+  let equal_state = Int.equal
+  let pp_state = Format.pp_print_int
+
+  let pp_action ppf a =
+    Format.pp_print_string ppf
+      (match a with Incr -> "incr" | Decr -> "decr" | Reset -> "reset")
+
+  let enabled s = function Incr -> s < 5 | Decr -> s > 0 | Reset -> s >= 5
+  let step s = function Incr -> s + 1 | Decr -> s - 1 | Reset -> 0
+  let is_external = function Incr | Decr -> true | Reset -> false
+  let candidates _rng _s = [ Incr; Decr; Reset ]
+end
+
+let counter = (module Counter : Ioa.Automaton.S with type state = int and type action = Counter.action)
+
+let counter_gen =
+  (module Counter : Ioa.Automaton.GENERATIVE
+    with type state = int
+     and type action = Counter.action)
+
+(* ------------------------------------------------------------------ *)
+(* Exec                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_run_respects_enabledness () =
+  let rng = Random.State.make [| 1 |] in
+  let exec, _ = Ioa.Exec.run counter_gen ~rng ~steps:200 ~init:0 in
+  Alcotest.(check int) "200 steps" 200 (Ioa.Exec.length exec);
+  ignore exec;
+  (* the invariant of the toy automaton: never negative, never above 5 *)
+  Alcotest.(check bool) "bounded" true
+    (List.for_all (fun s -> s >= 0 && s <= 5) (Ioa.Exec.states exec))
+
+let test_replay_roundtrip () =
+  let rng = Random.State.make [| 2 |] in
+  let exec, _ = Ioa.Exec.run counter_gen ~rng ~steps:100 ~init:0 in
+  match Ioa.Exec.replay counter ~init:0 (Ioa.Exec.actions exec) with
+  | Ok exec' ->
+      Alcotest.(check int) "same final" (Ioa.Exec.last exec) (Ioa.Exec.last exec')
+  | Error (i, msg) -> Alcotest.failf "replay failed at %d: %s" i msg
+
+let test_replay_rejects_disabled () =
+  match Ioa.Exec.replay counter ~init:0 [ Counter.Decr ] with
+  | Ok _ -> Alcotest.fail "decr at 0 should be rejected"
+  | Error (0, _) -> ()
+  | Error (i, _) -> Alcotest.failf "wrong index %d" i
+
+let test_trace_hides_internal () =
+  let actions = [ Counter.Incr; Incr; Incr; Incr; Incr; Reset; Incr ] in
+  match Ioa.Exec.replay counter ~init:0 actions with
+  | Error (i, msg) -> Alcotest.failf "replay failed at %d: %s" i msg
+  | Ok exec ->
+      let trace = Ioa.Exec.trace counter exec in
+      Alcotest.(check int) "reset invisible" 6 (List.length trace)
+
+(* ------------------------------------------------------------------ *)
+(* Invariant harness                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_invariant_reports_first () =
+  let inv = Ioa.Invariant.make "below 3" (fun s -> s < 3) in
+  match
+    Ioa.Exec.replay counter ~init:0 [ Counter.Incr; Incr; Incr; Incr ]
+  with
+  | Error _ -> Alcotest.fail "replay"
+  | Ok exec -> (
+      match Ioa.Invariant.check_execution [ inv ] exec with
+      | Ok () -> Alcotest.fail "should violate"
+      | Error v ->
+          Alcotest.(check int) "first violating state index" 3 v.Ioa.Invariant.index;
+          Alcotest.(check int) "state value" 3 v.Ioa.Invariant.state)
+
+(* ------------------------------------------------------------------ *)
+(* Refinement checker on a toy pair                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Spec: a counter modulo nothing (just the value).  Impl: a counter that
+   stores the value as (tens, units).  F(t, u) = 10t + u. *)
+module Spec2 = struct
+  type state = int
+  type action = Add of int
+
+  let equal_state = Int.equal
+  let pp_state = Format.pp_print_int
+  let pp_action ppf (Add k) = Format.fprintf ppf "add%d" k
+  let enabled _ (Add k) = k = 1
+  let step s (Add k) = s + k
+  let is_external _ = true
+end
+
+module Impl2 = struct
+  type state = int * int
+  type action = Bump | Carry
+
+  let equal_state (a, b) (c, d) = a = c && b = d
+  let pp_state ppf (t, u) = Format.fprintf ppf "(%d,%d)" t u
+  let pp_action ppf a =
+    Format.pp_print_string ppf (match a with Bump -> "bump" | Carry -> "carry")
+
+  let enabled (_, u) = function Bump -> u < 10 | Carry -> u >= 10
+  let step (t, u) = function Bump -> (t, u + 1) | Carry -> (t + 1, u - 10)
+  let is_external = function Bump -> true | Carry -> false
+end
+
+let refinement_ok =
+  {
+    Ioa.Refinement.name = "decimal counter";
+    abstraction = (fun (t, u) -> (10 * t) + u);
+    match_step =
+      (fun _ a _ -> match a with Impl2.Bump -> [ Spec2.Add 1 ] | Impl2.Carry -> []);
+    impl_label = (fun a -> match a with Impl2.Bump -> Some "tick" | Impl2.Carry -> None);
+    spec_label = (fun (Spec2.Add _) -> Some "tick");
+  }
+
+let spec2 =
+  (module Spec2 : Ioa.Automaton.S with type state = int and type action = Spec2.action)
+
+let test_refinement_accepts () =
+  let actions = [ Impl2.Bump; Bump; Bump; Bump; Bump; Bump; Bump; Bump; Bump; Bump; Carry; Bump ] in
+  let impl2 =
+    (module Impl2 : Ioa.Automaton.S
+      with type state = int * int
+       and type action = Impl2.action)
+  in
+  match Ioa.Exec.replay impl2 ~init:(0, 0) actions with
+  | Error _ -> Alcotest.fail "replay"
+  | Ok exec -> (
+      match
+        Ioa.Refinement.check_execution spec2 ~spec_initial:0 refinement_ok exec
+      with
+      | Ok () -> ()
+      | Error f -> Alcotest.failf "%a" Ioa.Refinement.pp_failure f)
+
+let test_refinement_catches_bad_abstraction () =
+  let broken = { refinement_ok with abstraction = (fun (t, u) -> t + u) } in
+  let impl2 =
+    (module Impl2 : Ioa.Automaton.S
+      with type state = int * int
+       and type action = Impl2.action)
+  in
+  let actions = List.init 10 (fun _ -> Impl2.Bump) @ [ Impl2.Carry ] in
+  match Ioa.Exec.replay impl2 ~init:(0, 0) actions with
+  | Error _ -> Alcotest.fail "replay"
+  | Ok exec -> (
+      match Ioa.Refinement.check_execution spec2 ~spec_initial:0 broken exec with
+      | Ok () -> Alcotest.fail "broken abstraction must be caught"
+      | Error _ -> ())
+
+let test_refinement_catches_trace_mismatch () =
+  let broken =
+    { refinement_ok with impl_label = (fun _ -> Some "tick") (* Carry now visible *) }
+  in
+  let impl2 =
+    (module Impl2 : Ioa.Automaton.S
+      with type state = int * int
+       and type action = Impl2.action)
+  in
+  let actions = List.init 10 (fun _ -> Impl2.Bump) @ [ Impl2.Carry ] in
+  match Ioa.Exec.replay impl2 ~init:(0, 0) actions with
+  | Error _ -> Alcotest.fail "replay"
+  | Ok exec -> (
+      match Ioa.Refinement.check_execution spec2 ~spec_initial:0 broken exec with
+      | Ok () -> Alcotest.fail "trace mismatch must be caught"
+      | Error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Explorer                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_explorer_counts () =
+  (* the counter automaton over 0..5 has exactly 6 reachable states *)
+  let outcome =
+    Check.Explorer.run counter_gen ~key:string_of_int ~invariants:[] ~init:0 ()
+  in
+  Alcotest.(check int) "6 states" 6 outcome.Check.Explorer.stats.Check.Explorer.states;
+  Alcotest.(check bool) "not truncated" false
+    outcome.Check.Explorer.stats.Check.Explorer.truncated
+
+let test_explorer_finds_violation () =
+  let inv = Ioa.Invariant.make "below 4" (fun s -> s < 4) in
+  let outcome =
+    Check.Explorer.run counter_gen ~key:string_of_int ~invariants:[ inv ] ~init:0 ()
+  in
+  match outcome.Check.Explorer.violation with
+  | Some v -> Alcotest.(check int) "state 4 found" 4 v.Ioa.Invariant.state
+  | None -> Alcotest.fail "must find the violation"
+
+let test_explorer_max_depth () =
+  let outcome =
+    Check.Explorer.run counter_gen ~key:string_of_int ~invariants:[] ~max_depth:2
+      ~init:0 ()
+  in
+  Alcotest.(check int) "only 0,1,2 reachable at depth 2" 3
+    outcome.Check.Explorer.stats.Check.Explorer.states
+
+let test_explorer_step_property () =
+  let check_step (st : (int, Counter.action) Ioa.Exec.step) =
+    if st.Ioa.Exec.post - st.Ioa.Exec.pre > 1 then Error "jump" else Ok ()
+  in
+  let outcome =
+    Check.Explorer.run counter_gen ~key:string_of_int ~invariants:[] ~check_step
+      ~init:0 ()
+  in
+  (* Reset jumps from 5 to 0: post - pre = -5, allowed by this property;
+     increments are +1: nothing fails *)
+  Alcotest.(check bool) "no step failure" true
+    (outcome.Check.Explorer.step_failure = None)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_summary () =
+  let s = Stats.summarize [ 1.; 2.; 3.; 4.; 5. ] in
+  Alcotest.(check (float 1e-9)) "mean" 3.0 s.Stats.mean;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Stats.min;
+  Alcotest.(check (float 1e-9)) "max" 5.0 s.Stats.max;
+  Alcotest.(check (float 1e-9)) "p50" 3.0 s.Stats.p50;
+  Alcotest.(check (float 1e-6)) "stddev" (sqrt 2.5) s.Stats.stddev
+
+let test_stats_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 1e-9)) "p90" 90.0 (Stats.percentile 0.9 xs);
+  Alcotest.(check (float 1e-9)) "p0 -> min" 1.0 (Stats.percentile 0.0 xs);
+  Alcotest.(check (float 1e-9)) "p1 -> max" 100.0 (Stats.percentile 1.0 xs)
+
+let test_stats_histogram () =
+  let h = Stats.histogram ~buckets:4 ~lo:0. ~hi:4. [ 0.5; 1.5; 1.7; 3.9; -1.0; 9.0 ] in
+  Alcotest.(check (array int)) "counts" [| 2; 2; 0; 2 |] h
+
+let test_stats_rate () =
+  Alcotest.(check (float 1e-9)) "rate" 0.5 (Stats.rate [ true; false; true; false ]);
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Stats.rate [])
+
+let () =
+  Alcotest.run "ioa-toolkit"
+    [
+      ( "exec",
+        [
+          Alcotest.test_case "run respects enabledness" `Quick test_run_respects_enabledness;
+          Alcotest.test_case "replay roundtrip" `Quick test_replay_roundtrip;
+          Alcotest.test_case "replay rejects disabled" `Quick test_replay_rejects_disabled;
+          Alcotest.test_case "trace hides internal" `Quick test_trace_hides_internal;
+        ] );
+      ( "invariant",
+        [ Alcotest.test_case "reports first violation" `Quick test_invariant_reports_first ] );
+      ( "refinement",
+        [
+          Alcotest.test_case "accepts correct" `Quick test_refinement_accepts;
+          Alcotest.test_case "catches bad abstraction" `Quick
+            test_refinement_catches_bad_abstraction;
+          Alcotest.test_case "catches trace mismatch" `Quick
+            test_refinement_catches_trace_mismatch;
+        ] );
+      ( "explorer",
+        [
+          Alcotest.test_case "exact state count" `Quick test_explorer_counts;
+          Alcotest.test_case "finds violations" `Quick test_explorer_finds_violation;
+          Alcotest.test_case "max depth" `Quick test_explorer_max_depth;
+          Alcotest.test_case "step property" `Quick test_explorer_step_property;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "histogram" `Quick test_stats_histogram;
+          Alcotest.test_case "rate" `Quick test_stats_rate;
+        ] );
+    ]

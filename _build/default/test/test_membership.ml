@@ -1,0 +1,184 @@
+(* Tests for the membership baselines (E6/E7 machinery): static quorums,
+   the dynamic-voting knowledge model, and the chain condition. *)
+
+open Prelude
+
+let set l = Proc.Set.of_list l
+let mk id l = View.make ~id ~set:(set l)
+
+(* ------------------------------------------------------------------ *)
+(* Static quorums                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_majority_quorum () =
+  let q = Membership.Static_quorum.majority ~universe:(Proc.Set.universe 5) in
+  Alcotest.(check bool) "3 of 5" true (Membership.Static_quorum.is_primary q (set [ 0; 1; 2 ]));
+  Alcotest.(check bool) "2 of 5" false (Membership.Static_quorum.is_primary q (set [ 0; 1 ]));
+  (* members outside the universe don't count *)
+  Alcotest.(check bool) "outsiders don't help" false
+    (Membership.Static_quorum.is_primary q (set [ 0; 1; 7; 8; 9 ]));
+  Alcotest.(check bool) "statelessness: exact half fails" false
+    (Membership.Static_quorum.is_primary
+       (Membership.Static_quorum.majority ~universe:(Proc.Set.universe 4))
+       (set [ 0; 1 ]))
+
+let test_weighted_quorum () =
+  let q =
+    Membership.Static_quorum.weighted
+      ~weights:[ (0, 5); (1, 1); (2, 1) ]
+      ~universe:(Proc.Set.universe 3)
+  in
+  (* total weight 7; {0} has 5 > 3.5 *)
+  Alcotest.(check bool) "heavy singleton" true
+    (Membership.Static_quorum.is_primary q (set [ 0 ]));
+  Alcotest.(check bool) "light pair" false
+    (Membership.Static_quorum.is_primary q (set [ 1; 2 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic voting                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_dyn_basic_shrink () =
+  let t = Membership.Dyn_voting.create ~p0:(Proc.Set.universe 5) in
+  (* {0,1,2} is a majority of the initial 5 *)
+  Alcotest.(check bool) "3 of 5 can form" true
+    (Membership.Dyn_voting.can_form t (set [ 0; 1; 2 ]));
+  let t, v1 =
+    Option.get (Membership.Dyn_voting.form t (set [ 0; 1; 2 ]) ~complete:true)
+  in
+  Alcotest.(check int) "formed view id" 1 (View.id v1);
+  (* {0,1} is a majority of {0,1,2} but not of the original universe *)
+  Alcotest.(check bool) "2 of 3 can form" true
+    (Membership.Dyn_voting.can_form t (set [ 0; 1 ]));
+  (* {3,4} lost: it has no member of the last primary *)
+  Alcotest.(check bool) "the other side cannot" false
+    (Membership.Dyn_voting.can_form t (set [ 3; 4 ]))
+
+let test_dyn_interrupted_constrains () =
+  let t = Membership.Dyn_voting.create ~p0:(Proc.Set.universe 5) in
+  (* an interrupted formation leaves the view ambiguous *)
+  let t, v1 =
+    Option.get (Membership.Dyn_voting.form t (set [ 0; 1; 2 ]) ~complete:false)
+  in
+  Alcotest.(check int) "attempt recorded" 1 (View.id v1);
+  (* {3,4,0}: 3 of 5 (majority of v0) but only 1 of 3 of the ambiguous v1 —
+     must be refused, because v1 might be the previous primary *)
+  Alcotest.(check bool) "ambiguity constrains" false
+    (Membership.Dyn_voting.can_form t (set [ 0; 3; 4 ]));
+  (* {0,1,3}: majority of v0 AND majority of ambiguous v1 *)
+  Alcotest.(check bool) "covering both candidates ok" true
+    (Membership.Dyn_voting.can_form t (set [ 0; 1; 3 ]))
+
+let test_dyn_completion_clears_ambiguity () =
+  let t = Membership.Dyn_voting.create ~p0:(Proc.Set.universe 5) in
+  let t, _ = Option.get (Membership.Dyn_voting.form t (set [ 0; 1; 2 ]) ~complete:false) in
+  let t, _ = Option.get (Membership.Dyn_voting.form t (set [ 0; 1; 2 ]) ~complete:true) in
+  (* after a completed formation, only the last primary constrains *)
+  Alcotest.(check bool) "post-completion, majority of last primary suffices" true
+    (Membership.Dyn_voting.can_form t (set [ 0; 1 ]))
+
+let test_dyn_knowledge_pools () =
+  (* knowledge travels through common members: a component containing a
+     member of the last primary learns of it *)
+  let t = Membership.Dyn_voting.create ~p0:(Proc.Set.universe 4) in
+  let t, _ = Option.get (Membership.Dyn_voting.form t (set [ 0; 1; 2 ]) ~complete:true) in
+  (* 3 was not in the primary; alone with 0 it pools 0's knowledge *)
+  Alcotest.(check bool) "act learned from member 0" true
+    (View.equal (Membership.Dyn_voting.act_of t 0) (mk 1 [ 0; 1; 2 ]));
+  (* {0,3}: 2 of 3 majority of last primary {0,1,2}?  |{0}|=1, not > 1.5 *)
+  Alcotest.(check bool) "pair lacking majority refused" false
+    (Membership.Dyn_voting.can_form t (set [ 0; 3 ]));
+  Alcotest.(check bool) "pair with majority accepted" true
+    (Membership.Dyn_voting.can_form t (set [ 0; 1; 3 ]))
+
+let prop_no_dual_primaries =
+  (* safety: under arbitrary churn, components that can form concurrently
+     always intersect (so at most one can actually be the primary) *)
+  QCheck.Test.make ~name:"disjoint components never both form" ~count:200
+    QCheck.(pair small_int (int_bound 1000))
+    (fun (steps, seed) ->
+      let steps = 3 + (steps mod 20) in
+      let rng = Random.State.make [| seed |] in
+      let n = 6 in
+      let t = ref (Membership.Dyn_voting.create ~p0:(Proc.Set.universe n)) in
+      let ok = ref true in
+      for _ = 1 to steps do
+        (* random partition of the universe into two components *)
+        let left =
+          List.filter (fun _ -> Random.State.bool rng) (List.init n Fun.id)
+        in
+        let right = List.filter (fun p -> not (List.mem p left)) (List.init n Fun.id) in
+        let cl = set left and cr = set right in
+        if (not (Proc.Set.is_empty cl)) && not (Proc.Set.is_empty cr) then begin
+          if
+            Membership.Dyn_voting.can_form !t cl
+            && Membership.Dyn_voting.can_form !t cr
+          then ok := false;
+          let candidate = if Random.State.bool rng then cl else cr in
+          match
+            Membership.Dyn_voting.form !t candidate
+              ~complete:(Random.State.bool rng)
+          with
+          | Some (t', _) -> t := t'
+          | None -> ()
+        end
+      done;
+      !ok)
+
+let prop_chain_condition_on_histories =
+  QCheck.Test.make ~name:"formed histories satisfy the chain condition" ~count:100
+    (QCheck.int_bound 10_000) (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let initial = Proc.Set.universe 6 in
+      let cfg =
+        {
+          (Sim.Churn.default ~initial ~epochs:60) with
+          split_prob = 0.35;
+          drift_prob = 0.15;
+        }
+      in
+      let history = Sim.Churn.generate rng cfg in
+      let r =
+        Sim.Availability.run rng history
+          (Sim.Availability.Dynamic { complete_prob = 0.75 })
+      in
+      Membership.Chain.holds r.Sim.Availability.history
+      && r.Sim.Availability.dual_primaries = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Chain reports                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_chain_examine () =
+  let h = [ mk 0 [ 0; 1; 2 ]; mk 1 [ 1; 2; 3 ]; mk 2 [ 3; 4 ] ] in
+  let r = Membership.Chain.examine h in
+  Alcotest.(check int) "pairs" 2 r.Membership.Chain.pairs;
+  Alcotest.(check int) "intersecting" 2 r.Membership.Chain.intersecting;
+  (* {1,2} is a majority of {0,1,2}; {3} is not a majority of {1,2,3} *)
+  Alcotest.(check int) "majority" 1 r.Membership.Chain.majority;
+  Alcotest.(check bool) "holds" true (Membership.Chain.holds h);
+  let broken = [ mk 0 [ 0; 1 ]; mk 1 [ 2; 3 ] ] in
+  Alcotest.(check bool) "disjoint pair breaks" false (Membership.Chain.holds broken)
+
+let qcheck_case = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "membership"
+    [
+      ( "static",
+        [
+          Alcotest.test_case "majority quorum" `Quick test_majority_quorum;
+          Alcotest.test_case "weighted quorum" `Quick test_weighted_quorum;
+        ] );
+      ( "dynamic",
+        [
+          Alcotest.test_case "basic shrink" `Quick test_dyn_basic_shrink;
+          Alcotest.test_case "interruption constrains" `Quick test_dyn_interrupted_constrains;
+          Alcotest.test_case "completion clears ambiguity" `Quick
+            test_dyn_completion_clears_ambiguity;
+          Alcotest.test_case "knowledge pooling" `Quick test_dyn_knowledge_pools;
+          qcheck_case prop_no_dual_primaries;
+          qcheck_case prop_chain_condition_on_histories;
+        ] );
+      ("chain", [ Alcotest.test_case "examine" `Quick test_chain_examine ]);
+    ]

@@ -1,0 +1,206 @@
+(* Mechanized checking of Theorem 5.9 (DVS-IMPL implements DVS via the
+   refinement F of Figure 4) — experiment E4.
+
+   - The refinement holds, step by step, on randomly generated executions,
+     against the *relaxed* DVS specification (dvs-safe without the
+     all-members clause) under every scheduling policy.
+   - Against the *strict* (paper, Figure 2) specification it holds under the
+     Synchronized scheduling policy.
+   - Under unrestricted scheduling the strict simulation has a genuine gap in
+     the DVS-SAFE case: the implementation forwards VS-level safe indications
+     while a remote client may still have the message buffered.  A
+     deterministic regression test replays the counterexample and asserts the
+     checker pinpoints it.  See Refinement_f for discussion. *)
+
+open Prelude
+module Sys_ = Dvs_impl.System.Make (Msg_intf.String_msg)
+module Ref_ = Dvs_impl.Refinement_f.Make (Msg_intf.String_msg)
+module Node = Sys_.Node
+module Spec = Ref_.Spec
+
+let variant = Dvs_impl.Vs_to_dvs.Faithful
+
+let make_exec ~schedule ~seed ~steps ~universe =
+  let rng = Random.State.make [| seed |] in
+  let rng_views = Random.State.make [| seed + 1000 |] in
+  let cfg =
+    { (Sys_.default_config ~payloads:[ "x"; "y" ] ~universe) with schedule }
+  in
+  let gen = Sys_.generative cfg ~rng_views in
+  let init = Sys_.initial ~universe ~p0:(Proc.Set.universe universe) in
+  fst (Ioa.Exec.run gen ~rng ~steps ~init)
+
+let check_seeds ~strict_safe ~schedule ~universe seeds =
+  List.iter
+    (fun seed ->
+      let exec = make_exec ~schedule ~seed ~steps:400 ~universe in
+      match
+        Ref_.check ~strict_safe ~p0:(Proc.Set.universe universe) exec
+      with
+      | Ok () -> ()
+      | Error f -> Alcotest.failf "seed %d: %a" seed Ioa.Refinement.pp_failure f)
+    seeds
+
+let test_relaxed_eager () =
+  check_seeds ~strict_safe:false ~schedule:Sys_.Eager_clients ~universe:4
+    (List.init 15 (fun i -> i + 1))
+
+let test_relaxed_unrestricted () =
+  check_seeds ~strict_safe:false ~schedule:Sys_.Unrestricted ~universe:4
+    (List.init 15 (fun i -> i + 50))
+
+let test_strict_synchronized () =
+  check_seeds ~strict_safe:true ~schedule:Sys_.Synchronized ~universe:4
+    (List.init 15 (fun i -> i + 100))
+
+let test_strict_synchronized_small () =
+  check_seeds ~strict_safe:true ~schedule:Sys_.Synchronized ~universe:3
+    (List.init 10 (fun i -> i + 300))
+
+(* ------------------------------------------------------------------ *)
+(* The deterministic DVS-SAFE counterexample                           *)
+(* ------------------------------------------------------------------ *)
+
+let run s a =
+  if not (Sys_.enabled_v variant s a) then
+    Alcotest.failf "scenario step not enabled: %a" Sys_.pp_action a;
+  Sys_.step_v variant s a
+
+let safe_gap_execution () =
+  (* Universe {0,1}, both in v0.  Process 0's client sends "m"; the message
+     is ordered and VS-delivered to both relays; only process 0's client
+     consumes it; VS's safe indication reaches process 0, which emits
+     dvs-safe — while process 1's client still has "m" buffered. *)
+  let p0 = Proc.Set.of_list [ 0; 1 ] in
+  let init = Sys_.initial ~universe:2 ~p0 in
+  let g = Gid.g0 in
+  let wm = Dvs_impl.Wire.Client "m" in
+  let actions =
+    [
+      Sys_.Dvs_gpsnd (0, "m");
+      Sys_.Vs_gpsnd (0, wm);
+      Sys_.Vs_order (wm, 0, g);
+      Sys_.Vs_gprcv { src = 0; dst = 0; msg = wm; gid = g };
+      Sys_.Vs_gprcv { src = 0; dst = 1; msg = wm; gid = g };
+      Sys_.Dvs_gprcv { src = 0; dst = 0; msg = "m" } (* only client 0 consumes *);
+      Sys_.Vs_safe { src = 0; dst = 0; msg = wm; gid = g };
+      Sys_.Dvs_safe { src = 0; dst = 0; msg = "m" };
+    ]
+  in
+  let steps, final =
+    List.fold_left
+      (fun (acc, s) a ->
+        let s' = run s a in
+        ({ Ioa.Exec.pre = s; action = a; post = s' } :: acc, s'))
+      ([], init) actions
+  in
+  ignore final;
+  { Ioa.Exec.init; steps = List.rev steps }
+
+let test_safe_gap_strict_fails () =
+  let exec = safe_gap_execution () in
+  match Ref_.check ~strict_safe:true ~p0:(Proc.Set.of_list [ 0; 1 ]) exec with
+  | Ok () ->
+      Alcotest.fail
+        "strict refinement unexpectedly passed: the DVS-SAFE gap should be detected"
+  | Error f ->
+      (* the failing step must be the final dvs-safe *)
+      Alcotest.(check int) "fails at the dvs-safe step" 7 f.Ioa.Refinement.step_index;
+      Alcotest.(check bool) "reported as a disabled spec action" true
+        (let s = Format.asprintf "%a" Ioa.Refinement.pp_failure f in
+         let contains_sub hay needle =
+           let lh = String.length hay and ln = String.length needle in
+           let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+           go 0
+         in
+         contains_sub s "not enabled")
+
+let test_safe_gap_relaxed_passes () =
+  let exec = safe_gap_execution () in
+  match Ref_.check ~strict_safe:false ~p0:(Proc.Set.of_list [ 0; 1 ]) exec with
+  | Ok () -> ()
+  | Error f -> Alcotest.failf "relaxed should pass: %a" Ioa.Refinement.pp_failure f
+
+let test_safe_gap_closes_after_consumption () =
+  (* same prefix, but client 1 consumes before the safe: strict passes *)
+  let p0 = Proc.Set.of_list [ 0; 1 ] in
+  let init = Sys_.initial ~universe:2 ~p0 in
+  let g = Gid.g0 in
+  let wm = Dvs_impl.Wire.Client "m" in
+  let actions =
+    [
+      Sys_.Dvs_gpsnd (0, "m");
+      Sys_.Vs_gpsnd (0, wm);
+      Sys_.Vs_order (wm, 0, g);
+      Sys_.Vs_gprcv { src = 0; dst = 0; msg = wm; gid = g };
+      Sys_.Vs_gprcv { src = 0; dst = 1; msg = wm; gid = g };
+      Sys_.Dvs_gprcv { src = 0; dst = 0; msg = "m" };
+      Sys_.Dvs_gprcv { src = 0; dst = 1; msg = "m" } (* client 1 consumes too *);
+      Sys_.Vs_safe { src = 0; dst = 0; msg = wm; gid = g };
+      Sys_.Dvs_safe { src = 0; dst = 0; msg = "m" };
+    ]
+  in
+  let steps, _ =
+    List.fold_left
+      (fun (acc, s) a ->
+        let s' = run s a in
+        ({ Ioa.Exec.pre = s; action = a; post = s' } :: acc, s'))
+      ([], init) actions
+  in
+  let exec = { Ioa.Exec.init; steps = List.rev steps } in
+  match Ref_.check ~strict_safe:true ~p0 exec with
+  | Ok () -> ()
+  | Error f -> Alcotest.failf "should pass once consumed: %a" Ioa.Refinement.pp_failure f
+
+(* ------------------------------------------------------------------ *)
+(* Abstraction function unit checks                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_abstraction_initial () =
+  let p0 = Proc.Set.of_list [ 0; 1; 2 ] in
+  let s = Sys_.initial ~universe:3 ~p0 in
+  let t = Ref_.abstraction s in
+  Alcotest.(check bool) "F(init) = spec init" true
+    (Spec.equal_state t (Spec.initial p0))
+
+let test_abstraction_purges_wire_messages () =
+  let p0 = Proc.Set.of_list [ 0; 1 ] in
+  let s = Sys_.initial ~universe:2 ~p0 in
+  (* queue an info-bearing view change plus one client message *)
+  let v1 = View.make ~id:1 ~set:p0 in
+  let s = run s (Sys_.Vs_createview v1) in
+  let s = run s (Sys_.Vs_newview (v1, 0)) in
+  let s = run s (Sys_.Dvs_gpsnd (0, "payload")) in
+  let t = Ref_.abstraction s in
+  (* pending for the *client* view g0 contains just the payload *)
+  Alcotest.(check int) "client pending survives purge" 1
+    (Seqs.length (Spec.pending_of t 0 Gid.g0));
+  Alcotest.(check string) "payload" "payload"
+    (Seqs.head (Spec.pending_of t 0 Gid.g0));
+  (* the info message queued for view 1 is purged *)
+  Alcotest.(check int) "info purged" 0 (Seqs.length (Spec.pending_of t 0 1))
+
+let () =
+  Alcotest.run "refinement"
+    [
+      ( "random",
+        [
+          Alcotest.test_case "relaxed, eager clients" `Quick test_relaxed_eager;
+          Alcotest.test_case "relaxed, unrestricted" `Quick test_relaxed_unrestricted;
+          Alcotest.test_case "strict, synchronized" `Quick test_strict_synchronized;
+          Alcotest.test_case "strict, synchronized, n=3" `Quick
+            test_strict_synchronized_small;
+        ] );
+      ( "safe-gap",
+        [
+          Alcotest.test_case "strict fails on the gap" `Quick test_safe_gap_strict_fails;
+          Alcotest.test_case "relaxed passes on the gap" `Quick test_safe_gap_relaxed_passes;
+          Alcotest.test_case "strict passes once consumed" `Quick
+            test_safe_gap_closes_after_consumption;
+        ] );
+      ( "abstraction",
+        [
+          Alcotest.test_case "initial state" `Quick test_abstraction_initial;
+          Alcotest.test_case "purging" `Quick test_abstraction_purges_wire_messages;
+        ] );
+    ]

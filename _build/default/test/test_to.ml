@@ -1,0 +1,235 @@
+(* Tests for the TO layer (Figure 5, Section 6) — experiment E5.
+
+   - Unit tests for the DVS-TO-TO transitions (labelling, sending, ordering,
+     confirmation, establishment).
+   - Deterministic end-to-end scenario: broadcast → label → send → order →
+     deliver → safe → confirm → report, through the real composition.
+   - Randomized runs: Invariants 6.1–6.3 plus the consistency backbone, the
+     refinement to the TO service (Theorem 6.4), and the client-visible
+     total-order trace properties. *)
+
+open Prelude
+module Impl = To_broadcast.To_impl
+module Node = To_broadcast.Dvs_to_to
+module Inv = To_broadcast.To_invariants
+module Ref_ = To_broadcast.To_refinement
+module Spec = To_broadcast.To_spec
+module Msg = To_broadcast.To_msg
+module Dvs = Impl.Dvs
+
+let p0 = Proc.Set.of_list [ 0; 1; 2 ]
+
+let run s a =
+  if not (Impl.enabled s a) then
+    Alcotest.failf "not enabled: %a" Impl.pp_action a;
+  Impl.step s a
+
+(* ------------------------------------------------------------------ *)
+(* Unit tests on the node automaton                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_label_assignment () =
+  let n = Node.initial ~p0 0 in
+  let n = Node.step n (Node.Bcast "a") in
+  let n = Node.step n (Node.Bcast "b") in
+  Alcotest.(check int) "delayed" 2 (Seqs.length n.Node.delay);
+  Alcotest.(check bool) "label enabled" true (Node.enabled n (Node.Label_msg "a"));
+  Alcotest.(check bool) "wrong payload disabled" false
+    (Node.enabled n (Node.Label_msg "b"));
+  let n = Node.step n (Node.Label_msg "a") in
+  let l1 = Label.make ~id:Gid.g0 ~seqno:1 ~origin:0 in
+  Alcotest.(check bool) "content bound" true
+    (Label.Map.find_opt l1 n.Node.content = Some "a");
+  Alcotest.(check int) "seqno advanced" 2 n.Node.nextseqno;
+  let n = Node.step n (Node.Label_msg "b") in
+  Alcotest.(check int) "buffer holds two labels" 2 (Seqs.length n.Node.buffer);
+  (* send is FIFO from the buffer *)
+  Alcotest.(check bool) "send l1 first" true
+    (Node.enabled n (Node.Dvs_gpsnd (Msg.Data (l1, "a"))));
+  let l2 = Label.make ~id:Gid.g0 ~seqno:2 ~origin:0 in
+  Alcotest.(check bool) "l2 must wait" false
+    (Node.enabled n (Node.Dvs_gpsnd (Msg.Data (l2, "b"))))
+
+let test_confirm_requires_safe () =
+  let n = Node.initial ~p0 0 in
+  let l = Label.make ~id:Gid.g0 ~seqno:1 ~origin:1 in
+  let n = Node.step n (Node.Dvs_gprcv (1, Msg.Data (l, "x"))) in
+  Alcotest.(check int) "ordered" 1 (Seqs.length n.Node.order);
+  Alcotest.(check bool) "confirm blocked before safe" false
+    (Node.enabled n Node.Confirm);
+  let n = Node.step n (Node.Dvs_safe (1, Msg.Data (l, "x"))) in
+  Alcotest.(check bool) "confirm enabled after safe" true (Node.enabled n Node.Confirm);
+  let n = Node.step n Node.Confirm in
+  Alcotest.(check bool) "brcv enabled" true (Node.enabled n (Node.Brcv (1, "x")));
+  let n = Node.step n (Node.Brcv (1, "x")) in
+  Alcotest.(check int) "reported" 2 n.Node.nextreport
+
+let test_establishment () =
+  let n = Node.initial ~p0 0 in
+  let v1 = View.make ~id:1 ~set:(Proc.Set.of_list [ 0; 1 ]) in
+  let n = Node.step n (Node.Dvs_newview v1) in
+  Alcotest.(check bool) "status send" true (n.Node.status = Node.Send);
+  let x0 = Node.summary n in
+  let n = Node.step n (Node.Dvs_gpsnd (Msg.Summ x0)) in
+  Alcotest.(check bool) "status collect" true (n.Node.status = Node.Collect);
+  (* receive own summary, then the other member's *)
+  let n = Node.step n (Node.Dvs_gprcv (0, Msg.Summ x0)) in
+  Alcotest.(check bool) "not yet established" false (Node.established_in n 1);
+  let l = Label.make ~id:Gid.g0 ~seqno:1 ~origin:1 in
+  let x1 =
+    Summary.make
+      ~con:(Label.Map.singleton l "z")
+      ~ord:(Seqs.of_list [ l ])
+      ~next:2 ~high:Gid.g0
+  in
+  let n = Node.step n (Node.Dvs_gprcv (1, Msg.Summ x1)) in
+  Alcotest.(check bool) "established" true (Node.established_in n 1);
+  Alcotest.(check bool) "status normal" true (n.Node.status = Node.Normal);
+  Alcotest.(check int) "order adopted from exchange" 1 (Seqs.length n.Node.order);
+  Alcotest.(check int) "nextconfirm = maxnextconfirm" 2 n.Node.nextconfirm;
+  Alcotest.(check bool) "highprimary advanced" true (Gid.equal n.Node.highprimary 1);
+  (* registration becomes possible exactly once *)
+  Alcotest.(check bool) "register enabled" true (Node.enabled n Node.Dvs_register);
+  let n = Node.step n Node.Dvs_register in
+  Alcotest.(check bool) "register once" false (Node.enabled n Node.Dvs_register)
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic end-to-end scenario                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_end_to_end_in_initial_view () =
+  let s = Impl.initial ~universe:3 ~p0 in
+  let s = run s (Impl.Bcast (0, "hello")) in
+  let s = run s (Impl.Label_msg (0, "hello")) in
+  let l = Label.make ~id:Gid.g0 ~seqno:1 ~origin:0 in
+  let m = Msg.Data (l, "hello") in
+  let s = run s (Impl.Dvs_gpsnd (0, m)) in
+  let s = run s (Impl.Dvs_order (m, 0, Gid.g0)) in
+  let deliver s dst = run s (Impl.Dvs_gprcv { src = 0; dst; msg = m; gid = Gid.g0 }) in
+  let s = deliver (deliver (deliver s 0) 1) 2 in
+  let s = run s (Impl.Dvs_safe { src = 0; dst = 1; msg = m; gid = Gid.g0 }) in
+  let s = run s (Impl.Confirm 1) in
+  Alcotest.(check bool) "brcv at 1" true
+    (Impl.enabled s (Impl.Brcv { origin = 0; dst = 1; payload = "hello" }));
+  let s = run s (Impl.Brcv { origin = 0; dst = 1; payload = "hello" }) in
+  (* check invariants and the refinement on this prefix *)
+  (match Ioa.Invariant.check_states Inv.all [ s ] with
+  | Ok () -> ()
+  | Error v -> Alcotest.failf "%a" (Ioa.Invariant.pp_violation Impl.pp_state) v);
+  Alcotest.(check int) "reported once" 2 (Impl.node s 1).Node.nextreport
+
+(* ------------------------------------------------------------------ *)
+(* Randomized executions                                               *)
+(* ------------------------------------------------------------------ *)
+
+let make_exec ~seed ~steps ~universe =
+  let rng = Random.State.make [| seed |] in
+  let rng_views = Random.State.make [| seed + 1000 |] in
+  let cfg = Impl.default_config ~payloads:[ "x"; "y"; "z" ] ~universe in
+  let gen = Impl.generative cfg ~rng_views in
+  let init = Impl.initial ~universe ~p0:(Proc.Set.universe universe) in
+  fst (Ioa.Exec.run gen ~rng ~steps ~init)
+
+let test_random_invariants () =
+  for seed = 1 to 25 do
+    let exec = make_exec ~seed ~steps:500 ~universe:3 in
+    match Ioa.Invariant.check_execution Inv.all exec with
+    | Ok () -> ()
+    | Error v ->
+        Alcotest.failf "seed %d: %a" seed
+          (Ioa.Invariant.pp_violation Impl.pp_state)
+          v
+  done
+
+let test_random_refinement () =
+  for seed = 30 to 50 do
+    let exec = make_exec ~seed ~steps:400 ~universe:3 in
+    match Ref_.check exec with
+    | Ok () -> ()
+    | Error f -> Alcotest.failf "seed %d: %a" seed Ioa.Refinement.pp_failure f
+  done
+
+(* Client-visible total order: delivery sequences are pairwise
+   prefix-comparable, and each process delivers without duplicates. *)
+let deliveries exec =
+  List.fold_left
+    (fun acc a ->
+      match a with
+      | Impl.Brcv { origin; dst; payload } ->
+          let cur = Proc.Map.find_or ~default:[] dst acc in
+          Proc.Map.add dst ((payload, origin) :: cur) acc
+      | _ -> acc)
+    Proc.Map.empty (Ioa.Exec.actions exec)
+
+let test_random_total_order () =
+  let eq (a, p) (b, q) = String.equal a b && Proc.equal p q in
+  let nonvacuous = ref 0 in
+  for seed = 60 to 90 do
+    let exec = make_exec ~seed ~steps:600 ~universe:3 in
+    let per_dst =
+      Proc.Map.bindings (deliveries exec)
+      |> List.map (fun (_, l) -> Seqs.of_list (List.rev l))
+    in
+    if List.exists (fun s -> Seqs.length s > 0) per_dst then incr nonvacuous;
+    if not (Seqs.consistent ~equal:eq per_dst) then
+      Alcotest.failf "seed %d: delivery sequences diverge" seed
+  done;
+  Alcotest.(check bool) "deliveries actually happened" true (!nonvacuous > 5)
+
+let test_random_fifo_per_origin () =
+  (* messages from one origin are delivered in submission order *)
+  for seed = 100 to 120 do
+    let exec = make_exec ~seed ~steps:600 ~universe:3 in
+    (* reconstruct submission order *)
+    let submitted = Hashtbl.create 16 in
+    let counter = ref 0 in
+    List.iter
+      (fun a ->
+        match a with
+        | Impl.Bcast (p, payload) ->
+            incr counter;
+            Hashtbl.add submitted (p, payload) !counter
+        | _ -> ())
+      (Ioa.Exec.actions exec);
+    (* per destination, per origin, delivered payload submission indices are
+       increasing (same-payload rebroadcasts take the earliest unused) *)
+    Proc.Map.iter
+      (fun _dst rev ->
+        let in_order = List.rev rev in
+        let last = Hashtbl.create 4 in
+        List.iter
+          (fun (payload, origin) ->
+            let prev = Option.value ~default:0 (Hashtbl.find_opt last origin) in
+            let candidates = Hashtbl.find_all submitted (origin, payload) in
+            let best =
+              List.fold_left
+                (fun acc i -> if i > prev then Stdlib.min acc i else acc)
+                max_int candidates
+            in
+            if best = max_int then
+              Alcotest.failf "seed %d: delivery not matching any submission" seed;
+            Hashtbl.replace last origin best)
+          in_order)
+      (deliveries exec)
+  done
+
+let () =
+  Alcotest.run "to-broadcast"
+    [
+      ( "node",
+        [
+          Alcotest.test_case "label assignment" `Quick test_label_assignment;
+          Alcotest.test_case "confirm requires safe" `Quick test_confirm_requires_safe;
+          Alcotest.test_case "establishment" `Quick test_establishment;
+        ] );
+      ( "scenario",
+        [ Alcotest.test_case "end-to-end in v0" `Quick test_end_to_end_in_initial_view ] );
+      ( "random",
+        [
+          Alcotest.test_case "invariants 6.1-6.3 + consistency" `Quick
+            test_random_invariants;
+          Alcotest.test_case "refinement to TO (Thm 6.4)" `Quick test_random_refinement;
+          Alcotest.test_case "total order at clients" `Quick test_random_total_order;
+          Alcotest.test_case "per-origin FIFO" `Quick test_random_fifo_per_origin;
+        ] );
+    ]

@@ -1,0 +1,261 @@
+(* Tests for the VS specification automaton (Figure 1) — experiment E1.
+
+   Deterministic scenario tests exercise each transition; randomized runs
+   check Invariant 3.1, index sanity, and the per-view delivery guarantees
+   (same order, gap-free prefixes) on many generated executions. *)
+
+open Prelude
+module Vsg = Vs.Vs_gen.Make (Msg_intf.String_msg)
+module Spec = Vsg.Spec
+
+let p0 = Proc.Set.of_list [ 0; 1; 2 ]
+let v0 = View.initial p0
+
+let run_action s a =
+  Alcotest.(check bool)
+    (Format.asprintf "enabled: %a" Spec.pp_action a)
+    true (Spec.enabled s a);
+  Spec.step s a
+
+(* ------------------------------------------------------------------ *)
+(* Scenario tests                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_initial_state () =
+  let s = Spec.initial p0 in
+  Alcotest.(check int) "one created view" 1 (View.Set.cardinal s.Spec.created);
+  Alcotest.(check bool) "v0 created" true (View.Set.mem v0 s.Spec.created);
+  Alcotest.(check bool) "members in v0" true
+    (Gid.Bot.equal (Spec.current_viewid_of s 0) (Gid.Bot.of_gid Gid.g0));
+  Alcotest.(check bool) "outsider at ⊥" true
+    (Gid.Bot.equal (Spec.current_viewid_of s 7) Gid.Bot.bot)
+
+let test_send_order_deliver_safe () =
+  let s = Spec.initial p0 in
+  let s = run_action s (Spec.Gpsnd (0, "hello")) in
+  Alcotest.(check int) "pending" 1 (Seqs.length (Spec.pending_of s 0 Gid.g0));
+  let s = run_action s (Spec.Order ("hello", 0, Gid.g0)) in
+  Alcotest.(check int) "queued" 1 (Seqs.length (Spec.queue_of s Gid.g0));
+  Alcotest.(check int) "pending drained" 0 (Seqs.length (Spec.pending_of s 0 Gid.g0));
+  (* safe not yet enabled: nobody received *)
+  Alcotest.(check bool) "safe premature" false
+    (Spec.enabled s (Spec.Safe { src = 0; dst = 1; msg = "hello"; gid = Gid.g0 }));
+  (* deliver to all three members *)
+  let deliver s dst =
+    run_action s (Spec.Gprcv { src = 0; dst; msg = "hello"; gid = Gid.g0 })
+  in
+  let s = deliver s 0 in
+  let s = deliver s 1 in
+  let s = deliver s 2 in
+  Alcotest.(check int) "next advanced" 2 (Spec.next_of s 1 Gid.g0);
+  (* now safe is enabled for each member *)
+  let s = run_action s (Spec.Safe { src = 0; dst = 1; msg = "hello"; gid = Gid.g0 }) in
+  Alcotest.(check int) "next-safe advanced" 2 (Spec.next_safe_of s 1 Gid.g0)
+
+let test_view_change () =
+  let s = Spec.initial p0 in
+  let v1 = View.make ~id:1 ~set:(Proc.Set.of_list [ 0; 1 ]) in
+  let s = run_action s (Spec.Createview v1) in
+  (* ids must strictly increase *)
+  Alcotest.(check bool) "duplicate id rejected" false
+    (Spec.enabled s (Spec.Createview (View.make ~id:1 ~set:p0)));
+  Alcotest.(check bool) "lower id rejected" false
+    (Spec.enabled s (Spec.Createview (View.make ~id:0 ~set:p0)));
+  (* non-members cannot get the view *)
+  Alcotest.(check bool) "non-member newview disabled" false
+    (Spec.enabled s (Spec.Newview (v1, 2)));
+  let s = run_action s (Spec.Newview (v1, 0)) in
+  Alcotest.(check bool) "p0 moved" true
+    (Gid.Bot.equal (Spec.current_viewid_of s 0) (Gid.Bot.of_gid 1));
+  (* messages sent by p0 now go to view 1 *)
+  let s = run_action s (Spec.Gpsnd (0, "m1")) in
+  Alcotest.(check int) "pending in view 1" 1 (Seqs.length (Spec.pending_of s 0 1));
+  Alcotest.(check int) "not in view 0" 0 (Seqs.length (Spec.pending_of s 0 Gid.g0));
+  (* p1 still in view 0: delivery of view-1 messages disabled for it *)
+  let s = run_action s (Spec.Order ("m1", 0, 1)) in
+  Alcotest.(check bool) "p1 cannot receive view-1 msg" false
+    (Spec.enabled s (Spec.Gprcv { src = 0; dst = 1; msg = "m1"; gid = 1 }));
+  (* old view messages are not delivered to moved processes *)
+  Alcotest.(check bool) "newview monotone" false (Spec.enabled s (Spec.Newview (v0, 0)))
+
+let test_send_without_view_dropped () =
+  let s = Spec.initial p0 in
+  (* process 5 is outside the initial view: its send is silently dropped *)
+  let s = run_action s (Spec.Gpsnd (5, "x")) in
+  Alcotest.(check bool) "no pending anywhere" true
+    (Pg_map.is_empty s.Spec.pending)
+
+(* ------------------------------------------------------------------ *)
+(* Randomized executions                                               *)
+(* ------------------------------------------------------------------ *)
+
+let make_exec ~seed ~steps ~universe =
+  let rng = Random.State.make [| seed |] in
+  let rng_views = Random.State.make [| seed + 1000 |] in
+  let cfg = Vsg.default_config ~payloads:[ "a"; "b"; "c" ] ~universe in
+  let gen = Vsg.generative cfg ~rng_views in
+  let init = Spec.initial (Proc.Set.universe universe) in
+  fst (Ioa.Exec.run gen ~rng ~steps ~init)
+
+let test_random_invariants () =
+  for seed = 1 to 30 do
+    let exec = make_exec ~seed ~steps:300 ~universe:4 in
+    match
+      Ioa.Invariant.check_execution
+        [ Spec.invariant_3_1; Spec.invariant_indices ]
+        exec
+    with
+    | Ok () -> ()
+    | Error v ->
+        Alcotest.failf "seed %d: %a" seed
+          (Ioa.Invariant.pp_violation Spec.pp_state)
+          v
+  done
+
+(* The central VS delivery guarantee: within each view, processes receive the
+   same messages in the same order, without gaps — i.e. each receiver's
+   sequence is a prefix of the view's queue. *)
+let received_per_view exec =
+  List.fold_left
+    (fun acc a ->
+      match a with
+      | Spec.Gprcv { src; dst; msg; gid } ->
+          let key = (dst, gid) in
+          let cur = Pg_map.find_or ~default:[] key acc in
+          Pg_map.add key ((msg, src) :: cur) acc
+      | _ -> acc)
+    Pg_map.empty (Ioa.Exec.actions exec)
+
+let test_random_delivery_prefix () =
+  for seed = 31 to 50 do
+    let exec = make_exec ~seed ~steps:400 ~universe:4 in
+    let final = Ioa.Exec.last exec in
+    let eq (m, p) (m', p') = String.equal m m' && Proc.equal p p' in
+    Pg_map.iter
+      (fun (dst, gid) msgs_rev ->
+        let received = Seqs.of_list (List.rev msgs_rev) in
+        let queue = Spec.queue_of final gid in
+        if not (Seqs.is_prefix ~equal:eq received ~of_:queue) then
+          Alcotest.failf "seed %d: receiver %a in %a got a non-prefix" seed
+            Proc.pp dst Gid.pp gid)
+      (received_per_view exec)
+  done
+
+let test_random_safe_lag () =
+  (* safe indications never overtake anyone's deliveries *)
+  for seed = 51 to 65 do
+    let exec = make_exec ~seed ~steps:400 ~universe:3 in
+    List.iter
+      (fun (st : (Spec.state, Spec.action) Ioa.Exec.step) ->
+        match st.Ioa.Exec.action with
+        | Spec.Safe { dst; gid; _ } ->
+            let k = Spec.next_safe_of st.Ioa.Exec.pre dst gid in
+            let v =
+              match Spec.created_view st.Ioa.Exec.pre gid with
+              | Some v -> v
+              | None -> Alcotest.fail "safe in uncreated view"
+            in
+            Proc.Set.iter
+              (fun r ->
+                if not (Spec.next_of st.Ioa.Exec.pre r gid > k) then
+                  Alcotest.failf "seed %d: safe overtook member %a" seed Proc.pp r)
+              (View.set v)
+        | _ -> ())
+      exec.Ioa.Exec.steps
+  done
+
+module Props = Vs.Vs_props
+
+let test_classical_guarantees () =
+  (* the six classical VS-layer guarantees, on the specification's runs *)
+  let module Ex = Vs.Vs_props.Of_spec (Msg_intf.String_msg) in
+  for seed = 70 to 90 do
+    let exec = make_exec ~seed ~steps:400 ~universe:4 in
+    let report = Props.examine ~equal:String.equal (Ex.events exec) in
+    if not (Props.holds report) then
+      Alcotest.failf "seed %d: %a" seed Props.pp_report report
+  done
+
+let test_classical_guarantees_detect_violations () =
+  (* the checker has teeth: a fabricated log with a duplicate delivery and a
+     membership mismatch is flagged *)
+  let v1 = View.make ~id:1 ~set:(Proc.Set.of_list [ 0; 1 ]) in
+  let v1' = View.make ~id:1 ~set:(Proc.Set.of_list [ 0; 2 ]) in
+  let bad =
+    [
+      Props.Viewed { p = 0; view = v1 };
+      Props.Viewed { p = 2; view = v1' } (* identity + self-inclusion break *);
+      Props.Sent { p = 0; gid = 1; msg = "m" };
+      Props.Delivered { src = 0; dst = 1; gid = 1; msg = "m" };
+      Props.Delivered { src = 0; dst = 1; gid = 1; msg = "m" } (* duplicate *);
+      Props.Delivered { src = 3; dst = 1; gid = 1; msg = "ghost" } (* no send *);
+    ]
+  in
+  let r = Props.examine ~equal:String.equal bad in
+  Alcotest.(check bool) "identity flagged" false r.Props.view_identity;
+  Alcotest.(check bool) "integrity flagged" false r.Props.integrity;
+  Alcotest.(check bool) "duplication flagged" false r.Props.no_duplication;
+  let v2 = View.make ~id:2 ~set:(Proc.Set.of_list [ 0; 1 ]) in
+  let regress =
+    [ Props.Viewed { p = 0; view = v2 }; Props.Viewed { p = 0; view = v1 } ]
+  in
+  Alcotest.(check bool) "monotony flagged" false
+    (Props.examine ~equal:String.equal regress).Props.monotony
+
+let test_exhaustive_regression () =
+  (* bounded-exhaustive exploration of a tiny instance; the state count is a
+     pinned regression value (it changes only if the automaton changes) *)
+  let cfg =
+    {
+      (Vsg.default_config ~payloads:[ "a" ] ~universe:2) with
+      max_views = 2;
+      max_sends = 1;
+      view_proposals = `All_subsets;
+    }
+  in
+  let gen = Vsg.generative cfg ~rng_views:(Random.State.make [| 0 |]) in
+  let outcome =
+    Check.Explorer.run gen ~key:Spec.state_key
+      ~invariants:[ Spec.invariant_3_1; Spec.invariant_indices ]
+      ~init:(Spec.initial (Proc.Set.universe 2))
+      ()
+  in
+  Alcotest.(check bool) "no violation" true
+    (outcome.Check.Explorer.violation = None);
+  Alcotest.(check bool) "not truncated" false
+    outcome.Check.Explorer.stats.Check.Explorer.truncated;
+  Alcotest.(check int) "pinned reachable-state count" 183
+    outcome.Check.Explorer.stats.Check.Explorer.states
+
+let test_quiescence_reachable () =
+  (* with no payloads and a view budget of 1, the system quiesces *)
+  let rng = Random.State.make [| 42 |] in
+  let rng_views = Random.State.make [| 43 |] in
+  let cfg = { (Vsg.default_config ~payloads:[] ~universe:3) with max_views = 1 } in
+  let gen = Vsg.generative cfg ~rng_views in
+  let init = Spec.initial (Proc.Set.universe 3) in
+  let _, reason = Ioa.Exec.run gen ~rng ~steps:1000 ~init in
+  Alcotest.(check bool) "quiesced" true (reason = Ioa.Exec.Quiescent)
+
+let () =
+  Alcotest.run "vs-spec"
+    [
+      ( "scenarios",
+        [
+          Alcotest.test_case "initial state" `Quick test_initial_state;
+          Alcotest.test_case "send/order/deliver/safe" `Quick test_send_order_deliver_safe;
+          Alcotest.test_case "view change" `Quick test_view_change;
+          Alcotest.test_case "send without view" `Quick test_send_without_view_dropped;
+        ] );
+      ( "random",
+        [
+          Alcotest.test_case "invariants on random executions" `Quick test_random_invariants;
+          Alcotest.test_case "delivery is a queue prefix" `Quick test_random_delivery_prefix;
+          Alcotest.test_case "safe never overtakes" `Quick test_random_safe_lag;
+          Alcotest.test_case "classical guarantees" `Quick test_classical_guarantees;
+          Alcotest.test_case "guarantee checker has teeth" `Quick
+            test_classical_guarantees_detect_violations;
+          Alcotest.test_case "exhaustive regression" `Quick test_exhaustive_regression;
+          Alcotest.test_case "quiescence" `Quick test_quiescence_reachable;
+        ] );
+    ]

@@ -1,0 +1,209 @@
+(* Tests for the VS engine (lib/vs_impl) — the sequencer-based implementation
+   of the Figure 1 service over an asynchronous partitioned network.
+
+   - Scenario test: a full message round (forward → sequence → deliver →
+     ack → stable → safe) in the initial view.
+   - Randomized executions (with partitions, view changes, concurrent
+     senders): the refinement to the VS specification is checked on every
+     step, and the client-visible service guarantees (per-view gap-free
+     prefix delivery, safe never overtaking) are checked on traces. *)
+
+open Prelude
+module Stk = Vs_impl.Stack.Make (Msg_intf.String_msg)
+module Ref_ = Vs_impl.Stack_refinement.Make (Msg_intf.String_msg)
+module E = Stk.E
+
+let p0 = Proc.Set.of_list [ 0; 1; 2 ]
+
+let run s a =
+  if not (Stk.enabled s a) then
+    Alcotest.failf "not enabled: %a" Stk.pp_action a;
+  Stk.step s a
+
+let test_message_round () =
+  let s = Stk.initial ~universe:3 ~p0 in
+  let g = Gid.g0 in
+  (* client send at 1; forward to sequencer 0 *)
+  let s = run s (Stk.Gpsnd (1, "hello")) in
+  let fwd = Vs_impl.Packet.Fwd { gid = g; payload = "hello" } in
+  let s = run s (Stk.Send { src = 1; dst = 0; pkt = fwd }) in
+  let s = run s (Stk.Deliver { src = 1; dst = 0; pkt = fwd }) in
+  Alcotest.(check int) "sequenced" 1 (Seqs.length (E.seq_log_of (Stk.engine s 0) g));
+  (* sequencer broadcasts to everyone *)
+  let seqpkt = Vs_impl.Packet.Seq { gid = g; sn = 1; origin = 1; payload = "hello" } in
+  let s =
+    List.fold_left
+      (fun s dst ->
+        let s = run s (Stk.Send { src = 0; dst; pkt = seqpkt }) in
+        run s (Stk.Deliver { src = 0; dst; pkt = seqpkt }))
+      s [ 0; 1; 2 ]
+  in
+  (* everyone delivers; safe is not yet enabled *)
+  Alcotest.(check bool) "safe premature" false
+    (Stk.enabled s (Stk.Safe { src = 1; dst = 2; msg = "hello" }));
+  let s =
+    List.fold_left
+      (fun s dst -> run s (Stk.Gprcv { src = 1; dst; msg = "hello" }))
+      s [ 0; 1; 2 ]
+  in
+  (* acks flow back, stable flows out *)
+  let ack = Vs_impl.Packet.Ack { gid = g; upto = 1 } in
+  let s =
+    List.fold_left
+      (fun s src ->
+        let s = run s (Stk.Send { src; dst = 0; pkt = ack }) in
+        run s (Stk.Deliver { src; dst = 0; pkt = ack }))
+      s [ 0; 1; 2 ]
+  in
+  let stable = Vs_impl.Packet.Stable { gid = g; upto = 1 } in
+  let s = run s (Stk.Send { src = 0; dst = 2; pkt = stable }) in
+  let s = run s (Stk.Deliver { src = 0; dst = 2; pkt = stable }) in
+  (* now process 2 can emit the safe indication *)
+  let s = run s (Stk.Safe { src = 1; dst = 2; msg = "hello" }) in
+  Alcotest.(check int) "next-safe advanced" 2 (E.next_safe_of (Stk.engine s 2) Gid.g0)
+
+let test_view_change_isolates_messages () =
+  let s = Stk.initial ~universe:3 ~p0 in
+  let s = run s (Stk.Gpsnd (1, "old")) in
+  (* a view change to {0,1}; the old message was never forwarded *)
+  let v1 = View.make ~id:1 ~set:(Proc.Set.of_list [ 0; 1 ]) in
+  let s = run s (Stk.Reconfigure [ Proc.Set.of_list [ 0; 1 ]; Proc.Set.singleton 2 ]) in
+  let s = run s (Stk.Createview v1) in
+  let s = run s (Stk.Newview (v1, 0)) in
+  let s = run s (Stk.Newview (v1, 1)) in
+  (* process 1 can no longer forward the old message (its view moved on) *)
+  Alcotest.(check bool) "old fwd disabled" false
+    (Stk.enabled s (Stk.Send { src = 1; dst = 0; pkt = Vs_impl.Packet.Fwd { gid = Gid.g0; payload = "old" } }));
+  (* messages sent now go to view 1 *)
+  let s = run s (Stk.Gpsnd (1, "new")) in
+  Alcotest.(check int) "queued under view 1" 1
+    (Seqs.length (E.outq_of (Stk.engine s 1) 1))
+
+(* ------------------------------------------------------------------ *)
+(* Randomized executions + refinement + service guarantees             *)
+(* ------------------------------------------------------------------ *)
+
+let make_exec ~seed ~steps ~universe =
+  let rng = Random.State.make [| seed |] in
+  let rng_views = Random.State.make [| seed + 1000 |] in
+  let cfg = Stk.default_config ~payloads:[ "a"; "b" ] ~universe in
+  let gen = Stk.generative cfg ~rng_views in
+  let init = Stk.initial ~universe ~p0:(Proc.Set.universe universe) in
+  fst (Ioa.Exec.run gen ~rng ~steps ~init)
+
+let test_random_refinement () =
+  for seed = 1 to 25 do
+    let exec = make_exec ~seed ~steps:500 ~universe:3 in
+    match Ref_.check ~p0:(Proc.Set.universe 3) exec with
+    | Ok () -> ()
+    | Error f -> Alcotest.failf "seed %d: %a" seed Ioa.Refinement.pp_failure f
+  done
+
+let test_random_not_vacuous () =
+  let interesting = ref 0 and total_safes = ref 0 in
+  for seed = 1 to 15 do
+    let exec = make_exec ~seed ~steps:600 ~universe:3 in
+    let final = Ioa.Exec.last exec in
+    let deliveries =
+      List.length
+        (List.filter (function Stk.Gprcv _ -> true | _ -> false)
+           (Ioa.Exec.actions exec))
+    in
+    total_safes :=
+      !total_safes
+      + List.length
+          (List.filter (function Stk.Safe _ -> true | _ -> false)
+             (Ioa.Exec.actions exec));
+    if
+      deliveries >= 3
+      && View.Set.cardinal final.Stk.daemon.Vs_impl.Daemon.issued >= 1
+    then incr interesting
+  done;
+  Alcotest.(check bool) "most runs deliver through view changes" true
+    (!interesting >= 8);
+  Alcotest.(check bool) "safe indications occur" true (!total_safes >= 1)
+
+(* service guarantee: per destination and view, deliveries are a gap-free
+   prefix of the sequencer's order, identical across receivers *)
+let test_random_delivery_prefix () =
+  for seed = 30 to 50 do
+    let exec = make_exec ~seed ~steps:500 ~universe:3 in
+    let per_dst =
+      List.fold_left
+        (fun acc (st : (Stk.state, Stk.action) Ioa.Exec.step) ->
+          match st.Ioa.Exec.action with
+          | Stk.Gprcv { src; dst; msg } ->
+              (* record under the receiver's view at delivery time *)
+              let g =
+                match (Stk.engine st.Ioa.Exec.pre dst).E.cur with
+                | Some v -> View.id v
+                | None -> Alcotest.fail "delivery without view"
+              in
+              let key = (dst, g) in
+              Pg_map.add key
+                ((msg, src) :: Pg_map.find_or ~default:[] key acc)
+                acc
+          | _ -> acc)
+        Pg_map.empty exec.Ioa.Exec.steps
+    in
+    (* group by view and compare pairwise *)
+    let views =
+      Pg_map.fold (fun (_, g) _ acc -> Gid.Set.add g acc) per_dst Gid.Set.empty
+    in
+    Gid.Set.iter
+      (fun g ->
+        let seqs =
+          Pg_map.fold
+            (fun (_, g') l acc ->
+              if Gid.equal g g' then Seqs.of_list (List.rev l) :: acc else acc)
+            per_dst []
+        in
+        let eq (m, p) (m', p') = String.equal m m' && Proc.equal p p' in
+        if not (Seqs.consistent ~equal:eq seqs) then
+          Alcotest.failf "seed %d: view %a receivers disagree" seed Gid.pp g)
+      views
+  done
+
+(* the six classical VS-layer guarantees, checked on the real engine's runs *)
+let stack_events (exec : (Stk.state, Stk.action) Ioa.Exec.t) =
+  List.filter_map
+    (fun (st : (Stk.state, Stk.action) Ioa.Exec.step) ->
+      match st.Ioa.Exec.action with
+      | Stk.Newview (view, p) -> Some (Vs.Vs_props.Viewed { p; view })
+      | Stk.Gpsnd (p, msg) -> (
+          match (Stk.engine st.Ioa.Exec.pre p).E.cur with
+          | Some v -> Some (Vs.Vs_props.Sent { p; gid = View.id v; msg })
+          | None -> None)
+      | Stk.Gprcv { src; dst; msg } -> (
+          match (Stk.engine st.Ioa.Exec.pre dst).E.cur with
+          | Some v ->
+              Some (Vs.Vs_props.Delivered { src; dst; gid = View.id v; msg })
+          | None -> None)
+      | _ -> None)
+    exec.Ioa.Exec.steps
+
+let test_classical_guarantees_on_engine () =
+  for seed = 60 to 80 do
+    let exec = make_exec ~seed ~steps:500 ~universe:3 in
+    let report = Vs.Vs_props.examine ~equal:String.equal (stack_events exec) in
+    if not (Vs.Vs_props.holds report) then
+      Alcotest.failf "seed %d: %a" seed Vs.Vs_props.pp_report report
+  done
+
+let () =
+  Alcotest.run "vs-impl"
+    [
+      ( "scenarios",
+        [
+          Alcotest.test_case "message round" `Quick test_message_round;
+          Alcotest.test_case "view change isolates" `Quick test_view_change_isolates_messages;
+        ] );
+      ( "random",
+        [
+          Alcotest.test_case "refinement to Figure 1" `Quick test_random_refinement;
+          Alcotest.test_case "not vacuous" `Quick test_random_not_vacuous;
+          Alcotest.test_case "per-view delivery prefix" `Quick test_random_delivery_prefix;
+          Alcotest.test_case "classical guarantees on the engine" `Quick
+            test_classical_guarantees_on_engine;
+        ] );
+    ]
