@@ -1,0 +1,261 @@
+(* The per-entry cap on reported findings of one kind: analyses keep
+   counting past it, but a registry entry with (say) a wrong generator
+   would otherwise drown the report in thousands of identical findings. *)
+let max_findings_per_kind = 10
+
+(* Completeness cross-checks cost |observations| × |action universe|
+   [enabled] evaluations; beyond this many observations we check a
+   deterministic stride sample. *)
+let completeness_sample = 4_000
+
+type ('s, 'a) subject = {
+  automaton :
+    (module Ioa.Automaton.GENERATIVE with type state = 's and type action = 'a);
+  init : 's;
+  key : 's -> string;
+  equal_state : ('s -> 's -> bool) option;
+  invariants : 's Ioa.Invariant.checked list;
+  pp_state : Format.formatter -> 's -> unit;
+  pp_action : Format.formatter -> 'a -> unit;
+  action_class : 'a -> string;
+  all_classes : string list;
+  complete_classes : string list;
+  exact_candidates : bool;
+  quiescent : ('s -> bool) option;
+  allowed_dead : string list;
+}
+
+let analyze (type s a) ~name ?(max_states = 20_000) ?max_depth
+    ?(seed = [| 0 |]) (sub : (s, a) subject) =
+  let (module A : Ioa.Automaton.GENERATIVE
+        with type state = s
+         and type action = a) =
+    sub.automaton
+  in
+  let action_str a = Format.asprintf "%a" sub.pp_action a in
+  let state_str s = Format.asprintf "@[<h>%a@]" sub.pp_state s in
+  let observations = ref [] in
+  let n_obs = ref 0 in
+  let observe o =
+    observations := o :: !observations;
+    incr n_obs
+  in
+  let outcome =
+    Check.Explorer.run sub.automaton ~key:sub.key
+      ~invariants:(List.map (fun c -> c.Ioa.Invariant.inv) sub.invariants)
+      ~seed ~max_states ?max_depth ?check_key:sub.equal_state ~observe
+      ~init:sub.init ()
+  in
+  let obs = List.rev !observations in
+  let stats = outcome.Check.Explorer.stats in
+  let truncated = stats.Check.Explorer.truncated in
+
+  (* --- per-class fire counts ------------------------------------- *)
+  let fired : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun o ->
+      List.iter
+        (fun a ->
+          let cls = sub.action_class a in
+          Hashtbl.replace fired cls (1 + Option.value ~default:0 (Hashtbl.find_opt fired cls)))
+        o.Check.Explorer.obs_enabled)
+    obs;
+  let classes =
+    List.map
+      (fun cls -> (cls, Option.value ~default:0 (Hashtbl.find_opt fired cls)))
+      sub.all_classes
+  in
+
+  (* --- invariant coverage / vacuity ------------------------------ *)
+  let coverage =
+    List.map
+      (fun (c : _ Ioa.Invariant.checked) ->
+        let held =
+          match c.antecedent with
+          | None -> None
+          | Some ante ->
+              Some
+                (List.fold_left
+                   (fun n o ->
+                     if ante o.Check.Explorer.obs_state then n + 1 else n)
+                   0 obs)
+        in
+        {
+          Findings.cov_invariant = c.inv.Ioa.Invariant.name;
+          cov_states = !n_obs;
+          cov_antecedent = held;
+        })
+      sub.invariants
+  in
+  let vacuous =
+    if truncated || !n_obs = 0 then []
+    else
+      List.filter_map
+        (fun (c : Findings.coverage) ->
+          match c.cov_antecedent with
+          | Some 0 ->
+              Some
+                (Findings.Vacuous_invariant
+                   { invariant = c.cov_invariant; states = c.cov_states })
+          | Some _ | None -> None)
+        coverage
+  in
+
+  (* --- generator soundness: proposed ⊆ enabled (exact entries) ---- *)
+  let unsound =
+    if not sub.exact_candidates then []
+    else begin
+      let found = ref [] and n = ref 0 in
+      List.iter
+        (fun o ->
+          List.iter
+            (fun a ->
+              if not (A.enabled o.Check.Explorer.obs_state a) then begin
+                incr n;
+                if !n <= max_findings_per_kind then
+                  found :=
+                    Findings.Unsound_candidate
+                      {
+                        action = action_str a;
+                        state = state_str o.Check.Explorer.obs_state;
+                      }
+                    :: !found
+              end)
+            o.Check.Explorer.obs_candidates)
+        obs;
+      List.rev !found
+    end
+  in
+
+  (* --- generator completeness over the observed action universe --- *)
+  (* Universe: every action ever proposed anywhere whose class is
+     completeness-checked, deduplicated by rendering.  Any observed state
+     in which such an action is enabled but absent from the proposals is a
+     missed schedule — the exploration silently never tries it. *)
+  let missed =
+    if sub.complete_classes = [] then []
+    else begin
+      let universe : (string, a) Hashtbl.t = Hashtbl.create 64 in
+      List.iter
+        (fun o ->
+          List.iter
+            (fun a ->
+              if List.mem (sub.action_class a) sub.complete_classes then begin
+                let s = action_str a in
+                if not (Hashtbl.mem universe s) then Hashtbl.add universe s a
+              end)
+            o.Check.Explorer.obs_candidates)
+        obs;
+      let stride = max 1 (!n_obs / completeness_sample) in
+      let found = ref [] and n = ref 0 and i = ref (-1) in
+      List.iter
+        (fun o ->
+          incr i;
+          if !i mod stride = 0 then begin
+            let proposed =
+              List.fold_left
+                (fun acc a -> action_str a :: acc)
+                []
+                o.Check.Explorer.obs_candidates
+            in
+            Hashtbl.iter
+              (fun str a ->
+                if
+                  A.enabled o.Check.Explorer.obs_state a
+                  && not (List.mem str proposed)
+                then begin
+                  incr n;
+                  if !n <= max_findings_per_kind then
+                    found :=
+                      Findings.Missed_enabled
+                        {
+                          action = str;
+                          cls = sub.action_class a;
+                          state = state_str o.Check.Explorer.obs_state;
+                        }
+                      :: !found
+                end)
+              universe
+          end)
+        obs;
+      List.rev !found
+    end
+  in
+
+  (* --- dead classes ----------------------------------------------- *)
+  let dead =
+    if truncated then []
+    else
+      List.filter_map
+        (fun (cls, n) ->
+          if n = 0 && not (List.mem cls sub.allowed_dead) then
+            Some (Findings.Dead_class { cls })
+          else None)
+        classes
+  in
+
+  (* --- deadlocks --------------------------------------------------- *)
+  let deadlocks =
+    match sub.quiescent with
+    | None -> []
+    | Some quiescent ->
+        let found = ref [] and n = ref 0 in
+        List.iter
+          (fun o ->
+            if
+              o.Check.Explorer.obs_enabled = []
+              && not (quiescent o.Check.Explorer.obs_state)
+            then begin
+              incr n;
+              if !n <= max_findings_per_kind then
+                found :=
+                  Findings.Deadlock
+                    {
+                      state = state_str o.Check.Explorer.obs_state;
+                      depth = o.Check.Explorer.obs_depth;
+                    }
+                  :: !found
+            end)
+          obs;
+        List.rev !found
+  in
+
+  (* --- explorer-level findings ------------------------------------ *)
+  let explorer_findings =
+    List.concat
+      [
+        (match outcome.Check.Explorer.violation with
+        | Some v ->
+            [
+              Findings.Invariant_violation
+                {
+                  invariant = v.Ioa.Invariant.invariant;
+                  state = state_str v.Ioa.Invariant.state;
+                };
+            ]
+        | None -> []);
+        (match outcome.Check.Explorer.step_failure with
+        | Some (step, detail) ->
+            [
+              Findings.Step_failure
+                { action = action_str step.Ioa.Exec.action; detail };
+            ]
+        | None -> []);
+        (match outcome.Check.Explorer.key_clash with
+        | Some (a, b) ->
+            [ Findings.Key_clash { state_a = state_str a; state_b = state_str b } ]
+        | None -> []);
+      ]
+  in
+
+  {
+    Findings.entry = name;
+    states = stats.Check.Explorer.states;
+    transitions = stats.Check.Explorer.transitions;
+    depth = stats.Check.Explorer.depth;
+    truncated;
+    classes;
+    coverage;
+    findings =
+      explorer_findings @ unsound @ missed @ dead @ vacuous @ deadlocks;
+  }

@@ -1,0 +1,61 @@
+(** The static-analysis pass over one packaged automaton.
+
+    [analyze] explores the automaton's reachable state graph with
+    {!Check.Explorer.run} under a small finite environment, observing the
+    candidate set and its enabled subset at every expanded state, and then
+    runs these analyses over the observations:
+
+    - {b soundness}: on [exact_candidates] entries, every proposed candidate
+      must be enabled in the proposing state;
+    - {b completeness}: for each class in [complete_classes], any action of
+      the observed action universe that is enabled in an observed state must
+      be among the generator's proposals there (budgeted input classes —
+      client sends, view creation — are deliberately not listed, since their
+      generators legitimately withhold proposals);
+    - {b vacuity}: invariants carrying antecedent metadata whose antecedent
+      held in no observed state are flagged — their green check proved
+      nothing;
+    - {b dead classes}: declared action classes that never fired (unless in
+      [allowed_dead]);
+    - {b deadlock}: states with no proposed candidates that fail the
+      entry's [quiescent] predicate;
+    - {b key audit}: with [equal_state] present, the explorer retains one
+      representative state per dedup key and reports the first conflated
+      pair (an injectivity bug in [key] invalidates every other number).
+
+    Coverage analyses (vacuity, dead classes) are suppressed when the
+    exploration was truncated by [max_states]/[max_depth]: absence of
+    evidence in a partial graph is not evidence of absence.  Soundness and
+    invariant checks remain valid on the explored region. *)
+
+type ('s, 'a) subject = {
+  automaton :
+    (module Ioa.Automaton.GENERATIVE with type state = 's and type action = 'a);
+  init : 's;
+  key : 's -> string;  (** canonical state rendering for dedup *)
+  equal_state : ('s -> 's -> bool) option;
+      (** enables the key-injectivity audit (costs memory) *)
+  invariants : 's Ioa.Invariant.checked list;
+  pp_state : Format.formatter -> 's -> unit;
+  pp_action : Format.formatter -> 'a -> unit;
+  action_class : 'a -> string;  (** coarse classifier, e.g. "gprcv" *)
+  all_classes : string list;  (** every class the automaton can emit *)
+  complete_classes : string list;
+      (** classes whose enabled actions the generator must always propose *)
+  exact_candidates : bool;
+      (** generator contract: proposes only enabled actions *)
+  quiescent : ('s -> bool) option;
+      (** when [Some q], a candidate-free state [s] with [not (q s)] is a
+          deadlock finding; [None] skips the check *)
+  allowed_dead : string list;
+      (** documented baseline: classes allowed to never fire under this
+          entry's small configuration *)
+}
+
+val analyze :
+  name:string ->
+  ?max_states:int ->
+  ?max_depth:int ->
+  ?seed:int array ->
+  ('s, 'a) subject ->
+  Findings.report

@@ -1,0 +1,193 @@
+type finding =
+  | Invariant_violation of { invariant : string; state : string }
+  | Step_failure of { action : string; detail : string }
+  | Key_clash of { state_a : string; state_b : string }
+  | Unsound_candidate of { action : string; state : string }
+  | Missed_enabled of { action : string; cls : string; state : string }
+  | Dead_class of { cls : string }
+  | Vacuous_invariant of { invariant : string; states : int }
+  | Deadlock of { state : string; depth : int }
+
+type coverage = {
+  cov_invariant : string;
+  cov_states : int;
+  cov_antecedent : int option;
+}
+
+type report = {
+  entry : string;
+  states : int;
+  transitions : int;
+  depth : int;
+  truncated : bool;
+  classes : (string * int) list;
+  coverage : coverage list;
+  findings : finding list;
+}
+
+let kind = function
+  | Invariant_violation _ -> "invariant-violation"
+  | Step_failure _ -> "step-failure"
+  | Key_clash _ -> "key-clash"
+  | Unsound_candidate _ -> "unsound-candidate"
+  | Missed_enabled _ -> "missed-enabled"
+  | Dead_class _ -> "dead-class"
+  | Vacuous_invariant _ -> "vacuous-invariant"
+  | Deadlock _ -> "deadlock"
+
+let pp_finding ppf f =
+  match f with
+  | Invariant_violation { invariant; state } ->
+      Format.fprintf ppf "invariant %S violated at state %s" invariant state
+  | Step_failure { action; detail } ->
+      Format.fprintf ppf "step property failed on %s: %s" action detail
+  | Key_clash { state_a; state_b } ->
+      Format.fprintf ppf
+        "state key not injective: distinct states share a key@ (%s@ vs %s)"
+        state_a state_b
+  | Unsound_candidate { action; state } ->
+      Format.fprintf ppf "candidate %s proposed but not enabled at %s" action
+        state
+  | Missed_enabled { action; cls; state } ->
+      Format.fprintf ppf
+        "action %s (class %s) enabled but never proposed at %s" action cls
+        state
+  | Dead_class { cls } ->
+      Format.fprintf ppf "action class %S never fired" cls
+  | Vacuous_invariant { invariant; states } ->
+      Format.fprintf ppf
+        "invariant %S passed vacuously: antecedent held in 0 of %d states"
+        invariant states
+  | Deadlock { state; depth } ->
+      Format.fprintf ppf "non-quiescent deadlock at depth %d: %s" depth state
+
+let pp_coverage ppf c =
+  match c.cov_antecedent with
+  | None ->
+      Format.fprintf ppf "%-55s %6d states" c.cov_invariant c.cov_states
+  | Some n ->
+      Format.fprintf ppf "%-55s %6d states, antecedent in %d" c.cov_invariant
+        c.cov_states n
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>== %s ==@,%d states, %d transitions, depth %d%s@,"
+    r.entry r.states r.transitions r.depth
+    (if r.truncated then " (TRUNCATED: coverage analyses skipped)" else "");
+  Format.fprintf ppf "action classes:@,";
+  List.iter
+    (fun (cls, n) -> Format.fprintf ppf "  %-20s %6d fired@," cls n)
+    r.classes;
+  if r.coverage <> [] then begin
+    Format.fprintf ppf "invariant coverage:@,";
+    List.iter (fun c -> Format.fprintf ppf "  %a@," pp_coverage c) r.coverage
+  end;
+  (match r.findings with
+  | [] -> Format.fprintf ppf "findings: none@,"
+  | fs ->
+      Format.fprintf ppf "findings (%d):@," (List.length fs);
+      List.iter
+        (fun f -> Format.fprintf ppf "  [%s] %a@," (kind f) pp_finding f)
+        fs);
+  Format.fprintf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* Hand-rolled JSON (no JSON library in the build environment).        *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let jstr s = Printf.sprintf "\"%s\"" (json_escape s)
+let jfield k v = Printf.sprintf "%s:%s" (jstr k) v
+let jobj fields = "{" ^ String.concat "," fields ^ "}"
+let jarr elts = "[" ^ String.concat "," elts ^ "]"
+
+let finding_json f =
+  let base = jfield "kind" (jstr (kind f)) in
+  match f with
+  | Invariant_violation { invariant; state } ->
+      jobj
+        [ base; jfield "invariant" (jstr invariant); jfield "state" (jstr state) ]
+  | Step_failure { action; detail } ->
+      jobj [ base; jfield "action" (jstr action); jfield "detail" (jstr detail) ]
+  | Key_clash { state_a; state_b } ->
+      jobj
+        [
+          base;
+          jfield "state_a" (jstr state_a);
+          jfield "state_b" (jstr state_b);
+        ]
+  | Unsound_candidate { action; state } ->
+      jobj [ base; jfield "action" (jstr action); jfield "state" (jstr state) ]
+  | Missed_enabled { action; cls; state } ->
+      jobj
+        [
+          base;
+          jfield "action" (jstr action);
+          jfield "class" (jstr cls);
+          jfield "state" (jstr state);
+        ]
+  | Dead_class { cls } -> jobj [ base; jfield "class" (jstr cls) ]
+  | Vacuous_invariant { invariant; states } ->
+      jobj
+        [
+          base;
+          jfield "invariant" (jstr invariant);
+          jfield "states" (string_of_int states);
+        ]
+  | Deadlock { state; depth } ->
+      jobj
+        [
+          base;
+          jfield "state" (jstr state);
+          jfield "depth" (string_of_int depth);
+        ]
+
+let coverage_json c =
+  jobj
+    [
+      jfield "invariant" (jstr c.cov_invariant);
+      jfield "states" (string_of_int c.cov_states);
+      jfield "antecedent_held"
+        (match c.cov_antecedent with
+        | None -> "null"
+        | Some n -> string_of_int n);
+    ]
+
+let report_json r =
+  jobj
+    [
+      jfield "entry" (jstr r.entry);
+      jfield "states" (string_of_int r.states);
+      jfield "transitions" (string_of_int r.transitions);
+      jfield "depth" (string_of_int r.depth);
+      jfield "truncated" (if r.truncated then "true" else "false");
+      jfield "classes"
+        (jobj
+           (List.map (fun (cls, n) -> jfield cls (string_of_int n)) r.classes));
+      jfield "coverage" (jarr (List.map coverage_json r.coverage));
+      jfield "findings" (jarr (List.map finding_json r.findings));
+    ]
+
+let reports_json rs =
+  let total =
+    List.fold_left (fun n r -> n + List.length r.findings) 0 rs
+  in
+  jobj
+    [
+      jfield "entries" (jarr (List.map report_json rs));
+      jfield "total_findings" (string_of_int total);
+    ]

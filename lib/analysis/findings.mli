@@ -1,0 +1,61 @@
+(** Findings and reports produced by the static-analysis pass.
+
+    A {!finding} is a defect the analyzer can demonstrate on the explored
+    state graph of one registry entry; a {!report} is the per-entry summary
+    (exploration statistics, per-class fire counts, per-invariant coverage,
+    findings).  Reports render human-readable via {!pp_report} and as JSON
+    via {!reports_json} (hand-rolled — the build environment has no JSON
+    library). *)
+
+type finding =
+  | Invariant_violation of { invariant : string; state : string }
+      (** an invariant failed on a reachable state *)
+  | Step_failure of { action : string; detail : string }
+      (** a per-step property failed *)
+  | Key_clash of { state_a : string; state_b : string }
+      (** the dedup key conflated two distinct states — the exploration
+          (and every coverage number) is unsound for this entry *)
+  | Unsound_candidate of { action : string; state : string }
+      (** an [exact] generator proposed a disabled action *)
+  | Missed_enabled of { action : string; cls : string; state : string }
+      (** an action of a completeness-checked class was enabled in an
+          observed state but not among the generator's proposals there *)
+  | Dead_class of { cls : string }
+      (** a declared action class never fired anywhere in the exploration *)
+  | Vacuous_invariant of { invariant : string; states : int }
+      (** the invariant's antecedent held in none of the observed states:
+          the green check proves nothing *)
+  | Deadlock of { state : string; depth : int }
+      (** a state with no proposed candidates that the entry's quiescence
+          predicate rejects *)
+
+type coverage = {
+  cov_invariant : string;
+  cov_states : int;  (** observed states the invariant was evaluated on *)
+  cov_antecedent : int option;
+      (** observed states on which the antecedent held; [None] for plain
+          invariants without antecedent metadata *)
+}
+
+type report = {
+  entry : string;
+  states : int;
+  transitions : int;
+  depth : int;
+  truncated : bool;
+  classes : (string * int) list;  (** transitions fired per action class *)
+  coverage : coverage list;
+  findings : finding list;
+}
+
+(** Stable machine-readable tag of the finding's constructor. *)
+val kind : finding -> string
+
+val pp_finding : Format.formatter -> finding -> unit
+val pp_report : Format.formatter -> report -> unit
+
+(** One JSON object for one entry. *)
+val report_json : report -> string
+
+(** The full run: [{"entries": [...], "total_findings": n}]. *)
+val reports_json : report list -> string

@@ -1,0 +1,488 @@
+open Prelude
+module Msg = Msg_intf.String_msg
+
+type entry =
+  | Entry : {
+      name : string;
+      doc : string;
+      max_states : int;
+      subject : ('s, 'a) Analyzer.subject;
+    }
+      -> entry
+
+let name (Entry e) = e.name
+let doc (Entry e) = e.doc
+
+(* Every registry entry uses a fixed seed for the generative modules'
+   auxiliary randomness (view-membership proposals are [`All_subsets], i.e.
+   deterministic, wherever the config offers it), so runs are
+   reproducible. *)
+let rng_views () = Random.State.make [| 42 |]
+
+(* ------------------------------------------------------------------ *)
+(* VS specification (Figure 1)                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Vsg = Vs.Vs_gen.Make (Msg)
+
+let vs_spec () =
+  let cfg =
+    {
+      (Vsg.default_config ~payloads:[ "a" ] ~universe:2) with
+      Vsg.max_views = 2;
+      max_sends = 2;
+      view_proposals = `All_subsets;
+    }
+  in
+  Entry
+    {
+      name = "vs-spec";
+      doc = "VS service specification (Figure 1), invariants 3.1 + indices";
+      max_states = 150_000;
+      subject =
+        {
+          Analyzer.automaton = Vsg.generative cfg ~rng_views:(rng_views ());
+          init = Vsg.Spec.initial (Proc.Set.universe 2);
+          key = Vsg.Spec.state_key;
+          equal_state = Some Vsg.Spec.equal_state;
+          invariants = Vsg.Spec.checked_invariants;
+          pp_state = Vsg.Spec.pp_state;
+          pp_action = Vsg.Spec.pp_action;
+          action_class =
+            (function
+            | Vsg.Spec.Createview _ -> "createview"
+            | Vsg.Spec.Newview _ -> "newview"
+            | Vsg.Spec.Gpsnd _ -> "gpsnd"
+            | Vsg.Spec.Order _ -> "order"
+            | Vsg.Spec.Gprcv _ -> "gprcv"
+            | Vsg.Spec.Safe _ -> "safe");
+          all_classes =
+            [ "createview"; "newview"; "gpsnd"; "order"; "gprcv"; "safe" ];
+          complete_classes = [ "newview"; "order"; "gprcv"; "safe" ];
+          exact_candidates = false;
+          quiescent = None;
+          allowed_dead = [];
+        };
+    }
+
+(* ------------------------------------------------------------------ *)
+(* DVS specification (Figure 2)                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Dg = Core.Dvs_gen.Make (Msg)
+module Dinv = Core.Dvs_invariants.Make (Msg)
+
+let dvs_spec () =
+  let cfg =
+    {
+      (Dg.default_config ~payloads:[ "a" ] ~universe:2) with
+      Dg.max_views = 2;
+      max_sends = 1;
+      view_proposals = `All_subsets;
+    }
+  in
+  Entry
+    {
+      name = "dvs-spec";
+      doc = "DVS service specification (Figure 2), invariants 4.1/4.2";
+      max_states = 150_000;
+      subject =
+        {
+          Analyzer.automaton = Dg.generative cfg ~rng_views:(rng_views ());
+          init = Dg.Spec.initial (Proc.Set.universe 2);
+          key = Dg.Spec.state_key;
+          equal_state = Some Dg.Spec.equal_state;
+          invariants = Dinv.checked;
+          pp_state = Dg.Spec.pp_state;
+          pp_action = Dg.Spec.pp_action;
+          action_class =
+            (function
+            | Dg.Spec.Createview _ -> "createview"
+            | Dg.Spec.Newview _ -> "newview"
+            | Dg.Spec.Register _ -> "register"
+            | Dg.Spec.Gpsnd _ -> "gpsnd"
+            | Dg.Spec.Order _ -> "order"
+            | Dg.Spec.Gprcv _ -> "gprcv"
+            | Dg.Spec.Safe _ -> "safe");
+          all_classes =
+            [
+              "createview";
+              "newview";
+              "register";
+              "gpsnd";
+              "order";
+              "gprcv";
+              "safe";
+            ];
+          (* [register] is an always-enabled input (like [gpsnd]): the
+             generator only proposes it for unregistered processes, so it
+             is not completeness-checked. *)
+          complete_classes = [ "newview"; "order"; "gprcv"; "safe" ];
+          exact_candidates = false;
+          quiescent = None;
+          allowed_dead = [];
+        };
+    }
+
+(* ------------------------------------------------------------------ *)
+(* DVS-IMPL: Figure 3 nodes over the VS specification (Section 5)      *)
+(* ------------------------------------------------------------------ *)
+
+module Sys = Dvs_impl.System.Make (Msg)
+module Iinv = Dvs_impl.Impl_invariants.Make (Msg)
+
+let dvs_impl () =
+  let cfg =
+    {
+      (Sys.default_config ~payloads:[ "a" ] ~universe:2) with
+      Sys.max_views = 2;
+      max_sends = 1;
+      schedule = Sys.Unrestricted;
+      register_probability = 1.0;
+      view_proposals = `All_subsets;
+    }
+  in
+  Entry
+    {
+      name = "dvs-impl";
+      doc = "VS-TO-DVS nodes over the VS spec (Figure 3), invariants 5.1-5.6";
+      max_states = 150_000;
+      subject =
+        {
+          Analyzer.automaton = Sys.generative cfg ~rng_views:(rng_views ());
+          init = Sys.initial ~universe:2 ~p0:(Proc.Set.universe 2);
+          key = Sys.state_key;
+          equal_state = Some Sys.equal_state;
+          invariants = Iinv.checked;
+          pp_state = Sys.pp_state;
+          pp_action = Sys.pp_action;
+          action_class =
+            (function
+            | Sys.Dvs_gpsnd _ -> "dvs-gpsnd"
+            | Sys.Dvs_register _ -> "dvs-register"
+            | Sys.Dvs_newview _ -> "dvs-newview"
+            | Sys.Dvs_gprcv _ -> "dvs-gprcv"
+            | Sys.Dvs_safe _ -> "dvs-safe"
+            | Sys.Vs_createview _ -> "vs-createview"
+            | Sys.Vs_newview _ -> "vs-newview"
+            | Sys.Vs_gpsnd _ -> "vs-gpsnd"
+            | Sys.Vs_order _ -> "vs-order"
+            | Sys.Vs_gprcv _ -> "vs-gprcv"
+            | Sys.Vs_safe _ -> "vs-safe"
+            | Sys.Garbage_collect _ -> "gc");
+          all_classes =
+            [
+              "dvs-gpsnd";
+              "dvs-register";
+              "dvs-newview";
+              "dvs-gprcv";
+              "dvs-safe";
+              "vs-createview";
+              "vs-newview";
+              "vs-gpsnd";
+              "vs-order";
+              "vs-gprcv";
+              "vs-safe";
+              "gc";
+            ];
+          (* [dvs-gpsnd]/[dvs-register] are always-enabled inputs the
+             generator proposes selectively (budget / registration state);
+             [vs-createview] is paced by the view budget. *)
+          complete_classes =
+            [
+              "dvs-newview";
+              "dvs-gprcv";
+              "dvs-safe";
+              "vs-newview";
+              "vs-gpsnd";
+              "vs-order";
+              "vs-gprcv";
+              "vs-safe";
+              "gc";
+            ];
+          exact_candidates = false;
+          quiescent = None;
+          allowed_dead = [];
+        };
+    }
+
+(* ------------------------------------------------------------------ *)
+(* TO specification (Section 6)                                        *)
+(* ------------------------------------------------------------------ *)
+
+module To = To_broadcast.To_spec
+module Tog = To_broadcast.To_gen
+
+let to_spec () =
+  let universe = 2 in
+  let cfg = { Tog.universe; payloads = [ "a"; "b" ]; max_bcasts = 2 } in
+  Entry
+    {
+      name = "to-spec";
+      doc = "TO service specification (Section 6), exact generator";
+      max_states = 50_000;
+      subject =
+        {
+          Analyzer.automaton = Tog.generative cfg;
+          init = To.initial;
+          key = To.state_key;
+          equal_state = Some To.equal_state;
+          invariants =
+            [
+              Ioa.Invariant.with_antecedent To.invariant_next_bounded (fun s ->
+                  not (Proc.Map.is_empty s.To.next));
+            ];
+          pp_state = To.pp_state;
+          pp_action = To.pp_action;
+          action_class =
+            (function
+            | To.Bcast _ -> "bcast"
+            | To.Order _ -> "order"
+            | To.Brcv _ -> "brcv");
+          all_classes = [ "bcast"; "order"; "brcv" ];
+          complete_classes = [ "order"; "brcv" ];
+          exact_candidates = true;
+          quiescent =
+            Some
+              (fun s ->
+                Proc.Map.is_empty s.To.pending
+                && List.for_all
+                     (fun p -> To.next_of s p = Seqs.length s.To.order + 1)
+                     (List.init universe Fun.id));
+          allowed_dead = [];
+        };
+    }
+
+(* ------------------------------------------------------------------ *)
+(* TO-IMPL: Figure 5 nodes over the DVS specification (Section 6.1)    *)
+(* ------------------------------------------------------------------ *)
+
+module Timpl = To_broadcast.To_impl
+module Tinv = To_broadcast.To_invariants
+
+let to_impl () =
+  let cfg =
+    {
+      (* Three views, not two: summaries carrying [high = g1] only enter
+         circulation during a third view's state exchange, so with a
+         two-view budget invariant 6.2 passes vacuously (the analyzer
+         catches exactly this). *)
+      (Timpl.default_config ~payloads:[ "a" ] ~universe:2) with
+      Timpl.max_views = 3;
+      max_bcasts = 1;
+      view_proposals = `All_subsets;
+    }
+  in
+  Entry
+    {
+      name = "to-impl";
+      doc = "DVS-TO-TO nodes over the DVS spec (Figure 5), invariants 6.1-6.3";
+      max_states = 150_000;
+      subject =
+        {
+          Analyzer.automaton = Timpl.generative cfg ~rng_views:(rng_views ());
+          init = Timpl.initial ~universe:2 ~p0:(Proc.Set.universe 2);
+          key = Timpl.state_key;
+          equal_state = Some Timpl.equal_state;
+          invariants = Tinv.checked;
+          pp_state = Timpl.pp_state;
+          pp_action = Timpl.pp_action;
+          action_class =
+            (function
+            | Timpl.Bcast _ -> "bcast"
+            | Timpl.Brcv _ -> "brcv"
+            | Timpl.Label_msg _ -> "label"
+            | Timpl.Confirm _ -> "confirm"
+            | Timpl.Dvs_createview _ -> "dvs-createview"
+            | Timpl.Dvs_newview _ -> "dvs-newview"
+            | Timpl.Dvs_register _ -> "dvs-register"
+            | Timpl.Dvs_gpsnd _ -> "dvs-gpsnd"
+            | Timpl.Dvs_order _ -> "dvs-order"
+            | Timpl.Dvs_gprcv _ -> "dvs-gprcv"
+            | Timpl.Dvs_safe _ -> "dvs-safe");
+          all_classes =
+            [
+              "bcast";
+              "brcv";
+              "label";
+              "confirm";
+              "dvs-createview";
+              "dvs-newview";
+              "dvs-register";
+              "dvs-gpsnd";
+              "dvs-order";
+              "dvs-gprcv";
+              "dvs-safe";
+            ];
+          complete_classes =
+            [
+              "brcv";
+              "label";
+              "confirm";
+              "dvs-newview";
+              "dvs-register";
+              "dvs-gpsnd";
+              "dvs-order";
+              "dvs-gprcv";
+              "dvs-safe";
+            ];
+          exact_candidates = false;
+          quiescent = None;
+          allowed_dead = [];
+        };
+    }
+
+(* ------------------------------------------------------------------ *)
+(* VS-IMPL: the sequencer-protocol engine stack (lib/vs_impl)          *)
+(* ------------------------------------------------------------------ *)
+
+module Stk = Vs_impl.Stack.Make (Msg)
+
+let vs_stack () =
+  let cfg =
+    {
+      (Stk.default_config ~payloads:[ "a" ] ~universe:2) with
+      Stk.max_views = 2;
+      max_sends = 1;
+    }
+  in
+  Entry
+    {
+      name = "vs-stack";
+      doc = "VS engine stack (sequencer protocol over partitionable net)";
+      max_states = 150_000;
+      subject =
+        {
+          Analyzer.automaton = Stk.generative cfg ~rng_views:(rng_views ());
+          init = Stk.initial ~universe:2 ~p0:(Proc.Set.universe 2);
+          key = Stk.state_key;
+          equal_state = Some Stk.equal_state;
+          invariants = [];
+          pp_state = Stk.pp_state;
+          pp_action = Stk.pp_action;
+          action_class =
+            (function
+            | Stk.Gpsnd _ -> "gpsnd"
+            | Stk.Newview _ -> "newview"
+            | Stk.Gprcv _ -> "gprcv"
+            | Stk.Safe _ -> "safe"
+            | Stk.Createview _ -> "createview"
+            | Stk.Reconfigure _ -> "reconfigure"
+            | Stk.Send _ -> "send"
+            | Stk.Deliver _ -> "deliver");
+          all_classes =
+            [
+              "gpsnd";
+              "newview";
+              "gprcv";
+              "safe";
+              "createview";
+              "reconfigure";
+              "send";
+              "deliver";
+            ];
+          complete_classes = [ "newview"; "gprcv"; "safe"; "send"; "deliver" ];
+          exact_candidates = true;
+          quiescent = None;
+          allowed_dead = [];
+        };
+    }
+
+(* ------------------------------------------------------------------ *)
+(* The full stack: DVS nodes over the VS engine (lib/full_system)      *)
+(* ------------------------------------------------------------------ *)
+
+module Full = Full_system.Full_stack.Make (Msg)
+
+let full_stack () =
+  let cfg =
+    {
+      (Full.default_config ~payloads:[ "a" ] ~universe:2) with
+      Full.max_views = 2;
+      max_sends = 1;
+      register_probability = 1.0;
+    }
+  in
+  Entry
+    {
+      name = "full-stack";
+      doc = "Full system: VS-TO-DVS nodes over the VS engine stack";
+      max_states = 150_000;
+      subject =
+        {
+          Analyzer.automaton = Full.generative cfg ~rng_views:(rng_views ());
+          init = Full.initial ~universe:2 ~p0:(Proc.Set.universe 2);
+          key = Full.state_key;
+          equal_state = Some Full.equal_state;
+          invariants = [];
+          pp_state = Full.pp_state;
+          pp_action = Full.pp_action;
+          action_class =
+            (function
+            | Full.Dvs_gpsnd _ -> "dvs-gpsnd"
+            | Full.Dvs_register _ -> "dvs-register"
+            | Full.Dvs_newview _ -> "dvs-newview"
+            | Full.Dvs_gprcv _ -> "dvs-gprcv"
+            | Full.Dvs_safe _ -> "dvs-safe"
+            | Full.Vs_gpsnd _ -> "vs-gpsnd"
+            | Full.Vs_newview _ -> "vs-newview"
+            | Full.Vs_gprcv _ -> "vs-gprcv"
+            | Full.Vs_safe _ -> "vs-safe"
+            | Full.Garbage_collect _ -> "gc"
+            | Full.Stk_createview _ -> "stk-createview"
+            | Full.Stk_reconfigure _ -> "stk-reconfigure"
+            | Full.Stk_send _ -> "stk-send"
+            | Full.Stk_deliver _ -> "stk-deliver");
+          all_classes =
+            [
+              "dvs-gpsnd";
+              "dvs-register";
+              "dvs-newview";
+              "dvs-gprcv";
+              "dvs-safe";
+              "vs-gpsnd";
+              "vs-newview";
+              "vs-gprcv";
+              "vs-safe";
+              "gc";
+              "stk-createview";
+              "stk-reconfigure";
+              "stk-send";
+              "stk-deliver";
+            ];
+          complete_classes =
+            [
+              "dvs-newview";
+              "dvs-gprcv";
+              "dvs-safe";
+              "vs-gpsnd";
+              "vs-newview";
+              "vs-gprcv";
+              "vs-safe";
+              "gc";
+              "stk-send";
+              "stk-deliver";
+            ];
+          exact_candidates = true;
+          quiescent = None;
+          allowed_dead = [];
+        };
+    }
+
+(* NOTE: the TO application over the full engine stack (lib/full_system's
+   Full_to) is deliberately not a registry entry: its documented safe-case
+   gap (DESIGN.md finding #4) means the Section 6.2 invariants can
+   legitimately fail under unrestricted exhaustive scheduling. *)
+
+let all () =
+  [
+    vs_spec ();
+    dvs_spec ();
+    dvs_impl ();
+    to_spec ();
+    to_impl ();
+    vs_stack ();
+    full_stack ();
+  ]
+
+let find entries n = List.find_opt (fun (Entry e) -> e.name = n) entries

@@ -1,0 +1,27 @@
+(** The automaton registry: every packaged [GENERATIVE] instance of the
+    repository, each with its invariants (with antecedent metadata), a
+    canonical state key, an action classifier and a small finite
+    configuration tuned so the analyzer's exhaustive exploration completes.
+
+    The TO application over the full engine stack ([Full_to]) is not an
+    entry: its documented safe-case gap (DESIGN.md finding #4) makes the
+    Section 6.2 invariants fail legitimately under unrestricted exhaustive
+    scheduling. *)
+
+type entry =
+  | Entry : {
+      name : string;  (** CLI identifier, e.g. ["vs-spec"] *)
+      doc : string;  (** one-line description *)
+      max_states : int;  (** default exploration bound for this entry *)
+      subject : ('s, 'a) Analyzer.subject;
+    }
+      -> entry
+
+val name : entry -> string
+val doc : entry -> string
+
+(** Fresh entries (the generative modules carry RNG state, so each call
+    rebuilds them; all seeds are fixed and runs reproducible). *)
+val all : unit -> entry list
+
+val find : entry list -> string -> entry option

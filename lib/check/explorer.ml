@@ -5,20 +5,29 @@ let pp_stats ppf s =
     s.transitions s.depth
     (if s.truncated then " (truncated)" else "")
 
+type ('s, 'a) observation = {
+  obs_state : 's;
+  obs_depth : int;
+  obs_candidates : 'a list;
+  obs_enabled : 'a list;
+}
+
 type ('s, 'a) outcome = {
   stats : stats;
   violation : 's Ioa.Invariant.violation option;
   step_failure : (('s, 'a) Ioa.Exec.step * string) option;
+  key_clash : ('s * 's) option;
 }
 
 let run (type s a)
     (module A : Ioa.Automaton.GENERATIVE with type state = s and type action = a)
-    ~key ~invariants ?(max_states = 200_000) ?max_depth ?check_step ~init () =
+    ~key ~invariants ?(seed = [| 0 |]) ?(max_states = 200_000) ?max_depth
+    ?check_step ?check_key ?observe ~init () =
   (* A fixed RNG makes generative candidate sets deterministic; exhaustive
      soundness relies on the candidate function not sampling (instantiate the
      generators with degenerate configs for exploration). *)
-  let rng = Random.State.make [| 0 |] in
-  let seen = Hashtbl.create 4096 in
+  let rng = Random.State.make seed in
+  let seen : (string, s) Hashtbl.t = Hashtbl.create 4096 in
   let queue = Queue.create () in
   let check_state index state =
     List.find_opt
@@ -30,22 +39,40 @@ let run (type s a)
   let stats = ref { states = 0; transitions = 0; depth = 0; truncated = false } in
   let violation = ref None in
   let step_failure = ref None in
+  let key_clash = ref None in
+  (* Retain representative states only when auditing the key function; plain
+     exploration keeps the table light by storing [init] for every slot. *)
+  let retain = match check_key with Some _ -> true | None -> false in
   let push depth state =
     let k = key state in
-    if not (Hashtbl.mem seen k) then begin
-      Hashtbl.add seen k ();
-      stats :=
-        { !stats with states = !stats.states + 1; depth = max !stats.depth depth };
-      if !stats.states > max_states then stats := { !stats with truncated = true }
-      else begin
-        match check_state !stats.states state with
+    match Hashtbl.find_opt seen k with
+    | Some rep ->
+        (* Audit the key function when an equality is available: a collision
+           between states the equality distinguishes means the dedup merged
+           genuinely different states and the exploration is unsound. *)
+        (match check_key with
+        | Some equal when not (equal rep state) ->
+            key_clash := Some (rep, state)
+        | Some _ | None -> ())
+    | None ->
+        Hashtbl.add seen k (if retain then state else init);
+        stats :=
+          { !stats with states = !stats.states + 1; depth = max !stats.depth depth };
+        (* The state that crosses [max_states] is counted in [stats], so it
+           must be invariant-checked like every other visited state — it is
+           only exempt from expansion. *)
+        (match check_state !stats.states state with
         | Some v -> violation := Some v
-        | None -> Queue.add (depth, state) queue
-      end
-    end
+        | None ->
+            if !stats.states > max_states then
+              stats := { !stats with truncated = true }
+            else Queue.add (depth, state) queue)
   in
   push 0 init;
-  let continue () = !violation = None && !step_failure = None && not !stats.truncated in
+  let continue () =
+    !violation = None && !step_failure = None && !key_clash = None
+    && not !stats.truncated
+  in
   let rec loop () =
     if continue () && not (Queue.is_empty queue) then begin
       let depth, state = Queue.pop queue in
@@ -53,9 +80,18 @@ let run (type s a)
         match max_depth with Some d -> depth < d | None -> true
       in
       if expand then begin
-        let actions =
-          List.filter (A.enabled state) (A.candidates rng state)
-        in
+        let candidates = A.candidates rng state in
+        let actions = List.filter (A.enabled state) candidates in
+        (match observe with
+        | None -> ()
+        | Some f ->
+            f
+              {
+                obs_state = state;
+                obs_depth = depth;
+                obs_candidates = candidates;
+                obs_enabled = actions;
+              });
         List.iter
           (fun action ->
             if continue () then begin
@@ -76,4 +112,9 @@ let run (type s a)
     end
   in
   loop ();
-  { stats = !stats; violation = !violation; step_failure = !step_failure }
+  {
+    stats = !stats;
+    violation = !violation;
+    step_failure = !step_failure;
+    key_clash = !key_clash;
+  }

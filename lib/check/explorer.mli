@@ -10,8 +10,8 @@
 
     Unlike the random engine, candidates must be generated deterministically
     and must over-approximate the enabled action set relative to the chosen
-    finite environment; the [deterministic] wrapper below fixes the RNG the
-    generative modules expect. *)
+    finite environment; a fixed RNG seed (overridable via [?seed]) keeps the
+    generative modules deterministic. *)
 
 type stats = {
   states : int;  (** distinct states visited *)
@@ -22,29 +22,56 @@ type stats = {
 
 val pp_stats : Format.formatter -> stats -> unit
 
+(** What the explorer saw when it expanded one state: the raw candidate
+    proposals and the enabled subset it actually fired.  The analysis passes
+    of [lib/analysis] consume this to measure generator soundness, action
+    coverage and quiescence; states cut off by [max_depth] or [max_states]
+    are not expanded and hence not observed. *)
+type ('s, 'a) observation = {
+  obs_state : 's;
+  obs_depth : int;
+  obs_candidates : 'a list;  (** as proposed by [candidates] *)
+  obs_enabled : 'a list;  (** the [enabled]-filtered subset, as fired *)
+}
+
 type ('s, 'a) outcome = {
   stats : stats;
   violation : 's Ioa.Invariant.violation option;
       (** first invariant violation found, if any *)
   step_failure : (('s, 'a) Ioa.Exec.step * string) option;
       (** first per-step property failure, if any *)
+  key_clash : ('s * 's) option;
+      (** two states the dedup key conflated that [check_key] distinguishes
+          — the key function is not injective and the exploration unsound *)
 }
 
 (** [run (module A) ~key ~invariants ~init ()] explores breadth-first.
 
     @param key canonical rendering used to deduplicate states.
+    @param seed RNG seed for the generative module (default [[|0|]]).
     @param max_states stop after visiting this many distinct states
-           (default 200_000).
+           (default 200_000).  The state that crosses the bound is still
+           invariant-checked before the search stops.
     @param max_depth stop expanding beyond this depth (default unbounded).
     @param check_step optional per-transition property; return [Error msg]
-           to report.  Exploration stops at the first failure. *)
+           to report.  Exploration stops at the first failure.
+    @param check_key optional state equality used to audit [key]: a
+           representative state is retained per key and compared on every
+           collision; the first conflated pair is reported as [key_clash]
+           and stops the search.  Costs memory proportional to the explored
+           set — intended for the small instances of [lib/analysis].
+    @param observe called once per expanded state with the candidate set
+           and its enabled subset, before the transitions fire. *)
 val run :
   (module Ioa.Automaton.GENERATIVE with type state = 's and type action = 'a) ->
   key:('s -> string) ->
   invariants:'s Ioa.Invariant.t list ->
+  ?seed:int array ->
   ?max_states:int ->
   ?max_depth:int ->
   ?check_step:(('s, 'a) Ioa.Exec.step -> (unit, string) result) ->
+  ?check_key:('s -> 's -> bool) ->
+  ?observe:(('s, 'a) observation -> unit) ->
   init:'s ->
   unit ->
   ('s, 'a) outcome

@@ -54,4 +54,30 @@ module Make (M : Msg_intf.S) = struct
 
   let all =
     [ invariant_4_1; invariant_4_2; invariant_unique_ids; invariant_membership ]
+
+  (* Antecedent coverage predicates for the analyzer's vacuity check: each
+     names the configuration in which the invariant's conclusion is actually
+     load-bearing, so explorations that never reach it are reported. *)
+  let checked =
+    [
+      Ioa.Invariant.with_antecedent invariant_4_1 (fun s ->
+          List.exists
+            (fun (v, w) ->
+              not (Spec.tot_reg_between s (View.id v) (View.id w)))
+            (pairs_of_created s));
+      Ioa.Invariant.with_antecedent invariant_4_2 (fun s ->
+          let totatt = Spec.tot_att s in
+          View.Set.exists
+            (fun v ->
+              View.Set.exists
+                (fun w -> Gid.lt (View.id v) (View.id w))
+                totatt)
+            s.Spec.created);
+      Ioa.Invariant.with_antecedent invariant_unique_ids (fun s ->
+          View.Set.cardinal s.Spec.created >= 2);
+      Ioa.Invariant.with_antecedent invariant_membership (fun s ->
+          View.Set.exists
+            (fun v -> not (Proc.Set.is_empty (Spec.attempted_of s (View.id v))))
+            s.Spec.created);
+    ]
 end

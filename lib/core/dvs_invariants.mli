@@ -29,4 +29,8 @@ module Make (M : Prelude.Msg_intf.S) : sig
   val invariant_membership : Spec.state Ioa.Invariant.t
 
   val all : Spec.state Ioa.Invariant.t list
+
+  (** [all] paired with antecedent coverage predicates for the analyzer's
+      vacuity check (see {!Ioa.Invariant.checked}). *)
+  val checked : Spec.state Ioa.Invariant.checked list
 end

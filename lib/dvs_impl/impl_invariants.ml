@@ -178,4 +178,59 @@ module Make (M : Msg_intf.S) = struct
       invariant_5_6;
       invariant_cur_agreement;
     ]
+
+  (* Antecedent coverage predicates for the analyzer's vacuity check.  Each
+     names the state shape in which the invariant's conclusion is
+     load-bearing; invariants that are never exercised beyond that shape
+     pass vacuously and are reported. *)
+  let checked =
+    let some_attempt s =
+      List.exists
+        (fun p -> not (View.Set.is_empty (Impl.node s p).Node.attempted))
+        (procs s)
+    in
+    let unseparated_pair views s =
+      let vs = View.Set.elements (views s) in
+      List.exists
+        (fun v ->
+          List.exists
+            (fun w ->
+              Gid.lt (View.id w) (View.id v)
+              && no_totreg_between s (View.id w) (View.id v))
+            vs)
+        vs
+    in
+    [
+      Ioa.Invariant.with_antecedent invariant_5_1 some_attempt;
+      Ioa.Invariant.plain invariant_5_2;
+      Ioa.Invariant.with_antecedent invariant_5_3 (fun s ->
+          List.exists
+            (fun p -> not (Gid.Map.is_empty (Impl.node s p).Node.info_sent))
+            (procs s));
+      Ioa.Invariant.with_antecedent invariant_5_4 (fun s ->
+        List.exists
+          (fun p ->
+            let atts = (Impl.node s p).Node.attempted in
+            View.Set.exists
+              (fun v ->
+                View.Set.exists
+                  (fun w ->
+                    Gid.lt (View.id w) (View.id v)
+                    && no_totreg_between s (View.id w) (View.id v))
+                  atts)
+              atts)
+          (procs s));
+      Ioa.Invariant.with_antecedent invariant_5_5 (fun s ->
+          let totreg = Impl.tot_reg s in
+          View.Set.exists
+            (fun v ->
+              View.Set.exists
+                (fun w ->
+                  Gid.lt (View.id w) (View.id v)
+                  && no_totreg_between s (View.id w) (View.id v))
+                totreg)
+            (Impl.att s));
+      Ioa.Invariant.with_antecedent invariant_5_6 (unseparated_pair Impl.att);
+      Ioa.Invariant.with_antecedent invariant_cur_agreement some_attempt;
+    ]
 end

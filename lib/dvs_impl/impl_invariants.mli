@@ -41,4 +41,8 @@ module Make (M : Prelude.Msg_intf.S) : sig
   val invariant_cur_agreement : Impl.state Ioa.Invariant.t
 
   val all : Impl.state Ioa.Invariant.t list
+
+  (** [all] paired with antecedent coverage predicates for the analyzer's
+      vacuity check (see {!Ioa.Invariant.checked}). *)
+  val checked : Impl.state Ioa.Invariant.checked list
 end

@@ -99,6 +99,18 @@ module Make (M : Msg_intf.S) = struct
          (fun ppf (p, n) -> Format.fprintf ppf "%a: %a" Proc.pp p Node.pp_state n))
       (Proc.Map.bindings s.nodes)
 
+  (* Canonical dedup key for exhaustive exploration: the VS specification's
+     own key plus every node's full rendering. *)
+  let state_key s =
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf (Vsw.state_key s.vs);
+    Proc.Map.iter
+      (fun p n ->
+        Buffer.add_string buf (Format.asprintf "#%a:" Proc.pp p);
+        Buffer.add_string buf (Node.state_key n))
+      s.nodes;
+    Buffer.contents buf
+
   let pp_action ppf = function
     | Dvs_gpsnd (p, m) -> Format.fprintf ppf "dvs-gpsnd(%a)_%a" M.pp m Proc.pp p
     | Dvs_register p -> Format.fprintf ppf "dvs-register_%a" Proc.pp p

@@ -53,6 +53,12 @@ module Make (M : Prelude.Msg_intf.S) : sig
   val step_v : Vs_to_dvs.variant -> state -> action -> state
   val is_external : action -> bool
   val equal_state : state -> state -> bool
+
+  (** Canonical full-state rendering — the VS specification's [state_key]
+      plus every node's — used as the dedup key for exhaustive
+      exploration. *)
+  val state_key : state -> string
+
   val pp_state : Format.formatter -> state -> unit
   val pp_action : Format.formatter -> action -> unit
 

@@ -283,6 +283,42 @@ module Make (M : Msg_intf.S) = struct
          Gid.pp)
       (Gid.Set.elements s.reg)
 
+  (* Canonical full-state rendering used as an exhaustive-exploration dedup
+     key component: every field is included (history variables too), so
+     distinct node states never share a key.  Injective whenever [M.pp] is
+     injective on the alphabet in use; the explorer's key audit
+     ([check_key]) verifies this on the instances the analyzer runs. *)
+  let state_key s =
+    let buf = Buffer.create 512 in
+    let ppf = Format.formatter_of_buffer buf in
+    let semi ppf () = Format.pp_print_string ppf ";" in
+    let plist pp_x ppf xs = Format.pp_print_list ~pp_sep:semi pp_x ppf xs in
+    let mp ppf (m, q) = Format.fprintf ppf "%a@%a" M.pp m Proc.pp q in
+    let info ppf (v, vs) =
+      Format.fprintf ppf "(%a,%a)" View.pp v View.Set.pp vs
+    in
+    let gmap pp_x ppf m =
+      plist (fun ppf (g, x) -> Format.fprintf ppf "%a:%a" Gid.pp g pp_x x) ppf
+        (Gid.Map.bindings m)
+    in
+    Format.fprintf ppf
+      "me%a|cur%a|cc%a|act%a|amb%a|att%a|ir[%a]|rr[%a]|tv[%a]|fv[%a]|sv[%a]|rg{%a}|is[%a]"
+      Proc.pp s.me pp_view_opt s.cur pp_view_opt s.client_cur View.pp s.act
+      View.Set.pp s.amb View.Set.pp s.attempted
+      (plist (fun ppf ((q, g), x) ->
+           Format.fprintf ppf "%a.%a=%a" Proc.pp q Gid.pp g info x))
+      (Pg_map.bindings s.info_rcvd)
+      (plist (fun ppf ((q, g), ()) ->
+           Format.fprintf ppf "%a.%a" Proc.pp q Gid.pp g))
+      (Pg_map.bindings s.rcvd_rgst)
+      (gmap (Seqs.pp W.pp)) s.msgs_to_vs
+      (gmap (Seqs.pp mp)) s.msgs_from_vs
+      (gmap (Seqs.pp mp)) s.safe_from_vs
+      (plist Gid.pp) (Gid.Set.elements s.reg)
+      (gmap info) s.info_sent;
+    Format.pp_print_flush ppf ();
+    Buffer.contents buf
+
   let pp_action ppf = function
     | Dvs_gpsnd m -> Format.fprintf ppf "dvs-gpsnd(%a)" M.pp m
     | Dvs_register -> Format.pp_print_string ppf "dvs-register"

@@ -93,6 +93,12 @@ module Make (M : Prelude.Msg_intf.S) : sig
   val is_external : action -> bool
   val compare_state : state -> state -> int
   val equal_state : state -> state -> bool
+
+  (** Canonical full-state rendering (all fields, history variables
+      included), injective whenever [M.pp] is injective on the alphabet in
+      use — a dedup-key component for exhaustive exploration. *)
+  val state_key : state -> string
+
   val pp_state : Format.formatter -> state -> unit
   val pp_action : Format.formatter -> action -> unit
 

@@ -110,6 +110,18 @@ module Make (M : Msg_intf.S) = struct
            Format.fprintf ppf "%a: %a" Proc.pp p Node.pp_state n))
       (Proc.Map.bindings s.nodes)
 
+  (* Canonical full-state rendering — the engine stack's key plus every
+     node's — used as the dedup key for exhaustive exploration. *)
+  let state_key s =
+    let buf = Buffer.create 2048 in
+    Buffer.add_string buf (Stk.state_key s.stk);
+    Proc.Map.iter
+      (fun p n ->
+        Buffer.add_string buf (Format.asprintf "##%a:" Proc.pp p);
+        Buffer.add_string buf (Node.state_key n))
+      s.nodes;
+    Buffer.contents buf
+
   let pp_action ppf = function
     | Dvs_gpsnd (p, m) -> Format.fprintf ppf "dvs-gpsnd(%a)_%a" M.pp m Proc.pp p
     | Dvs_register p -> Format.fprintf ppf "dvs-register_%a" Proc.pp p

@@ -50,6 +50,10 @@ module Make (M : Prelude.Msg_intf.S) : sig
 
   include Ioa.Automaton.S with type state := state and type action := action
 
+  (** Canonical full-state rendering — the engine stack's key plus every
+      node's — used as the dedup key for exhaustive exploration. *)
+  val state_key : state -> string
+
   (** Views attempted anywhere (= the DVS-level [created]). *)
   val created : state -> Prelude.View.Set.t
 

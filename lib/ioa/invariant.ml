@@ -2,6 +2,17 @@ type 's t = { name : string; holds : 's -> bool }
 
 let make name holds = { name; holds }
 
+type 's checked = { inv : 's t; antecedent : ('s -> bool) option }
+
+let plain inv = { inv; antecedent = None }
+let with_antecedent inv antecedent = { inv; antecedent = Some antecedent }
+
+let implication name ~antecedent ~consequent =
+  {
+    inv = make name (fun s -> (not (antecedent s)) || consequent s);
+    antecedent = Some antecedent;
+  }
+
 type 's violation = { invariant : string; index : int; state : 's }
 
 let pp_violation pp_state ppf v =

@@ -7,6 +7,31 @@ type 's t = { name : string; holds : 's -> bool }
 
 val make : string -> ('s -> bool) -> 's t
 
+(** An invariant together with the metadata the static analyzer needs.
+
+    Many stated invariants are implications — "if two created views are not
+    separated by a totally registered view, they intersect".  Such a check
+    passes *vacuously* on every execution whose antecedent never fires, so a
+    green run proves nothing.  A [checked] invariant optionally carries the
+    antecedent as a separate predicate; analysis passes count the reachable
+    states on which it holds and flag invariants whose antecedent never
+    held (see [lib/analysis]). *)
+type 's checked = { inv : 's t; antecedent : ('s -> bool) option }
+
+(** A plain invariant with no antecedent metadata (never reported vacuous). *)
+val plain : 's t -> 's checked
+
+(** Attach an antecedent predicate to an existing invariant.  [antecedent s]
+    should hold exactly when the invariant's hypothesis is satisfiable in
+    [s], i.e. when the implication's conclusion actually constrains [s]. *)
+val with_antecedent : 's t -> ('s -> bool) -> 's checked
+
+(** [implication name ~antecedent ~consequent]: build an invariant holding
+    whenever [antecedent s] implies [consequent s], with the antecedent
+    recorded for vacuity analysis. *)
+val implication :
+  string -> antecedent:('s -> bool) -> consequent:('s -> bool) -> 's checked
+
 type 's violation = {
   invariant : string;
   index : int;  (** 0 = initial state, k = state after step k *)

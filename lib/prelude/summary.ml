@@ -25,9 +25,16 @@ let compare a b =
 
 let equal a b = compare a b = 0
 
+(* Injective whenever payload strings are distinguishable: summaries render
+   into the exhaustive explorer's dedup keys (via {!To_msg.pp}), so the full
+   [con] binding list is printed, not just its cardinality. *)
 let pp ppf x =
-  Format.fprintf ppf "{con=%d labels; ord=%a; next=%d; high=%a}"
-    (Label.Map.cardinal x.con) (Seqs.pp Label.pp) x.ord x.next Gid.pp x.high
+  Format.fprintf ppf "{con=[%a]; ord=%a; next=%d; high=%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       (fun ppf (l, a) -> Format.fprintf ppf "%a=%s" Label.pp l a))
+    (Label.Map.bindings x.con)
+    (Seqs.pp Label.pp) x.ord x.next Gid.pp x.high
 
 type gotstate = t Proc.Map.t
 

@@ -227,6 +227,42 @@ let pp_state ppf s =
     (Label.Map.cardinal s.content)
     (Label.Set.cardinal s.safe_labels)
 
+(* Canonical full-state rendering of all seventeen fields — used as the
+   dedup key for exhaustive exploration. *)
+let state_key s =
+  let buf = Buffer.create 512 in
+  let ppf = Format.formatter_of_buffer buf in
+  let semi ppf () = Format.pp_print_string ppf ";" in
+  let plist pp_x ppf xs = Format.pp_print_list ~pp_sep:semi pp_x ppf xs in
+  let labels ppf m =
+    plist
+      (fun ppf (l, a) -> Format.fprintf ppf "%a=%s" Label.pp l a)
+      ppf (Label.Map.bindings m)
+  in
+  Format.fprintf ppf
+    "me%a|cv%a|st%a|co[%a]|ns%d|bf%a|sl{%a}|or%a|nc%d|nr%d|hp%a|gs[%a]|se%a|rg{%a}|dl%a|es{%a}|bo[%a]"
+    Proc.pp s.me
+    (Format.pp_print_option
+       ~none:(fun ppf () -> Format.pp_print_string ppf "⊥")
+       View.pp)
+    s.current pp_status s.status labels s.content s.nextseqno
+    (Seqs.pp Label.pp) s.buffer (plist Label.pp)
+    (Label.Set.elements s.safe_labels)
+    (Seqs.pp Label.pp) s.order s.nextconfirm s.nextreport Gid.pp s.highprimary
+    (plist (fun ppf (q, x) ->
+         Format.fprintf ppf "%a:%a" Proc.pp q Summary.pp x))
+    (Proc.Map.bindings s.gotstate)
+    Proc.Set.pp s.safe_exch (plist Gid.pp)
+    (Gid.Set.elements s.registered)
+    (Seqs.pp Format.pp_print_string)
+    s.delay (plist Gid.pp)
+    (Gid.Set.elements s.established)
+    (plist (fun ppf (g, q) ->
+         Format.fprintf ppf "%a:%a" Gid.pp g (Seqs.pp Label.pp) q))
+    (Gid.Map.bindings s.buildorder);
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
 let pp_action ppf = function
   | Bcast a -> Format.fprintf ppf "bcast(%s)" a
   | Label_msg a -> Format.fprintf ppf "label(%s)" a

@@ -64,6 +64,10 @@ val initial : p0:Prelude.Proc.Set.t -> Prelude.Proc.t -> state
 
 include Ioa.Automaton.S with type state := state and type action := action
 
+(** Canonical full-state rendering of all seventeen fields, used as the
+    dedup key for exhaustive exploration. *)
+val state_key : state -> string
+
 (** The summary this process would send in its next state exchange. *)
 val summary : state -> Prelude.Summary.t
 

@@ -1,0 +1,57 @@
+open Prelude
+
+type config = {
+  universe : int;
+  payloads : To_spec.payload list;
+  max_bcasts : int;
+}
+
+let default_config ~payloads ~universe = { universe; payloads; max_bcasts = 3 }
+
+(* Messages submitted so far: placed in the order plus still pending. *)
+let submitted (s : To_spec.state) =
+  Seqs.length s.order
+  + Proc.Map.fold (fun _ q n -> n + Seqs.length q) s.pending 0
+
+let candidates cfg _rng (s : To_spec.state) =
+  let procs = List.init cfg.universe Fun.id in
+  let bcasts =
+    if submitted s >= cfg.max_bcasts then []
+    else
+      List.concat_map
+        (fun p -> List.map (fun a -> To_spec.Bcast (p, a)) cfg.payloads)
+        procs
+  in
+  let orders =
+    List.filter_map
+      (fun p ->
+        match Seqs.head_opt (To_spec.pending_of s p) with
+        | Some a -> Some (To_spec.Order (a, p))
+        | None -> None)
+      procs
+  in
+  let brcvs =
+    List.filter_map
+      (fun dst ->
+        match Seqs.nth1_opt s.order (To_spec.next_of s dst) with
+        | Some (a, q) -> Some (To_spec.Brcv { origin = q; dst; payload = a })
+        | None -> None)
+      procs
+  in
+  bcasts @ orders @ brcvs
+
+let generative cfg =
+  (module struct
+    type state = To_spec.state
+    type action = To_spec.action
+
+    let equal_state = To_spec.equal_state
+    let pp_state = To_spec.pp_state
+    let pp_action = To_spec.pp_action
+    let enabled = To_spec.enabled
+    let step = To_spec.step
+    let is_external = To_spec.is_external
+    let candidates rng s = candidates cfg rng s
+  end : Ioa.Automaton.GENERATIVE
+    with type state = To_spec.state
+     and type action = To_spec.action)

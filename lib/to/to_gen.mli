@@ -1,0 +1,23 @@
+(** A generative environment for the {!To_spec} service specification.
+
+    Unlike the randomized generators of the implementation stacks, this one
+    is *exact*: every proposed candidate is enabled in the proposing state
+    ([Order] and [Brcv] proposals are read off the state; [Bcast] is an
+    always-enabled input, budgeted by [max_bcasts] total submissions). *)
+
+type config = {
+  universe : int;  (** processes 0..universe-1 *)
+  payloads : To_spec.payload list;
+  max_bcasts : int;  (** total submission budget across all processes *)
+}
+
+val default_config :
+  payloads:To_spec.payload list -> universe:int -> config
+
+val candidates : config -> Random.State.t -> To_spec.state -> To_spec.action list
+
+val generative :
+  config ->
+  (module Ioa.Automaton.GENERATIVE
+     with type state = To_spec.state
+      and type action = To_spec.action)

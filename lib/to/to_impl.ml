@@ -92,6 +92,18 @@ let pp_state ppf s =
          Format.fprintf ppf "%a: %a" Proc.pp p Dvs_to_to.pp_state n))
     (Proc.Map.bindings s.nodes)
 
+(* Canonical full-state rendering — the DVS specification's key plus every
+   node's — used as the dedup key for exhaustive exploration. *)
+let state_key s =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Dvs.state_key s.dvs);
+  Proc.Map.iter
+    (fun p n ->
+      Buffer.add_string buf (Format.asprintf "#%a:" Proc.pp p);
+      Buffer.add_string buf (Dvs_to_to.state_key n))
+    s.nodes;
+  Buffer.contents buf
+
 let pp_action ppf = function
   | Bcast (p, a) -> Format.fprintf ppf "bcast(%s)_%a" a Proc.pp p
   | Brcv { origin; dst; payload } ->

@@ -44,6 +44,10 @@ val node : state -> Prelude.Proc.t -> Dvs_to_to.state
 
 include Ioa.Automaton.S with type state := state and type action := action
 
+(** Canonical full-state rendering — the DVS specification's key plus every
+    node's — used as the dedup key for exhaustive exploration. *)
+val state_key : state -> string
+
 (** {2 Derived variables (Section 6.2)} *)
 
 (** [allstate s]: every summary present anywhere — in DVS pending queues,

@@ -162,3 +162,35 @@ let all =
     invariant_content_functional;
     invariant_local_sanity;
   ]
+
+(* Antecedent coverage predicates for the analyzer's vacuity check. *)
+let checked =
+  let some_summary s = Impl.allstate s <> [] in
+  [
+    Ioa.Invariant.with_antecedent invariant_6_1 some_summary;
+    Ioa.Invariant.with_antecedent invariant_6_2 (fun s ->
+        let highs =
+          List.map (fun (x : Summary.t) -> x.Summary.high) (Impl.allstate s)
+        in
+        View.Set.exists
+          (fun v -> List.exists (fun high -> Gid.gt high (View.id v)) highs)
+          s.Impl.dvs.Dvs.created);
+    Ioa.Invariant.with_antecedent invariant_6_3 (fun s ->
+        View.Set.exists
+          (fun v ->
+            Proc.Set.exists
+              (fun p ->
+                match (Impl.node s p).Dvs_to_to.current with
+                | None -> false
+                | Some c -> Gid.gt (View.id c) (View.id v))
+              (View.set v))
+          s.Impl.dvs.Dvs.created);
+    Ioa.Invariant.with_antecedent invariant_confirmed_consistent (fun s ->
+        List.exists (fun q -> not (Seqs.is_empty q)) (confirmed_prefixes s));
+    Ioa.Invariant.with_antecedent invariant_content_functional (fun s ->
+        List.exists
+          (fun n -> not (Label.Map.is_empty n.Dvs_to_to.content))
+          (nodes s));
+    Ioa.Invariant.with_antecedent invariant_local_sanity (fun s ->
+        List.exists (fun n -> not (Seqs.is_empty n.Dvs_to_to.order)) (nodes s));
+  ]

@@ -26,6 +26,10 @@ val invariant_local_sanity : Impl.state Ioa.Invariant.t
 
 val all : Impl.state Ioa.Invariant.t list
 
+(** [all] paired with antecedent coverage predicates for the analyzer's
+    vacuity check (see {!Ioa.Invariant.checked}). *)
+val checked : Impl.state Ioa.Invariant.checked list
+
 (** Every confirmed prefix in the system ([order(1..nextconfirm−1)] at each
     process, [ord(1..next−1)] for each summary in {!To_impl.allstate}), as
     label sequences.  Exposed for the refinement's [allconfirm]. *)

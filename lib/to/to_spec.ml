@@ -61,6 +61,20 @@ let pp_state ppf s =
        (fun ppf (p, n) -> Format.fprintf ppf "%a↦%d" Proc.pp p n))
     (Proc.Map.bindings s.next)
 
+(* Canonical full-state rendering — injective because payloads print
+   verbatim — used as the dedup key for exhaustive exploration. *)
+let state_key s =
+  let semi ppf () = Format.pp_print_string ppf ";" in
+  Format.asprintf "pd[%a]|or%a|nx[%a]"
+    (Format.pp_print_list ~pp_sep:semi (fun ppf (p, q) ->
+         Format.fprintf ppf "%a:%a" Proc.pp p (Seqs.pp Format.pp_print_string) q))
+    (Proc.Map.bindings s.pending)
+    (Seqs.pp (fun ppf (a, p) -> Format.fprintf ppf "%s@%a" a Proc.pp p))
+    s.order
+    (Format.pp_print_list ~pp_sep:semi (fun ppf (p, n) ->
+         Format.fprintf ppf "%a=%d" Proc.pp p n))
+    (Proc.Map.bindings s.next)
+
 let pp_action ppf = function
   | Bcast (p, a) -> Format.fprintf ppf "bcast(%s)_%a" a Proc.pp p
   | Order (a, p) -> Format.fprintf ppf "to-order(%s,%a)" a Proc.pp p

@@ -32,6 +32,10 @@ include Ioa.Automaton.S with type state := state and type action := action
 val pending_of : state -> Prelude.Proc.t -> payload Prelude.Seqs.t
 val next_of : state -> Prelude.Proc.t -> int
 
+(** Canonical full-state rendering, used as the dedup key for exhaustive
+    exploration. *)
+val state_key : state -> string
+
 (** Safety facts of the TO service, used as oracle checks. *)
 
 (** Every report pointer stays within the order. *)

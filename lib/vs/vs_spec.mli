@@ -77,4 +77,8 @@ module Make (M : Prelude.Msg_intf.S) : sig
       the view.  These are consequences of the code that make good machine
       checks. *)
   val invariant_indices : state Ioa.Invariant.t
+
+  (** The invariants above paired with antecedent coverage predicates for
+      the analyzer's vacuity check (see {!Ioa.Invariant.checked}). *)
+  val checked_invariants : state Ioa.Invariant.checked list
 end

@@ -49,3 +49,17 @@ let equal a b =
 let pp ppf t =
   Format.fprintf ppf "daemon: %d views issued, next %a" (View.Set.cardinal t.issued)
     Gid.pp t.next_id
+
+let state_key t =
+  let buf = Buffer.create 128 in
+  let ppf = Format.formatter_of_buffer buf in
+  let semi ppf () = Format.pp_print_string ppf ";" in
+  Format.fprintf ppf "is%a|nx%a|nt[%a]|cp[%a]" View.Set.pp t.issued Gid.pp
+    t.next_id
+    (Format.pp_print_list ~pp_sep:semi (fun ppf (p, g) ->
+         Format.fprintf ppf "%a=%a" Proc.pp p Gid.Bot.pp g))
+    (Proc.Map.bindings t.notified)
+    (Format.pp_print_list ~pp_sep:semi Proc.Set.pp)
+    t.components;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf

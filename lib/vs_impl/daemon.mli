@@ -44,3 +44,7 @@ val notify : t -> Prelude.View.t -> Prelude.Proc.t -> t
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
+
+(** Canonical full-state rendering — dedup-key component for exhaustive
+    exploration. *)
+val state_key : t -> string

@@ -239,4 +239,41 @@ module Make (M : Msg_intf.S) = struct
     Format.fprintf ppf "engine %a: cur=%a, %d views seen" Proc.pp st.me
       Gid.Bot.pp (cur_id st)
       (Gid.Map.cardinal st.views_seen)
+
+  (* Canonical full-state rendering (dedup-key component for exhaustive
+     exploration); injective whenever [M.pp] is. *)
+  let state_key st =
+    let buf = Buffer.create 512 in
+    let ppf = Format.formatter_of_buffer buf in
+    let semi ppf () = Format.pp_print_string ppf ";" in
+    let plist pp_x ppf xs = Format.pp_print_list ~pp_sep:semi pp_x ppf xs in
+    let mp ppf (m, q) = Format.fprintf ppf "%a@%a" M.pp m Proc.pp q in
+    let gmap pp_x ppf m =
+      plist (fun ppf (g, x) -> Format.fprintf ppf "%a:%a" Gid.pp g pp_x x) ppf
+        (Gid.Map.bindings m)
+    in
+    let gints ppf m = gmap Format.pp_print_int ppf m in
+    let pgints ppf m =
+      plist
+        (fun ppf ((p, g), n) ->
+          Format.fprintf ppf "%a.%a=%d" Proc.pp p Gid.pp g n)
+        ppf (Pg_map.bindings m)
+    in
+    Format.fprintf ppf
+      "me%a|cur%a|vs[%a]|oq[%a]|sl[%a]|bs[%a]|ab[%a]|ss[%a]|rb[%a]|nd[%a]|ns[%a]|au[%a]|su[%a]"
+      Proc.pp st.me
+      (fun ppf -> function
+        | None -> Format.pp_print_string ppf "⊥"
+        | Some v -> View.pp ppf v)
+      st.cur (gmap View.pp) st.views_seen
+      (gmap (Seqs.pp M.pp)) st.outq
+      (gmap (Seqs.pp mp)) st.seq_log pgints st.bcast_sent pgints st.acked_by
+      pgints st.stable_sent
+      (plist (fun ppf ((g, sn), x) ->
+           Format.fprintf ppf "%a.%d=%a" Gid.pp g sn mp x))
+      (Pg_map.bindings st.rcv_buf)
+      gints st.next_deliver gints st.next_safe gints st.acked_upto gints
+      st.stable_upto;
+    Format.pp_print_flush ppf ();
+    Buffer.contents buf
 end

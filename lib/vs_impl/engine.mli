@@ -87,4 +87,8 @@ module Make (M : Prelude.Msg_intf.S) : sig
 
   val equal : state -> state -> bool
   val pp : Format.formatter -> state -> unit
+
+  (** Canonical full-state rendering — dedup-key component for exhaustive
+      exploration; injective whenever [M.pp] is. *)
+  val state_key : state -> string
 end

@@ -64,4 +64,21 @@ module Make (M : Msg_intf.S) = struct
   let pp ppf s =
     Format.fprintf ppf "net: %d in flight, %d blocked pairs" (in_flight s)
       (List.length s.blocked)
+
+  (* Canonical full-state rendering; [blocked] is sorted so states equal
+     under [equal] (which is order-insensitive) render identically. *)
+  let state_key s =
+    let buf = Buffer.create 256 in
+    let ppf = Format.formatter_of_buffer buf in
+    let semi ppf () = Format.pp_print_string ppf ";" in
+    Format.fprintf ppf "ch[%a]|bl[%a]"
+      (Format.pp_print_list ~pp_sep:semi (fun ppf ((src, dst), q) ->
+           Format.fprintf ppf "%a>%a:%a" Proc.pp src Proc.pp dst
+             (Seqs.pp (Packet.pp M.pp)) q))
+      (Pg_map.bindings s.channels)
+      (Format.pp_print_list ~pp_sep:semi (fun ppf (p, q) ->
+           Format.fprintf ppf "%a-%a" Proc.pp p Proc.pp q))
+      (List.sort_uniq compare s.blocked);
+    Format.pp_print_flush ppf ();
+    Buffer.contents buf
 end

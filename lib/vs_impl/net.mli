@@ -45,4 +45,9 @@ module Make (M : Prelude.Msg_intf.S) : sig
   val in_flight : state -> int
   val equal : state -> state -> bool
   val pp : Format.formatter -> state -> unit
+
+  (** Canonical full-state rendering — dedup-key component for exhaustive
+      exploration; injective whenever [M.pp] is.  The blocked-pair list is
+      sorted, so set-equal states render identically. *)
+  val state_key : state -> string
 end

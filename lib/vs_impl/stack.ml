@@ -128,6 +128,21 @@ module Make (M : Msg_intf.S) = struct
            E.pp ppf e))
       (Proc.Map.bindings s.engines)
 
+  (* Canonical full-state rendering — net, daemon and every engine —
+     used as the dedup key for exhaustive exploration. *)
+  let state_key s =
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf (N.state_key s.net);
+    Buffer.add_string buf "||";
+    Buffer.add_string buf (Daemon.state_key s.daemon);
+    Proc.Map.iter
+      (fun p e ->
+        Buffer.add_string buf (Format.asprintf "#%a:" Proc.pp p);
+        Buffer.add_string buf (E.state_key e))
+      s.engines;
+    Buffer.add_string buf (Format.asprintf "|p0%a" Proc.Set.pp s.p0);
+    Buffer.contents buf
+
   let pp_action ppf = function
     | Gpsnd (p, m) -> Format.fprintf ppf "vs-gpsnd(%a)_%a" M.pp m Proc.pp p
     | Newview (v, p) -> Format.fprintf ppf "vs-newview(%a)_%a" View.pp v Proc.pp p

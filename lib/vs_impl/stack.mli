@@ -40,6 +40,10 @@ module Make (M : Prelude.Msg_intf.S) : sig
 
   include Ioa.Automaton.S with type state := state and type action := action
 
+  (** Canonical full-state rendering — net, daemon and every engine — used
+      as the dedup key for exhaustive exploration. *)
+  val state_key : state -> string
+
   (** {2 Generation} *)
 
   type config = {
