@@ -14,13 +14,24 @@ let section title =
 
 let row fmt = Printf.printf fmt
 
+(* Every experiment takes an [Obs.Metrics.t] and records its headline
+   numbers; the dispatcher snapshots the registry to BENCH_<NAME>.json so
+   each table also exists machine-readable (same encoder as bin/trace). *)
+let gauge m name v = Obs.Metrics.set m name (float_of_int v)
+
+let slug name =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' -> c | _ -> '_')
+    name
+
 (* ================================================================== *)
 (* E1 — VS specification (Figure 1, Invariant 3.1)                    *)
 (* ================================================================== *)
 
 module Vsg = Vs.Vs_gen.Make (Msg_intf.String_msg)
 
-let e1 () =
+let e1 m =
   section "E1  VS specification (Figure 1): invariants on random + exhaustive runs";
   let seeds = 50 and steps = 400 in
   let violations = ref 0 and states = ref 0 in
@@ -42,6 +53,8 @@ let e1 () =
   done;
   row "random: %d executions, %d states checked, %d violations (expect 0)\n"
     seeds !states !violations;
+  gauge m "e1.random.states" !states;
+  gauge m "e1.random.violations" !violations;
   (* exhaustive: 2 processes, 1 payload, 2 views *)
   let cfg =
     {
@@ -60,7 +73,8 @@ let e1 () =
   in
   row "exhaustive (n=2, 2 views, 2 sends): %s, violation=%s\n"
     (Format.asprintf "%a" Check.Explorer.pp_stats outcome.Check.Explorer.stats)
-    (match outcome.Check.Explorer.violation with None -> "none" | Some _ -> "FOUND")
+    (match outcome.Check.Explorer.violation with None -> "none" | Some _ -> "FOUND");
+  gauge m "e1.exhaustive.states" outcome.Check.Explorer.stats.Check.Explorer.states
 
 (* ================================================================== *)
 (* E2 — DVS specification (Figure 2, Invariants 4.1/4.2)              *)
@@ -69,7 +83,7 @@ let e1 () =
 module Dg = Core.Dvs_gen.Make (Msg_intf.String_msg)
 module Dinv = Core.Dvs_invariants.Make (Msg_intf.String_msg)
 
-let e2 () =
+let e2 m =
   section "E2  DVS specification (Figure 2): invariants 4.1/4.2 + mutation";
   let seeds = 50 and steps = 400 in
   let violations = ref 0 and states = ref 0 in
@@ -87,6 +101,8 @@ let e2 () =
   done;
   row "random: %d executions, %d states checked, %d violations (expect 0)\n"
     seeds !states !violations;
+  gauge m "e2.random.states" !states;
+  gauge m "e2.random.violations" !violations;
   (* mutation: create a disjoint view bypassing the precondition *)
   let s = Dg.Spec.initial (Proc.Set.of_list [ 0; 1; 2 ]) in
   let bad = View.make ~id:1 ~set:(Proc.Set.of_list [ 3; 4 ]) in
@@ -110,7 +126,8 @@ let e2 () =
   in
   row "exhaustive (n=2, 2 views, 1 send): %s, violation=%s\n"
     (Format.asprintf "%a" Check.Explorer.pp_stats outcome.Check.Explorer.stats)
-    (match outcome.Check.Explorer.violation with None -> "none" | Some _ -> "FOUND")
+    (match outcome.Check.Explorer.violation with None -> "none" | Some _ -> "FOUND");
+  gauge m "e2.exhaustive.states" outcome.Check.Explorer.stats.Check.Explorer.states
 
 (* ================================================================== *)
 (* E3 — DVS-IMPL (Figure 3): invariants 5.1–5.6, faithful vs mutants  *)
@@ -136,7 +153,7 @@ let impl_exec ?(max_views = 5) ?(max_sends = 30) ~schedule ~variant ~seed ~steps
   let init = Sys_.initial ~universe ~p0:(Proc.Set.universe universe) in
   fst (Ioa.Exec.run gen ~rng ~steps ~init)
 
-let e3 () =
+let e3 m =
   section "E3  DVS-IMPL (Figure 3): invariants 5.1-5.6, faithful vs mutants";
   let seeds = 40 and steps = 400 and universe = 5 in
   let check variant =
@@ -154,7 +171,9 @@ let e3 () =
   row "%-14s | seeds with violation | expectation\n" "variant";
   row "%s\n" (String.make 60 '-');
   let report name variant expect =
-    row "%-14s | %3d / %d             | %s\n" name (check variant) seeds expect
+    let bad = check variant in
+    gauge m (Printf.sprintf "e3.%s.violating_seeds" (slug name)) bad;
+    row "%-14s | %3d / %d             | %s\n" name bad seeds expect
   in
   report "faithful" Dvs_impl.Vs_to_dvs.Faithful "0 (invariants proven in paper)";
   report "no-majority" Dvs_impl.Vs_to_dvs.No_majority "> 0 (checks discriminate)";
@@ -167,7 +186,7 @@ let e3 () =
 
 module Ref_ = Dvs_impl.Refinement_f.Make (Msg_intf.String_msg)
 
-let e4 () =
+let e4 m =
   section "E4  Refinement DVS-IMPL -> DVS (Figure 4 / Theorem 5.9)";
   let universe = 4 and steps = 400 in
   let run ~strict_safe ~schedule seeds =
@@ -197,7 +216,11 @@ let e4 () =
     b3 (List.length seeds) n3;
   let b4, n4 = run ~strict_safe:true ~schedule:Sys_.Unrestricted seeds in
   row "strict spec,  unrestricted schedule : %d failing / %d execs (%d steps)  DVS-SAFE gap (expect > 0)\n"
-    b4 (List.length seeds) n4
+    b4 (List.length seeds) n4;
+  gauge m "e4.relaxed_unrestricted.failing" b1;
+  gauge m "e4.relaxed_eager.failing" b2;
+  gauge m "e4.strict_synchronized.failing" b3;
+  gauge m "e4.strict_unrestricted.failing" b4
 
 (* ================================================================== *)
 (* E5 — TO application (Figure 5, Theorem 6.4)                        *)
@@ -217,7 +240,7 @@ let to_exec ~seed ~steps ~universe ~max_views =
   let init = Timpl.initial ~universe ~p0:(Proc.Set.universe universe) in
   fst (Ioa.Exec.run gen ~rng ~steps ~init)
 
-let e5 () =
+let e5 m =
   section "E5  TO application (Figure 5): invariants 6.1-6.3 + Theorem 6.4";
   let seeds = 40 and steps = 600 and universe = 3 in
   let inv_bad = ref 0 and ref_bad = ref 0 and delivered = ref 0 in
@@ -238,13 +261,16 @@ let e5 () =
     !inv_bad seeds;
   row "refinement to TO (Thm 6.4)       : %d failing / %d execs (expect 0)\n"
     !ref_bad seeds;
-  row "client deliveries observed       : %d (non-vacuous)\n" !delivered
+  row "client deliveries observed       : %d (non-vacuous)\n" !delivered;
+  gauge m "e5.invariant_failing" !inv_bad;
+  gauge m "e5.refinement_failing" !ref_bad;
+  gauge m "e5.deliveries" !delivered
 
 (* ================================================================== *)
 (* E6 — Availability under churn: dynamic vs static                   *)
 (* ================================================================== *)
 
-let e6 () =
+let e6 m =
   section "E6  Availability under churn and drift: dynamic vs static primaries";
   row "%-28s | %-8s | %-8s | %-8s | %-9s | %s\n" "scenario" "static"
     "weighted" "dynamic" "dyn(p=.7)" "dual";
@@ -292,7 +318,13 @@ let e6 () =
       (Stats.pct (Stats.mean !wstat))
       (Stats.pct (Stats.mean !dyn))
       (Stats.pct (Stats.mean !dyn7))
-      !dual
+      !dual;
+    let g suffix v = Obs.Metrics.set m ("e6." ^ slug name ^ "." ^ suffix) v in
+    g "static" (Stats.mean !stat);
+    g "weighted" (Stats.mean !wstat);
+    g "dynamic" (Stats.mean !dyn);
+    g "dynamic_p70" (Stats.mean !dyn7);
+    gauge m ("e6." ^ slug name ^ ".dual_primaries") !dual
   in
   let base () = Sim.Churn.default ~initial ~epochs in
   scenario "calm (splits+merges)" base;
@@ -312,7 +344,7 @@ let e6 () =
 (* E7 — Chain condition over dynamic histories                        *)
 (* ================================================================== *)
 
-let e7 () =
+let e7 m =
   section "E7  Chain condition (Cristian / Lotem-Keidar-Dolev) over dynamic histories";
   let initial = Proc.Set.universe 8 in
   let total = ref { Membership.Chain.pairs = 0; intersecting = 0; majority = 0 } in
@@ -345,7 +377,11 @@ let e7 () =
   done;
   row "60 churn histories: %s\n"
     (Format.asprintf "%a" Membership.Chain.pp_report !total);
-  row "histories violating the chain condition: %d (expect 0)\n" !broken
+  row "histories violating the chain condition: %d (expect 0)\n" !broken;
+  gauge m "e7.pairs" !total.Membership.Chain.pairs;
+  gauge m "e7.intersecting" !total.Membership.Chain.intersecting;
+  gauge m "e7.majority" !total.Membership.Chain.majority;
+  gauge m "e7.broken_histories" !broken
 
 (* ================================================================== *)
 (* E8 — Microbenchmarks (bechamel)                                    *)
@@ -353,7 +389,7 @@ let e7 () =
 
 module Driver = Dvs_impl.Driver.Make (Msg_intf.String_msg)
 
-let bechamel_table tests =
+let bechamel_table m tests =
   let open Bechamel in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -381,6 +417,8 @@ let bechamel_table tests =
   row "%s\n" (String.make 62 '-');
   List.iter
     (fun (name, ns) ->
+      if not (Float.is_nan ns) then
+        Obs.Metrics.set m ("e8.ns_per_op." ^ slug (String.trim name)) ns;
       let pretty =
         if Float.is_nan ns then "n/a"
         else if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
@@ -392,7 +430,7 @@ let bechamel_table tests =
 
 let view_of ids g = View.make ~id:g ~set:(Proc.Set.of_list ids)
 
-let e8 () =
+let e8 m =
   section "E8  Microbenchmarks (bechamel): message path, view change, admission";
   let open Bechamel in
   let msgpath n =
@@ -468,13 +506,13 @@ let e8 () =
         to_path;
       ]
   in
-  bechamel_table grouped
+  bechamel_table m grouped
 
 (* ================================================================== *)
 (* E9 — End-to-end TO throughput across view changes                  *)
 (* ================================================================== *)
 
-let e9 () =
+let e9 m =
   section "E9  TO broadcast end-to-end: protocol cost and delivery across views";
   (* Deterministic protocol-cost series, driven by To_driver: k broadcasts
      fully delivered in a stable view, then a full view change (state
@@ -502,6 +540,10 @@ let e9 () =
       let v1 = View.make ~id:1 ~set:p0 in
       let s, _, vc_steps = To_broadcast.To_driver.view_change s v1 in
       let _, steps2, delivered2 = send_phase s in
+      Obs.Metrics.set m
+        (Printf.sprintf "e9.n%d.steps_per_bcast" n)
+        (float_of_int (steps1 + steps2) /. float_of_int (2 * k));
+      gauge m (Printf.sprintf "e9.n%d.view_change_steps" n) vc_steps;
       row "%-10d | %-14.1f | %-16d | %-16d | %.2f\n" n
         (float_of_int (steps1 + steps2) /. float_of_int (2 * k))
         vc_steps
@@ -533,6 +575,9 @@ let e9 () =
             | _ -> ())
           (Ioa.Exec.actions exec)
       done;
+      Obs.Metrics.set m
+        (Printf.sprintf "e9.n%d_v%d.completion" universe max_views)
+        (float_of_int !brcvs /. float_of_int (max 1 (!bcasts * universe)));
       row "%-10d | %-10d | %-12d | %-12d | %s\n" universe !views !bcasts !brcvs
         (Stats.pct
            (float_of_int !brcvs
@@ -549,7 +594,7 @@ let e9 () =
 module Stk = Vs_impl.Stack.Make (Msg_intf.String_msg)
 module Sref = Vs_impl.Stack_refinement.Make (Msg_intf.String_msg)
 
-let e10 () =
+let e10 m =
   section "E10 VS engine over an async network: Figure 1 refinement + cost";
   (* refinement on random executions with partitions and view changes *)
   let bad = ref 0 and steps_total = ref 0 and rcv = ref 0 and safe = ref 0 in
@@ -576,6 +621,9 @@ let e10 () =
   row "refinement to Figure 1: %d failing / %d execs (%d steps) — expect 0\n"
     !bad seeds !steps_total;
   row "traffic: %d vs-gprcv, %d vs-safe across the runs (non-vacuous)\n" !rcv !safe;
+  gauge m "e10.refinement_failing" !bad;
+  gauge m "e10.gprcv" !rcv;
+  gauge m "e10.safe" !safe;
   (* protocol cost: automaton steps for one fully-safe message round *)
   row "\n%-10s | %-22s | %s\n" "processes" "steps per safe round" "packets per round";
   row "%s\n" (String.make 52 '-');
@@ -649,6 +697,8 @@ let e10 () =
         end
       in
       let steps, packets = go s 1 0 in
+      gauge m (Printf.sprintf "e10.n%d.steps_per_safe_round" n) steps;
+      gauge m (Printf.sprintf "e10.n%d.packets_per_round" n) packets;
       row "%-10d | %-22d | %d\n" n steps packets)
     [ 2; 3; 5; 7; 9 ];
   row
@@ -661,7 +711,7 @@ let e10 () =
 module Full = Full_system.Full_stack.Make (Msg_intf.String_msg)
 module Fref = Full_system.Full_refinement.Make (Msg_intf.String_msg)
 
-let e11 () =
+let e11 m =
   section "E11 Full stack (nodes / VS engine / network): refinement chain closure";
   let seeds = 20 and steps = 700 in
   let bad = ref 0 and inv_bad = ref 0 in
@@ -694,6 +744,11 @@ let e11 () =
     !inv_bad seeds;
   row "traffic: %d packets on the wire, %d primary attempts, %d client deliveries\n"
     !packets !attempts !deliveries;
+  gauge m "e11.refinement_failing" !bad;
+  gauge m "e11.invariant_failing" !inv_bad;
+  gauge m "e11.packets" !packets;
+  gauge m "e11.primary_attempts" !attempts;
+  gauge m "e11.deliveries" !deliveries;
   row
     "chain closure: with E4 (DVS-IMPL ⊑ relaxed-DVS) and E10 (engine ⊑ VS),\nevery execution of the real stack is a behaviour of the relaxed DVS\nspecification.  The strict composition fails — see E11b in EXPERIMENTS.md\nand the adversarial scenario in test/test_full_system.ml (finding #4).\n"
 
@@ -703,7 +758,7 @@ let e11 () =
 
 module Props = Dvs_impl.Props.Make (Msg_intf.String_msg)
 
-let e12 () =
+let e12 m =
   section "E12 Ablation: Isis co-movement property (deliberately not guaranteed)";
   let total = ref { Props.transitions = 0; identical = 0; prefix_consistent = 0 } in
   for seed = 1 to 40 do
@@ -721,6 +776,9 @@ let e12 () =
   done;
   row "over 40 unrestricted runs: %s\n"
     (Format.asprintf "%a" Props.pp_co_movement !total);
+  gauge m "e12.transitions" !total.Props.transitions;
+  gauge m "e12.identical" !total.Props.identical;
+  gauge m "e12.prefix_consistent" !total.Props.prefix_consistent;
   row
     "shape check: prefix consistency is 100%% (the DVS guarantee); identical\ndeliveries are typically fewer — the stronger Isis property the paper's\nSection 7 discusses omitting.  Applications needing it must not assume it.\n"
 
@@ -728,7 +786,7 @@ let e12 () =
 (* E13 — Ablation: garbage collection (Figure 3's act/amb maintenance) *)
 (* ================================================================== *)
 
-let e13 () =
+let e13 m =
   section "E13 Ablation: garbage collection is what makes the service dynamic";
   (* The motivating shrink chain {0..6} -> {0,1,2,3} -> {0,1,2} -> {0,1}:
      with garbage collection each step only needs a majority of the previous
@@ -768,6 +826,9 @@ let e13 () =
         mean := u.Props.mean_use :: !mean;
         gcs := !gcs + u.Props.gc_events
       done;
+      gauge m (Printf.sprintf "e13.%s.max_use" (slug name)) !max_use;
+      Obs.Metrics.set m (Printf.sprintf "e13.%s.mean_use" (slug name)) (Stats.mean !mean);
+      gauge m (Printf.sprintf "e13.%s.gc_events" (slug name)) !gcs;
       row "%-10s | %-10d | %-10.2f | %d\n" name !max_use (Stats.mean !mean) !gcs)
     [ ("faithful", Dvs_impl.Vs_to_dvs.Faithful); ("no-gc", Dvs_impl.Vs_to_dvs.No_gc) ];
   row
@@ -787,8 +848,18 @@ let () =
   in
   List.iter
     (fun name ->
-      match List.assoc_opt (String.lowercase_ascii name) all with
-      | Some f -> f ()
+      let name = String.lowercase_ascii name in
+      match List.assoc_opt name all with
+      | Some f ->
+          let m = Obs.Metrics.create () in
+          let t0 = Obs.Metrics.now_ms () in
+          f m;
+          Obs.Metrics.set m "elapsed_ms" (Obs.Metrics.now_ms () -. t0);
+          let path =
+            Printf.sprintf "BENCH_%s.json" (String.uppercase_ascii name)
+          in
+          Obs.Metrics.write_file ~path (Obs.Metrics.snapshot m);
+          Printf.printf "\n[%s -> %s]\n" name path
       | None ->
           Printf.eprintf "unknown experiment %S (have: %s)\n" name
             (String.concat ", " (List.map fst all)))

@@ -14,7 +14,7 @@ let run_entry ~max_states_override (Analysis.Registry.Entry e) =
   in
   Analysis.Analyzer.analyze ~name:e.name ~max_states e.subject
 
-let run names list json max_states =
+let run () names list json max_states =
   let entries = Analysis.Registry.all () in
   if list then begin
     List.iter
@@ -77,7 +77,9 @@ let () =
       & info [ "max-states" ]
           ~doc:"Override each entry's exploration bound (distinct states).")
   in
-  let term = Term.(const run $ names $ list $ json $ max_states) in
+  let term =
+    Term.(const run $ Obs.Log_cli.setup $ names $ list $ json $ max_states)
+  in
   let info =
     Cmd.info "analyze" ~version:"1.0.0"
       ~doc:

@@ -16,7 +16,7 @@ open Cmdliner
 (* availability                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let run_availability procs epochs trials split merge crash recover drift
+let run_availability () procs epochs trials split merge crash recover drift
     complete seed =
   let initial = Proc.Set.universe procs in
   let quorum = Membership.Static_quorum.majority ~universe:initial in
@@ -64,7 +64,7 @@ module Sys_ = Dvs_impl.System.Make (Msg_intf.String_msg)
 module Iinv = Dvs_impl.Impl_invariants.Make (Msg_intf.String_msg)
 module Ref_ = Dvs_impl.Refinement_f.Make (Msg_intf.String_msg)
 
-let run_impl universe steps seeds schedule variant strict =
+let run_impl () universe steps seeds schedule variant strict =
   let p0 = Proc.Set.universe universe in
   let inv_bad = ref 0 and ref_bad = ref 0 and total_steps = ref 0 in
   for seed = 1 to seeds do
@@ -107,7 +107,7 @@ module Timpl = To_broadcast.To_impl
 module Tinv = To_broadcast.To_invariants
 module Tref = To_broadcast.To_refinement
 
-let run_to universe steps seeds max_views =
+let run_to () universe steps seeds max_views =
   let p0 = Proc.Set.universe universe in
   let inv_bad = ref 0 and ref_bad = ref 0 and delivered = ref 0 in
   for seed = 1 to seeds do
@@ -152,7 +152,7 @@ let run_to universe steps seeds max_views =
 module Full = Full_system.Full_stack.Make (Msg_intf.String_msg)
 module Fref = Full_system.Full_refinement.Make (Msg_intf.String_msg)
 
-let run_full universe steps seeds =
+let run_full () universe steps seeds =
   let p0 = Proc.Set.universe universe in
   let bad = ref 0 and packets = ref 0 and deliveries = ref 0 and attempts = ref 0 in
   for seed = 1 to seeds do
@@ -199,7 +199,7 @@ let availability_cmd =
   let fprob name default doc = Arg.(value & opt float default & info [ name ] ~doc) in
   let term =
     Term.(
-      const run_availability $ procs_t $ epochs $ trials
+      const run_availability $ Obs.Log_cli.setup $ procs_t $ epochs $ trials
       $ fprob "split" 0.25 "Split probability per epoch."
       $ fprob "merge" 0.25 "Merge probability per epoch."
       $ fprob "crash" 0.10 "Crash probability per epoch."
@@ -264,7 +264,9 @@ let impl_cmd =
   Cmd.v
     (Cmd.info "impl"
        ~doc:"Random executions of DVS-IMPL with invariant and refinement checks.")
-    Term.(const run_impl $ procs $ steps $ seeds $ schedule $ variant $ strict)
+    Term.(
+      const run_impl $ Obs.Log_cli.setup $ procs $ steps $ seeds $ schedule
+      $ variant $ strict)
 
 let to_cmd =
   let steps = Arg.(value & opt int 600 & info [ "steps" ] ~doc:"Steps per execution.") in
@@ -276,7 +278,7 @@ let to_cmd =
   Cmd.v
     (Cmd.info "to"
        ~doc:"Random executions of TO-IMPL with invariant and refinement checks.")
-    Term.(const run_to $ procs $ steps $ seeds $ max_views)
+    Term.(const run_to $ Obs.Log_cli.setup $ procs $ steps $ seeds $ max_views)
 
 let full_cmd =
   let steps = Arg.(value & opt int 700 & info [ "steps" ] ~doc:"Steps per execution.") in
@@ -289,7 +291,7 @@ let full_cmd =
        ~doc:
          "Random executions of the full stack (Figure 3 over the real VS \
           engine over the network), with the refinement check.")
-    Term.(const run_full $ procs $ steps $ seeds)
+    Term.(const run_full $ Obs.Log_cli.setup $ procs $ steps $ seeds)
 
 let () =
   let info =

@@ -26,12 +26,13 @@ type ('s, 'a) subject = {
 }
 
 let analyze (type s a) ~name ?(max_states = 20_000) ?max_depth
-    ?(seed = [| 0 |]) (sub : (s, a) subject) =
+    ?(seed = [| 0 |]) ?sink ?metrics (sub : (s, a) subject) =
   let (module A : Ioa.Automaton.GENERATIVE
         with type state = s
          and type action = a) =
     sub.automaton
   in
+  let t0 = Obs.Metrics.now_ms () in
   let action_str a = Format.asprintf "%a" sub.pp_action a in
   let state_str s = Format.asprintf "@[<h>%a@]" sub.pp_state s in
   let observations = ref [] in
@@ -44,7 +45,7 @@ let analyze (type s a) ~name ?(max_states = 20_000) ?max_depth
     Check.Explorer.run sub.automaton ~key:sub.key
       ~invariants:(List.map (fun c -> c.Ioa.Invariant.inv) sub.invariants)
       ~seed ~max_states ?max_depth ?check_key:sub.equal_state ~observe
-      ~init:sub.init ()
+      ?sink ?metrics ~init:sub.init ()
   in
   let obs = List.rev !observations in
   let stats = outcome.Check.Explorer.stats in
@@ -248,6 +249,15 @@ let analyze (type s a) ~name ?(max_states = 20_000) ?max_depth
       ]
   in
 
+  let elapsed_ms = Obs.Metrics.now_ms () -. t0 in
+  let states_per_sec =
+    if elapsed_ms > 0. then
+      float_of_int stats.Check.Explorer.states /. (elapsed_ms /. 1000.)
+    else 0.
+  in
+  (match metrics with
+  | None -> ()
+  | Some m -> Obs.Metrics.observe m "analyzer.elapsed_ms" elapsed_ms);
   {
     Findings.entry = name;
     states = stats.Check.Explorer.states;
@@ -258,4 +268,6 @@ let analyze (type s a) ~name ?(max_states = 20_000) ?max_depth
     coverage;
     findings =
       explorer_findings @ unsound @ missed @ dead @ vacuous @ deadlocks;
+    elapsed_ms;
+    states_per_sec;
   }

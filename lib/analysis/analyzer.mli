@@ -52,10 +52,17 @@ type ('s, 'a) subject = {
           entry's small configuration *)
 }
 
+(** [?sink]/[?metrics] are forwarded to {!Check.Explorer.run} (progress
+    events, [explorer.*] counters); the analyzer additionally times the whole
+    pass — reported as [elapsed_ms]/[states_per_sec] in the result and
+    observed into the [analyzer.elapsed_ms] histogram when [?metrics] is
+    given.  Neither affects the explored graph or the findings. *)
 val analyze :
   name:string ->
   ?max_states:int ->
   ?max_depth:int ->
   ?seed:int array ->
+  ?sink:Obs.Trace.sink ->
+  ?metrics:Obs.Metrics.t ->
   ('s, 'a) subject ->
   Findings.report

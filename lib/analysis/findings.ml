@@ -23,6 +23,8 @@ type report = {
   classes : (string * int) list;
   coverage : coverage list;
   findings : finding list;
+  elapsed_ms : float;
+  states_per_sec : float;
 }
 
 let kind = function
@@ -70,9 +72,11 @@ let pp_coverage ppf c =
         c.cov_states n
 
 let pp_report ppf r =
-  Format.fprintf ppf "@[<v>== %s ==@,%d states, %d transitions, depth %d%s@,"
+  Format.fprintf ppf
+    "@[<v>== %s ==@,%d states, %d transitions, depth %d%s (%.1f ms, %.0f states/s)@,"
     r.entry r.states r.transitions r.depth
-    (if r.truncated then " (TRUNCATED: coverage analyses skipped)" else "");
+    (if r.truncated then " (TRUNCATED: coverage analyses skipped)" else "")
+    r.elapsed_ms r.states_per_sec;
   Format.fprintf ppf "action classes:@,";
   List.iter
     (fun (cls, n) -> Format.fprintf ppf "  %-20s %6d fired@," cls n)
@@ -180,6 +184,9 @@ let report_json r =
            (List.map (fun (cls, n) -> jfield cls (string_of_int n)) r.classes));
       jfield "coverage" (jarr (List.map coverage_json r.coverage));
       jfield "findings" (jarr (List.map finding_json r.findings));
+      (* the "%f"-style renderings always contain '.', as JSON floats must *)
+      jfield "elapsed_ms" (Printf.sprintf "%.3f" r.elapsed_ms);
+      jfield "states_per_sec" (Printf.sprintf "%.1f" r.states_per_sec);
     ]
 
 let reports_json rs =

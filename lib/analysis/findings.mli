@@ -46,6 +46,8 @@ type report = {
   classes : (string * int) list;  (** transitions fired per action class *)
   coverage : coverage list;
   findings : finding list;
+  elapsed_ms : float;  (** wall-clock time of the analysis pass *)
+  states_per_sec : float;  (** state throughput; [0.] when unmeasurable *)
 }
 
 (** Stable machine-readable tag of the finding's constructor. *)

@@ -19,10 +19,22 @@ type ('s, 'a) outcome = {
   key_clash : ('s * 's) option;
 }
 
+let component = "check.explorer"
+
+let progress_event sink (stats : stats) ~frontier =
+  Obs.Trace.point sink ~component ~cls:"progress"
+    [
+      ("states", Obs.Trace.Int stats.states);
+      ("transitions", Obs.Trace.Int stats.transitions);
+      ("frontier", Obs.Trace.Int frontier);
+      ("depth", Obs.Trace.Int stats.depth);
+    ]
+
 let run (type s a)
     (module A : Ioa.Automaton.GENERATIVE with type state = s and type action = a)
     ~key ~invariants ?(seed = [| 0 |]) ?(max_states = 200_000) ?max_depth
-    ?check_step ?check_key ?observe ~init () =
+    ?check_step ?check_key ?observe ?sink ?metrics
+    ?(progress_every = 10_000) ~init () =
   (* A fixed RNG makes generative candidate sets deterministic; exhaustive
      soundness relies on the candidate function not sampling (instantiate the
      generators with degenerate configs for exploration). *)
@@ -73,9 +85,15 @@ let run (type s a)
     !violation = None && !step_failure = None && !key_clash = None
     && not !stats.truncated
   in
+  let expanded = ref 0 in
   let rec loop () =
     if continue () && not (Queue.is_empty queue) then begin
       let depth, state = Queue.pop queue in
+      incr expanded;
+      (match sink with
+      | Some s when !expanded mod progress_every = 0 ->
+          progress_event s !stats ~frontier:(Queue.length queue)
+      | Some _ | None -> ());
       let expand =
         match max_depth with Some d -> depth < d | None -> true
       in
@@ -112,6 +130,23 @@ let run (type s a)
     end
   in
   loop ();
+  (match sink with
+  | None -> ()
+  | Some s ->
+      Obs.Trace.point s ~component ~cls:"done"
+        [
+          ("states", Obs.Trace.Int !stats.states);
+          ("transitions", Obs.Trace.Int !stats.transitions);
+          ("depth", Obs.Trace.Int !stats.depth);
+          ("truncated", Obs.Trace.Bool !stats.truncated);
+        ]);
+  (match metrics with
+  | None -> ()
+  | Some m ->
+      Obs.Metrics.incr ~by:!stats.states m "explorer.states";
+      Obs.Metrics.incr ~by:!stats.transitions m "explorer.transitions";
+      Obs.Metrics.set m "explorer.depth" (float_of_int !stats.depth);
+      if !stats.truncated then Obs.Metrics.incr m "explorer.truncated");
   {
     stats = !stats;
     violation = !violation;

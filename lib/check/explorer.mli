@@ -61,7 +61,16 @@ type ('s, 'a) outcome = {
            and stops the search.  Costs memory proportional to the explored
            set — intended for the small instances of [lib/analysis].
     @param observe called once per expanded state with the candidate set
-           and its enabled subset, before the transitions fire. *)
+           and its enabled subset, before the transitions fire.
+    @param sink trace sink for progress: a ["progress"] point (states
+           visited, transitions, frontier size, depth) every
+           [progress_every] expanded states and a final ["done"] point
+           carrying the truncation flag — enough to compute states/sec
+           while the search crunches.  Component ["check.explorer"].
+    @param metrics on completion, bumps the [explorer.states] /
+           [explorer.transitions] / [explorer.truncated] counters and the
+           [explorer.depth] gauge.
+    @param progress_every progress-event stride (default 10_000). *)
 val run :
   (module Ioa.Automaton.GENERATIVE with type state = 's and type action = 'a) ->
   key:('s -> string) ->
@@ -72,6 +81,9 @@ val run :
   ?check_step:(('s, 'a) Ioa.Exec.step -> (unit, string) result) ->
   ?check_key:('s -> 's -> bool) ->
   ?observe:(('s, 'a) observation -> unit) ->
+  ?sink:Obs.Trace.sink ->
+  ?metrics:Obs.Metrics.t ->
+  ?progress_every:int ->
   init:'s ->
   unit ->
   ('s, 'a) outcome

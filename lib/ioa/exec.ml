@@ -10,33 +10,88 @@ let actions e = List.map (fun s -> s.action) e.steps
 
 type stop_reason = Step_budget | Quiescent
 
-let run (type s a)
+let stop_reason_str = function
+  | Step_budget -> "step-budget"
+  | Quiescent -> "quiescent"
+
+(* One point event per executed step.  The sink is consulted strictly
+   after the action is chosen and applied, so instrumented runs take the
+   same steps (same rng draws) as uninstrumented ones. *)
+let record ?sink ~component ~classify ~pp_action i action =
+  match sink with
+  | None -> ()
+  | Some sink ->
+      Obs.Trace.point sink ~component ~cls:(classify action)
+        [
+          ("i", Obs.Trace.Int i);
+          ("action", Obs.Trace.Str (Format.asprintf "%a" pp_action action));
+        ]
+
+let close_span ?sink ~component ~cls span ~taken reason =
+  match (sink, span) with
+  | Some sink, Some span ->
+      Obs.Trace.span_close sink ~component ~cls ~span
+        [
+          ("steps", Obs.Trace.Int taken);
+          ("stop", Obs.Trace.Str (stop_reason_str reason));
+        ]
+  | _ -> ()
+
+let run (type s a) ?sink ?(component = "ioa.exec") ?classify
     (module A : Automaton.GENERATIVE with type action = a and type state = s)
     ~rng ~steps ~init =
+  let classify =
+    match classify with Some f -> f | None -> fun _ -> "step"
+  in
+  let span =
+    Option.map
+      (fun sink ->
+        Obs.Trace.span_open sink ~component ~cls:"run"
+          [ ("budget", Obs.Trace.Int steps) ])
+      sink
+  in
+  let finish acc taken reason =
+    close_span ?sink ~component ~cls:"run" span ~taken reason;
+    ({ init; steps = List.rev acc }, reason)
+  in
   let rec go state taken acc =
-    if taken >= steps then ({ init; steps = List.rev acc }, Step_budget)
+    if taken >= steps then finish acc taken Step_budget
     else begin
       let enabled = List.filter (A.enabled state) (A.candidates rng state) in
       match enabled with
-      | [] -> ({ init; steps = List.rev acc }, Quiescent)
+      | [] -> finish acc taken Quiescent
       | _ :: _ ->
           let action = List.nth enabled (Random.State.int rng (List.length enabled)) in
           let post = A.step state action in
+          record ?sink ~component ~classify ~pp_action:A.pp_action taken action;
           go post (taken + 1) ({ pre = state; action; post } :: acc)
     end
   in
   go init 0 []
 
-let replay (type s a)
+let replay (type s a) ?sink ?(component = "ioa.exec") ?classify
     (module A : Automaton.S with type action = a and type state = s) ~init
     actions =
+  let classify =
+    match classify with Some f -> f | None -> fun _ -> "step"
+  in
+  let span =
+    Option.map
+      (fun sink ->
+        Obs.Trace.span_open sink ~component ~cls:"replay"
+          [ ("actions", Obs.Trace.Int (List.length actions)) ])
+      sink
+  in
   let rec go state i acc = function
-    | [] -> Ok { init; steps = List.rev acc }
+    | [] ->
+        close_span ?sink ~component ~cls:"replay" span ~taken:i Step_budget;
+        Ok { init; steps = List.rev acc }
     | action :: rest ->
         if not (A.enabled state action) then
           Error (i, Format.asprintf "action %a not enabled" A.pp_action action)
         else begin
           let post = A.step state action in
+          record ?sink ~component ~classify ~pp_action:A.pp_action i action;
           go post (i + 1) ({ pre = state; action; post } :: acc) rest
         end
   in

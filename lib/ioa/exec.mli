@@ -29,8 +29,18 @@ type stop_reason =
 
 (** [run (module A) ~rng ~steps ~init] produces a pseudo-random execution:
     at each point it asks [A.candidates] for proposals, keeps the enabled
-    ones, and picks one uniformly.  Deterministic for a given [rng] state. *)
+    ones, and picks one uniformly.  Deterministic for a given [rng] state.
+
+    With [?sink], the run is bracketed in a ["run"] span and emits one
+    point event per executed step — class [classify action] (default
+    ["step"]; registry callers pass their action classifier), payload the
+    step index and the rendered action.  The sink is consulted only after
+    each action is chosen and applied, so a sinked run takes exactly the
+    same steps as an unsinked one (replayability preserved). *)
 val run :
+  ?sink:Obs.Trace.sink ->
+  ?component:string ->
+  ?classify:('a -> string) ->
   (module Automaton.GENERATIVE with type action = 'a and type state = 's) ->
   rng:Random.State.t ->
   steps:int ->
@@ -39,8 +49,12 @@ val run :
 
 (** [replay (module A) ~init actions] re-executes a recorded action sequence,
     checking enabledness at every step.  Returns [Error (i, msg)] if the
-    [i]-th action (0-based) is not enabled. *)
+    [i]-th action (0-based) is not enabled.  [?sink] as in {!run} (span
+    class ["replay"]); no events are emitted past the failing action. *)
 val replay :
+  ?sink:Obs.Trace.sink ->
+  ?component:string ->
+  ?classify:('a -> string) ->
   (module Automaton.S with type action = 'a and type state = 's) ->
   init:'s ->
   'a list ->

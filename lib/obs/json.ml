@@ -1,0 +1,251 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Shortest round-trip repr, forced to contain '.' or 'e' so the parser
+   brings it back as a float. *)
+let float_repr f =
+  let s = Printf.sprintf "%.17g" f in
+  let s =
+    let shorter = Printf.sprintf "%.12g" f in
+    if float_of_string shorter = f then shorter else s
+  in
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+  else s ^ ".0"
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f ->
+      if Float.is_finite f then Buffer.add_string buf (float_repr f)
+      else Buffer.add_string buf "null"
+  | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+  | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\":";
+          write buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 256 in
+  write buf j;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parser: recursive descent over the input string.                    *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse of string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else begin
+        let c = s.[!pos] in
+        advance ();
+        match c with
+        | '"' -> Buffer.contents buf
+        | '\\' -> (
+            if !pos >= n then fail "unterminated escape"
+            else begin
+              let e = s.[!pos] in
+              advance ();
+              match e with
+              | '"' -> Buffer.add_char buf '"'; go ()
+              | '\\' -> Buffer.add_char buf '\\'; go ()
+              | '/' -> Buffer.add_char buf '/'; go ()
+              | 'n' -> Buffer.add_char buf '\n'; go ()
+              | 't' -> Buffer.add_char buf '\t'; go ()
+              | 'r' -> Buffer.add_char buf '\r'; go ()
+              | 'b' -> Buffer.add_char buf '\b'; go ()
+              | 'f' -> Buffer.add_char buf '\012'; go ()
+              | 'u' ->
+                  if !pos + 4 > n then fail "truncated \\u escape";
+                  let hex = String.sub s !pos 4 in
+                  pos := !pos + 4;
+                  let code =
+                    try int_of_string ("0x" ^ hex)
+                    with _ -> fail "bad \\u escape"
+                  in
+                  (* The encoder only emits \u for control characters; decode
+                     the Latin-1 range and replace anything above. *)
+                  if code < 0x100 then Buffer.add_char buf (Char.chr code)
+                  else Buffer.add_char buf '?';
+                  go ()
+              | _ -> fail "unknown escape"
+            end)
+        | c -> Buffer.add_char buf c; go ()
+      end
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    let lit = String.sub s start (!pos - start) in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') lit then
+      match float_of_string_opt lit with
+      | Some f -> Float f
+      | None -> fail "bad float literal"
+    else
+      match int_of_string_opt lit with
+      | Some i -> Int i
+      | None -> fail "bad int literal"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elems (v :: acc)
+            | Some ']' -> advance (); List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          List (elems [])
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let rec fields acc =
+            let f = field () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); fields (f :: acc)
+            | Some '}' -> advance (); List.rev (f :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          Obj (fields [])
+        end
+    | Some _ -> parse_number ()
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos < n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse msg -> Error msg
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool a, Bool b -> a = b
+  | Int a, Int b -> a = b
+  | Float a, Float b -> Float.equal a b
+  | Str a, Str b -> String.equal a b
+  | List a, List b -> ( try List.for_all2 equal a b with Invalid_argument _ -> false)
+  | Obj a, Obj b -> (
+      try
+        List.for_all2
+          (fun (ka, va) (kb, vb) -> String.equal ka kb && equal va vb)
+          a b
+      with Invalid_argument _ -> false)
+  | _ -> false

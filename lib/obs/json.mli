@@ -1,0 +1,32 @@
+(** Minimal JSON values with a printer and a parser.
+
+    The build environment has no JSON library (see DESIGN.md §5), so the
+    observability layer carries its own: enough of RFC 8259 to round-trip
+    trace events and metrics snapshots.  Integers and floats are kept
+    distinct — a float always renders with a ['.'] or an exponent, and a
+    numeric literal containing either parses as {!Float} — so encode/decode
+    is the identity on the values this repository emits.  Non-finite floats
+    render as [null] (JSON has no representation for them). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+(** Parse one JSON value (surrounding whitespace allowed).  Returns
+    [Error msg] on malformed input or trailing garbage. *)
+val of_string : string -> (t, string) result
+
+(** Field lookup on an {!Obj}; [None] on other constructors. *)
+val member : string -> t -> t option
+
+val equal : t -> t -> bool
+
+(** Escape a string for inclusion in a JSON document (no quotes added). *)
+val escape : string -> string

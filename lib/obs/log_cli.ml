@@ -1,0 +1,25 @@
+open Cmdliner
+
+let level_conv =
+  let parse s =
+    match Logs.level_of_string s with
+    | Ok l -> Ok l
+    | Error (`Msg m) -> Error (`Msg m)
+  in
+  let print ppf l = Format.pp_print_string ppf (Logs.level_to_string l) in
+  Arg.conv (parse, print)
+
+let verbosity =
+  Arg.(
+    value
+    & opt level_conv (Some Logs.Warning)
+    & info [ "verbosity" ] ~docv:"LEVEL"
+        ~doc:
+          "Log verbosity: $(b,quiet), $(b,error), $(b,warning), $(b,info) or \
+           $(b,debug).")
+
+let init level =
+  Logs.set_reporter (Logs.format_reporter ~dst:Format.err_formatter ());
+  Logs.set_level level
+
+let setup = Term.(const init $ verbosity)

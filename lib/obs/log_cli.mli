@@ -1,0 +1,17 @@
+(** Shared [Logs] level control for the repository's CLIs.
+
+    Every executable composes {!setup} into its term so
+    [--verbosity LEVEL] behaves identically across [bin/analyze],
+    [bin/trace] and [bin/dvs_sim]: it installs [Logs.format_reporter] on
+    stderr and sets the global level.  The default level is [Warning]. *)
+
+(** The [--verbosity] option: [quiet], [error], [warning], [info] or
+    [debug]. *)
+val verbosity : Logs.level option Cmdliner.Term.t
+
+(** Install the reporter and level. *)
+val init : Logs.level option -> unit
+
+(** [Term.(const init $ verbosity)] — evaluates to [()] after installing
+    the reporter, for splicing in front of a command's own arguments. *)
+val setup : unit Cmdliner.Term.t

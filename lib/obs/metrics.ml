@@ -1,0 +1,118 @@
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  series : (string, float list ref) Hashtbl.t;  (* newest sample first *)
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    series = Hashtbl.create 16;
+  }
+
+let cell table name mk =
+  match Hashtbl.find_opt table name with
+  | Some c -> c
+  | None ->
+      let c = mk () in
+      Hashtbl.add table name c;
+      c
+
+let incr ?(by = 1) t name =
+  let c = cell t.counters name (fun () -> ref 0) in
+  c := !c + by
+
+let count t name =
+  match Hashtbl.find_opt t.counters name with Some c -> !c | None -> 0
+
+let set t name v =
+  let c = cell t.gauges name (fun () -> ref 0.) in
+  c := v
+
+let gauge t name =
+  Option.map (fun c -> !c) (Hashtbl.find_opt t.gauges name)
+
+let observe t name v =
+  let c = cell t.series name (fun () -> ref []) in
+  c := v :: !c
+
+let now_ms () = Unix.gettimeofday () *. 1000.
+
+let time t name f =
+  let t0 = now_ms () in
+  Fun.protect ~finally:(fun () -> observe t name (now_ms () -. t0)) f
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * Stats.summary option) list;
+}
+
+let sorted_bindings table read =
+  Hashtbl.fold (fun name c acc -> (name, read c) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let snapshot (t : t) : snapshot =
+  {
+    counters = sorted_bindings t.counters ( ! );
+    gauges = sorted_bindings t.gauges ( ! );
+    histograms =
+      sorted_bindings t.series (fun c -> Stats.summarize_opt !c);
+  }
+
+let pp_snapshot ppf s =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (name, n) -> Format.fprintf ppf "%-40s %10d@," name n)
+    s.counters;
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "%-40s %10.3f@," name v)
+    s.gauges;
+  List.iter
+    (fun (name, summary) ->
+      match summary with
+      | None -> Format.fprintf ppf "%-40s (no samples)@," name
+      | Some sm -> Format.fprintf ppf "%-40s %a@," name Stats.pp_summary sm)
+    s.histograms;
+  Format.fprintf ppf "@]"
+
+let summary_json (s : Stats.summary) =
+  Json.Obj
+    [
+      ("n", Json.Int s.n);
+      ("mean", Json.Float s.mean);
+      ("stddev", Json.Float s.stddev);
+      ("min", Json.Float s.min);
+      ("max", Json.Float s.max);
+      ("p50", Json.Float s.p50);
+      ("p90", Json.Float s.p90);
+      ("p99", Json.Float s.p99);
+    ]
+
+let snapshot_json s =
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) s.counters) );
+      ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) s.gauges));
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (k, summary) ->
+               ( k,
+                 match summary with
+                 | None -> Json.Null
+                 | Some sm -> summary_json sm ))
+             s.histograms) );
+    ]
+
+let snapshot_to_string s = Json.to_string (snapshot_json s)
+
+let write_file ~path s =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (snapshot_to_string s);
+      output_char oc '\n')

@@ -1,0 +1,62 @@
+(** A named-metric registry: counters, gauges and histogram recorders.
+
+    One registry is one mutable scoreboard a harness threads through the
+    layers it instruments (every hook takes [?metrics] defaulting to
+    no-op).  Names are flat dotted strings ("net.sent",
+    "explorer.states"); metrics are created on first use.
+
+    A {!snapshot} freezes the registry into an immutable, name-sorted
+    record that renders as text ({!pp_snapshot}) or as hand-rolled JSON
+    ({!snapshot_json}), in the same style as [lib/analysis/findings.ml].
+    Histogram summaries come from {!Stats.summarize_opt}, so a recorder
+    that never observed a sample snapshots to [None] rather than
+    crashing the report. *)
+
+type t
+
+val create : unit -> t
+
+(** {2 Counters} — monotonically increasing integers. *)
+
+val incr : ?by:int -> t -> string -> unit
+val count : t -> string -> int
+(** [count t name] is 0 for a counter never incremented. *)
+
+(** {2 Gauges} — last-write-wins floats. *)
+
+val set : t -> string -> float -> unit
+val gauge : t -> string -> float option
+
+(** {2 Histogram recorders} — float samples summarized at snapshot time. *)
+
+val observe : t -> string -> float -> unit
+
+(** {2 Timing helpers} *)
+
+(** Wall-clock milliseconds since the epoch. *)
+val now_ms : unit -> float
+
+(** [time t name f] runs [f ()] and observes its wall-clock duration (ms)
+    under histogram [name]. *)
+val time : t -> string -> (unit -> 'a) -> 'a
+
+(** {2 Snapshots} *)
+
+type snapshot = {
+  counters : (string * int) list;  (** name-sorted *)
+  gauges : (string * float) list;  (** name-sorted *)
+  histograms : (string * Stats.summary option) list;  (** name-sorted *)
+}
+
+val snapshot : t -> snapshot
+val pp_snapshot : Format.formatter -> snapshot -> unit
+
+(** [{"counters": {...}, "gauges": {...}, "histograms": {...}}]; an empty
+    histogram is [null], a populated one an object with [n], [mean],
+    [stddev], [min], [max], [p50], [p90], [p99]. *)
+val snapshot_json : snapshot -> Json.t
+
+val snapshot_to_string : snapshot -> string
+
+(** Write [snapshot_to_string] (newline-terminated) to [path]. *)
+val write_file : path:string -> snapshot -> unit

@@ -14,6 +14,20 @@ type result = {
   history : View.t list;
 }
 
+let count metrics name n =
+  match metrics with
+  | None -> ()
+  | Some m -> if n > 0 then Obs.Metrics.incr m ~by:n name
+
+let record_result metrics (r : result) =
+  count metrics "sim.available_epochs" r.available_epochs;
+  count metrics "sim.primaries_formed" r.primaries_formed;
+  count metrics "sim.interrupted" r.interrupted;
+  count metrics "sim.dual_primaries" r.dual_primaries;
+  match metrics with
+  | None -> ()
+  | Some m -> Obs.Metrics.set m "sim.availability" r.availability
+
 let run_static quorum epochs =
   let total_time = List.fold_left (fun a (e : Churn.epoch) -> a +. e.duration) 0. epochs in
   let stats =
@@ -41,7 +55,7 @@ let run_static quorum epochs =
     history = [];
   }
 
-let run_dynamic rng ~complete_prob epochs =
+let run_dynamic ?sink rng ~complete_prob epochs =
   let total_time = List.fold_left (fun a (e : Churn.epoch) -> a +. e.duration) 0. epochs in
   let initial =
     match epochs with
@@ -86,6 +100,18 @@ let run_dynamic rng ~complete_prob epochs =
               | Some (state', v) ->
                   state := state';
                   incr formed;
+                  (* emitted after the rng draw and the formation step, so
+                     the run is identical with or without a sink *)
+                  (match sink with
+                  | None -> ()
+                  | Some s ->
+                      Obs.Trace.point s ~component:"sim.availability"
+                        ~cls:(if complete then "primary-formed" else "interrupted")
+                        [
+                          ("epoch", Obs.Trace.Int i);
+                          ("view", Obs.Trace.Str (Format.asprintf "%a" View.pp v));
+                          ("members", Obs.Trace.Int (Proc.Set.cardinal (View.set v)));
+                        ]);
                   if not complete then incr interrupted
                   else current_primary := Some v;
                   (* an interrupted formation was attempted but the epoch still
@@ -108,9 +134,14 @@ let run_dynamic rng ~complete_prob epochs =
     history = Membership.Dyn_voting.history !state;
   }
 
-let run rng epochs = function
-  | Static quorum -> run_static quorum epochs
-  | Dynamic { complete_prob } -> run_dynamic rng ~complete_prob epochs
+let run ?sink ?metrics rng epochs policy =
+  let r =
+    match policy with
+    | Static quorum -> run_static quorum epochs
+    | Dynamic { complete_prob } -> run_dynamic ?sink rng ~complete_prob epochs
+  in
+  record_result metrics r;
+  r
 
 let pp_result ppf r =
   Format.fprintf ppf

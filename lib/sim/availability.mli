@@ -25,6 +25,18 @@ type result = {
   history : Prelude.View.t list;  (** primary views, oldest first *)
 }
 
-val run : Random.State.t -> Churn.epoch list -> policy -> result
+(** [?sink] receives one [sim.availability] point per dynamic primary
+    formation (class [primary-formed] or [interrupted]); [?metrics] records
+    [sim.available_epochs] / [sim.primaries_formed] / [sim.interrupted] /
+    [sim.dual_primaries] counters and a [sim.availability] gauge.  Both are
+    consulted strictly after the rng draws, so the result is identical with
+    or without them. *)
+val run :
+  ?sink:Obs.Trace.sink ->
+  ?metrics:Obs.Metrics.t ->
+  Random.State.t ->
+  Churn.epoch list ->
+  policy ->
+  result
 
 val pp_result : Format.formatter -> result -> unit

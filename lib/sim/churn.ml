@@ -27,7 +27,23 @@ let default ~initial ~epochs =
 
 let exp_duration rng mean = -.mean *. log (1. -. Random.State.float rng 1.)
 
-let generate rng cfg =
+(* The sink is consulted strictly after each epoch is drawn, so the rng
+   stream — and hence the generated history — is identical with or without
+   it. *)
+let emit_epoch sink k (e : epoch) =
+  match sink with
+  | None -> ()
+  | Some s ->
+      let part = e.partition in
+      Obs.Trace.point s ~component:"sim.churn" ~cls:"epoch"
+        [
+          ("epoch", Obs.Trace.Int k);
+          ("components", Obs.Trace.Int (List.length (Partition.components part)));
+          ("alive", Obs.Trace.Int (Proc.Set.cardinal (Partition.alive part)));
+          ("duration", Obs.Trace.Float e.duration);
+        ]
+
+let generate ?sink rng cfg =
   let fresh = ref (1 + Proc.Set.fold Stdlib.max cfg.initial 0) in
   let crashed = ref Proc.Set.empty in
   let step part =
@@ -67,6 +83,7 @@ let generate rng cfg =
     else begin
       let part' = if k = 0 then part else step part in
       let e = { partition = part'; duration = exp_duration rng cfg.mean_duration } in
+      emit_epoch sink k e;
       go part' (k + 1) (e :: acc)
     end
   in

@@ -23,8 +23,11 @@ type config = {
 val default : initial:Prelude.Proc.Set.t -> epochs:int -> config
 
 (** Generate a history.  The first epoch is always the fully-connected
-    initial universe. *)
-val generate : Random.State.t -> config -> epoch list
+    initial universe.  [?sink] receives one [sim.churn]/[epoch] point per
+    epoch (index, component count, alive count, duration); it is consulted
+    strictly after each epoch is drawn, so the rng stream — and hence the
+    history — is identical with or without it. *)
+val generate : ?sink:Obs.Trace.sink -> Random.State.t -> config -> epoch list
 
 (** Fraction of epochs (time-weighted) in which a predicate on the
     connectivity state holds. *)

@@ -35,19 +35,25 @@ let percentile q = function
       in
       List.nth sorted rank
 
-let summarize = function
-  | [] -> invalid_arg "Stats.summarize: empty sample"
+let summarize_opt = function
+  | [] -> None
   | xs ->
-      {
-        n = List.length xs;
-        mean = mean xs;
-        stddev = stddev xs;
-        min = List.fold_left Float.min Float.infinity xs;
-        max = List.fold_left Float.max Float.neg_infinity xs;
-        p50 = percentile 0.5 xs;
-        p90 = percentile 0.9 xs;
-        p99 = percentile 0.99 xs;
-      }
+      Some
+        {
+          n = List.length xs;
+          mean = mean xs;
+          stddev = stddev xs;
+          min = List.fold_left Float.min Float.infinity xs;
+          max = List.fold_left Float.max Float.neg_infinity xs;
+          p50 = percentile 0.5 xs;
+          p90 = percentile 0.9 xs;
+          p99 = percentile 0.99 xs;
+        }
+
+let summarize xs =
+  match summarize_opt xs with
+  | Some s -> s
+  | None -> invalid_arg "Stats.summarize: empty sample"
 
 let pp_summary ppf s =
   Format.fprintf ppf

@@ -16,6 +16,11 @@ type summary = {
     list. *)
 val summarize : float list -> summary
 
+(** Total variant of {!summarize}: [None] on the empty list.  Prefer this
+    in reporting paths (e.g. metrics snapshots), where an idle recorder
+    must not crash the report. *)
+val summarize_opt : float list -> summary option
+
 val mean : float list -> float
 val stddev : float list -> float
 

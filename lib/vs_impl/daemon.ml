@@ -22,10 +22,13 @@ let created ~p0 t = View.Set.add (View.initial p0) t.issued
 
 let reconfigure t components = { t with components }
 
-let create t c =
+let create ?metrics t c =
   let is_component = List.exists (Proc.Set.equal c) t.components in
   if not is_component then None
   else begin
+    (match metrics with
+    | None -> ()
+    | Some m -> Obs.Metrics.incr m "daemon.views_created");
     let v = View.make ~id:t.next_id ~set:c in
     Some
       ( { t with issued = View.Set.add v t.issued; next_id = Gid.succ t.next_id },
@@ -36,7 +39,10 @@ let can_notify t v p =
   View.mem p v
   && Gid.Bot.lt_gid (Proc.Map.find_or ~default:Gid.Bot.bot p t.notified) (View.id v)
 
-let notify t v p =
+let notify ?metrics t v p =
+  (match metrics with
+  | None -> ()
+  | Some m -> Obs.Metrics.incr m "daemon.notifications");
   { t with notified = Proc.Map.add p (Gid.Bot.of_gid (View.id v)) t.notified }
 
 let equal a b =

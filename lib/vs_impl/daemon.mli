@@ -32,15 +32,17 @@ val reconfigure : t -> Prelude.Proc.Set.t list -> t
 (** [create t c]: issue a fresh view for component [c] (must be one of the
     current components).  Returns the updated daemon and the view, or [None]
     if [c] is not a current component.  Pacing of view creation is the
-    caller's policy; the specification allows any. *)
-val create : t -> Prelude.Proc.Set.t -> (t * Prelude.View.t) option
+    caller's policy; the specification allows any.  [?metrics] bumps
+    [daemon.views_created] on success; the result never depends on it. *)
+val create :
+  ?metrics:Obs.Metrics.t -> t -> Prelude.Proc.Set.t -> (t * Prelude.View.t) option
 
 (** Whether a notification of [v] to [p] is pending ([p ∈ v.set] and [p] has
     not yet seen a view with id ≥ [v.id]). *)
 val can_notify : t -> Prelude.View.t -> Prelude.Proc.t -> bool
 
-(** Record the notification. *)
-val notify : t -> Prelude.View.t -> Prelude.Proc.t -> t
+(** Record the notification.  [?metrics] bumps [daemon.notifications]. *)
+val notify : ?metrics:Obs.Metrics.t -> t -> Prelude.View.t -> Prelude.Proc.t -> t
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

@@ -61,14 +61,20 @@ module Make (M : Msg_intf.S) = struct
         let g = View.id v in
         { st with outq = Gid.Map.add g (Seqs.append (outq_of st g) m) st.outq }
 
-  let on_newview st v =
+  let on_newview ?metrics st v =
+    (match metrics with
+    | None -> ()
+    | Some m -> Obs.Metrics.incr m "engine.newview");
     {
       st with
       cur = Some v;
       views_seen = Gid.Map.add (View.id v) v st.views_seen;
     }
 
-  let on_packet st ~src (pkt : packet) =
+  let on_packet ?metrics st ~src (pkt : packet) =
+    (match metrics with
+    | None -> ()
+    | Some m -> Obs.Metrics.incr m "engine.packets_in");
     match pkt with
     | Packet.Fwd { gid; payload } ->
         (* as (presumed) sequencer of [gid]: assign the next position *)
@@ -187,7 +193,10 @@ module Make (M : Msg_intf.S) = struct
         | Some (m, origin) -> Some (origin, m)
         | None -> None)
 
-  let delivered st =
+  let delivered ?metrics st =
+    (match metrics with
+    | None -> ()
+    | Some m -> Obs.Metrics.incr m "engine.deliveries");
     match st.cur with
     | None -> st
     | Some v ->
@@ -209,7 +218,10 @@ module Make (M : Msg_intf.S) = struct
           | Some (m, origin) -> Some (origin, m)
           | None -> None)
 
-  let safed st =
+  let safed ?metrics st =
+    (match metrics with
+    | None -> ()
+    | Some m -> Obs.Metrics.incr m "engine.safe_indications");
     match st.cur with
     | None -> st
     | Some v ->

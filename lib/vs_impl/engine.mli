@@ -48,13 +48,18 @@ module Make (M : Prelude.Msg_intf.S) : sig
   val next_deliver_of : state -> Prelude.Gid.t -> int
   val next_safe_of : state -> Prelude.Gid.t -> int
 
-  (** {2 Input effects} *)
+  (** {2 Input effects}
+
+      Every [?metrics] below only bumps a counter ([engine.newview],
+      [engine.packets_in], [engine.deliveries],
+      [engine.safe_indications]); returned states never depend on it. *)
 
   val on_gpsnd : state -> M.t -> state
-  val on_newview : state -> Prelude.View.t -> state
+  val on_newview : ?metrics:Obs.Metrics.t -> state -> Prelude.View.t -> state
 
   (** Process a packet from the network (sender [src]). *)
-  val on_packet : state -> src:Prelude.Proc.t -> packet -> state
+  val on_packet :
+    ?metrics:Obs.Metrics.t -> state -> src:Prelude.Proc.t -> packet -> state
 
   (** {2 Output candidates and their effects}
 
@@ -78,12 +83,12 @@ module Make (M : Prelude.Msg_intf.S) : sig
   (** The client delivery currently enabled: [vs-gprcv (origin, payload)]. *)
   val deliverable : state -> (Prelude.Proc.t * M.t) option
 
-  val delivered : state -> state
+  val delivered : ?metrics:Obs.Metrics.t -> state -> state
 
   (** The safe indication currently enabled. *)
   val safe_ready : state -> (Prelude.Proc.t * M.t) option
 
-  val safed : state -> state
+  val safed : ?metrics:Obs.Metrics.t -> state -> state
 
   val equal : state -> state -> bool
   val pp : Format.formatter -> state -> unit

@@ -16,7 +16,18 @@ module Make (M : Msg_intf.S) = struct
   let channel s ~src ~dst =
     Pg_map.find_or ~default:Seqs.empty (src, dst) s.channels
 
-  let send s ~src ~dst pkt =
+  let pkt_kind : packet -> string = function
+    | Packet.Fwd _ -> "fwd"
+    | Packet.Seq _ -> "seq"
+    | Packet.Ack _ -> "ack"
+    | Packet.Stable _ -> "stable"
+
+  let send ?metrics s ~src ~dst pkt =
+    (match metrics with
+    | None -> ()
+    | Some m ->
+        Obs.Metrics.incr m "net.sent";
+        Obs.Metrics.incr m ("net.sent." ^ pkt_kind pkt));
     {
       s with
       channels = Pg_map.add (src, dst) (Seqs.append (channel s ~src ~dst) pkt) s.channels;
@@ -27,7 +38,10 @@ module Make (M : Msg_intf.S) = struct
   let deliverable s ~src ~dst =
     if connected s src dst then head s ~src ~dst else None
 
-  let pop s ~src ~dst =
+  let pop ?metrics s ~src ~dst =
+    (match metrics with
+    | None -> ()
+    | Some m -> Obs.Metrics.incr m "net.delivered");
     let q = Seqs.remove_head (channel s ~src ~dst) in
     let channels =
       if Seqs.is_empty q then Pg_map.remove (src, dst) s.channels
@@ -35,7 +49,10 @@ module Make (M : Msg_intf.S) = struct
     in
     { s with channels }
 
-  let reconfigure s components =
+  let reconfigure ?metrics s components =
+    (match metrics with
+    | None -> ()
+    | Some m -> Obs.Metrics.incr m "net.reconfigures");
     let component_of p = List.find_opt (Proc.Set.mem p) components in
     let all =
       List.fold_left Proc.Set.union Proc.Set.empty components |> Proc.Set.elements

@@ -26,8 +26,17 @@ module Make (M : Prelude.Msg_intf.S) : sig
   (** [connected s p q]: may a packet flow from [p] to [q] right now? *)
   val connected : state -> Prelude.Proc.t -> Prelude.Proc.t -> bool
 
-  (** [send s ~src ~dst pkt]: enqueue (always possible). *)
-  val send : state -> src:Prelude.Proc.t -> dst:Prelude.Proc.t -> packet -> state
+  (** [send s ~src ~dst pkt]: enqueue (always possible).  [?metrics]
+      bumps the [net.sent] counter and a per-packet-kind subcounter
+      ([net.sent.fwd] / [.seq] / [.ack] / [.stable]); the returned state
+      never depends on it. *)
+  val send :
+    ?metrics:Obs.Metrics.t ->
+    state ->
+    src:Prelude.Proc.t ->
+    dst:Prelude.Proc.t ->
+    packet ->
+    state
 
   (** Head of the (src, dst) channel, if any. *)
   val head : state -> src:Prelude.Proc.t -> dst:Prelude.Proc.t -> packet option
@@ -35,12 +44,20 @@ module Make (M : Prelude.Msg_intf.S) : sig
   (** [deliverable s ~src ~dst]: head exists and the pair is connected. *)
   val deliverable : state -> src:Prelude.Proc.t -> dst:Prelude.Proc.t -> packet option
 
-  (** Remove the head (the delivery effect).  Raises if empty. *)
-  val pop : state -> src:Prelude.Proc.t -> dst:Prelude.Proc.t -> state
+  (** Remove the head (the delivery effect).  Raises if empty.
+      [?metrics] bumps [net.delivered]. *)
+  val pop :
+    ?metrics:Obs.Metrics.t ->
+    state ->
+    src:Prelude.Proc.t ->
+    dst:Prelude.Proc.t ->
+    state
 
   (** Install a new connectivity relation from components: pairs in
-      different components are blocked. *)
-  val reconfigure : state -> Prelude.Proc.Set.t list -> state
+      different components are blocked.  [?metrics] bumps
+      [net.reconfigures]. *)
+  val reconfigure :
+    ?metrics:Obs.Metrics.t -> state -> Prelude.Proc.Set.t list -> state
 
   val in_flight : state -> int
   val equal : state -> state -> bool

@@ -81,21 +81,23 @@ module Make (M : Msg_intf.S) = struct
         | Some head -> pkt_equal head pkt
         | None -> false)
 
-  let step s = function
+  (* [?metrics] only bumps counters in the Net/Engine/Daemon layers; the
+     returned state is identical with or without it. *)
+  let step ?metrics s = function
     | Gpsnd (p, m) -> with_engine s p (fun e -> E.on_gpsnd e m)
     | Newview (v, p) ->
-        let s = { s with daemon = Daemon.notify s.daemon v p } in
-        with_engine s p (fun e -> E.on_newview e v)
-    | Gprcv { dst; _ } -> with_engine s dst E.delivered
-    | Safe { dst; _ } -> with_engine s dst E.safed
+        let s = { s with daemon = Daemon.notify ?metrics s.daemon v p } in
+        with_engine s p (fun e -> E.on_newview ?metrics e v)
+    | Gprcv { dst; _ } -> with_engine s dst (E.delivered ?metrics)
+    | Safe { dst; _ } -> with_engine s dst (E.safed ?metrics)
     | Createview v -> (
-        match Daemon.create s.daemon (View.set v) with
+        match Daemon.create ?metrics s.daemon (View.set v) with
         | Some (daemon, _) -> { s with daemon }
         | None -> s)
     | Reconfigure comps ->
         {
           s with
-          net = N.reconfigure s.net comps;
+          net = N.reconfigure ?metrics s.net comps;
           daemon = Daemon.reconfigure s.daemon comps;
         }
     | Send { src; dst; pkt } ->
@@ -107,10 +109,10 @@ module Make (M : Msg_intf.S) = struct
               | Packet.Ack { gid; upto } -> E.sent_ack e ~gid ~upto
               | Packet.Stable { gid; upto } -> E.sent_stable e ~dst ~gid ~upto)
         in
-        { s with net = N.send s.net ~src ~dst pkt }
+        { s with net = N.send ?metrics s.net ~src ~dst pkt }
     | Deliver { src; dst; pkt } ->
-        let s = { s with net = N.pop s.net ~src ~dst } in
-        with_engine s dst (fun e -> E.on_packet e ~src pkt)
+        let s = { s with net = N.pop ?metrics s.net ~src ~dst } in
+        with_engine s dst (fun e -> E.on_packet ?metrics e ~src pkt)
 
   let is_external = function
     | Gpsnd _ | Newview _ | Gprcv _ | Safe _ -> true
@@ -300,7 +302,7 @@ module Make (M : Msg_intf.S) = struct
        else is possible, heal the partition so blocked traffic can flow *)
     if base = [] then merge_proposal () else base
 
-  let generative cfg ~rng_views =
+  let generative ?metrics cfg ~rng_views =
     (module struct
       type nonrec state = state
       type nonrec action = action
@@ -309,7 +311,7 @@ module Make (M : Msg_intf.S) = struct
       let pp_state = pp_state
       let pp_action = pp_action
       let enabled = enabled
-      let step = step
+      let step s a = step ?metrics s a
       let is_external = is_external
       let candidates rng s = candidates cfg rng_views rng s
     end : Ioa.Automaton.GENERATIVE

@@ -38,7 +38,19 @@ module Make (M : Prelude.Msg_intf.S) : sig
   val initial : universe:int -> p0:Prelude.Proc.Set.t -> state
   val engine : state -> Prelude.Proc.t -> E.state
 
-  include Ioa.Automaton.S with type state := state and type action := action
+  (** The {!Ioa.Automaton.S} surface, except that [step] takes an optional
+      metrics registry.  [?metrics] only bumps counters in the Net / Engine /
+      Daemon layers ([net.sent], [engine.deliveries], [daemon.notifications],
+      …); the returned state is identical with or without it, and total
+      application [step s a] erases the optional, so [step] still matches
+      [Ioa.Automaton.S] wherever the module is used unchanged. *)
+
+  val equal_state : state -> state -> bool
+  val pp_state : Format.formatter -> state -> unit
+  val pp_action : Format.formatter -> action -> unit
+  val enabled : state -> action -> bool
+  val step : ?metrics:Obs.Metrics.t -> state -> action -> state
+  val is_external : action -> bool
 
   (** Canonical full-state rendering — net, daemon and every engine — used
       as the dedup key for exhaustive exploration. *)
@@ -56,7 +68,10 @@ module Make (M : Prelude.Msg_intf.S) : sig
 
   val default_config : payloads:M.t list -> universe:int -> config
 
+  (** [?metrics] is captured by the packaged [step]; generation itself is
+      unobserved, so replayability is unaffected. *)
   val generative :
+    ?metrics:Obs.Metrics.t ->
     config ->
     rng_views:Random.State.t ->
     (module Ioa.Automaton.GENERATIVE with type state = state and type action = action)

@@ -1,0 +1,278 @@
+(* lib/obs: the JSONL codec, sink sequencing, metrics snapshots, and the
+   zero-impact contract of the Exec instrumentation hooks. *)
+
+open Prelude
+module T = Obs.Trace
+module M = Obs.Metrics
+module J = Obs.Json
+
+(* ------------------------------------------------------------------ *)
+(* JSON round-trips                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let samples =
+    [
+      J.Null;
+      J.Bool true;
+      J.Int 0;
+      J.Int (-42);
+      J.Float 3.5;
+      J.Float (-0.125);
+      J.Str "plain";
+      J.Str "esc \"quo\\ted\"\n\ttabbed";
+      J.List [ J.Int 1; J.Str "two"; J.Null ];
+      J.Obj
+        [
+          ("a", J.Int 1);
+          ("nested", J.Obj [ ("xs", J.List [ J.Bool false ]) ]);
+        ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      match J.of_string (J.to_string v) with
+      | Ok v' ->
+          Alcotest.(check bool)
+            (J.to_string v ^ " round-trips")
+            true (J.equal v v')
+      | Error e -> Alcotest.failf "parse error on %s: %s" (J.to_string v) e)
+    samples;
+  (* Int and Float survive as distinct cases *)
+  (match J.of_string "7" with
+  | Ok (J.Int 7) -> ()
+  | _ -> Alcotest.fail "7 should parse as Int");
+  match J.of_string "7.0" with
+  | Ok (J.Float 7.0) -> ()
+  | _ -> Alcotest.fail "7.0 should parse as Float"
+
+let mk_events () =
+  let sink, drain = T.memory () in
+  let span =
+    T.span_open sink ~component:"test" ~cls:"run" [ ("budget", T.Int 3) ]
+  in
+  T.point sink ~component:"test" ~cls:"step"
+    [
+      ("i", T.Int 0);
+      ("action", T.Str "vs-gpsnd(a)_p0");
+      ("weight", T.Float 0.5);
+      ("external", T.Bool true);
+    ];
+  T.span_close sink ~component:"test" ~cls:"run" ~span
+    [ ("steps", T.Int 1) ];
+  drain ()
+
+let test_event_roundtrip () =
+  List.iter
+    (fun e ->
+      match T.event_of_string (T.event_to_string e) with
+      | Ok e' ->
+          Alcotest.(check bool)
+            (T.event_to_string e ^ " round-trips")
+            true (T.equal_event e e')
+      | Error msg ->
+          Alcotest.failf "parse error on %s: %s" (T.event_to_string e) msg)
+    (mk_events ())
+
+let test_jsonl_file_roundtrip () =
+  let events = mk_events () in
+  let path = Filename.temp_file "obs_test" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      let sink = T.to_channel oc in
+      List.iter
+        (fun (e : T.event) ->
+          match e.T.kind with
+          | T.Span_open -> ignore (T.span_open sink ~component:e.T.component ~cls:e.T.cls e.T.payload)
+          | T.Span_close ->
+              T.span_close sink ~component:e.T.component ~cls:e.T.cls
+                ~span:(Option.get e.T.span) e.T.payload
+          | T.Point -> T.point sink ~component:e.T.component ~cls:e.T.cls e.T.payload)
+        events;
+      close_out oc;
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          match T.read_jsonl ic with
+          | Error (line, msg) -> Alcotest.failf "line %d: %s" line msg
+          | Ok back ->
+              Alcotest.(check int)
+                "same count" (List.length events) (List.length back);
+              List.iter2
+                (fun a b ->
+                  Alcotest.(check bool) "same event" true (T.equal_event a b))
+                events back))
+
+(* ------------------------------------------------------------------ *)
+(* Sequencing                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_seq_monotone_interleaved () =
+  let sink, drain = T.memory () in
+  (* interleave two logical spans through one sink *)
+  let s1 = T.span_open sink ~component:"a" ~cls:"outer" [] in
+  let s2 = T.span_open sink ~component:"b" ~cls:"inner" [] in
+  T.point sink ~component:"a" ~cls:"tick" [];
+  T.point sink ~component:"b" ~cls:"tick" [];
+  T.span_close sink ~component:"b" ~cls:"inner" ~span:s2 [];
+  T.point sink ~component:"a" ~cls:"tick" [];
+  T.span_close sink ~component:"a" ~cls:"outer" ~span:s1 [];
+  let events = drain () in
+  Alcotest.(check int) "emitted" 7 (T.emitted sink);
+  List.iteri
+    (fun i (e : T.event) -> Alcotest.(check int) "dense monotone seq" i e.T.seq)
+    events;
+  (* close events reference the right opens *)
+  let close_of cls =
+    List.find
+      (fun (e : T.event) -> e.T.kind = T.Span_close && e.T.cls = cls)
+      events
+  in
+  Alcotest.(check (option int)) "inner span ref" (Some s2) (close_of "inner").T.span;
+  Alcotest.(check (option int)) "outer span ref" (Some s1) (close_of "outer").T.span
+
+let test_memory_ring_capacity () =
+  let sink, drain = T.memory ~capacity:4 () in
+  for i = 0 to 9 do
+    T.point sink ~component:"c" ~cls:"tick" [ ("i", T.Int i) ]
+  done;
+  let events = drain () in
+  Alcotest.(check int) "capped" 4 (List.length events);
+  Alcotest.(check (list int)) "keeps newest, oldest first" [ 6; 7; 8; 9 ]
+    (List.map (fun (e : T.event) -> e.T.seq) events)
+
+(* ------------------------------------------------------------------ *)
+(* Exec instrumentation: one event per step, and no behavioural drift   *)
+(* ------------------------------------------------------------------ *)
+
+module Vsg = Vs.Vs_gen.Make (Msg_intf.String_msg)
+
+let vs_exec ?sink seed =
+  let rng = Random.State.make [| seed |] in
+  let rng_views = Random.State.make [| seed + 1000 |] in
+  let cfg = Vsg.default_config ~payloads:[ "a"; "b" ] ~universe:3 in
+  let gen = Vsg.generative cfg ~rng_views in
+  Ioa.Exec.run ?sink gen ~rng ~steps:120
+    ~init:(Vsg.Spec.initial (Proc.Set.universe 3))
+
+let test_exec_one_event_per_step () =
+  let sink, drain = T.memory () in
+  let exec, _ = vs_exec ~sink 42 in
+  let events = drain () in
+  let points =
+    List.filter (fun (e : T.event) -> e.T.kind = T.Point) events
+  in
+  Alcotest.(check int) "one point per step" (Ioa.Exec.length exec)
+    (List.length points);
+  (* span_open first, span_close last, and the step indices are 0..n-1 *)
+  (match events with
+  | first :: _ -> Alcotest.(check bool) "opens span" true (first.T.kind = T.Span_open)
+  | [] -> Alcotest.fail "no events");
+  (match List.rev events with
+  | last :: _ ->
+      Alcotest.(check bool) "closes span" true (last.T.kind = T.Span_close)
+  | [] -> ());
+  List.iteri
+    (fun i (e : T.event) ->
+      match List.assoc_opt "i" e.T.payload with
+      | Some (T.Int j) -> Alcotest.(check int) "step index" i j
+      | _ -> Alcotest.fail "point without step index")
+    points
+
+let test_exec_sink_no_behaviour_change () =
+  let plain, stop1 = vs_exec 7 in
+  let sink, _drain = T.memory () in
+  let sinked, stop2 = vs_exec ~sink 7 in
+  Alcotest.(check bool) "same stop reason" true (stop1 = stop2);
+  Alcotest.(check int) "same length" (Ioa.Exec.length plain)
+    (Ioa.Exec.length sinked);
+  Alcotest.(check bool) "same final state" true
+    (Vsg.Spec.equal_state (Ioa.Exec.last plain) (Ioa.Exec.last sinked));
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string) "same action"
+        (Format.asprintf "%a" Vsg.Spec.pp_action a)
+        (Format.asprintf "%a" Vsg.Spec.pp_action b))
+    (Ioa.Exec.actions plain) (Ioa.Exec.actions sinked)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_snapshot () =
+  let m = M.create () in
+  M.incr m "b.count";
+  M.incr m ~by:4 "b.count";
+  M.incr m "a.count";
+  M.set m "g" 2.5;
+  M.observe m "h" 1.0;
+  M.observe m "h" 3.0;
+  let snap = M.snapshot m in
+  Alcotest.(check (list (pair string int)))
+    "counters name-sorted"
+    [ ("a.count", 1); ("b.count", 5) ]
+    snap.M.counters;
+  Alcotest.(check int) "count accessor" 5 (M.count m "b.count");
+  Alcotest.(check int) "missing counter is 0" 0 (M.count m "nope");
+  (match snap.M.histograms with
+  | [ ("h", Some s) ] ->
+      Alcotest.(check (float 1e-9)) "mean" 2.0 s.Stats.mean
+  | _ -> Alcotest.fail "expected one populated histogram");
+  (* the snapshot JSON is parseable and preserves the numbers *)
+  match J.of_string (M.snapshot_to_string snap) with
+  | Error e -> Alcotest.failf "snapshot JSON unparseable: %s" e
+  | Ok js -> (
+      match J.member "counters" js with
+      | Some (J.Obj cs) ->
+          Alcotest.(check bool) "b.count present" true
+            (List.assoc_opt "b.count" cs = Some (J.Int 5))
+      | _ -> Alcotest.fail "no counters object")
+
+let test_summarize_opt_empty () =
+  Alcotest.(check bool) "empty is None" true (Stats.summarize_opt [] = None);
+  (match Stats.summarize_opt [ 2.0 ] with
+  | Some s -> Alcotest.(check (float 1e-9)) "singleton mean" 2.0 s.Stats.mean
+  | None -> Alcotest.fail "singleton should summarize");
+  (* an empty histogram snapshots to None instead of raising *)
+  let m = M.create () in
+  M.observe m "h" 1.0;
+  let snap = M.snapshot m in
+  ignore snap;
+  Alcotest.check_raises "summarize [] still raises"
+    (Invalid_argument "Stats.summarize: empty sample") (fun () ->
+      ignore (Stats.summarize []))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "value round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "event round-trip" `Quick test_event_roundtrip;
+          Alcotest.test_case "jsonl file round-trip" `Quick
+            test_jsonl_file_roundtrip;
+        ] );
+      ( "sinks",
+        [
+          Alcotest.test_case "seq monotone, interleaved spans" `Quick
+            test_seq_monotone_interleaved;
+          Alcotest.test_case "memory ring capacity" `Quick
+            test_memory_ring_capacity;
+        ] );
+      ( "exec",
+        [
+          Alcotest.test_case "one event per step" `Quick
+            test_exec_one_event_per_step;
+          Alcotest.test_case "sink does not change the run" `Quick
+            test_exec_sink_no_behaviour_change;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "snapshot + json" `Quick test_metrics_snapshot;
+          Alcotest.test_case "summarize_opt on empty" `Quick
+            test_summarize_opt_empty;
+        ] );
+    ]
