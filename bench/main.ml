@@ -604,7 +604,7 @@ let e10 m =
     let rng_views = Random.State.make [| seed + 1000 |] in
     let cfg = Stk.default_config ~payloads:[ "a"; "b" ] ~universe:3 in
     let gen = Stk.generative cfg ~rng_views in
-    let init = Stk.initial ~universe:3 ~p0:(Proc.Set.universe 3) in
+    let init = Stk.initial ~universe:3 ~p0:(Proc.Set.universe 3) () in
     let exec, _ = Ioa.Exec.run gen ~rng ~steps:600 ~init in
     steps_total := !steps_total + Ioa.Exec.length exec;
     List.iter
@@ -630,7 +630,7 @@ let e10 m =
   List.iter
     (fun n ->
       let p0 = Proc.Set.universe n in
-      let s0 = Stk.initial ~universe:n ~p0 in
+      let s0 = Stk.initial ~universe:n ~p0 () in
       let s = Stk.step s0 (Stk.Gpsnd (0, "m")) in
       (* drive greedily until the sender's safe indication fires *)
       let rec go s steps packets =
@@ -835,10 +835,103 @@ let e13 m =
     "\nshape check: the faithful algorithm walks the whole shrink chain; the\nno-gc ablation jams once the chain needs to drop below a majority of an\nun-collected older candidate.  Safety is unaffected either way.\n"
 
 (* ================================================================== *)
+(* E14 — Fault-injection soak: phased storms over the VS engine        *)
+(* ================================================================== *)
+
+let e14 m =
+  section
+    "E14 Fault-injection soak: lossy/duplicating/reordering transport, \
+     phased storms";
+  let universe = 3 and phases = 8 and steps_per_phase = 400 in
+  let p0 = Proc.Set.universe universe in
+  let plan =
+    Sim.Faults.schedule
+      (Random.State.make [| 99 |])
+      ~universe:p0 ~phases ~steps_per_phase
+  in
+  let rng = Random.State.make [| 14 |] in
+  let rng_views = Random.State.make [| 1014 |] in
+  (* the default budgets cap a single bounded run; a soak needs traffic in
+     every phase (the send budget counts messages alive or sequenced over
+     the whole history, so it must cover all phases) *)
+  let cfg =
+    {
+      (Stk.default_config ~payloads:[ "a"; "b" ] ~universe) with
+      Stk.max_views = 12;
+      max_sends = 300;
+    }
+  in
+  let gen = Stk.generative ~metrics:m cfg ~rng_views in
+  row "%-10s | %-10s | %-6s | %-26s | %s\n" "phase" "components" "steps"
+    "drop/dup/reorder/rexmit" "refines";
+  row "%s\n" (String.make 72 '-');
+  let bad = ref 0 and total_steps = ref 0 in
+  let rcv = ref 0 and safe = ref 0 in
+  let s = ref (Stk.initial ~universe ~p0 ()) in
+  List.iter
+    (fun (ph : Sim.Faults.phase) ->
+      let i = ph.Sim.Faults.intensity in
+      let policy =
+        if Sim.Faults.is_calm i then Vs_impl.Fault.none
+        else
+          Vs_impl.Fault.storm ~drop:i.Sim.Faults.drop
+            ~duplicate:i.Sim.Faults.duplicate ~reorder:i.Sim.Faults.reorder
+            ~steps:ph.Sim.Faults.steps ()
+      in
+      (* segment start: install the phase's policy (resetting consumed
+         budgets) and its connectivity state *)
+      let start =
+        Stk.step
+          (Stk.set_faults !s policy)
+          (Stk.Reconfigure (Sim.Partition.components ph.Sim.Faults.partition))
+      in
+      let rexmit0 = Obs.Metrics.count m "net.retransmits" in
+      let exec, _ = Ioa.Exec.run gen ~rng ~steps:ph.Sim.Faults.steps ~init:start in
+      total_steps := !total_steps + Ioa.Exec.length exec;
+      List.iter
+        (fun a ->
+          match a with
+          | Stk.Gprcv _ -> incr rcv
+          | Stk.Safe _ -> incr safe
+          | _ -> ())
+        (Ioa.Exec.actions exec);
+      (* each segment must refine Figure 1 from the abstraction of its own
+         start (the spec run continues across policy changes) *)
+      let ok =
+        match
+          Sref.check_from ~spec_initial:(Sref.abstraction start) exec
+        with
+        | Ok () -> true
+        | Error _ ->
+            incr bad;
+            false
+      in
+      let fin = Ioa.Exec.last exec in
+      row "%-10s | %-10d | %-6d | %3d / %3d / %3d / %5d     | %s\n"
+        ph.Sim.Faults.label
+        (List.length (Sim.Partition.components ph.Sim.Faults.partition))
+        (Ioa.Exec.length exec) fin.Stk.net.Stk.N.dropped
+        fin.Stk.net.Stk.N.duplicated fin.Stk.net.Stk.N.reordered
+        (Obs.Metrics.count m "net.retransmits" - rexmit0)
+        (if ok then "yes" else "NO");
+      s := fin)
+    plan;
+  row
+    "\nsoak: %d phases, %d steps, %d vs-gprcv + %d vs-safe outputs; segments \
+     failing refinement: %d (expect 0)\n"
+    (List.length plan) !total_steps !rcv !safe !bad;
+  gauge m "e14.phases" (List.length plan);
+  gauge m "e14.steps" !total_steps;
+  gauge m "e14.gprcv" !rcv;
+  gauge m "e14.safe" !safe;
+  gauge m "e14.refinement_failing" !bad
+
+(* ================================================================== *)
 
 let all =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
-    ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13) ]
+    ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13);
+    ("e14", e14) ]
 
 let () =
   let requested =

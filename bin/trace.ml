@@ -71,6 +71,7 @@ let run_availability ~procs ~epochs ~seed ~complete metrics sink =
         r_static Sim.Availability.pp_result r_dyn)
 
 module Vstack = Vs_impl.Stack.Make (Prelude.Msg_intf.String_msg)
+module Vref = Vs_impl.Stack_refinement.Make (Prelude.Msg_intf.String_msg)
 
 let run_vs_stack ~procs ~steps ~seed metrics sink =
   let p0 = Prelude.Proc.Set.universe procs in
@@ -80,15 +81,47 @@ let run_vs_stack ~procs ~steps ~seed metrics sink =
   let gen = Vstack.generative ~metrics cfg ~rng_views in
   let exec, _stop =
     Ioa.Exec.run ~sink ~component:"vs-stack" gen ~rng ~steps
-      ~init:(Vstack.initial ~universe:procs ~p0)
+      ~init:(Vstack.initial ~universe:procs ~p0 ())
   in
   Obs.Metrics.incr metrics ~by:(Ioa.Exec.length exec) "exec.steps"
+
+(* The same composed stack under an adversarial transport (storm policy
+   scaled to the run length), with the per-execution VS refinement checked
+   at the end — a non-refining run exits nonzero so CI soaks catch it. *)
+let run_vs_stack_faulty ~procs ~steps ~seed metrics sink =
+  let p0 = Prelude.Proc.Set.universe procs in
+  let cfg = Vstack.default_config ~payloads:[ "x"; "y" ] ~universe:procs in
+  let faults = Vs_impl.Fault.storm ~steps () in
+  let rng = Random.State.make [| seed |] in
+  let rng_views = Random.State.make [| seed + 1000 |] in
+  let gen = Vstack.generative ~metrics cfg ~rng_views in
+  let exec, _stop =
+    Ioa.Exec.run ~sink ~component:"vs-stack-faulty" gen ~rng ~steps
+      ~init:(Vstack.initial ~faults ~universe:procs ~p0 ())
+  in
+  Obs.Metrics.incr metrics ~by:(Ioa.Exec.length exec) "exec.steps";
+  match Obs.Metrics.time metrics "refine.elapsed_ms" (fun () ->
+            Vref.check ~p0 exec)
+  with
+  | Ok () ->
+      Logs.info (fun m ->
+          m "vs-stack-faulty: %d steps refine VS (dropped %d, duplicated %d, \
+             reordered %d, retransmits %d)"
+            (Ioa.Exec.length exec)
+            (Obs.Metrics.count metrics "net.dropped")
+            (Obs.Metrics.count metrics "net.duplicated")
+            (Obs.Metrics.count metrics "net.reordered")
+            (Obs.Metrics.count metrics "net.retransmits"))
+  | Error f ->
+      Format.eprintf "vs-stack-faulty: refinement FAILED:@.%a@."
+        Ioa.Refinement.pp_failure f;
+      exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let scenarios = [ "availability"; "vs-stack" ]
+let scenarios = [ "availability"; "vs-stack"; "vs-stack-faulty" ]
 
 let with_sink out f =
   match out with
@@ -136,6 +169,8 @@ let run () entry scenario list_ out json explore steps max_states procs epochs
         fun sink -> run_availability ~procs ~epochs ~seed ~complete metrics sink
     | None, Some "vs-stack" ->
         fun sink -> run_vs_stack ~procs ~steps ~seed metrics sink
+    | None, Some "vs-stack-faulty" ->
+        fun sink -> run_vs_stack_faulty ~procs ~steps ~seed metrics sink
     | None, Some s ->
         Format.eprintf "unknown scenario %S (try --list)@." s;
         exit 2
@@ -172,7 +207,7 @@ let () =
       value
       & opt (some string) None
       & info [ "scenario" ] ~docv:"NAME"
-          ~doc:"Simulator scenario: availability | vs-stack.")
+          ~doc:"Simulator scenario: availability | vs-stack | vs-stack-faulty.")
   in
   let list_ =
     Arg.(value & flag & info [ "list" ] ~doc:"List entries and scenarios, exit.")

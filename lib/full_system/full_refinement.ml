@@ -29,8 +29,15 @@ module Make (M : Msg_intf.S) = struct
         | None -> []
         | Some v -> [ Spec.Vs_safe { src; dst; msg; gid = View.id v } ])
     | Impl.Stk_createview v -> [ Spec.Vs_createview v ]
-    | Impl.Stk_deliver { src; pkt = Vs_impl.Packet.Fwd { gid; payload }; _ } ->
-        [ Spec.Vs_order (payload, src, gid) ]
+    | Impl.Stk_deliver { src; dst; pkt = Vs_impl.Packet.Fwd { gid; fsn; payload } } ->
+        (* lossless transport here, so every forward is the watermark
+           successor and accepted; the guard keeps the mapping honest *)
+        if
+          Impl.Stk.E.accepts_fwd
+            (Impl.Stk.engine pre.Impl.stk dst)
+            ~src ~gid ~fsn
+        then [ Spec.Vs_order (payload, src, gid) ]
+        else []
     | Impl.Stk_deliver
         { pkt = Vs_impl.Packet.Seq _ | Vs_impl.Packet.Ack _ | Vs_impl.Packet.Stable _; _ }
     | Impl.Stk_send _ | Impl.Stk_reconfigure _ ->

@@ -35,7 +35,7 @@ module Make (M : Msg_intf.S) = struct
         Proc.Map.empty
         (List.init universe Fun.id)
     in
-    { stk = Stk.initial ~universe ~p0; nodes }
+    { stk = Stk.initial ~universe ~p0 (); nodes }
 
   let node s p =
     match Proc.Map.find_opt p s.nodes with

@@ -3,12 +3,16 @@ open Prelude
 module Make (M : Msg_intf.S) = struct
   type packet = M.t Packet.t
 
+  type variant = Faithful | No_dedup | No_retransmit
+
   type state = {
     me : Proc.t;
     cur : View.t option;
     views_seen : View.t Gid.Map.t;
     outq : M.t Seqs.t Gid.Map.t;
+    fwd_log : M.t Seqs.t Gid.Map.t;
     seq_log : (M.t * Proc.t) Seqs.t Gid.Map.t;
+    fwd_seen : int Pg_map.t;
     bcast_sent : int Pg_map.t;
     acked_by : int Pg_map.t;
     stable_sent : int Pg_map.t;
@@ -17,9 +21,11 @@ module Make (M : Msg_intf.S) = struct
     next_safe : int Gid.Map.t;
     acked_upto : int Gid.Map.t;
     stable_upto : int Gid.Map.t;
+    variant : variant;
+    drop_stale : bool;
   }
 
-  let initial ~p0 p =
+  let initial ?(variant = Faithful) ?(drop_stale = false) ~p0 p =
     let member = Proc.Set.mem p p0 in
     let v0 = View.initial p0 in
     {
@@ -27,7 +33,9 @@ module Make (M : Msg_intf.S) = struct
       cur = (if member then Some v0 else None);
       views_seen = (if member then Gid.Map.singleton Gid.g0 v0 else Gid.Map.empty);
       outq = Gid.Map.empty;
+      fwd_log = Gid.Map.empty;
       seq_log = Gid.Map.empty;
+      fwd_seen = Pg_map.empty;
       bcast_sent = Pg_map.empty;
       acked_by = Pg_map.empty;
       stable_sent = Pg_map.empty;
@@ -36,6 +44,8 @@ module Make (M : Msg_intf.S) = struct
       next_safe = Gid.Map.empty;
       acked_upto = Gid.Map.empty;
       stable_upto = Gid.Map.empty;
+      variant;
+      drop_stale;
     }
 
   let sequencer v = Proc.Set.min_elt (View.set v)
@@ -46,7 +56,9 @@ module Make (M : Msg_intf.S) = struct
   let gmap_seq m g = Option.value ~default:Seqs.empty (Gid.Map.find_opt g m)
   let gmap_int ?(default = 1) m g = Option.value ~default (Gid.Map.find_opt g m)
   let outq_of st g = gmap_seq st.outq g
+  let fwd_log_of st g = gmap_seq st.fwd_log g
   let seq_log_of st g = gmap_seq st.seq_log g
+  let fwd_seen_of st ~src g = Pg_map.find_or ~default:0 (src, g) st.fwd_seen
   let next_deliver_of st g = gmap_int st.next_deliver g
   let next_safe_of st g = gmap_int st.next_safe g
   let acked_upto_of st g = gmap_int ~default:0 st.acked_upto g
@@ -71,28 +83,67 @@ module Make (M : Msg_intf.S) = struct
       views_seen = Gid.Map.add (View.id v) v st.views_seen;
     }
 
+  (* A packet of a view strictly below my current one.  Only discarded
+     when [drop_stale] (set under a faulty transport): the lossless engine
+     keeps absorbing superseded-view traffic into that view's frozen
+     per-view state, and changing that would perturb fault-free runs. *)
+  let stale st gid =
+    st.drop_stale
+    && match st.cur with Some v -> Gid.gt (View.id v) gid | None -> false
+
+  (* Does this [Fwd] advance the per-sender watermark (and hence get
+     sequenced)?  [No_dedup] is the seeded-defect variant: it accepts
+     everything, double-sequencing duplicates. *)
+  let accepts_fwd st ~src ~gid ~fsn =
+    (not (stale st gid))
+    &&
+    match st.variant with
+    | No_dedup -> true
+    | Faithful | No_retransmit -> fsn = fwd_seen_of st ~src gid + 1
+
   let on_packet ?metrics st ~src (pkt : packet) =
     (match metrics with
     | None -> ()
     | Some m -> Obs.Metrics.incr m "engine.packets_in");
-    match pkt with
-    | Packet.Fwd { gid; payload } ->
-        (* as (presumed) sequencer of [gid]: assign the next position *)
-        {
-          st with
-          seq_log =
-            Gid.Map.add gid
-              (Seqs.append (seq_log_of st gid) (payload, src))
-              st.seq_log;
-        }
-    | Packet.Seq { gid; sn; origin; payload } ->
-        { st with rcv_buf = Pg_map.add (gid, sn) (payload, origin) st.rcv_buf }
-    | Packet.Ack { gid; upto } ->
-        let old = Pg_map.find_or ~default:0 (src, gid) st.acked_by in
-        { st with acked_by = Pg_map.add (src, gid) (max old upto) st.acked_by }
-    | Packet.Stable { gid; upto } ->
-        let old = stable_upto_of st gid in
-        { st with stable_upto = Gid.Map.add gid (max old upto) st.stable_upto }
+    if stale st (Packet.gid pkt) then begin
+      (match metrics with
+      | None -> ()
+      | Some m -> Obs.Metrics.incr m "engine.stale_dropped");
+      st
+    end
+    else
+      match pkt with
+      | Packet.Fwd { gid; fsn; payload } ->
+          (* as (presumed) sequencer of [gid]: assign the next position,
+             unless the watermark says this forward was already sequenced
+             (a duplicate or an out-of-order survivor of a reordering —
+             the sender's go-back-N retransmission recovers the gap) *)
+          if not (accepts_fwd st ~src ~gid ~fsn) then begin
+            (match metrics with
+            | None -> ()
+            | Some m -> Obs.Metrics.incr m "engine.dups_dropped");
+            st
+          end
+          else
+            {
+              st with
+              seq_log =
+                Gid.Map.add gid
+                  (Seqs.append (seq_log_of st gid) (payload, src))
+                  st.seq_log;
+              fwd_seen =
+                Pg_map.add (src, gid)
+                  (max (fwd_seen_of st ~src gid) fsn)
+                  st.fwd_seen;
+            }
+      | Packet.Seq { gid; sn; origin; payload } ->
+          { st with rcv_buf = Pg_map.add (gid, sn) (payload, origin) st.rcv_buf }
+      | Packet.Ack { gid; upto } ->
+          let old = Pg_map.find_or ~default:0 (src, gid) st.acked_by in
+          { st with acked_by = Pg_map.add (src, gid) (max old upto) st.acked_by }
+      | Packet.Stable { gid; upto } ->
+          let old = stable_upto_of st gid in
+          { st with stable_upto = Gid.Map.add gid (max old upto) st.stable_upto }
 
   (* ---------------- outputs ---------------- *)
 
@@ -102,7 +153,9 @@ module Make (M : Msg_intf.S) = struct
     | Some v -> (
         let g = View.id v in
         match Seqs.head_opt (outq_of st g) with
-        | Some m -> Some (sequencer v, Packet.Fwd { gid = g; payload = m })
+        | Some m ->
+            let fsn = Seqs.length (fwd_log_of st g) + 1 in
+            Some (sequencer v, Packet.Fwd { gid = g; fsn; payload = m })
         | None -> None)
 
   let sent_fwd st =
@@ -110,12 +163,18 @@ module Make (M : Msg_intf.S) = struct
     | None -> st
     | Some v ->
         let g = View.id v in
-        let q = Seqs.remove_head (outq_of st g) in
+        let out = outq_of st g in
+        let fwd_log =
+          Gid.Map.add g
+            (Seqs.append (fwd_log_of st g) (Seqs.head out))
+            st.fwd_log
+        in
+        let q = Seqs.remove_head out in
         let outq =
           if Seqs.is_empty q then Gid.Map.remove g st.outq
           else Gid.Map.add g q st.outq
         in
-        { st with outq }
+        { st with outq; fwd_log }
 
   (* sequencer: rebroadcast log entries per destination, in order *)
   let bcast_sends st =
@@ -184,6 +243,87 @@ module Make (M : Msg_intf.S) = struct
   let sent_stable st ~dst ~gid ~upto =
     { st with stable_sent = Pg_map.add (dst, gid) upto st.stable_sent }
 
+  (* ---------------- retransmission (faulty transport only) ----------- *)
+
+  (* My messages sequenced so far, as far as I can tell: each own-origin
+     entry of the view's order that reached my [rcv_buf] certifies one
+     accepted forward.  A lower bound — re-sending an already-accepted
+     [fsn] is discarded by the watermark, so underestimating is safe. *)
+  let own_sequenced st g =
+    Pg_map.fold
+      (fun (g', _) (_, origin) n ->
+        if Gid.equal g' g && Proc.equal origin st.me then n + 1 else n)
+      st.rcv_buf 0
+
+  (* Re-sends of possibly-lost packets, all within the current view and
+     all idempotent at the receiver (forward watermark, [rcv_buf] add,
+     cumulative max-merges).  The {!Stack} only schedules these under a
+     faulty policy, and only when no identical packet is already in
+     flight, so the lossless behaviour and the finite-exploration bound
+     are both preserved.  The [No_retransmit] seeded-defect variant offers
+     nothing: lost packets then strand the protocol in non-quiescent
+     candidate-free states, which the analyzer reports as deadlocks. *)
+  let retransmit_sends st =
+    match (st.variant, st.cur) with
+    | No_retransmit, _ | _, None -> []
+    | (Faithful | No_dedup), Some v ->
+        let g = View.id v in
+        let seq = sequencer v in
+        (* sender: forwards beyond the sequenced lower bound *)
+        let fwds =
+          let log = fwd_log_of st g in
+          let lb = own_sequenced st g in
+          List.init
+            (max 0 (Seqs.length log - lb))
+            (fun i ->
+              let fsn = lb + 1 + i in
+              (seq, Packet.Fwd { gid = g; fsn; payload = Seqs.nth1 log fsn }))
+        in
+        (* sequencer: rebroadcasts sent but not yet covered by the
+           destination's cumulative ack *)
+        let seqs =
+          if not (Proc.equal seq st.me) then []
+          else
+            let log = seq_log_of st g in
+            Proc.Set.fold
+              (fun dst acc ->
+                let acked = Pg_map.find_or ~default:0 (dst, g) st.acked_by in
+                let sent = Pg_map.find_or ~default:0 (dst, g) st.bcast_sent in
+                List.init
+                  (max 0 (sent - acked))
+                  (fun i ->
+                    let sn = acked + 1 + i in
+                    let payload, origin = Seqs.nth1 log sn in
+                    (dst, Packet.Seq { gid = g; sn; origin; payload }))
+                @ acc)
+              (View.set v) []
+        in
+        (* member: the latest cumulative ack, while the stable bound has
+           not yet certified the sequencer heard it *)
+        let acks =
+          let upto = acked_upto_of st g in
+          if upto > 0 && stable_upto_of st g < upto then
+            [ (seq, Packet.Ack { gid = g; upto }) ]
+          else []
+        in
+        (* sequencer: the current stable bound (a member may have missed
+           it; there is no ack-of-stable, so this is offered as long as a
+           bound exists — the in-flight gate keeps it from accumulating) *)
+        let stables =
+          if not (Proc.equal seq st.me) then []
+          else
+            let stable = stable_of st v in
+            if stable <= 0 || stable = max_int then []
+            else
+              Proc.Set.fold
+                (fun dst acc ->
+                  if Pg_map.find_or ~default:0 (dst, g) st.stable_sent = stable
+                  then (dst, Packet.Stable { gid = g; upto = stable }) :: acc
+                  else acc)
+                (View.set v) []
+        in
+        fwds @ seqs @ acks @ stables
+
   let deliverable st =
     match st.cur with
     | None -> None
@@ -233,6 +373,8 @@ module Make (M : Msg_intf.S) = struct
     && Option.equal View.equal a.cur b.cur
     && Gid.Map.equal View.equal a.views_seen b.views_seen
     && Gid.Map.equal (Seqs.equal M.equal) a.outq b.outq
+    && Gid.Map.equal (Seqs.equal M.equal) a.fwd_log b.fwd_log
+    && Pg_map.equal Int.equal a.fwd_seen b.fwd_seen
     && Gid.Map.equal
          (Seqs.equal (fun (m, p) (m', p') -> M.equal m m' && Proc.equal p p'))
          a.seq_log b.seq_log
@@ -272,15 +414,16 @@ module Make (M : Msg_intf.S) = struct
         ppf (Pg_map.bindings m)
     in
     Format.fprintf ppf
-      "me%a|cur%a|vs[%a]|oq[%a]|sl[%a]|bs[%a]|ab[%a]|ss[%a]|rb[%a]|nd[%a]|ns[%a]|au[%a]|su[%a]"
+      "me%a|cur%a|vs[%a]|oq[%a]|fl[%a]|sl[%a]|fw[%a]|bs[%a]|ab[%a]|ss[%a]|rb[%a]|nd[%a]|ns[%a]|au[%a]|su[%a]"
       Proc.pp st.me
       (fun ppf -> function
         | None -> Format.pp_print_string ppf "⊥"
         | Some v -> View.pp ppf v)
       st.cur (gmap View.pp) st.views_seen
       (gmap (Seqs.pp M.pp)) st.outq
-      (gmap (Seqs.pp mp)) st.seq_log pgints st.bcast_sent pgints st.acked_by
-      pgints st.stable_sent
+      (gmap (Seqs.pp M.pp)) st.fwd_log
+      (gmap (Seqs.pp mp)) st.seq_log pgints st.fwd_seen pgints st.bcast_sent
+      pgints st.acked_by pgints st.stable_sent
       (plist (fun ppf ((g, sn), x) ->
            Format.fprintf ppf "%a.%d=%a" Gid.pp g sn mp x))
       (Pg_map.bindings st.rcv_buf)

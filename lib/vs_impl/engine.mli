@@ -13,10 +13,26 @@
     packets of superseded views are absorbed harmlessly — this is what makes
     the refinement to Figure 1 exact (the abstract [pending]/[queue] state
     is total over views).  The engine is a pure state machine; the {!Stack}
-    composition wires it to the {!Net} and {!Daemon} automata. *)
+    composition wires it to the {!Net} and {!Daemon} automata.
+
+    Under an adversarial transport ({!Fault}), three mechanisms keep the
+    refinement intact: each [Fwd] carries a per-(sender, view) forward
+    sequence number and the sequencer accepts exactly the watermark
+    successor (duplicate suppression, go-back-N); {!retransmit_sends}
+    re-offers unacknowledged [Fwd]/[Seq] traffic (plus the cumulative
+    [Ack]/[Stable] bounds) keyed off the existing ack machinery; and with
+    [drop_stale] set, packets of superseded views are discarded outright
+    instead of absorbed. *)
 
 module Make (M : Prelude.Msg_intf.S) : sig
   type packet = M.t Packet.t
+
+  (** Protocol variants for seeded-defect testing.  [Faithful] is the real
+      engine.  [No_dedup] breaks the forward watermark (duplicates get
+      sequenced twice — caught as a refinement step failure).
+      [No_retransmit] offers no retransmissions (lost packets strand the
+      protocol — caught as a liveness-style deadlock finding). *)
+  type variant = Faithful | No_dedup | No_retransmit
 
   type state = {
     me : Prelude.Proc.t;
@@ -24,8 +40,13 @@ module Make (M : Prelude.Msg_intf.S) : sig
     views_seen : Prelude.View.t Prelude.Gid.Map.t;
     outq : M.t Prelude.Seqs.t Prelude.Gid.Map.t;
         (** client messages not yet forwarded, per view *)
+    fwd_log : M.t Prelude.Seqs.t Prelude.Gid.Map.t;
+        (** sender role: everything ever forwarded, per view; position =
+            forward sequence number *)
     seq_log : (M.t * Prelude.Proc.t) Prelude.Seqs.t Prelude.Gid.Map.t;
         (** sequencer role: the view's assigned order *)
+    fwd_seen : int Prelude.Pg_map.t;
+        (** sequencer role: (sender, gid) → accepted-forward watermark *)
     bcast_sent : int Prelude.Pg_map.t;  (** (dst, gid) → entries rebroadcast *)
     acked_by : int Prelude.Pg_map.t;  (** (member, gid) → cumulative ack *)
     stable_sent : int Prelude.Pg_map.t;  (** (dst, gid) → stable bound sent *)
@@ -35,18 +56,38 @@ module Make (M : Prelude.Msg_intf.S) : sig
     next_safe : int Prelude.Gid.Map.t;  (** init 1, per view *)
     acked_upto : int Prelude.Gid.Map.t;  (** what this process acked, per view *)
     stable_upto : int Prelude.Gid.Map.t;  (** stable bound learned, per view *)
+    variant : variant;  (** static *)
+    drop_stale : bool;  (** static: discard superseded-view packets *)
   }
 
-  val initial : p0:Prelude.Proc.Set.t -> Prelude.Proc.t -> state
+  val initial :
+    ?variant:variant ->
+    ?drop_stale:bool ->
+    p0:Prelude.Proc.Set.t ->
+    Prelude.Proc.t ->
+    state
 
   (** The sequencer of a view: its least-id member. *)
   val sequencer : Prelude.View.t -> Prelude.Proc.t
 
   val cur_id : state -> Prelude.Gid.Bot.t
   val outq_of : state -> Prelude.Gid.t -> M.t Prelude.Seqs.t
+  val fwd_log_of : state -> Prelude.Gid.t -> M.t Prelude.Seqs.t
   val seq_log_of : state -> Prelude.Gid.t -> (M.t * Prelude.Proc.t) Prelude.Seqs.t
+
+  (** The accepted-forward watermark this (sequencer) state holds for
+      [src] in the given view; [0] before any forward was accepted. *)
+  val fwd_seen_of : state -> src:Prelude.Proc.t -> Prelude.Gid.t -> int
+
   val next_deliver_of : state -> Prelude.Gid.t -> int
   val next_safe_of : state -> Prelude.Gid.t -> int
+
+  (** [accepts_fwd st ~src ~gid ~fsn]: would this [Fwd] advance the
+      watermark and be sequenced (rather than discarded as stale or
+      duplicate)?  Pre-state predicate; the refinement maps exactly the
+      accepting deliveries to the specification's [vs-order]. *)
+  val accepts_fwd :
+    state -> src:Prelude.Proc.t -> gid:Prelude.Gid.t -> fsn:int -> bool
 
   (** {2 Input effects}
 
@@ -79,6 +120,17 @@ module Make (M : Prelude.Msg_intf.S) : sig
 
   val stable_sends : state -> (Prelude.Proc.t * packet) list
   val sent_stable : state -> dst:Prelude.Proc.t -> gid:Prelude.Gid.t -> upto:int -> state
+
+  (** Current-view re-sends of possibly-lost traffic: unacknowledged
+      forwards (beyond the own-origin entries visible in [rcv_buf]),
+      rebroadcasts past the destination's cumulative ack, the latest
+      [Ack] while the stable bound lags it, and the current [Stable]
+      bound.  All idempotent at the receiver; no local effect when
+      performed (the original [sent_*] bookkeeping already happened).
+      Empty for the [No_retransmit] variant.  The {!Stack} schedules
+      these only under a faulty policy and only when no identical packet
+      is in flight. *)
+  val retransmit_sends : state -> (Prelude.Proc.t * packet) list
 
   (** The client delivery currently enabled: [vs-gprcv (origin, payload)]. *)
   val deliverable : state -> (Prelude.Proc.t * M.t) option

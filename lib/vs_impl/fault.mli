@@ -1,0 +1,42 @@
+(** Transport fault policies for {!Net}.
+
+    A policy combines per-action proposal probabilities (how eagerly a
+    generator schedules each fault kind) with hard budgets (how many of
+    each kind a run may inject in total).  Budgets keep the faulty state
+    space finite for bounded-exhaustive exploration; probabilities steer
+    randomized soak runs.  {!none} — the default everywhere — has zero
+    budgets, so the network degenerates to the original lossless FIFO
+    transport byte-for-byte: no extra randomness is drawn and no fault
+    action is ever enabled. *)
+
+type policy = {
+  drop : float;  (** probability a drop is proposed when possible *)
+  duplicate : float;
+  reorder : float;
+  max_drops : int;  (** total drop budget; [0] disables drops *)
+  max_duplicates : int;
+  max_reorders : int;
+}
+
+(** The lossless policy: all probabilities and budgets zero. *)
+val none : policy
+
+(** [adversarial ()] proposes every fault kind deterministically
+    (probability 1) under the given budgets (default 1 each) — the
+    configuration used for bounded-exhaustive exploration. *)
+val adversarial :
+  ?max_drops:int -> ?max_duplicates:int -> ?max_reorders:int -> unit -> policy
+
+(** [storm ~steps intensity…] scales probabilities for a randomized soak
+    segment of [steps] steps, budgeting roughly [intensity × steps]
+    faults of each kind. *)
+val storm :
+  ?drop:float -> ?duplicate:float -> ?reorder:float -> steps:int -> unit -> policy
+
+(** A policy with any nonzero budget.  Gates every behavioural deviation
+    from the lossless transport: when [is_faulty p] is [false], executions
+    are identical to the pre-fault-model engine. *)
+val is_faulty : policy -> bool
+
+val equal : policy -> policy -> bool
+val pp : Format.formatter -> policy -> unit

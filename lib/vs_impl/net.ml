@@ -6,9 +6,24 @@ module Make (M : Msg_intf.S) = struct
   type state = {
     channels : packet Seqs.t Pg_map.t;
     blocked : (Proc.t * Proc.t) list;
+    faults : Fault.policy;
+    dropped : int;
+    duplicated : int;
+    reordered : int;
   }
 
-  let initial = { channels = Pg_map.empty; blocked = [] }
+  let initial =
+    {
+      channels = Pg_map.empty;
+      blocked = [];
+      faults = Fault.none;
+      dropped = 0;
+      duplicated = 0;
+      reordered = 0;
+    }
+
+  let with_faults s faults =
+    { s with faults; dropped = 0; duplicated = 0; reordered = 0 }
 
   let connected s p q =
     not (List.exists (fun (a, b) -> Proc.equal a p && Proc.equal b q) s.blocked)
@@ -72,15 +87,75 @@ module Make (M : Msg_intf.S) = struct
 
   let in_flight s = Pg_map.fold (fun _ q n -> n + Seqs.length q) s.channels 0
 
+  (* ------------------------------------------------------------------ *)
+  (* Fault injection.  Each mutation consumes one unit of its budget;    *)
+  (* [can_*] are the enabledness gates the {!Stack} composition checks.  *)
+  (* With the default [Fault.none] policy every budget is 0, so none of  *)
+  (* these is ever enabled and the transport stays lossless FIFO.        *)
+  (* ------------------------------------------------------------------ *)
+
+  let can_drop s ~src ~dst =
+    s.dropped < s.faults.Fault.max_drops
+    && not (Seqs.is_empty (channel s ~src ~dst))
+
+  let can_duplicate s ~src ~dst =
+    s.duplicated < s.faults.Fault.max_duplicates
+    && not (Seqs.is_empty (channel s ~src ~dst))
+
+  let can_reorder s ~src ~dst =
+    s.reordered < s.faults.Fault.max_reorders
+    && Seqs.length (channel s ~src ~dst) >= 2
+
+  let set_channel s ~src ~dst q =
+    let channels =
+      if Seqs.is_empty q then Pg_map.remove (src, dst) s.channels
+      else Pg_map.add (src, dst) q s.channels
+    in
+    { s with channels }
+
+  (* Lose the head packet. *)
+  let drop ?metrics s ~src ~dst =
+    (match metrics with
+    | None -> ()
+    | Some m -> Obs.Metrics.incr m "net.dropped");
+    let s = set_channel s ~src ~dst (Seqs.remove_head (channel s ~src ~dst)) in
+    { s with dropped = s.dropped + 1 }
+
+  (* Re-enqueue a copy of the head at the tail: it will arrive again later. *)
+  let duplicate ?metrics s ~src ~dst =
+    (match metrics with
+    | None -> ()
+    | Some m -> Obs.Metrics.incr m "net.duplicated");
+    let q = channel s ~src ~dst in
+    let s = set_channel s ~src ~dst (Seqs.append q (Seqs.head q)) in
+    { s with duplicated = s.duplicated + 1 }
+
+  (* Rotate the head to the tail, permuting the FIFO order. *)
+  let reorder ?metrics s ~src ~dst =
+    (match metrics with
+    | None -> ()
+    | Some m -> Obs.Metrics.incr m "net.reordered");
+    let q = channel s ~src ~dst in
+    let q' = Seqs.append (Seqs.remove_head q) (Seqs.head q) in
+    let s = set_channel s ~src ~dst q' in
+    { s with reordered = s.reordered + 1 }
+
+  let in_channel s ~src ~dst pkt =
+    Seqs.exists
+      (fun p -> Packet.compare M.compare p pkt = 0)
+      (channel s ~src ~dst)
+
   let equal a b =
     Pg_map.equal (Seqs.equal (fun x y -> Packet.compare M.compare x y = 0))
       a.channels b.channels
     && List.length a.blocked = List.length b.blocked
     && List.for_all (fun pair -> List.mem pair b.blocked) a.blocked
+    && a.dropped = b.dropped && a.duplicated = b.duplicated
+    && a.reordered = b.reordered
 
   let pp ppf s =
-    Format.fprintf ppf "net: %d in flight, %d blocked pairs" (in_flight s)
-      (List.length s.blocked)
+    Format.fprintf ppf "net: %d in flight, %d blocked pairs (%a)" (in_flight s)
+      (List.length s.blocked) Fault.pp s.faults
 
   (* Canonical full-state rendering; [blocked] is sorted so states equal
      under [equal] (which is order-insensitive) render identically. *)
@@ -96,6 +171,11 @@ module Make (M : Msg_intf.S) = struct
       (Format.pp_print_list ~pp_sep:semi (fun ppf (p, q) ->
            Format.fprintf ppf "%a-%a" Proc.pp p Proc.pp q))
       (List.sort_uniq compare s.blocked);
+    (* Remaining fault budgets distinguish future behaviour, so they must
+       be part of the dedup key whenever faults are possible; the lossless
+       policy renders nothing, keeping the original key byte-identical. *)
+    if Fault.is_faulty s.faults then
+      Format.fprintf ppf "|f[%d,%d,%d]" s.dropped s.duplicated s.reordered;
     Format.pp_print_flush ppf ();
     Buffer.contents buf
 end

@@ -1,15 +1,21 @@
-(** An asynchronous point-to-point network with FIFO channels and dynamic
-    partitions.
+(** An asynchronous point-to-point network with FIFO channels, dynamic
+    partitions and an optional adversarial fault model.
 
-    Channels never lose or reorder messages; a partition only *blocks*
-    delivery between separated processes (packets wait in the channel and
-    become deliverable again after a merge).  This models a fair-lossless
-    transport with retransmission; losing packets would be observationally
-    equivalent for the safety properties checked here but would complicate
-    the refinement to the VS specification (a lost forwarded message would
-    have to disappear from the abstract [pending] queue, which the Figure 1
-    automaton does not allow).  Crashes are modelled as permanent
-    partitions. *)
+    Under the default {!Fault.none} policy, channels never lose or reorder
+    messages; a partition only *blocks* delivery between separated
+    processes (packets wait in the channel and become deliverable again
+    after a merge), and crashes are modelled as permanent partitions.
+
+    A faulty policy additionally enables three budget-capped mutations —
+    {!drop} (lose the head packet), {!duplicate} (re-enqueue a copy of the
+    head at the tail) and {!reorder} (rotate the head to the tail) — which
+    the {!Stack} composition exposes as internal actions.  The engines
+    tolerate them with per-sender forward sequence numbers (duplicate
+    suppression) and retransmission keyed off the cumulative-[Ack]
+    machinery; {!Stack_refinement} reconstructs the abstract [pending]
+    queue from engine state rather than channel contents, so a lost
+    forwarded message stays pending (as Figure 1 requires) until its
+    retransmission is sequenced. *)
 
 module Make (M : Prelude.Msg_intf.S) : sig
   type packet = M.t Packet.t
@@ -19,9 +25,18 @@ module Make (M : Prelude.Msg_intf.S) : sig
         (** FIFO channel keyed by (src, dst) *)
     blocked : (Prelude.Proc.t * Prelude.Proc.t) list;
         (** ordered pairs currently separated *)
+    faults : Fault.policy;  (** static per segment; see {!with_faults} *)
+    dropped : int;  (** drops consumed against [faults.max_drops] *)
+    duplicated : int;
+    reordered : int;
   }
 
+  (** Lossless: empty channels, no partitions, {!Fault.none}. *)
   val initial : state
+
+  (** Install a policy and reset the consumed-budget counters — used at
+      the start of a soak segment. *)
+  val with_faults : state -> Fault.policy -> state
 
   (** [connected s p q]: may a packet flow from [p] to [q] right now? *)
   val connected : state -> Prelude.Proc.t -> Prelude.Proc.t -> bool
@@ -60,11 +75,44 @@ module Make (M : Prelude.Msg_intf.S) : sig
     ?metrics:Obs.Metrics.t -> state -> Prelude.Proc.Set.t list -> state
 
   val in_flight : state -> int
+
+  (** {2 Fault injection}
+
+      Enabledness gates and effects of the three fault mutations.  Each
+      gate requires remaining budget and a (long enough) channel; each
+      effect consumes one unit of budget and bumps [net.dropped] /
+      [net.duplicated] / [net.reordered]. *)
+
+  val can_drop : state -> src:Prelude.Proc.t -> dst:Prelude.Proc.t -> bool
+  val can_duplicate : state -> src:Prelude.Proc.t -> dst:Prelude.Proc.t -> bool
+  val can_reorder : state -> src:Prelude.Proc.t -> dst:Prelude.Proc.t -> bool
+
+  val drop :
+    ?metrics:Obs.Metrics.t ->
+    state -> src:Prelude.Proc.t -> dst:Prelude.Proc.t -> state
+
+  val duplicate :
+    ?metrics:Obs.Metrics.t ->
+    state -> src:Prelude.Proc.t -> dst:Prelude.Proc.t -> state
+
+  val reorder :
+    ?metrics:Obs.Metrics.t ->
+    state -> src:Prelude.Proc.t -> dst:Prelude.Proc.t -> state
+
+  (** [in_channel s ~src ~dst pkt]: is an identical packet already in
+      flight on that channel?  Gates retransmission so the faulty state
+      space stays finite (a retransmit can cycle, but never grow a channel
+      beyond one copy per retransmittable packet). *)
+  val in_channel :
+    state -> src:Prelude.Proc.t -> dst:Prelude.Proc.t -> packet -> bool
+
   val equal : state -> state -> bool
   val pp : Format.formatter -> state -> unit
 
   (** Canonical full-state rendering — dedup-key component for exhaustive
       exploration; injective whenever [M.pp] is.  The blocked-pair list is
-      sorted, so set-equal states render identically. *)
+      sorted, so set-equal states render identically.  Consumed fault
+      budgets are rendered only under a faulty policy, keeping lossless
+      keys byte-identical to the pre-fault-model ones. *)
   val state_key : state -> string
 end

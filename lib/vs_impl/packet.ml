@@ -1,7 +1,7 @@
 open Prelude
 
 type 'm t =
-  | Fwd of { gid : Gid.t; payload : 'm }
+  | Fwd of { gid : Gid.t; fsn : int; payload : 'm }
   | Seq of { gid : Gid.t; sn : int; origin : Proc.t; payload : 'm }
   | Ack of { gid : Gid.t; upto : int }
   | Stable of { gid : Gid.t; upto : int }
@@ -16,7 +16,12 @@ let tag = function Fwd _ -> 0 | Seq _ -> 1 | Ack _ -> 2 | Stable _ -> 3
 let compare cmp a b =
   match (a, b) with
   | Fwd x, Fwd y -> (
-      match Gid.compare x.gid y.gid with 0 -> cmp x.payload y.payload | c -> c)
+      match Gid.compare x.gid y.gid with
+      | 0 -> (
+          match Int.compare x.fsn y.fsn with
+          | 0 -> cmp x.payload y.payload
+          | c -> c)
+      | c -> c)
   | Seq x, Seq y -> (
       match Gid.compare x.gid y.gid with
       | 0 -> (
@@ -34,7 +39,8 @@ let compare cmp a b =
   | a, b -> Int.compare (tag a) (tag b)
 
 let pp pp_m ppf = function
-  | Fwd { gid; payload } -> Format.fprintf ppf "fwd[%a](%a)" Gid.pp gid pp_m payload
+  | Fwd { gid; fsn; payload } ->
+      Format.fprintf ppf "fwd[%a]#%d(%a)" Gid.pp gid fsn pp_m payload
   | Seq { gid; sn; origin; payload } ->
       Format.fprintf ppf "seq[%a]#%d(%a from %a)" Gid.pp gid sn pp_m payload
         Proc.pp origin

@@ -10,7 +10,15 @@
     never leak across views. *)
 
 type 'm t =
-  | Fwd of { gid : Prelude.Gid.t; payload : 'm }
+  | Fwd of {
+      gid : Prelude.Gid.t;
+      fsn : int;
+          (** 1-based per-(sender, view) forward sequence number: the
+              sequencer accepts exactly [fsn = watermark + 1], so lost
+              forwards can be retransmitted and duplicated or reordered
+              ones are discarded instead of double-sequenced *)
+      payload : 'm;
+    }
   | Seq of {
       gid : Prelude.Gid.t;
       sn : int;  (** 1-based position in the view's order *)

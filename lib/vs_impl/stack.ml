@@ -22,15 +22,29 @@ module Make (M : Msg_intf.S) = struct
     | Reconfigure of Proc.Set.t list
     | Send of { src : Proc.t; dst : Proc.t; pkt : packet }
     | Deliver of { src : Proc.t; dst : Proc.t; pkt : packet }
+    | Drop of { src : Proc.t; dst : Proc.t }
+    | Duplicate of { src : Proc.t; dst : Proc.t }
+    | Reorder of { src : Proc.t; dst : Proc.t }
+    | Retransmit of { src : Proc.t; dst : Proc.t; pkt : packet }
 
-  let initial ~universe ~p0 =
+  let initial ?(faults = Fault.none) ?variant ?drop_stale ~universe ~p0 () =
+    let drop_stale =
+      match drop_stale with Some b -> b | None -> Fault.is_faulty faults
+    in
     let engines =
       List.fold_left
-        (fun acc p -> Proc.Map.add p (E.initial ~p0 p) acc)
+        (fun acc p -> Proc.Map.add p (E.initial ?variant ~drop_stale ~p0 p) acc)
         Proc.Map.empty
         (List.init universe Fun.id)
     in
-    { net = N.initial; daemon = Daemon.initial ~p0; engines; p0 }
+    {
+      net = N.with_faults N.initial faults;
+      daemon = Daemon.initial ~p0;
+      engines;
+      p0;
+    }
+
+  let set_faults s faults = { s with net = N.with_faults s.net faults }
 
   let engine s p =
     match Proc.Map.find_opt p s.engines with
@@ -80,6 +94,15 @@ module Make (M : Msg_intf.S) = struct
         match N.deliverable s.net ~src ~dst with
         | Some head -> pkt_equal head pkt
         | None -> false)
+    | Drop { src; dst } -> N.can_drop s.net ~src ~dst
+    | Duplicate { src; dst } -> N.can_duplicate s.net ~src ~dst
+    | Reorder { src; dst } -> N.can_reorder s.net ~src ~dst
+    | Retransmit { src; dst; pkt } ->
+        Fault.is_faulty s.net.N.faults
+        && (not (N.in_channel s.net ~src ~dst pkt))
+        && List.exists
+             (fun (d, p) -> Proc.equal d dst && pkt_equal p pkt)
+             (E.retransmit_sends (engine s src))
 
   (* [?metrics] only bumps counters in the Net/Engine/Daemon layers; the
      returned state is identical with or without it. *)
@@ -113,10 +136,23 @@ module Make (M : Msg_intf.S) = struct
     | Deliver { src; dst; pkt } ->
         let s = { s with net = N.pop ?metrics s.net ~src ~dst } in
         with_engine s dst (fun e -> E.on_packet ?metrics e ~src pkt)
+    | Drop { src; dst } -> { s with net = N.drop ?metrics s.net ~src ~dst }
+    | Duplicate { src; dst } ->
+        { s with net = N.duplicate ?metrics s.net ~src ~dst }
+    | Reorder { src; dst } -> { s with net = N.reorder ?metrics s.net ~src ~dst }
+    | Retransmit { src; dst; pkt } ->
+        (* a pure re-send: the [sent_*] bookkeeping already happened on the
+           original transmission, so only the network changes *)
+        (match metrics with
+        | None -> ()
+        | Some m -> Obs.Metrics.incr m "net.retransmits");
+        { s with net = N.send ?metrics s.net ~src ~dst pkt }
 
   let is_external = function
     | Gpsnd _ | Newview _ | Gprcv _ | Safe _ -> true
-    | Createview _ | Reconfigure _ | Send _ | Deliver _ -> false
+    | Createview _ | Reconfigure _ | Send _ | Deliver _ | Drop _ | Duplicate _
+    | Reorder _ | Retransmit _ ->
+        false
 
   let equal_state a b =
     N.equal a.net b.net
@@ -160,6 +196,15 @@ module Make (M : Msg_intf.S) = struct
           (Packet.pp M.pp) pkt
     | Deliver { src; dst; pkt } ->
         Format.fprintf ppf "[deliver %a→%a: %a]" Proc.pp src Proc.pp dst
+          (Packet.pp M.pp) pkt
+    | Drop { src; dst } ->
+        Format.fprintf ppf "[drop %a→%a]" Proc.pp src Proc.pp dst
+    | Duplicate { src; dst } ->
+        Format.fprintf ppf "[duplicate %a→%a]" Proc.pp src Proc.pp dst
+    | Reorder { src; dst } ->
+        Format.fprintf ppf "[reorder %a→%a]" Proc.pp src Proc.pp dst
+    | Retransmit { src; dst; pkt } ->
+        Format.fprintf ppf "[retransmit %a→%a: %a]" Proc.pp src Proc.pp dst
           (Packet.pp M.pp) pkt
 
   (* ---------------------------------------------------------------- *)
@@ -235,12 +280,32 @@ module Make (M : Msg_intf.S) = struct
             (View.set v) acc)
         s.daemon.Daemon.issued []
     in
+    let faulty = Fault.is_faulty s.net.N.faults in
+    (* Client messages alive in the system: queued, sequenced and — under a
+       faulty transport only, to keep fault-free runs byte-identical —
+       forwarded but not (yet) accepted by the sequencer.  Without the last
+       term a dropped forward would free a send-budget slot forever. *)
+    let unaccepted_fwds e =
+      Gid.Map.fold
+        (fun g log acc ->
+          let w =
+            match Gid.Map.find_opt g e.E.views_seen with
+            | None -> Seqs.length log
+            | Some v -> (
+                match Proc.Map.find_opt (E.sequencer v) s.engines with
+                | None -> Seqs.length log
+                | Some se -> E.fwd_seen_of se ~src:e.E.me g)
+          in
+          acc + max 0 (Seqs.length log - w))
+        e.E.fwd_log 0
+    in
     let total_client =
       Proc.Map.fold
         (fun _ e acc ->
           acc
           + Gid.Map.fold (fun _ q n -> n + Seqs.length q) e.E.outq 0
-          + Gid.Map.fold (fun _ q n -> n + Seqs.length q) e.E.seq_log 0)
+          + Gid.Map.fold (fun _ q n -> n + Seqs.length q) e.E.seq_log 0
+          + (if faulty then unaccepted_fwds e else 0))
         s.engines 0
     in
     let gpsnds =
@@ -269,6 +334,49 @@ module Make (M : Msg_intf.S) = struct
           fwd @ others)
         procs
     in
+    (* retransmissions: deterministic offers, never rng-gated, so the
+       faulty registry entry can completeness-check them *)
+    let retransmits =
+      if not faulty then []
+      else
+        List.concat_map
+          (fun p ->
+            List.filter_map
+              (fun (dst, pkt) ->
+                if N.in_channel s.net ~src:p ~dst pkt then None
+                else Some (Retransmit { src = p; dst; pkt }))
+              (E.retransmit_sends (engine s p)))
+          procs
+    in
+    (* fault injections: rng-gated by the policy probabilities; a
+       probability ≥ 1 skips the draw, so exhaustive exploration of the
+       adversarial policy is deterministic *)
+    let fault_props =
+      if not faulty then []
+      else begin
+        let gate prob =
+          prob >= 1.0
+          || (prob > 0.0 && Random.State.float rng_views 1.0 < prob)
+        in
+        let f = s.net.N.faults in
+        Pg_map.fold
+          (fun (src, dst) _ acc ->
+            let acc =
+              if N.can_drop s.net ~src ~dst && gate f.Fault.drop then
+                Drop { src; dst } :: acc
+              else acc
+            in
+            let acc =
+              if N.can_duplicate s.net ~src ~dst && gate f.Fault.duplicate then
+                Duplicate { src; dst } :: acc
+              else acc
+            in
+            if N.can_reorder s.net ~src ~dst && gate f.Fault.reorder then
+              Reorder { src; dst } :: acc
+            else acc)
+          s.net.N.channels []
+      end
+    in
     let delivers =
       Pg_map.fold
         (fun (src, dst) _ acc ->
@@ -295,8 +403,8 @@ module Make (M : Msg_intf.S) = struct
         procs
     in
     let base =
-      reconfigs @ createviews @ newviews @ gpsnds @ engine_sends @ delivers
-      @ outputs
+      reconfigs @ createviews @ newviews @ gpsnds @ engine_sends @ retransmits
+      @ fault_props @ delivers @ outputs
     in
     (* never quiesce merely because the rng withheld a proposal: if nothing
        else is possible, heal the partition so blocked traffic can flow *)

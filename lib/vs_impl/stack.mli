@@ -6,7 +6,14 @@
 
     Connectivity changes ([Reconfigure]) and view decisions ([Createview])
     are internal: like the specification's own [vs-createview], they resolve
-    nondeterminism rather than interact with clients. *)
+    nondeterminism rather than interact with clients.
+
+    Under a faulty {!Fault.policy} the composition also exposes the
+    transport's adversarial mutations ([Drop] / [Duplicate] / [Reorder])
+    and the engines' [Retransmit] offers as internal actions.  With the
+    default {!Fault.none} policy none of these is ever enabled or proposed
+    and the generated executions are byte-for-byte those of the lossless
+    stack. *)
 
 module Make (M : Prelude.Msg_intf.S) : sig
   module E : module type of Engine.Make (M)
@@ -34,8 +41,33 @@ module Make (M : Prelude.Msg_intf.S) : sig
         (** internal: engine → net *)
     | Deliver of { src : Prelude.Proc.t; dst : Prelude.Proc.t; pkt : packet }
         (** internal: net → engine *)
+    | Drop of { src : Prelude.Proc.t; dst : Prelude.Proc.t }
+        (** internal fault: lose the channel head *)
+    | Duplicate of { src : Prelude.Proc.t; dst : Prelude.Proc.t }
+        (** internal fault: re-enqueue a copy of the channel head *)
+    | Reorder of { src : Prelude.Proc.t; dst : Prelude.Proc.t }
+        (** internal fault: rotate the channel head to the tail *)
+    | Retransmit of { src : Prelude.Proc.t; dst : Prelude.Proc.t; pkt : packet }
+        (** internal: engine re-send of possibly-lost traffic; pure net
+            effect (the original [Send]'s bookkeeping already happened) *)
 
-  val initial : universe:int -> p0:Prelude.Proc.Set.t -> state
+  (** [?faults] installs an adversarial transport policy (default
+      {!Fault.none}); [?variant] selects a seeded-defect engine (default
+      [Faithful]); [?drop_stale] makes engines discard superseded-view
+      packets (default: on exactly when the policy is faulty). *)
+  val initial :
+    ?faults:Fault.policy ->
+    ?variant:E.variant ->
+    ?drop_stale:bool ->
+    universe:int ->
+    p0:Prelude.Proc.Set.t ->
+    unit ->
+    state
+
+  (** Install a (new) fault policy mid-execution, resetting the consumed
+      budgets — used between soak segments. *)
+  val set_faults : state -> Fault.policy -> state
+
   val engine : state -> Prelude.Proc.t -> E.state
 
   (** The {!Ioa.Automaton.S} surface, except that [step] takes an optional

@@ -12,23 +12,24 @@ module Make (M : Msg_intf.S) = struct
       (Daemon.created ~p0:s.Impl.p0 s.Impl.daemon)
       None
 
-  (* The in-flight Fwd payloads from [p] for view [g], oldest first: the
-     g-subsequence of the (p → sequencer g) channel. *)
-  let inflight_fwds (s : Impl.state) p g =
+  (* The Fwd payloads from [p] for view [g] that the sequencer has not yet
+     accepted, oldest first: the suffix of [p]'s forward log beyond the
+     sequencer's watermark for [(p, g)].  Computed from engine state only —
+     never from channel contents — so a dropped (or duplicated, or
+     reordered) forward stays pending exactly as Figure 1 requires, until a
+     retransmission of the watermark successor is sequenced.  On a lossless
+     transport the suffix coincides with the in-flight [Fwd] subsequence of
+     the [p → sequencer] channel, recovering the original abstraction. *)
+  let unsequenced_fwds (s : Impl.state) (e : E.state) g =
+    let log = E.fwd_log_of e g in
     match view_of_gid s g with
-    | None -> Seqs.empty
-    | Some v ->
-        let chan =
-          Pg_map.find_or ~default:Seqs.empty (p, E.sequencer v)
-            s.Impl.net.N.channels
-        in
-        Seqs.fold_left
-          (fun acc pkt ->
-            match pkt with
-            | Packet.Fwd { gid; payload } when Gid.equal gid g ->
-                Seqs.append acc payload
-            | _ -> acc)
-          Seqs.empty chan
+    | None -> log
+    | Some v -> (
+        match Proc.Map.find_opt (E.sequencer v) s.Impl.engines with
+        | None -> log
+        | Some seq_engine ->
+            let w = E.fwd_seen_of seq_engine ~src:e.E.me g in
+            Seqs.sub1 log (min (w + 1) (Seqs.length log + 1)) (Seqs.length log))
 
   let abstraction (s : Impl.state) : Spec.state =
     let created = Daemon.created ~p0:s.Impl.p0 s.Impl.daemon in
@@ -52,14 +53,14 @@ module Make (M : Msg_intf.S) = struct
               if Seqs.is_empty log then acc else Gid.Map.add g log acc)
         created Gid.Map.empty
     in
-    (* pending[p,g] = in-flight Fwds ++ outq *)
+    (* pending[p,g] = unsequenced forwards ++ outq *)
     let pending =
       Proc.Map.fold
         (fun p e acc ->
           View.Set.fold
             (fun v acc ->
               let g = View.id v in
-              let seq = Seqs.concat (inflight_fwds s p g) (E.outq_of e g) in
+              let seq = Seqs.concat (unsequenced_fwds s e g) (E.outq_of e g) in
               if Seqs.is_empty seq then acc else Pg_map.add (p, g) seq acc)
             created acc)
         s.Impl.engines Pg_map.empty
@@ -96,10 +97,18 @@ module Make (M : Msg_intf.S) = struct
         match (Impl.engine pre dst).E.cur with
         | None -> []
         | Some v -> [ Spec.Safe { src; dst; msg; gid = View.id v } ])
-    | Impl.Deliver { src; pkt = Packet.Fwd { gid; payload }; _ } ->
-        [ Spec.Order (payload, src, gid) ]
+    | Impl.Deliver { src; dst; pkt = Packet.Fwd { gid; fsn; payload } } ->
+        (* Only the delivery the sequencer will actually sequence maps to
+           the specification's [vs-order]; a stale or duplicate forward is
+           discarded by the watermark and the abstract state is unchanged
+           (the duplicate was never pending — a retransmission re-sends a
+           packet whose payload is still accounted for in [pending]). *)
+        if E.accepts_fwd (Impl.engine pre dst) ~src ~gid ~fsn then
+          [ Spec.Order (payload, src, gid) ]
+        else []
     | Impl.Deliver { pkt = Packet.Seq _ | Packet.Ack _ | Packet.Stable _; _ }
-    | Impl.Send _ | Impl.Reconfigure _ ->
+    | Impl.Send _ | Impl.Reconfigure _ | Impl.Drop _ | Impl.Duplicate _
+    | Impl.Reorder _ | Impl.Retransmit _ ->
         []
 
   let impl_label = function
@@ -110,7 +119,8 @@ module Make (M : Msg_intf.S) = struct
         Some (Format.asprintf "vs-gprcv(%a)_%a,%a" M.pp msg Proc.pp src Proc.pp dst)
     | Impl.Safe { src; dst; msg } ->
         Some (Format.asprintf "vs-safe(%a)_%a,%a" M.pp msg Proc.pp src Proc.pp dst)
-    | Impl.Createview _ | Impl.Reconfigure _ | Impl.Send _ | Impl.Deliver _ ->
+    | Impl.Createview _ | Impl.Reconfigure _ | Impl.Send _ | Impl.Deliver _
+    | Impl.Drop _ | Impl.Duplicate _ | Impl.Reorder _ | Impl.Retransmit _ ->
         None
 
   let spec_label = function
@@ -137,7 +147,9 @@ module Make (M : Msg_intf.S) = struct
       with type state = Spec.state
        and type action = Spec.action)
 
-  let check ~p0 exec =
-    Ioa.Refinement.check_execution spec_automaton ~spec_initial:(Spec.initial p0)
-      (refinement ()) exec
+  let check_from ~spec_initial exec =
+    Ioa.Refinement.check_execution spec_automaton ~spec_initial (refinement ())
+      exec
+
+  let check ~p0 exec = check_from ~spec_initial:(Spec.initial p0) exec
 end

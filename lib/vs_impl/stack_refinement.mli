@@ -4,15 +4,27 @@
 
     - [created] is the daemon's issued views (plus [v0]);
     - [current-viewid[p]] is engine [p]'s current view;
-    - [pending[p, g]] is the in-flight [Fwd] traffic from [p] to [g]'s
-      sequencer followed by [p]'s unforwarded queue for [g];
+    - [pending[p, g]] is the suffix of [p]'s forward log beyond the
+      sequencer's accepted-forward watermark, followed by [p]'s unforwarded
+      queue for [g];
     - [queue[g]] is the sequencer's log for [g];
     - [next]/[next-safe] are the engines' per-view delivery pointers.
 
     Unlike the DVS-SAFE case of Theorem 5.9, the safe path here is exact on
     *all* schedules: acknowledgements are sent only after the service's own
     [vs-gprcv] outputs, so a [Stable] bound really does certify that every
-    member's abstract [next] pointer has passed the position. *)
+    member's abstract [next] pointer has passed the position.
+
+    The abstraction reads engine state only, never channel contents, which
+    is what makes it robust to the adversarial transport: the network sits
+    entirely below the abstraction, so [Drop] / [Duplicate] / [Reorder] /
+    [Retransmit] steps are stutters, a lost forward stays pending until a
+    retransmission is sequenced, and a delivery the watermark rejects (a
+    duplicate or stale forward) leaves the abstract state unchanged.  Only
+    the accepting delivery of each forward maps to [vs-order], so duplicated
+    packets are never double-counted.  On a lossless transport the forward
+    suffix coincides with the in-flight [Fwd] subsequence of the channel,
+    recovering the original abstraction exactly. *)
 
 module Make (M : Prelude.Msg_intf.S) : sig
   module Impl : module type of Stack.Make (M)
@@ -28,6 +40,14 @@ module Make (M : Prelude.Msg_intf.S) : sig
 
   val check :
     p0:Prelude.Proc.Set.t ->
+    (Impl.state, Impl.action) Ioa.Exec.t ->
+    (unit, Ioa.Refinement.failure) result
+
+  (** Like {!check}, but starting the specification from an explicit state —
+      used by the fault-injection soak to validate each segment of a long
+      execution against the abstraction of the segment's own start. *)
+  val check_from :
+    spec_initial:Spec.state ->
     (Impl.state, Impl.action) Ioa.Exec.t ->
     (unit, Ioa.Refinement.failure) result
 end

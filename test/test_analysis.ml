@@ -301,6 +301,87 @@ let test_json_report () =
           }))
 
 (* ------------------------------------------------------------------ *)
+(* Seeded protocol defect: an engine that never retransmits strands the *)
+(* protocol under a lossy transport — a liveness failure the quiescence *)
+(* analysis reports as a deadlock                                       *)
+(* ------------------------------------------------------------------ *)
+
+module VStk = Vs_impl.Stack.Make (Prelude.Msg_intf.String_msg)
+
+(* Mirrors the [vs-stack-faulty] registry entry's quiescence predicate:
+   nothing in flight, and every member still sharing a view with its
+   sequencer has forwarded, delivered and safed everything. *)
+let vstack_quiescent (s : VStk.state) =
+  let open Prelude in
+  VStk.N.in_flight s.VStk.net = 0
+  && Proc.Map.for_all
+       (fun _ e ->
+         match e.VStk.E.cur with
+         | None -> true
+         | Some v -> (
+             let g = View.id v in
+             Seqs.is_empty (VStk.E.outq_of e g)
+             &&
+             match Proc.Map.find_opt (VStk.E.sequencer v) s.VStk.engines with
+             | None -> true
+             | Some se -> (
+                 match se.VStk.E.cur with
+                 | Some v' when View.equal v v' ->
+                     let n = Seqs.length (VStk.E.seq_log_of se g) in
+                     VStk.E.next_deliver_of e g = n + 1
+                     && VStk.E.next_safe_of e g = n + 1
+                     && Seqs.length (VStk.E.fwd_log_of e g)
+                        = VStk.E.fwd_seen_of se ~src:e.VStk.E.me g
+                 | _ -> true)))
+       s.VStk.engines
+
+let vstack_subject ?variant ~faults () =
+  let cfg =
+    {
+      (VStk.default_config ~payloads:[ "a" ] ~universe:2) with
+      VStk.max_views = 0;
+      max_sends = 1;
+    }
+  in
+  {
+    An.automaton = VStk.generative cfg ~rng_views:(Random.State.make [| 42 |]);
+    init =
+      VStk.initial ~faults ?variant ~universe:2
+        ~p0:(Prelude.Proc.Set.universe 2) ();
+    key = VStk.state_key;
+    equal_state = Some VStk.equal_state;
+    invariants = [];
+    pp_state = VStk.pp_state;
+    pp_action = VStk.pp_action;
+    action_class = (fun a -> Format.asprintf "%a" VStk.pp_action a);
+    all_classes = [];
+    complete_classes = [];
+    exact_candidates = false;
+    quiescent = Some vstack_quiescent;
+    allowed_dead = [];
+  }
+
+let test_no_retransmit_deadlocks () =
+  (* one drop, no duplicates or reorders: a single lost packet must not
+     strand the protocol *)
+  let faults =
+    Vs_impl.Fault.adversarial ~max_duplicates:0 ~max_reorders:0 ()
+  in
+  let r =
+    An.analyze ~name:"no-retransmit" ~max_states:50_000
+      (vstack_subject ~variant:VStk.E.No_retransmit ~faults ())
+  in
+  Alcotest.(check bool) "defect deadlocks" true
+    (List.mem "deadlock" (kinds r));
+  (* the faithful engine under the same lossy policy always recovers *)
+  let r' =
+    An.analyze ~name:"faithful-lossy" ~max_states:50_000
+      (vstack_subject ~faults ())
+  in
+  Alcotest.(check bool) "faithful recovers" false
+    (List.mem "deadlock" (kinds r'))
+
+(* ------------------------------------------------------------------ *)
 (* The packaged registry                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -313,7 +394,9 @@ let test_registry_entries_clean () =
 
 let test_registry_lookup () =
   let entries = Analysis.Registry.all () in
-  Alcotest.(check int) "seven entries" 7 (List.length entries);
+  Alcotest.(check int) "eight entries" 8 (List.length entries);
+  Alcotest.(check bool) "finds vs-stack-faulty" true
+    (Option.is_some (Analysis.Registry.find entries "vs-stack-faulty"));
   Alcotest.(check bool) "finds to-spec" true
     (Option.is_some (Analysis.Registry.find entries "to-spec"));
   Alcotest.(check bool) "rejects unknown" true
@@ -344,6 +427,11 @@ let () =
         ] );
       ( "reporting",
         [ Alcotest.test_case "json" `Quick test_json_report ] );
+      ( "protocol-defects",
+        [
+          Alcotest.test_case "no-retransmit deadlocks" `Slow
+            test_no_retransmit_deadlocks;
+        ] );
       ( "registry",
         [
           Alcotest.test_case "entries analyze clean" `Slow

@@ -46,6 +46,63 @@ let test_json_roundtrip () =
   | Ok (J.Float 7.0) -> ()
   | _ -> Alcotest.fail "7.0 should parse as Float"
 
+(* Seeded fuzz: random value trees (nasty strings, deep nesting, empty
+   containers) must satisfy decode(encode v) = v, and re-encoding the
+   decoded value must reproduce the exact document (encode is a function
+   of the value, so round-tripped values print identically). *)
+let gen_json rng =
+  (* dyadic fractions only: exactly representable, so printing and
+     re-parsing cannot lose precision *)
+  let gen_float () =
+    let mantissa = Random.State.int rng 4096 - 2048 in
+    let scale = [| 1.; 2.; 4.; 8.; 256.; 65536. |] in
+    float_of_int mantissa /. scale.(Random.State.int rng (Array.length scale))
+  in
+  let gen_string () =
+    let n = Random.State.int rng 12 in
+    String.init n (fun _ ->
+        match Random.State.int rng 8 with
+        | 0 -> '"'
+        | 1 -> '\\'
+        | 2 -> '\n'
+        | 3 -> '\t'
+        | 4 -> Char.chr (Random.State.int rng 32) (* control chars *)
+        | 5 -> Char.chr (128 + Random.State.int rng 128) (* high bytes *)
+        | _ -> Char.chr (32 + Random.State.int rng 95))
+  in
+  let rec go depth =
+    let leafy = depth >= 4 || Random.State.bool rng in
+    if leafy then
+      match Random.State.int rng 5 with
+      | 0 -> J.Null
+      | 1 -> J.Bool (Random.State.bool rng)
+      | 2 -> J.Int (Random.State.int rng 2_000_000 - 1_000_000)
+      | 3 -> J.Float (gen_float ())
+      | _ -> J.Str (gen_string ())
+    else if Random.State.bool rng then
+      J.List (List.init (Random.State.int rng 4) (fun _ -> go (depth + 1)))
+    else
+      J.Obj
+        (List.init (Random.State.int rng 4) (fun i ->
+             (Printf.sprintf "%s%d" (gen_string ()) i, go (depth + 1))))
+  in
+  go 0
+
+let test_json_fuzz_roundtrip () =
+  let rng = Random.State.make [| 2026 |] in
+  for i = 1 to 500 do
+    let v = gen_json rng in
+    let doc = J.to_string v in
+    match J.of_string doc with
+    | Error e -> Alcotest.failf "fuzz %d: parse error on %s: %s" i doc e
+    | Ok v' ->
+        if not (J.equal v v') then
+          Alcotest.failf "fuzz %d: value changed through %s" i doc;
+        Alcotest.(check string)
+          (Printf.sprintf "fuzz %d: re-encode fixed point" i)
+          doc (J.to_string v')
+  done
+
 let mk_events () =
   let sink, drain = T.memory () in
   let span =
@@ -251,6 +308,7 @@ let () =
       ( "json",
         [
           Alcotest.test_case "value round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "fuzz round-trip" `Quick test_json_fuzz_roundtrip;
           Alcotest.test_case "event round-trip" `Quick test_event_roundtrip;
           Alcotest.test_case "jsonl file round-trip" `Quick
             test_jsonl_file_roundtrip;

@@ -9,11 +9,31 @@ let set l = Proc.Set.of_list l
 (* Partition algebra                                                   *)
 (* ------------------------------------------------------------------ *)
 
+let rec pairwise_disjoint = function
+  | [] -> true
+  | c :: rest ->
+      List.for_all (fun c' -> Proc.Set.is_empty (Proc.Set.inter c c')) rest
+      && pairwise_disjoint rest
+
 let is_valid_partition t =
   let comps = Sim.Partition.components t in
+  let alive = Sim.Partition.alive t in
   List.for_all (fun c -> not (Proc.Set.is_empty c)) comps
-  && (let total = List.fold_left (fun n c -> n + Proc.Set.cardinal c) 0 comps in
-      total = Proc.Set.cardinal (Sim.Partition.alive t))
+  && pairwise_disjoint comps
+  && Proc.Set.equal alive
+       (List.fold_left Proc.Set.union Proc.Set.empty comps)
+  (* component_of agrees with the component list, and crashed processes
+     belong to no component *)
+  && Proc.Set.for_all
+       (fun p ->
+         match Sim.Partition.component_of t p with
+         | Some c -> List.exists (Proc.Set.equal c) comps && Proc.Set.mem p c
+         | None -> false)
+       alive
+  && Proc.Set.for_all
+       (fun p ->
+         Proc.Set.mem p alive || Sim.Partition.component_of t p = None)
+       (Proc.Set.universe 12)
 
 let test_whole () =
   let t = Sim.Partition.whole (set [ 0; 1; 2 ]) in
@@ -181,6 +201,59 @@ let test_dynamic_dominates_static_on_average () =
   Alcotest.(check bool) "mean dynamic >= mean static" true
     (Stats.mean !dyn >= Stats.mean !stat)
 
+(* ------------------------------------------------------------------ *)
+(* Fault-injection schedules                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_schedule_shape () =
+  let rng = Random.State.make [| 3 |] in
+  let universe = Proc.Set.universe 4 in
+  let plan = Sim.Faults.schedule rng ~universe ~phases:6 ~steps_per_phase:50 in
+  Alcotest.(check bool) "at least the requested phases" true
+    (List.length plan >= 6);
+  (match plan with
+  | first :: _ ->
+      Alcotest.(check bool) "first phase calm" true
+        (Sim.Faults.is_calm first.Sim.Faults.intensity);
+      Alcotest.(check int) "first phase fully connected" 1
+        (List.length (Sim.Partition.components first.Sim.Faults.partition))
+  | [] -> Alcotest.fail "empty plan");
+  let last = List.nth plan (List.length plan - 1) in
+  Alcotest.(check bool) "last phase calm" true
+    (Sim.Faults.is_calm last.Sim.Faults.intensity);
+  Alcotest.(check int) "last phase healed" 1
+    (List.length (Sim.Partition.components last.Sim.Faults.partition));
+  List.iteri
+    (fun k p ->
+      Alcotest.(check int) "steps as requested" 50 p.Sim.Faults.steps;
+      Alcotest.(check bool) "alive preserved" true
+        (Proc.Set.equal universe (Sim.Partition.alive p.Sim.Faults.partition));
+      if k < 6 then
+        Alcotest.(check bool) "odd phases stormy, even calm" true
+          (Sim.Faults.is_calm p.Sim.Faults.intensity = (k mod 2 = 0)))
+    plan
+
+let test_schedule_validation () =
+  let rng = Random.State.make [| 4 |] in
+  Alcotest.check_raises "empty universe refused"
+    (Invalid_argument "Faults.schedule: empty universe") (fun () ->
+      ignore
+        (Sim.Faults.schedule rng ~universe:Proc.Set.empty ~phases:2
+           ~steps_per_phase:10))
+
+let prop_schedule_partitions_valid =
+  QCheck.Test.make ~name:"schedule phases carry valid partitions" ~count:100
+    QCheck.(pair (int_bound 10_000) (int_range 1 9))
+    (fun (seed, phases) ->
+      let rng = Random.State.make [| seed |] in
+      let universe = Proc.Set.universe 5 in
+      let plan = Sim.Faults.schedule rng ~universe ~phases ~steps_per_phase:10 in
+      List.for_all
+        (fun p ->
+          is_valid_partition p.Sim.Faults.partition
+          && Proc.Set.equal universe (Sim.Partition.alive p.Sim.Faults.partition))
+        plan)
+
 let qcheck_case = QCheck_alcotest.to_alcotest
 
 let () =
@@ -199,6 +272,12 @@ let () =
           Alcotest.test_case "generate shape" `Quick test_generate_shape;
           Alcotest.test_case "time weighting" `Quick test_time_weighted;
           Alcotest.test_case "drift freshness" `Quick test_drift_introduces_fresh_processes;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "schedule shape" `Quick test_schedule_shape;
+          Alcotest.test_case "schedule validation" `Quick test_schedule_validation;
+          qcheck_case prop_schedule_partitions_valid;
         ] );
       ( "availability",
         [
