@@ -927,11 +927,111 @@ let e14 m =
   gauge m "e14.refinement_failing" !bad
 
 (* ================================================================== *)
+(* E15 — Parallel exploration: states/sec, sequential vs parallel      *)
+(* ================================================================== *)
+
+(* The registry's vs-stack and vs-stack-faulty instances (generative_pure,
+   so candidate sets are a pure function of the state), explored to a fixed
+   depth — the [max_depth] cut is level-synchronized and thus deterministic
+   at every job count, unlike a [max_states] cut.  Counts must agree
+   exactly between jobs:1 and jobs:4; states/sec establishes the repo's
+   perf trajectory.  Speedup depends on the cores the host actually grants
+   (recorded as e15.recommended_domains). *)
+
+let e15 m =
+  section "E15 Parallel exploration core: sequential vs parallel states/sec";
+  gauge m "e15.recommended_domains" (Domain.recommended_domain_count ());
+  let universe = 2 and p0 = Proc.Set.universe 2 in
+  let subjects =
+    [
+      ( "vs_stack",
+        { (Stk.default_config ~payloads:[ "a" ] ~universe) with
+          Stk.max_views = 2; max_sends = 1 },
+        Stk.initial ~universe ~p0 (),
+        14 );
+      ( "vs_stack_faulty",
+        { (Stk.default_config ~payloads:[ "a" ] ~universe) with
+          Stk.max_views = 1; max_sends = 1 },
+        Stk.initial ~faults:(Vs_impl.Fault.adversarial ()) ~universe ~p0 (),
+        14 );
+    ]
+  in
+  row "%-16s | %-4s | %-8s | %-11s | %-9s | %-9s\n" "entry" "jobs" "states"
+    "states/sec" "alloc MB" "steals";
+  row "%s\n" (String.make 72 '-');
+  List.iter
+    (fun (name, cfg, init, max_depth) ->
+      let gen = Stk.generative_pure cfg in
+      let results =
+        List.map
+          (fun jobs ->
+            let em = Obs.Metrics.create () in
+            let a0 = Gc.allocated_bytes () in
+            let t0 = Obs.Metrics.now_ms () in
+            let outcome =
+              Check.Explorer.run gen ~key:Stk.state_key ~invariants:[]
+                ~max_states:2_000_000 ~max_depth ~jobs ~state_rng:true
+                ~metrics:em ~init ()
+            in
+            let elapsed = Obs.Metrics.now_ms () -. t0 in
+            (* [Gc.allocated_bytes] is domain-local: under jobs > 1 this is
+               the main domain's share only (a lower bound on the total) *)
+            let alloc_mb = (Gc.allocated_bytes () -. a0) /. 1e6 in
+            let stats = outcome.Check.Explorer.stats in
+            let sps =
+              if elapsed > 0. then
+                float_of_int stats.Check.Explorer.states /. (elapsed /. 1000.)
+              else 0.
+            in
+            let steals = Obs.Metrics.count em "explorer.steals" in
+            let pre = Printf.sprintf "e15.%s.jobs%d" name jobs in
+            gauge m (pre ^ ".states") stats.Check.Explorer.states;
+            gauge m (pre ^ ".transitions") stats.Check.Explorer.transitions;
+            gauge m (pre ^ ".depth") stats.Check.Explorer.depth;
+            Obs.Metrics.set m (pre ^ ".elapsed_ms") elapsed;
+            Obs.Metrics.set m (pre ^ ".states_per_sec") sps;
+            Obs.Metrics.set m (pre ^ ".alloc_mb") alloc_mb;
+            gauge m (pre ^ ".steals") steals;
+            gauge m (pre ^ ".shard_contention")
+              (Obs.Metrics.count em "explorer.shard_contention");
+            row "%-16s | %-4d | %-8d | %-11.0f | %-9.1f | %-9d\n" name jobs
+              stats.Check.Explorer.states sps alloc_mb steals;
+            (jobs, stats, outcome, sps))
+          [ 1; 4 ]
+      in
+      (* peak heap is a process-wide high-water mark, recorded once per
+         entry after both runs *)
+      gauge m
+        (Printf.sprintf "e15.%s.peak_heap_bytes" name)
+        ((Gc.quick_stat ()).Gc.top_heap_words * (Sys.word_size / 8));
+      match results with
+      | [ (_, s1, o1, sps1); (_, s4, _, sps4) ] ->
+          let clean (o : _ Check.Explorer.outcome) =
+            o.Check.Explorer.violation = None
+            && o.Check.Explorer.step_failure = None
+            && o.Check.Explorer.key_clash = None
+          in
+          let parity = s1 = s4 && clean o1 in
+          gauge m (Printf.sprintf "e15.%s.parity" name) (Bool.to_int parity);
+          Obs.Metrics.set m
+            (Printf.sprintf "e15.%s.speedup" name)
+            (if sps1 > 0. then sps4 /. sps1 else 0.);
+          row "%-16s   parity %s, speedup %.2fx\n" name
+            (if parity then "ok" else "FAILED")
+            (if sps1 > 0. then sps4 /. sps1 else 0.)
+      | _ -> assert false)
+    subjects;
+  row
+    "\nparity: jobs:4 must reproduce jobs:1 state/transition/depth counts \
+     exactly\n(speedup scales with e15.recommended_domains; 1 grants no \
+     parallelism)\n"
+
+(* ================================================================== *)
 
 let all =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13);
-    ("e14", e14) ]
+    ("e14", e14); ("e15", e15) ]
 
 let () =
   let requested =

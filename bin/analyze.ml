@@ -8,13 +8,18 @@
 
 open Cmdliner
 
-let run_entry ~max_states_override (Analysis.Registry.Entry e) =
+(* Worker-domain default: one per recommended core, capped — beyond a few
+   domains the small registry instances are contention-bound, not
+   compute-bound. *)
+let default_jobs () = max 1 (min 8 (Domain.recommended_domain_count ()))
+
+let run_entry ~max_states_override ~jobs (Analysis.Registry.Entry e) =
   let max_states =
     match max_states_override with Some n -> n | None -> e.max_states
   in
-  Analysis.Analyzer.analyze ~name:e.name ~max_states e.subject
+  Analysis.Analyzer.analyze ~name:e.name ~max_states ~jobs e.subject
 
-let run () names list json max_states =
+let run () names list json max_states jobs =
   let entries = Analysis.Registry.all () in
   if list then begin
     List.iter
@@ -37,8 +42,9 @@ let run () names list json max_states =
                 exit 2)
           ns
   in
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let reports =
-    List.map (run_entry ~max_states_override:max_states) selected
+    List.map (run_entry ~max_states_override:max_states ~jobs) selected
   in
   let total =
     List.fold_left
@@ -77,8 +83,19 @@ let () =
       & info [ "max-states" ]
           ~doc:"Override each entry's exploration bound (distinct states).")
   in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains per exploration (default: recommended domain \
+             count, capped at 8).  Findings and counts are identical at \
+             every job count.")
+  in
   let term =
-    Term.(const run $ Obs.Log_cli.setup $ names $ list $ json $ max_states)
+    Term.(
+      const run $ Obs.Log_cli.setup $ names $ list $ json $ max_states $ jobs)
   in
   let info =
     Cmd.info "analyze" ~version:"1.0.0"

@@ -20,16 +20,20 @@ open Cmdliner
 (* Modes                                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* Worker-domain default for --explore, as in bin/analyze. *)
+let default_jobs () = max 1 (min 8 (Domain.recommended_domain_count ()))
+
 let run_entry (Analysis.Registry.Entry e) ~steps ~seed ~explore ~max_states
-    metrics sink =
+    ~jobs metrics sink =
   let open Analysis.Analyzer in
   let sub = e.subject in
   if explore then begin
     let max_states =
       match max_states with Some n -> n | None -> e.max_states
     in
+    let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
     let r =
-      Analysis.Analyzer.analyze ~name:e.name ~max_states ~sink ~metrics
+      Analysis.Analyzer.analyze ~name:e.name ~max_states ~jobs ~sink ~metrics
         sub
     in
     Logs.info (fun m ->
@@ -141,8 +145,8 @@ let with_sink out f =
         (drain ());
       (r, Obs.Trace.emitted sink)
 
-let run () entry scenario list_ out json explore steps max_states procs epochs
-    complete seed =
+let run () entry scenario list_ out json explore steps max_states jobs procs
+    epochs complete seed =
   if list_ then begin
     List.iter
       (fun e ->
@@ -161,7 +165,8 @@ let run () entry scenario list_ out json explore steps max_states procs epochs
     | Some name, None -> (
         match Analysis.Registry.find (Analysis.Registry.all ()) name with
         | Some e ->
-            fun sink -> run_entry e ~steps ~seed ~explore ~max_states metrics sink
+            fun sink ->
+              run_entry e ~steps ~seed ~explore ~max_states ~jobs metrics sink
         | None ->
             Format.eprintf "unknown entry %S (try --list)@." name;
             exit 2)
@@ -241,6 +246,15 @@ let () =
       & opt (some int) None
       & info [ "max-states" ] ~doc:"Exploration bound for --explore.")
   in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains for --explore (default: recommended domain \
+             count, capped at 8).")
+  in
   let procs =
     Arg.(value & opt int 10 & info [ "n"; "procs" ] ~docv:"N" ~doc:"Universe size.")
   in
@@ -257,7 +271,7 @@ let () =
   let term =
     Term.(
       const run $ Obs.Log_cli.setup $ entry $ scenario $ list_ $ out $ json
-      $ explore $ steps $ max_states $ procs $ epochs $ complete $ seed)
+      $ explore $ steps $ max_states $ jobs $ procs $ epochs $ complete $ seed)
   in
   let info =
     Cmd.info "trace" ~version:"1.0.0"

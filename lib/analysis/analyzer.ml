@@ -25,7 +25,7 @@ type ('s, 'a) subject = {
   allowed_dead : string list;
 }
 
-let analyze (type s a) ~name ?(max_states = 20_000) ?max_depth
+let analyze (type s a) ~name ?(max_states = 20_000) ?max_depth ?(jobs = 1)
     ?(seed = [| 0 |]) ?sink ?metrics (sub : (s, a) subject) =
   let (module A : Ioa.Automaton.GENERATIVE
         with type state = s
@@ -41,11 +41,14 @@ let analyze (type s a) ~name ?(max_states = 20_000) ?max_depth
     observations := o :: !observations;
     incr n_obs
   in
+  (* [state_rng] at every job count: candidate sets become a pure function
+     of (seed, state), so the explored graph — and with it every count and
+     finding below — is independent of [jobs]. *)
   let outcome =
     Check.Explorer.run sub.automaton ~key:sub.key
       ~invariants:(List.map (fun c -> c.Ioa.Invariant.inv) sub.invariants)
-      ~seed ~max_states ?max_depth ?check_key:sub.equal_state ~observe
-      ?sink ?metrics ~init:sub.init ()
+      ~seed ~max_states ?max_depth ~jobs ~state_rng:true
+      ?check_key:sub.equal_state ~observe ?sink ?metrics ~init:sub.init ()
   in
   let obs = List.rev !observations in
   let stats = outcome.Check.Explorer.stats in

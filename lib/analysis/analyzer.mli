@@ -52,7 +52,14 @@ type ('s, 'a) subject = {
           entry's small configuration *)
 }
 
-(** [?sink]/[?metrics] are forwarded to {!Check.Explorer.run} (progress
+(** [?jobs] (default 1) runs the exploration on that many OCaml 5 domains
+    ({!Check.Explorer.run}'s parallel engine).  The analyzer always enables
+    the explorer's per-state RNG discipline, so the explored graph — and
+    every count and finding — is independent of the job count; the subject's
+    automaton must then be thread-safe for [jobs > 1] (true of the
+    [generative_pure]-packaged registry entries).
+
+    [?sink]/[?metrics] are forwarded to {!Check.Explorer.run} (progress
     events, [explorer.*] counters); the analyzer additionally times the whole
     pass — reported as [elapsed_ms]/[states_per_sec] in the result and
     observed into the [analyzer.elapsed_ms] histogram when [?metrics] is
@@ -61,6 +68,7 @@ val analyze :
   name:string ->
   ?max_states:int ->
   ?max_depth:int ->
+  ?jobs:int ->
   ?seed:int array ->
   ?sink:Obs.Trace.sink ->
   ?metrics:Obs.Metrics.t ->

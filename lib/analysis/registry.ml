@@ -13,11 +13,12 @@ type entry =
 let name (Entry e) = e.name
 let doc (Entry e) = e.doc
 
-(* Every registry entry uses a fixed seed for the generative modules'
-   auxiliary randomness (view-membership proposals are [`All_subsets], i.e.
-   deterministic, wherever the config offers it), so runs are
-   reproducible. *)
-let rng_views () = Random.State.make [| 42 |]
+(* Every registry entry packages its automaton with [generative_pure]:
+   all auxiliary randomness (view-membership proposals are [`All_subsets],
+   i.e. deterministic, wherever the config offers it; gating draws
+   elsewhere) comes from the RNG the explorer passes per call, so candidate
+   sets are a pure function of (seed, state) and analysis results are
+   identical at every [--jobs] count. *)
 
 (* ------------------------------------------------------------------ *)
 (* VS specification (Figure 1)                                         *)
@@ -41,7 +42,7 @@ let vs_spec () =
       max_states = 150_000;
       subject =
         {
-          Analyzer.automaton = Vsg.generative cfg ~rng_views:(rng_views ());
+          Analyzer.automaton = Vsg.generative_pure cfg;
           init = Vsg.Spec.initial (Proc.Set.universe 2);
           key = Vsg.Spec.state_key;
           equal_state = Some Vsg.Spec.equal_state;
@@ -88,7 +89,7 @@ let dvs_spec () =
       max_states = 150_000;
       subject =
         {
-          Analyzer.automaton = Dg.generative cfg ~rng_views:(rng_views ());
+          Analyzer.automaton = Dg.generative_pure cfg;
           init = Dg.Spec.initial (Proc.Set.universe 2);
           key = Dg.Spec.state_key;
           equal_state = Some Dg.Spec.equal_state;
@@ -149,7 +150,7 @@ let dvs_impl () =
       max_states = 150_000;
       subject =
         {
-          Analyzer.automaton = Sys.generative cfg ~rng_views:(rng_views ());
+          Analyzer.automaton = Sys.generative_pure cfg;
           init = Sys.initial ~universe:2 ~p0:(Proc.Set.universe 2);
           key = Sys.state_key;
           equal_state = Some Sys.equal_state;
@@ -280,7 +281,7 @@ let to_impl () =
       max_states = 150_000;
       subject =
         {
-          Analyzer.automaton = Timpl.generative cfg ~rng_views:(rng_views ());
+          Analyzer.automaton = Timpl.generative_pure cfg;
           init = Timpl.initial ~universe:2 ~p0:(Proc.Set.universe 2);
           key = Timpl.state_key;
           equal_state = Some Timpl.equal_state;
@@ -367,7 +368,7 @@ let vs_stack () =
       max_states = 150_000;
       subject =
         {
-          Analyzer.automaton = Stk.generative cfg ~rng_views:(rng_views ());
+          Analyzer.automaton = Stk.generative_pure cfg;
           init = Stk.initial ~universe:2 ~p0:(Proc.Set.universe 2) ();
           key = Stk.state_key;
           equal_state = Some Stk.equal_state;
@@ -453,7 +454,7 @@ let vs_stack_faulty () =
       max_states = 150_000;
       subject =
         {
-          Analyzer.automaton = Stk.generative cfg ~rng_views:(rng_views ());
+          Analyzer.automaton = Stk.generative_pure cfg;
           init = Stk.initial ~faults ~universe:2 ~p0:(Proc.Set.universe 2) ();
           key = Stk.state_key;
           equal_state = Some Stk.equal_state;
@@ -519,7 +520,7 @@ let full_stack () =
       max_states = 150_000;
       subject =
         {
-          Analyzer.automaton = Full.generative cfg ~rng_views:(rng_views ());
+          Analyzer.automaton = Full.generative_pure cfg;
           init = Full.initial ~universe:2 ~p0:(Proc.Set.universe 2);
           key = Full.state_key;
           equal_state = Some Full.equal_state;

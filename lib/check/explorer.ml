@@ -30,17 +30,27 @@ let progress_event sink (stats : stats) ~frontier =
       ("depth", Obs.Trace.Int stats.depth);
     ]
 
+(* Parallel-engine tuning.  The seen-set is striped over [shard_count]
+   mutexes, indexed by the fingerprint's high lane (decorrelated from the
+   per-shard table hash, which folds the low lane); frontier slices are
+   claimed in blocks of [steal_block] entries so one fetch-and-add
+   amortizes over many expansions. *)
+let shard_count = 64
+let steal_block = 32
+
 let run (type s a)
     (module A : Ioa.Automaton.GENERATIVE with type state = s and type action = a)
     ~key ~invariants ?(seed = [| 0 |]) ?(max_states = 200_000) ?max_depth
-    ?check_step ?check_key ?observe ?sink ?metrics
+    ?(jobs = 1) ?state_rng ?check_step ?check_key ?observe ?sink ?metrics
     ?(progress_every = 10_000) ~init () =
-  (* A fixed RNG makes generative candidate sets deterministic; exhaustive
-     soundness relies on the candidate function not sampling (instantiate the
-     generators with degenerate configs for exploration). *)
-  let rng = Random.State.make seed in
-  let seen : (string, s) Hashtbl.t = Hashtbl.create 4096 in
-  let queue = Queue.create () in
+  let jobs = max 1 jobs in
+  (* Parallel exploration requires candidate sets that are a pure function
+     of the state — visit order is scheduling-dependent — so [jobs > 1]
+     forces the per-state RNG discipline on. *)
+  let state_rng = jobs > 1 || Option.value state_rng ~default:false in
+  (* Retain representative states only when auditing the key function; plain
+     exploration keeps the table light by storing [init] for every slot. *)
+  let retain = Option.is_some check_key in
   let check_state index state =
     List.find_opt
       (fun inv -> not (inv.Ioa.Invariant.holds state))
@@ -48,108 +58,349 @@ let run (type s a)
     |> Option.map (fun inv ->
            { Ioa.Invariant.invariant = inv.Ioa.Invariant.name; index; state })
   in
-  let stats = ref { states = 0; transitions = 0; depth = 0; truncated = false } in
-  let violation = ref None in
-  let step_failure = ref None in
-  let key_clash = ref None in
-  (* Retain representative states only when auditing the key function; plain
-     exploration keeps the table light by storing [init] for every slot. *)
-  let retain = match check_key with Some _ -> true | None -> false in
-  let push depth state =
-    let k = key state in
-    match Hashtbl.find_opt seen k with
-    | Some rep ->
-        (* Audit the key function when an equality is available: a collision
-           between states the equality distinguishes means the dedup merged
-           genuinely different states and the exploration is unsound. *)
-        (match check_key with
-        | Some equal when not (equal rep state) ->
-            key_clash := Some (rep, state)
-        | Some _ | None -> ())
-    | None ->
-        Hashtbl.add seen k (if retain then state else init);
-        stats :=
-          { !stats with states = !stats.states + 1; depth = max !stats.depth depth };
-        (* The state that crosses [max_states] is counted in [stats], so it
-           must be invariant-checked like every other visited state — it is
-           only exempt from expansion. *)
-        (match check_state !stats.states state with
-        | Some v -> violation := Some v
-        | None ->
-            if !stats.states > max_states then
-              stats := { !stats with truncated = true }
-            else Queue.add (depth, state) queue)
+  let fingerprint state = Fingerprint.of_string (key state) in
+  let state_rng_of fp = Random.State.make (Fingerprint.seed fp seed) in
+  let finalize ~stats ~violation ~step_failure ~key_clash ~steals ~contention =
+    (match sink with
+    | None -> ()
+    | Some s ->
+        Obs.Trace.point s ~component ~cls:"done"
+          [
+            ("states", Obs.Trace.Int stats.states);
+            ("transitions", Obs.Trace.Int stats.transitions);
+            ("depth", Obs.Trace.Int stats.depth);
+            ("truncated", Obs.Trace.Bool stats.truncated);
+          ]);
+    (match metrics with
+    | None -> ()
+    | Some m ->
+        Obs.Metrics.incr ~by:stats.states m "explorer.states";
+        Obs.Metrics.incr ~by:stats.transitions m "explorer.transitions";
+        Obs.Metrics.set m "explorer.depth" (float_of_int stats.depth);
+        Obs.Metrics.set m "explorer.workers" (float_of_int jobs);
+        Obs.Metrics.incr ~by:steals m "explorer.steals";
+        Obs.Metrics.incr ~by:contention m "explorer.shard_contention";
+        if stats.truncated then Obs.Metrics.incr m "explorer.truncated");
+    { stats; violation; step_failure; key_clash }
   in
-  push 0 init;
-  let continue () =
-    !violation = None && !step_failure = None && !key_clash = None
-    && not !stats.truncated
-  in
-  let expanded = ref 0 in
-  let rec loop () =
-    if continue () && not (Queue.is_empty queue) then begin
-      let depth, state = Queue.pop queue in
-      incr expanded;
-      (match sink with
-      | Some s when !expanded mod progress_every = 0 ->
-          progress_event s !stats ~frontier:(Queue.length queue)
-      | Some _ | None -> ());
-      let expand =
-        match max_depth with Some d -> depth < d | None -> true
+  if jobs = 1 then begin
+    (* ---------------- sequential engine ---------------------------- *)
+    (* A fixed RNG makes generative candidate sets deterministic along the
+       BFS order; with [state_rng] they are instead a pure function of each
+       state's fingerprint (the discipline the parallel engine uses), so
+       the explored graph is identical at every job count. *)
+    let rng = Random.State.make seed in
+    let seen : s Fingerprint.Table.t = Fingerprint.Table.create 4096 in
+    let queue : (int * s * Fingerprint.t) Queue.t = Queue.create () in
+    let stats =
+      ref { states = 0; transitions = 0; depth = 0; truncated = false }
+    in
+    let violation = ref None in
+    let step_failure = ref None in
+    let key_clash = ref None in
+    let push depth state =
+      let fp = fingerprint state in
+      match Fingerprint.Table.find_opt seen fp with
+      | Some rep ->
+          (* Audit the key function when an equality is available: a
+             collision between states the equality distinguishes means the
+             dedup merged genuinely different states — whether because [key]
+             is not injective or because two keys share a fingerprint — and
+             the exploration is unsound. *)
+          (match check_key with
+          | Some equal when not (equal rep state) ->
+              key_clash := Some (rep, state)
+          | Some _ | None -> ())
+      | None ->
+          Fingerprint.Table.add seen fp (if retain then state else init);
+          stats :=
+            {
+              !stats with
+              states = !stats.states + 1;
+              depth = max !stats.depth depth;
+            };
+          (* The state that crosses [max_states] is counted in [stats], so
+             it must be invariant-checked like every other visited state —
+             it is only exempt from expansion. *)
+          (match check_state !stats.states state with
+          | Some v -> violation := Some v
+          | None ->
+              if !stats.states > max_states then
+                stats := { !stats with truncated = true }
+              else Queue.add (depth, state, fp) queue)
+    in
+    push 0 init;
+    let continue () =
+      Option.is_none !violation
+      && Option.is_none !step_failure
+      && Option.is_none !key_clash
+      && not !stats.truncated
+    in
+    let expanded = ref 0 in
+    let rec loop () =
+      if continue () && not (Queue.is_empty queue) then begin
+        let depth, state, fp = Queue.pop queue in
+        incr expanded;
+        (match sink with
+        | Some s when !expanded mod progress_every = 0 ->
+            progress_event s !stats ~frontier:(Queue.length queue)
+        | Some _ | None -> ());
+        let expand =
+          match max_depth with Some d -> depth < d | None -> true
+        in
+        if expand then begin
+          let rng = if state_rng then state_rng_of fp else rng in
+          let candidates = A.candidates rng state in
+          let actions = List.filter (A.enabled state) candidates in
+          (match observe with
+          | None -> ()
+          | Some f ->
+              f
+                {
+                  obs_state = state;
+                  obs_depth = depth;
+                  obs_candidates = candidates;
+                  obs_enabled = actions;
+                });
+          List.iter
+            (fun action ->
+              if continue () then begin
+                let post = A.step state action in
+                stats := { !stats with transitions = !stats.transitions + 1 };
+                (match check_step with
+                | None -> ()
+                | Some f -> (
+                    let step = { Ioa.Exec.pre = state; action; post } in
+                    match f step with
+                    | Ok () -> ()
+                    | Error msg -> step_failure := Some (step, msg)));
+                if continue () then push (depth + 1) post
+              end)
+            actions
+        end;
+        loop ()
+      end
+    in
+    loop ();
+    finalize ~stats:!stats ~violation:!violation ~step_failure:!step_failure
+      ~key_clash:!key_clash ~steals:0 ~contention:0
+  end
+  else begin
+    (* ---------------- parallel engine ------------------------------ *)
+    (* Level-synchronized BFS over OCaml 5 domains: all states at depth [d]
+       are expanded (by any worker) before any state at depth [d + 1], so a
+       state is always admitted at its true BFS depth and the [max_depth]
+       cut is independent of scheduling.  Within a level, each worker
+       drains its own frontier slice and steals block-wise from the others
+       when it runs dry. *)
+    let module T = Fingerprint.Table in
+    let shards =
+      Array.init shard_count (fun _ -> (Mutex.create (), T.create 1024))
+    in
+    let stop = Atomic.make false in
+    let truncated = Atomic.make false in
+    let states = Atomic.make 0 in
+    let depth_seen = Atomic.make 0 in
+    let transitions = Array.make jobs 0 in
+    let steals = Atomic.make 0 in
+    let contention = Atomic.make 0 in
+    let expanded = Atomic.make 0 in
+    let result_mu = Mutex.create () in
+    let violation = ref None in
+    let step_failure = ref None in
+    let key_clash = ref None in
+    let record cell v =
+      Mutex.lock result_mu;
+      if Option.is_none !cell then cell := Some v;
+      Mutex.unlock result_mu;
+      Atomic.set stop true
+    in
+    (* Serializes the [observe] callback and trace emission: neither the
+       analyzer's observation accumulator nor the sink implementations are
+       required to be thread-safe. *)
+    let aux_mu = Mutex.create () in
+    let rec bump_depth d =
+      let cur = Atomic.get depth_seen in
+      if d > cur && not (Atomic.compare_and_set depth_seen cur d) then
+        bump_depth d
+    in
+    let total_transitions () = Array.fold_left ( + ) 0 transitions in
+    (* Admission: dedup against the sharded seen-set, reserve a slot in the
+       global count (the slot numbered [max_states + 1] is the crossing
+       state: counted and invariant-checked, never expanded — exactly the
+       sequential truncation semantics), then invariant-check.  Returns the
+       frontier entry when the state belongs in the next level. *)
+    let admit depth state =
+      let fp = fingerprint state in
+      let mu, tbl =
+        shards.(Int64.to_int fp.Fingerprint.hi land (shard_count - 1))
       in
-      if expand then begin
+      if not (Mutex.try_lock mu) then begin
+        Atomic.incr contention;
+        Mutex.lock mu
+      end;
+      match T.find_opt tbl fp with
+      | Some rep ->
+          Mutex.unlock mu;
+          (match check_key with
+          | Some equal when not (equal rep state) ->
+              record key_clash (rep, state)
+          | Some _ | None -> ());
+          None
+      | None -> (
+          let rec reserve () =
+            let cur = Atomic.get states in
+            if cur > max_states then None
+            else if Atomic.compare_and_set states cur (cur + 1) then
+              Some (cur + 1)
+            else reserve ()
+          in
+          match reserve () with
+          | None ->
+              Mutex.unlock mu;
+              None
+          | Some n -> (
+              T.add tbl fp (if retain then state else init);
+              Mutex.unlock mu;
+              bump_depth depth;
+              match check_state n state with
+              | Some v ->
+                  record violation v;
+                  None
+              | None ->
+                  if n > max_states then begin
+                    Atomic.set truncated true;
+                    Atomic.set stop true;
+                    None
+                  end
+                  else Some (state, fp)))
+    in
+    let expand ~wid ~depth ~expandable ~frontier state fp buf =
+      let n = Atomic.fetch_and_add expanded 1 + 1 in
+      (match sink with
+      | Some s when n mod progress_every = 0 ->
+          Mutex.lock aux_mu;
+          progress_event s
+            {
+              states = Atomic.get states;
+              transitions = total_transitions ();
+              depth = Atomic.get depth_seen;
+              truncated = Atomic.get truncated;
+            }
+            ~frontier:(frontier ());
+          Mutex.unlock aux_mu
+      | Some _ | None -> ());
+      if expandable then begin
+        let rng = state_rng_of fp in
         let candidates = A.candidates rng state in
         let actions = List.filter (A.enabled state) candidates in
         (match observe with
         | None -> ()
         | Some f ->
+            Mutex.lock aux_mu;
             f
               {
                 obs_state = state;
                 obs_depth = depth;
                 obs_candidates = candidates;
                 obs_enabled = actions;
-              });
+              };
+            Mutex.unlock aux_mu);
         List.iter
           (fun action ->
-            if continue () then begin
+            if not (Atomic.get stop) then begin
               let post = A.step state action in
-              stats := { !stats with transitions = !stats.transitions + 1 };
+              transitions.(wid) <- transitions.(wid) + 1;
               (match check_step with
               | None -> ()
               | Some f -> (
                   let step = { Ioa.Exec.pre = state; action; post } in
                   match f step with
                   | Ok () -> ()
-                  | Error msg -> step_failure := Some (step, msg)));
-              if continue () then push (depth + 1) post
+                  | Error msg -> record step_failure (step, msg)));
+              if not (Atomic.get stop) then
+                match admit (depth + 1) post with
+                | Some entry -> buf := entry :: !buf
+                | None -> ()
             end)
           actions
-      end;
-      loop ()
-    end
-  in
-  loop ();
-  (match sink with
-  | None -> ()
-  | Some s ->
-      Obs.Trace.point s ~component ~cls:"done"
-        [
-          ("states", Obs.Trace.Int !stats.states);
-          ("transitions", Obs.Trace.Int !stats.transitions);
-          ("depth", Obs.Trace.Int !stats.depth);
-          ("truncated", Obs.Trace.Bool !stats.truncated);
-        ]);
-  (match metrics with
-  | None -> ()
-  | Some m ->
-      Obs.Metrics.incr ~by:!stats.states m "explorer.states";
-      Obs.Metrics.incr ~by:!stats.transitions m "explorer.transitions";
-      Obs.Metrics.set m "explorer.depth" (float_of_int !stats.depth);
-      if !stats.truncated then Obs.Metrics.incr m "explorer.truncated");
-  {
-    stats = !stats;
-    violation = !violation;
-    step_failure = !step_failure;
-    key_clash = !key_clash;
-  }
+      end
+    in
+    let run_level depth slices =
+      let nslices = Array.length slices in
+      let cursors = Array.init nslices (fun _ -> Atomic.make 0) in
+      let frontier () =
+        let left = ref 0 in
+        Array.iteri
+          (fun j a ->
+            left := !left + max 0 (Array.length a - Atomic.get cursors.(j)))
+          slices;
+        !left
+      in
+      let nexts = Array.make jobs [] in
+      let expandable =
+        match max_depth with Some d -> depth < d | None -> true
+      in
+      let worker wid () =
+        let buf = ref [] in
+        let own = wid mod nslices in
+        let claim j =
+          let a = slices.(j) in
+          let n = Array.length a in
+          let base = Atomic.fetch_and_add cursors.(j) steal_block in
+          if base >= n then false
+          else begin
+            if j <> own then Atomic.incr steals;
+            let stop_at = min n (base + steal_block) in
+            for i = base to stop_at - 1 do
+              if not (Atomic.get stop) then begin
+                let state, fp = a.(i) in
+                expand ~wid ~depth ~expandable ~frontier state fp buf
+              end
+            done;
+            true
+          end
+        in
+        let rec drive () =
+          if not (Atomic.get stop) then
+            if claim own then drive ()
+            else
+              let rec steal k =
+                if k < nslices then
+                  if claim ((own + k) mod nslices) then drive ()
+                  else steal (k + 1)
+              in
+              steal 1
+        in
+        drive ();
+        nexts.(wid) <- !buf
+      in
+      let domains =
+        Array.init (jobs - 1) (fun i ->
+            Domain.spawn (fun () -> worker (i + 1) ()))
+      in
+      worker 0 ();
+      Array.iter Domain.join domains;
+      Array.map Array.of_list nexts
+    in
+    let rec levels depth slices =
+      if
+        (not (Atomic.get stop))
+        && Array.exists (fun a -> Array.length a > 0) slices
+      then levels (depth + 1) (run_level depth slices)
+    in
+    (match admit 0 init with
+    | Some entry -> levels 0 [| [| entry |] |]
+    | None -> ());
+    let stats =
+      {
+        states = Atomic.get states;
+        transitions = total_transitions ();
+        depth = Atomic.get depth_seen;
+        truncated = Atomic.get truncated;
+      }
+    in
+    finalize ~stats ~violation:!violation ~step_failure:!step_failure
+      ~key_clash:!key_clash ~steals:(Atomic.get steals)
+      ~contention:(Atomic.get contention)
+  end

@@ -3,21 +3,34 @@
     For small instances (2–3 processes, a couple of views, one or two
     payloads) the automata of this repository have small enough reachable
     state spaces to enumerate outright.  The explorer performs a BFS from
-    the initial state, deduplicating states by a caller-provided canonical
-    key, checking the given invariants at every reachable state, and
-    optionally checking a per-step property (used for exhaustive refinement
-    checking).
+    the initial state, deduplicating states by a 128-bit {!Fingerprint} of
+    a caller-provided canonical key, checking the given invariants at every
+    reachable state, and optionally checking a per-step property (used for
+    exhaustive refinement checking).
 
-    Unlike the random engine, candidates must be generated deterministically
-    and must over-approximate the enabled action set relative to the chosen
-    finite environment; a fixed RNG seed (overridable via [?seed]) keeps the
-    generative modules deterministic. *)
+    With [~jobs:n] (n > 1) the search runs on OCaml 5 domains: a
+    level-synchronized parallel BFS with per-domain frontier slices, a
+    sharded mutex-striped seen-set, and block-wise work-stealing when a
+    local slice drains.  Parallel mode forces the {b per-state RNG}
+    discipline — the RNG handed to [candidates] is seeded from the state's
+    fingerprint, so the candidate set at a state is a pure function of
+    (run seed, state) and the explored graph is identical at every job
+    count and under every interleaving.  [jobs:1] without [state_rng]
+    reproduces the classic sequential stream-RNG search exactly.
+
+    Unlike the random engine, candidates must over-approximate the enabled
+    action set relative to the chosen finite environment.  Under [jobs > 1]
+    the automaton's [candidates]/[enabled]/[step] and the [key], invariant
+    and [check_step] functions are called concurrently from several domains
+    and must be thread-safe (pure functions of their arguments — true of
+    the [generative_pure] constructors; the [observe] callback and [sink]
+    are serialized by the explorer and need not be). *)
 
 type stats = {
   states : int;  (** distinct states visited *)
   transitions : int;  (** transitions traversed *)
   depth : int;  (** BFS depth reached *)
-  truncated : bool;  (** whether a bound stopped the search *)
+  truncated : bool;  (** whether the [max_states] bound stopped the search *)
 }
 
 val pp_stats : Format.formatter -> stats -> unit
@@ -41,27 +54,45 @@ type ('s, 'a) outcome = {
   step_failure : (('s, 'a) Ioa.Exec.step * string) option;
       (** first per-step property failure, if any *)
   key_clash : ('s * 's) option;
-      (** two states the dedup key conflated that [check_key] distinguishes
-          — the key function is not injective and the exploration unsound *)
+      (** two states the dedup conflated that [check_key] distinguishes —
+          either the key function is not injective or two keys share a
+          fingerprint; in both cases the exploration is unsound *)
 }
 
 (** [run (module A) ~key ~invariants ~init ()] explores breadth-first.
 
-    @param key canonical rendering used to deduplicate states.
+    @param key canonical rendering used to deduplicate states (via its
+           128-bit fingerprint; the key string itself is not retained).
     @param seed RNG seed for the generative module (default [[|0|]]).
     @param max_states stop after visiting this many distinct states
            (default 200_000).  The state that crosses the bound is still
-           invariant-checked before the search stops.
+           invariant-checked before the search stops.  The final count is
+           deterministic ([max_states + 1]) at every job count, but under
+           [jobs > 1] {i which} states beyond the bound were explored is
+           scheduling-dependent — bound parallel runs that must be
+           reproducible state-for-state by [max_depth] instead.
     @param max_depth stop expanding beyond this depth (default unbounded).
+           Deterministic at every job count: the parallel engine is
+           level-synchronized, so states are admitted at their true BFS
+           depth.
+    @param jobs worker domains (default 1 = the sequential engine).
+           [jobs > 1] implies [state_rng].
+    @param state_rng seed the RNG handed to [candidates] from each state's
+           fingerprint instead of one shared stream (default: only when
+           [jobs > 1]).  Makes candidate sets visit-order-independent, so
+           results agree across job counts; [lib/analysis] forces this on
+           at every job count.
     @param check_step optional per-transition property; return [Error msg]
            to report.  Exploration stops at the first failure.
-    @param check_key optional state equality used to audit [key]: a
-           representative state is retained per key and compared on every
-           collision; the first conflated pair is reported as [key_clash]
-           and stops the search.  Costs memory proportional to the explored
-           set — intended for the small instances of [lib/analysis].
+    @param check_key optional state equality used to audit the dedup: a
+           representative state is retained per fingerprint and compared on
+           every collision; the first conflated pair is reported as
+           [key_clash] and stops the search.  Costs memory proportional to
+           the explored set — intended for the small instances of
+           [lib/analysis].
     @param observe called once per expanded state with the candidate set
-           and its enabled subset, before the transitions fire.
+           and its enabled subset, before the transitions fire.  Serialized
+           under [jobs > 1] (calls arrive in scheduling order).
     @param sink trace sink for progress: a ["progress"] point (states
            visited, transitions, frontier size, depth) every
            [progress_every] expanded states and a final ["done"] point
@@ -69,7 +100,11 @@ type ('s, 'a) outcome = {
            while the search crunches.  Component ["check.explorer"].
     @param metrics on completion, bumps the [explorer.states] /
            [explorer.transitions] / [explorer.truncated] counters and the
-           [explorer.depth] gauge.
+           [explorer.depth] gauge; additionally the [explorer.workers]
+           gauge (the job count) and the [explorer.steals] /
+           [explorer.shard_contention] counters (frontier blocks claimed
+           from another worker's slice; seen-set shard locks that were
+           busy on first try).
     @param progress_every progress-event stride (default 10_000). *)
 val run :
   (module Ioa.Automaton.GENERATIVE with type state = 's and type action = 'a) ->
@@ -78,6 +113,8 @@ val run :
   ?seed:int array ->
   ?max_states:int ->
   ?max_depth:int ->
+  ?jobs:int ->
+  ?state_rng:bool ->
   ?check_step:(('s, 'a) Ioa.Exec.step -> (unit, string) result) ->
   ?check_key:('s -> 's -> bool) ->
   ?observe:(('s, 'a) observation -> unit) ->

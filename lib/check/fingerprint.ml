@@ -1,0 +1,103 @@
+type t = { hi : int64; lo : int64 }
+
+let equal a b = Int64.equal a.hi b.hi && Int64.equal a.lo b.lo
+
+let compare a b =
+  match Int64.compare a.hi b.hi with 0 -> Int64.compare a.lo b.lo | c -> c
+
+let hash t = Int64.to_int t.lo land max_int
+let to_hex t = Printf.sprintf "%016Lx%016Lx" t.hi t.lo
+let pp ppf t = Format.pp_print_string ppf (to_hex t)
+
+(* Two independent multiply-mix lanes over 64-bit little-endian words.  The
+   multipliers are the usual odd constants (golden ratio, xxhash prime);
+   lane 1 xors the word in, lane 2 adds it, so the lanes do not collide
+   together.  Partial trailing words are zero-padded — unambiguous because
+   the finalizer mixes in the exact byte length. *)
+let mult1 = 0x9E3779B97F4A7C15L
+let mult2 = 0xC2B2AE3D27D4EB4FL
+let basis1 = 0xcbf29ce484222325L
+let basis2 = 0x84222325cbf29ce4L
+
+type ctx = {
+  mutable h1 : int64;
+  mutable h2 : int64;
+  mutable len : int;
+  pending : Bytes.t;  (* carry for word chunks split across [feed]s *)
+  mutable pfill : int;
+}
+
+let create () =
+  { h1 = basis1; h2 = basis2; len = 0; pending = Bytes.create 8; pfill = 0 }
+
+let[@inline] mix_word c w =
+  c.h1 <- Int64.mul (Int64.logxor c.h1 w) mult1;
+  c.h2 <- Int64.mul (Int64.add c.h2 w) mult2
+
+let feed c s =
+  let n = String.length s in
+  c.len <- c.len + n;
+  let i = ref 0 in
+  if c.pfill > 0 then begin
+    while c.pfill < 8 && !i < n do
+      Bytes.unsafe_set c.pending c.pfill (String.unsafe_get s !i);
+      c.pfill <- c.pfill + 1;
+      incr i
+    done;
+    if c.pfill = 8 then begin
+      mix_word c (Bytes.get_int64_le c.pending 0);
+      c.pfill <- 0
+    end
+  end;
+  while !i + 8 <= n do
+    mix_word c (String.get_int64_le s !i);
+    i := !i + 8
+  done;
+  while !i < n do
+    Bytes.unsafe_set c.pending c.pfill (String.unsafe_get s !i);
+    c.pfill <- c.pfill + 1;
+    incr i
+  done
+
+(* splitmix64 finalizer: full avalanche per lane. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let finish c =
+  if c.pfill > 0 then begin
+    for j = c.pfill to 7 do Bytes.unsafe_set c.pending j '\000' done;
+    mix_word c (Bytes.get_int64_le c.pending 0);
+    c.pfill <- 0
+  end;
+  let len = Int64.of_int c.len in
+  let h1 = Int64.logxor c.h1 len and h2 = Int64.logxor c.h2 len in
+  let h1 = Int64.add h1 h2 in
+  let h2 = Int64.add h2 h1 in
+  let h1 = mix64 h1 in
+  let h2 = mix64 h2 in
+  let h1 = Int64.add h1 h2 in
+  let h2 = Int64.add h2 h1 in
+  { hi = h1; lo = h2 }
+
+let of_string s =
+  let c = create () in
+  feed c s;
+  finish c
+
+let seed t extra =
+  let lane v =
+    [|
+      Int64.to_int (Int64.logand v 0xFFFFFFFFL);
+      Int64.to_int (Int64.shift_right_logical v 32);
+    |]
+  in
+  Array.concat [ extra; lane t.lo; lane t.hi ]
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -28,4 +28,14 @@ module Make (M : Prelude.Msg_intf.S) : sig
     (module Ioa.Automaton.GENERATIVE
        with type state = Spec.state
         and type action = Spec.action)
+
+  (** Like {!generative}, but all auxiliary randomness is drawn from the
+      per-call RNG instead of a captured [rng_views] stream — [candidates]
+      becomes a pure function of (rng, state), thread-safe and
+      interleaving-independent under per-state RNG exploration. *)
+  val generative_pure :
+    config ->
+    (module Ioa.Automaton.GENERATIVE
+       with type state = Spec.state
+        and type action = Spec.action)
 end

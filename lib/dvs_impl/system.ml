@@ -106,7 +106,9 @@ module Make (M : Msg_intf.S) = struct
     Buffer.add_string buf (Vsw.state_key s.vs);
     Proc.Map.iter
       (fun p n ->
-        Buffer.add_string buf (Format.asprintf "#%a:" Proc.pp p);
+        Buffer.add_char buf '#';
+        Proc.to_buffer buf p;
+        Buffer.add_char buf ':';
         Buffer.add_string buf (Node.state_key n))
       s.nodes;
     Buffer.contents buf
@@ -434,6 +436,22 @@ module Make (M : Msg_intf.S) = struct
       let step = step_v cfg.variant
       let is_external = is_external
       let candidates rng s = candidates cfg rng_views rng s
+    end : Ioa.Automaton.GENERATIVE
+      with type state = state
+       and type action = action)
+
+  let generative_pure cfg =
+    (module struct
+      type nonrec state = state
+      type nonrec action = action
+
+      let equal_state = equal_state
+      let pp_state = pp_state
+      let pp_action = pp_action
+      let enabled = enabled_v cfg.variant
+      let step = step_v cfg.variant
+      let is_external = is_external
+      let candidates rng s = candidates cfg rng rng s
     end : Ioa.Automaton.GENERATIVE
       with type state = state
        and type action = action)

@@ -117,7 +117,9 @@ module Make (M : Msg_intf.S) = struct
     Buffer.add_string buf (Stk.state_key s.stk);
     Proc.Map.iter
       (fun p n ->
-        Buffer.add_string buf (Format.asprintf "##%a:" Proc.pp p);
+        Buffer.add_string buf "##";
+        Proc.to_buffer buf p;
+        Buffer.add_char buf ':';
         Buffer.add_string buf (Node.state_key n))
       s.nodes;
     Buffer.contents buf
@@ -373,6 +375,22 @@ module Make (M : Msg_intf.S) = struct
       let step = step
       let is_external = is_external
       let candidates rng s = candidates cfg rng_views rng s
+    end : Ioa.Automaton.GENERATIVE
+      with type state = state
+       and type action = action)
+
+  let generative_pure cfg =
+    (module struct
+      type nonrec state = state
+      type nonrec action = action
+
+      let equal_state = equal_state
+      let pp_state = pp_state
+      let pp_action = pp_action
+      let enabled = enabled
+      let step = step
+      let is_external = is_external
+      let candidates rng s = candidates cfg rng rng s
     end : Ioa.Automaton.GENERATIVE
       with type state = state
        and type action = action)

@@ -75,6 +75,15 @@ module Make (M : Prelude.Msg_intf.S) : sig
     rng_views:Random.State.t ->
     (module Ioa.Automaton.GENERATIVE with type state = state and type action = action)
 
+  (** Like {!generative}, but all auxiliary randomness (reconfiguration and
+      view-creation gating, partition proposals) is drawn from the per-call
+      RNG instead of a captured [rng_views] stream — [candidates] becomes a
+      pure function of (rng, state), thread-safe and
+      interleaving-independent under per-state RNG exploration. *)
+  val generative_pure :
+    config ->
+    (module Ioa.Automaton.GENERATIVE with type state = state and type action = action)
+
   (** The raw candidate proposals of {!generative}, exposed so higher
       compositions (e.g. {!Full_to}) can reuse the engine/network scheduling
       while overriding the client-facing proposals. *)

@@ -5,6 +5,10 @@ let equal = Int.equal
 let pp ppf p = Format.fprintf ppf "p%d" p
 let to_string p = "p" ^ string_of_int p
 
+let to_buffer buf p =
+  Buffer.add_char buf 'p';
+  Buffer.add_string buf (string_of_int p)
+
 module Set = struct
   include Stdlib.Set.Make (Int)
 
@@ -14,6 +18,17 @@ module Set = struct
          ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
          pp)
       (elements s)
+
+  let to_buffer buf s =
+    Buffer.add_char buf '{';
+    let first = ref true in
+    iter
+      (fun p ->
+        if !first then first := false else Buffer.add_char buf ',';
+        Buffer.add_char buf 'p';
+        Buffer.add_string buf (string_of_int p))
+      s;
+    Buffer.add_char buf '}'
 
   let universe n =
     if n < 0 then invalid_arg "Proc.Set.universe: negative size";

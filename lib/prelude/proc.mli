@@ -11,11 +11,19 @@ val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 
+(** [to_buffer buf p] appends the [pp] rendering of [p] to [buf] without
+    going through a formatter — for [state_key] hot loops. *)
+val to_buffer : Buffer.t -> t -> unit
+
 (** Finite sets of processors, used for view membership sets. *)
 module Set : sig
   include Stdlib.Set.S with type elt = int
 
   val pp : Format.formatter -> t -> unit
+
+  (** [to_buffer buf s] appends the [pp] rendering of [s] to [buf] without
+      going through a formatter — for [state_key] hot loops. *)
+  val to_buffer : Buffer.t -> t -> unit
 
   (** [universe n] is [{0, ..., n-1}]. Raises [Invalid_argument] if [n < 0]. *)
   val universe : int -> t

@@ -99,7 +99,9 @@ let state_key s =
   Buffer.add_string buf (Dvs.state_key s.dvs);
   Proc.Map.iter
     (fun p n ->
-      Buffer.add_string buf (Format.asprintf "#%a:" Proc.pp p);
+      Buffer.add_char buf '#';
+      Proc.to_buffer buf p;
+      Buffer.add_char buf ':';
       Buffer.add_string buf (Dvs_to_to.state_key n))
     s.nodes;
   Buffer.contents buf
@@ -315,6 +317,22 @@ let generative cfg ~rng_views =
     let step = step
     let is_external = is_external
     let candidates rng s = candidates cfg rng_views rng s
+  end : Ioa.Automaton.GENERATIVE
+    with type state = state
+     and type action = action)
+
+let generative_pure cfg =
+  (module struct
+    type nonrec state = state
+    type nonrec action = action
+
+    let equal_state = equal_state
+    let pp_state = pp_state
+    let pp_action = pp_action
+    let enabled = enabled
+    let step = step
+    let is_external = is_external
+    let candidates rng s = candidates cfg rng rng s
   end : Ioa.Automaton.GENERATIVE
     with type state = state
      and type action = action)

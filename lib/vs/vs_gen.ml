@@ -102,4 +102,13 @@ module Make (M : Msg_intf.S) = struct
     end : Ioa.Automaton.GENERATIVE
       with type state = Spec.state
        and type action = Spec.action)
+
+  let generative_pure cfg =
+    (module struct
+      include Spec
+
+      let candidates rng s = candidates cfg rng rng s
+    end : Ioa.Automaton.GENERATIVE
+      with type state = Spec.state
+       and type action = Spec.action)
 end

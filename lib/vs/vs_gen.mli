@@ -25,4 +25,15 @@ module Make (M : Prelude.Msg_intf.S) : sig
     (module Ioa.Automaton.GENERATIVE
        with type state = Spec.state
         and type action = Spec.action)
+
+  (** Like {!generative}, but all auxiliary randomness (view-membership
+      proposals) is drawn from the per-call RNG instead of a captured
+      [rng_views] stream, making [candidates] a pure function of
+      (rng, state) — thread-safe and interleaving-independent under
+      {!Check.Explorer}'s per-state RNG discipline ([jobs]/[state_rng]). *)
+  val generative_pure :
+    config ->
+    (module Ioa.Automaton.GENERATIVE
+       with type state = Spec.state
+        and type action = Spec.action)
 end

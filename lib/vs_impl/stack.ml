@@ -175,10 +175,13 @@ module Make (M : Msg_intf.S) = struct
     Buffer.add_string buf (Daemon.state_key s.daemon);
     Proc.Map.iter
       (fun p e ->
-        Buffer.add_string buf (Format.asprintf "#%a:" Proc.pp p);
+        Buffer.add_char buf '#';
+        Proc.to_buffer buf p;
+        Buffer.add_char buf ':';
         Buffer.add_string buf (E.state_key e))
       s.engines;
-    Buffer.add_string buf (Format.asprintf "|p0%a" Proc.Set.pp s.p0);
+    Buffer.add_string buf "|p0";
+    Proc.Set.to_buffer buf s.p0;
     Buffer.contents buf
 
   let pp_action ppf = function
@@ -422,6 +425,24 @@ module Make (M : Msg_intf.S) = struct
       let step s a = step ?metrics s a
       let is_external = is_external
       let candidates rng s = candidates cfg rng_views rng s
+    end : Ioa.Automaton.GENERATIVE
+      with type state = state
+       and type action = action)
+
+  (* No [?metrics]: a metrics registry captured by [step] would be mutated
+     concurrently under parallel exploration. *)
+  let generative_pure cfg =
+    (module struct
+      type nonrec state = state
+      type nonrec action = action
+
+      let equal_state = equal_state
+      let pp_state = pp_state
+      let pp_action = pp_action
+      let enabled = enabled
+      let step s a = step s a
+      let is_external = is_external
+      let candidates rng s = candidates cfg rng rng s
     end : Ioa.Automaton.GENERATIVE
       with type state = state
        and type action = action)

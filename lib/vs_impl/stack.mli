@@ -107,4 +107,15 @@ module Make (M : Prelude.Msg_intf.S) : sig
     config ->
     rng_views:Random.State.t ->
     (module Ioa.Automaton.GENERATIVE with type state = state and type action = action)
+
+  (** Like {!generative}, but all auxiliary randomness (reconfiguration and
+      view-creation gating, partition proposals, fault-probability draws) is
+      drawn from the per-call RNG instead of a captured [rng_views] stream —
+      [candidates] becomes a pure function of (rng, state), thread-safe and
+      interleaving-independent under per-state RNG exploration.  Takes no
+      [?metrics]: a registry captured by [step] would be mutated
+      concurrently under parallel exploration. *)
+  val generative_pure :
+    config ->
+    (module Ioa.Automaton.GENERATIVE with type state = state and type action = action)
 end

@@ -1,0 +1,194 @@
+(* Tests for the parallel exploration core (Check.Explorer ~jobs) and the
+   fingerprinted dedup (Check.Fingerprint).
+
+   - Parity: for every registry entry, a depth-bounded exploration at
+     jobs:1 and jobs:4 visits the same state/transition/depth counts and
+     produces the same findings — the per-state RNG discipline plus the
+     level-synchronized parallel BFS make the explored graph independent
+     of scheduling.
+   - Defect detection survives parallelism: the seeded No_dedup engine
+     variant is still caught by the per-transition refinement check under
+     jobs:4.
+   - Fingerprints: digests are chunking-independent, a known key string
+     pins the digest (any algorithm change must be deliberate), and across
+     a vs-stack exploration fingerprint equality coincides with key
+     equality (collision audit). *)
+
+open Prelude
+module Fp = Check.Fingerprint
+module Stk = Vs_impl.Stack.Make (Msg_intf.String_msg)
+module Ref_ = Vs_impl.Stack_refinement.Make (Msg_intf.String_msg)
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprints                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let known_key = "net||daemon#p0:engine|p0{p0,p1}"
+
+(* Pins the digest algorithm: lane constants, word chunking, length mix and
+   finalizer.  If this changes, per-state RNG seeds — and with them every
+   gated candidate set — change too. *)
+let test_pinned_digest () =
+  Alcotest.(check string)
+    "digest of known key" "43f4514535796a950f0be14aacbe6cd3"
+    (Fp.to_hex (Fp.of_string known_key))
+
+let test_incremental_matches_whole () =
+  let prop (s, cuts) =
+    let c = Fp.create () in
+    let n = String.length s in
+    let rec go i = function
+      | [] -> Fp.feed c (String.sub s i (n - i))
+      | cut :: rest ->
+          let cut = i + (cut mod (n - i + 1)) in
+          Fp.feed c (String.sub s i (cut - i));
+          go cut rest
+    in
+    go 0 cuts;
+    Fp.equal (Fp.finish c) (Fp.of_string s)
+  in
+  QCheck.Test.make ~name:"incremental digest is chunking-independent"
+    ~count:500
+    QCheck.(pair string (small_list small_nat))
+    prop
+
+let test_distinct_strings_distinct_digests () =
+  QCheck.Test.make ~name:"distinct strings digest distinctly" ~count:500
+    QCheck.(pair string string)
+    (fun (a, b) ->
+      QCheck.assume (a <> b);
+      not (Fp.equal (Fp.of_string a) (Fp.of_string b)))
+
+(* Collision audit over a real exploration: every expanded vs-stack state's
+   key must round-trip — fingerprint equality coincides with key equality —
+   and the explorer's own [check_key] audit must stay silent. *)
+let test_fingerprint_injective_vs_stack () =
+  let cfg =
+    {
+      (Stk.default_config ~payloads:[ "a" ] ~universe:2) with
+      Stk.max_views = 2;
+      max_sends = 1;
+    }
+  in
+  let gen = Stk.generative_pure cfg in
+  let seen : (string, string) Hashtbl.t = Hashtbl.create 4096 in
+  let clashes = ref 0 in
+  let observe o =
+    let k = Stk.state_key o.Check.Explorer.obs_state in
+    let h = Fp.to_hex (Fp.of_string k) in
+    match Hashtbl.find_opt seen h with
+    | Some k' -> if k' <> k then incr clashes
+    | None -> Hashtbl.add seen h k
+  in
+  let outcome =
+    Check.Explorer.run gen ~key:Stk.state_key ~invariants:[] ~state_rng:true
+      ~max_states:200_000 ~max_depth:12 ~check_key:Stk.equal_state ~observe
+      ~init:(Stk.initial ~universe:2 ~p0:(Proc.Set.universe 2) ())
+      ()
+  in
+  Alcotest.(check int) "no fingerprint collisions" 0 !clashes;
+  (match outcome.Check.Explorer.key_clash with
+  | None -> ()
+  | Some _ -> Alcotest.fail "explorer reported a dedup clash");
+  Alcotest.(check bool) "exploration is non-trivial" true
+    (outcome.Check.Explorer.stats.Check.Explorer.states > 5_000)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel/sequential parity                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Depth-bounded so the explored graph is exactly reproducible at every
+   job count (a [max_states] cut admits whichever states the scheduler
+   reaches first; a [max_depth] cut is level-synchronized and exact). *)
+let parity_max_depth = 8
+let parity_max_states = 100_000
+
+let summarize (r : Analysis.Findings.report) =
+  ( r.Analysis.Findings.states,
+    r.Analysis.Findings.transitions,
+    r.Analysis.Findings.depth,
+    r.Analysis.Findings.truncated,
+    List.sort compare
+      (List.map Analysis.Findings.kind r.Analysis.Findings.findings) )
+
+let test_registry_parity () =
+  List.iter
+    (fun (Analysis.Registry.Entry e) ->
+      let run jobs =
+        Analysis.Analyzer.analyze ~name:e.name
+          ~max_states:parity_max_states ~max_depth:parity_max_depth ~jobs
+          e.subject
+      in
+      let r1 = summarize (run 1) and r4 = summarize (run 4) in
+      let s1, t1, d1, tr1, _ = r1 in
+      if tr1 then
+        Alcotest.failf "%s: truncated at depth %d — raise parity_max_states"
+          e.name parity_max_depth;
+      let s4, t4, d4, _, _ = r4 in
+      Alcotest.(check (triple int int int))
+        (e.name ^ ": states/transitions/depth")
+        (s1, t1, d1) (s4, t4, d4);
+      if r1 <> r4 then
+        Alcotest.failf "%s: findings differ between jobs:1 and jobs:4" e.name)
+    (Analysis.Registry.all ())
+
+(* ------------------------------------------------------------------ *)
+(* Defects still caught under parallelism                              *)
+(* ------------------------------------------------------------------ *)
+
+let spec_automaton =
+  (module Ref_.Spec : Ioa.Automaton.S
+    with type state = Ref_.Spec.state
+     and type action = Ref_.Spec.action)
+
+let test_no_dedup_caught_parallel () =
+  let cfg =
+    {
+      (Stk.default_config ~payloads:[ "a" ] ~universe:2) with
+      Stk.max_views = 0;
+      max_sends = 1;
+    }
+  in
+  let gen = Stk.generative_pure cfg in
+  let init =
+    Stk.initial ~variant:Stk.E.No_dedup
+      ~faults:(Vs_impl.Fault.adversarial ())
+      ~universe:2 ~p0:(Proc.Set.universe 2) ()
+  in
+  let r = Ref_.refinement () in
+  let check_step step =
+    match Ioa.Refinement.check_step spec_automaton r 0 step with
+    | Ok () -> Ok ()
+    | Error f -> Error (Format.asprintf "%a" Ioa.Refinement.pp_failure f)
+  in
+  let outcome =
+    Check.Explorer.run gen ~key:Stk.state_key ~invariants:[] ~jobs:4
+      ~check_step ~check_key:Stk.equal_state ~max_states:200_000 ~init ()
+  in
+  match outcome.Check.Explorer.step_failure with
+  | Some _ -> ()
+  | None ->
+      Alcotest.fail
+        "broken dedup watermark escaped the parallel refinement check"
+
+let qcheck_case = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "fingerprint",
+        [
+          Alcotest.test_case "pinned digest" `Quick test_pinned_digest;
+          qcheck_case (test_incremental_matches_whole ());
+          qcheck_case (test_distinct_strings_distinct_digests ());
+          Alcotest.test_case "injective over vs-stack exploration" `Slow
+            test_fingerprint_injective_vs_stack;
+        ] );
+      ( "parity",
+        [
+          Alcotest.test_case "registry entries, jobs 1 = jobs 4" `Slow
+            test_registry_parity;
+          Alcotest.test_case "No_dedup defect caught at jobs 4" `Slow
+            test_no_dedup_caught_parallel;
+        ] );
+    ]
