@@ -4,7 +4,16 @@
    instance and reports generator soundness/completeness defects, vacuously
    passing invariants, dead action classes, non-quiescent deadlocks and
    state-key injectivity clashes.  Exits nonzero if any entry has findings,
-   so `dune build @analyze` is a CI gate. *)
+   so `dune build @analyze` is a CI gate.
+
+   With --shrink or --cex-out the tool runs in counterexample mode instead:
+   each selected entry is explored for a failure (invariant violation,
+   step-property failure, or non-quiescent deadlock), the witness schedule
+   is reconstructed from the explorer's predecessor trace, optionally
+   minimized with the delta-debugging shrinker, and written to a JSONL
+   corpus file.  Seeded-defect entries (defect-*, see --list) carry an
+   expected failure class; cex mode exits nonzero if any such entry fails
+   to produce it. *)
 
 open Cmdliner
 
@@ -19,23 +28,98 @@ let run_entry ~max_states_override ~jobs (Analysis.Registry.Entry e) =
   in
   Analysis.Analyzer.analyze ~name:e.name ~max_states ~jobs e.subject
 
-let run () names list json max_states jobs =
+(* --------------------------------------------------------------------- *)
+(* Counterexample mode                                                    *)
+(* --------------------------------------------------------------------- *)
+
+let hunt_entry ~max_states_override ~jobs ~shrink (Analysis.Registry.Entry e) =
+  let max_states =
+    match max_states_override with Some n -> n | None -> e.max_states
+  in
+  let seed = e.cex_seed in
+  match
+    Analysis.Analyzer.find_cex ~max_states ~jobs ~seed ~shrink e.subject
+  with
+  | Error err -> Error err
+  | Ok cex ->
+      Ok
+        ( cex,
+          {
+            Check.Cex.entry = e.name;
+            seed;
+            actions = cex.Analysis.Analyzer.cex_shrunk;
+            violation =
+              Check.Shrink.failure_to_string cex.Analysis.Analyzer.cex_failure;
+          } )
+
+let run_cex ~selected ~max_states_override ~jobs ~shrink ~cex_out =
+  let failed = ref false in
+  let collected = ref [] in
+  List.iter
+    (fun entry ->
+      let name = Analysis.Registry.name entry in
+      match hunt_entry ~max_states_override ~jobs ~shrink entry with
+      | Error err ->
+          (match Analysis.Registry.expected entry with
+          | Some f ->
+              failed := true;
+              Format.printf "%-24s FAIL  expected %a, got none: %s@." name
+                Check.Shrink.pp_failure f err
+          | None -> Format.printf "%-24s no counterexample: %s@." name err)
+      | Ok (cex, record) ->
+          let raw_len = List.length cex.Analysis.Analyzer.cex_raw in
+          let shrunk_len = List.length cex.Analysis.Analyzer.cex_shrunk in
+          let class_ok =
+            match Analysis.Registry.expected entry with
+            | None -> true
+            | Some f ->
+                Check.Shrink.equal_failure f cex.Analysis.Analyzer.cex_failure
+          in
+          if not class_ok then begin
+            failed := true;
+            Format.printf "%-24s FAIL  wrong failure class %s@." name
+              record.Check.Cex.violation
+          end
+          else begin
+            Format.printf "%-24s %s  raw %d action%s%s@." name
+              record.Check.Cex.violation raw_len
+              (if raw_len = 1 then "" else "s")
+              (if shrink then Printf.sprintf ", shrunk %d" shrunk_len else "");
+            List.iteri
+              (fun i a -> Format.printf "  %2d. %s@." (i + 1) a)
+              record.Check.Cex.actions;
+            collected := record :: !collected
+          end)
+    selected;
+  (match cex_out with
+  | Some path when !collected <> [] ->
+      Check.Cex.save ~path (List.rev !collected);
+      Format.printf "wrote %d counterexample%s to %s@."
+        (List.length !collected)
+        (if List.length !collected = 1 then "" else "s")
+        path
+  | Some _ | None -> ());
+  if !failed then exit 1
+
+let run () names list json max_states jobs shrink cex_out =
   let entries = Analysis.Registry.all () in
+  let defect_entries = Analysis.Registry.defects () in
   if list then begin
     List.iter
       (fun e ->
-        Format.printf "%-12s %s@." (Analysis.Registry.name e)
+        Format.printf "%-24s %s@." (Analysis.Registry.name e)
           (Analysis.Registry.doc e))
-      entries;
+      (entries @ defect_entries);
     exit 0
   end;
+  let cex_mode = shrink || Option.is_some cex_out in
   let selected =
     match names with
-    | [] -> entries
+    | [] -> if cex_mode then defect_entries else entries
     | ns ->
         List.map
           (fun n ->
-            match Analysis.Registry.find entries n with
+            match Analysis.Registry.find (entries @ defect_entries) n with
             | Some e -> e
             | None ->
                 Format.eprintf "unknown entry %S (try --list)@." n;
@@ -43,32 +127,39 @@ let run () names list json max_states jobs =
           ns
   in
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
-  let reports =
-    List.map (run_entry ~max_states_override:max_states ~jobs) selected
-  in
-  let total =
-    List.fold_left
-      (fun n r -> n + List.length r.Analysis.Findings.findings)
-      0 reports
-  in
-  if json then print_endline (Analysis.Findings.reports_json reports)
+  if cex_mode then
+    run_cex ~selected ~max_states_override:max_states ~jobs ~shrink ~cex_out
   else begin
-    List.iter
-      (fun r -> Format.printf "%a@." Analysis.Findings.pp_report r)
-      reports;
-    Format.printf "%d entr%s analyzed, %d finding%s@."
-      (List.length reports)
-      (if List.length reports = 1 then "y" else "ies")
-      total
-      (if total = 1 then "" else "s")
-  end;
-  if total > 0 then exit 1
+    let reports =
+      List.map (run_entry ~max_states_override:max_states ~jobs) selected
+    in
+    let total =
+      List.fold_left
+        (fun n r -> n + List.length r.Analysis.Findings.findings)
+        0 reports
+    in
+    if json then print_endline (Analysis.Findings.reports_json reports)
+    else begin
+      List.iter
+        (fun r -> Format.printf "%a@." Analysis.Findings.pp_report r)
+        reports;
+      Format.printf "%d entr%s analyzed, %d finding%s@."
+        (List.length reports)
+        (if List.length reports = 1 then "y" else "ies")
+        total
+        (if total = 1 then "" else "s")
+    end;
+    if total > 0 then exit 1
+  end
 
 let () =
   let names =
     Arg.(
       value & pos_all string []
-      & info [] ~docv:"ENTRY" ~doc:"Registry entries to analyze (default: all).")
+      & info [] ~docv:"ENTRY"
+          ~doc:
+            "Registry entries to analyze (default: all healthy entries; in \
+             counterexample mode, all seeded-defect entries).")
   in
   let list =
     Arg.(value & flag & info [ "list" ] ~doc:"List registry entries and exit.")
@@ -93,15 +184,37 @@ let () =
              count, capped at 8).  Findings and counts are identical at \
              every job count.")
   in
+  let shrink =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:
+            "Counterexample mode with minimization: explore each selected \
+             entry for a failure, reconstruct the witness schedule and \
+             shrink it (ddmin + removal sweep + simplification).")
+  in
+  let cex_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cex-out" ] ~docv:"PATH"
+          ~doc:
+            "Counterexample mode: write every extracted counterexample to \
+             this JSONL corpus file (atomically, via a .tmp rename).  \
+             Combine with --shrink to store minimized schedules.")
+  in
   let term =
     Term.(
-      const run $ Obs.Log_cli.setup $ names $ list $ json $ max_states $ jobs)
+      const run $ Obs.Log_cli.setup $ names $ list $ json $ max_states $ jobs
+      $ shrink $ cex_out)
   in
   let info =
     Cmd.info "analyze" ~version:"1.0.0"
       ~doc:
         "Static analysis of the automaton registry: generator \
          soundness/completeness, invariant vacuity, dead actions, deadlocks \
-         and state-key audits over exhaustively explored small instances."
+         and state-key audits over exhaustively explored small instances.  \
+         With --shrink/--cex-out, extracts and minimizes counterexample \
+         schedules instead."
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -23,6 +23,9 @@ type ('s, 'a) subject = {
   exact_candidates : bool;
   quiescent : ('s -> bool) option;
   allowed_dead : string list;
+  check_step : (('s, 'a) Ioa.Exec.step -> (unit, string) result) option;
+  step_class : string;
+  simplify_action : ('a -> 'a list) option;
 }
 
 let analyze (type s a) ~name ?(max_states = 20_000) ?max_depth ?(jobs = 1)
@@ -48,7 +51,8 @@ let analyze (type s a) ~name ?(max_states = 20_000) ?max_depth ?(jobs = 1)
     Check.Explorer.run sub.automaton ~key:sub.key
       ~invariants:(List.map (fun c -> c.Ioa.Invariant.inv) sub.invariants)
       ~seed ~max_states ?max_depth ~jobs ~state_rng:true
-      ?check_key:sub.equal_state ~observe ?sink ?metrics ~init:sub.init ()
+      ?check_step:sub.check_step ?check_key:sub.equal_state ~observe ?sink
+      ?metrics ~init:sub.init ()
   in
   let obs = List.rev !observations in
   let stats = outcome.Check.Explorer.stats in
@@ -274,3 +278,103 @@ let analyze (type s a) ~name ?(max_states = 20_000) ?max_depth ?(jobs = 1)
     elapsed_ms;
     states_per_sec;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Counterexample extraction                                           *)
+(* ------------------------------------------------------------------ *)
+
+let oracle (sub : ('s, 'a) subject) ~seed =
+  {
+    Check.Shrink.automaton = sub.automaton;
+    init = sub.init;
+    key = sub.key;
+    seed;
+    invariants = List.map (fun c -> c.Ioa.Invariant.inv) sub.invariants;
+    check_step = sub.check_step;
+    step_class = sub.step_class;
+    quiescent = sub.quiescent;
+    pp_action = sub.pp_action;
+    simplify = sub.simplify_action;
+  }
+
+type cex = {
+  cex_failure : Check.Shrink.failure;
+  cex_raw : string list;
+  cex_shrunk : string list;
+}
+
+let find_cex (type s a) ?(max_states = 20_000) ?max_depth ?(jobs = 1)
+    ?(seed = [| 0 |]) ?(shrink = true) (sub : (s, a) subject) =
+  let (module A : Ioa.Automaton.GENERATIVE
+        with type state = s
+         and type action = a) =
+    sub.automaton
+  in
+  (* Capture the first deadlock the exploration observes (BFS order at
+     jobs:1; scheduling order — still some reachable deadlock — at
+     jobs:n).  The explorer itself has no deadlock notion: a state with
+     no enabled candidate simply has no successors. *)
+  let deadlock = ref None in
+  let observe =
+    match sub.quiescent with
+    | None -> None
+    | Some q ->
+        Some
+          (fun o ->
+            if
+              Option.is_none !deadlock
+              && o.Check.Explorer.obs_enabled = []
+              && not (q o.Check.Explorer.obs_state)
+            then deadlock := Some o.Check.Explorer.obs_state)
+  in
+  let outcome =
+    Check.Explorer.run sub.automaton ~key:sub.key
+      ~invariants:(List.map (fun c -> c.Ioa.Invariant.inv) sub.invariants)
+      ~seed ~max_states ?max_depth ~jobs ~state_rng:true ~trace:true
+      ?check_step:sub.check_step ?observe ~init:sub.init ()
+  in
+  let trace =
+    match outcome.Check.Explorer.trace with
+    | Some t -> t
+    | None -> assert false (* requested above *)
+  in
+  let render = Check.Cex.render sub.pp_action in
+  (* The target state to walk back to, the failure class it witnesses, and
+     any trailing actions past the target (the step-failure's own firing). *)
+  let target =
+    match
+      ( outcome.Check.Explorer.violation,
+        outcome.Check.Explorer.step_failure,
+        !deadlock )
+    with
+    | Some v, _, _ ->
+        Ok
+          ( v.Ioa.Invariant.state,
+            Check.Shrink.Invariant v.Ioa.Invariant.invariant,
+            [] )
+    | None, Some (st, _), _ ->
+        Ok
+          ( st.Ioa.Exec.pre,
+            Check.Shrink.Step sub.step_class,
+            [ render st.Ioa.Exec.action ] )
+    | None, None, Some s -> Ok (s, Check.Shrink.Deadlock, [])
+    | None, None, None -> Error "no failure found in the explored graph"
+  in
+  match target with
+  | Error _ as e -> e
+  | Ok (target, failure, suffix) -> (
+      match
+        Check.Cex.reconstruct sub.automaton ~key:sub.key ~seed ~trace
+          ~init:sub.init ~target ()
+      with
+      | Error e -> Error ("path reconstruction failed: " ^ e)
+      | Ok path ->
+          let raw = List.map render path @ suffix in
+          let o = oracle sub ~seed in
+          if not (Check.Shrink.reproduces o failure raw) then
+            Error "reconstructed schedule does not replay to the failure"
+          else
+            let shrunk =
+              if shrink then Check.Shrink.shrink o failure raw else raw
+            in
+            Ok { cex_failure = failure; cex_raw = raw; cex_shrunk = shrunk })

@@ -50,6 +50,16 @@ type ('s, 'a) subject = {
   allowed_dead : string list;
       (** documented baseline: classes allowed to never fire under this
           entry's small configuration *)
+  check_step : (('s, 'a) Ioa.Exec.step -> (unit, string) result) option;
+      (** per-transition property checked during exploration (e.g. a
+          refinement step correspondence); the first failure is reported
+          and stops the search *)
+  step_class : string;
+      (** failure-class label for [check_step] failures (e.g.
+          ["refinement"]) — the [Check.Shrink.Step] payload *)
+  simplify_action : ('a -> 'a list) option;
+      (** per-action simpler variants for {!Check.Shrink}'s simplification
+          pass *)
 }
 
 (** [?jobs] (default 1) runs the exploration on that many OCaml 5 domains
@@ -74,3 +84,38 @@ val analyze :
   ?metrics:Obs.Metrics.t ->
   ('s, 'a) subject ->
   Findings.report
+
+(** The {!Check.Shrink} oracle for a subject: same automaton, invariants,
+    step property and quiescence notion the analyzer explores with, so a
+    replayed schedule is classified exactly as the exploration would. *)
+val oracle :
+  ('s, 'a) subject -> seed:int array -> ('s, 'a) Check.Shrink.oracle
+
+(** A counterexample extracted from one exploration: the failure class,
+    the raw BFS witness schedule (reconstructed from the explorer's
+    predecessor trace) and its shrunk form.  All rendered — feed to
+    {!Check.Cex.t}. *)
+type cex = {
+  cex_failure : Check.Shrink.failure;
+  cex_raw : string list;
+  cex_shrunk : string list;
+}
+
+(** [find_cex sub] explores with [~trace:true] (per-state RNG forced, as
+    everywhere in the analyzer) and, if the exploration fails — invariant
+    violation, step-property failure, or an observed non-quiescent
+    deadlock — reconstructs the full action schedule from the initial
+    state and (by default) shrinks it.  The raw schedule is validated by
+    replay before shrinking; [Error] explains a clean exploration or a
+    reconstruction failure.  At [jobs:1] the witness is the BFS-first
+    failure; at [jobs:n] reconstruction still works (fingerprint-guided
+    re-search) but which same-class failure is witnessed is
+    scheduling-dependent. *)
+val find_cex :
+  ?max_states:int ->
+  ?max_depth:int ->
+  ?jobs:int ->
+  ?seed:int array ->
+  ?shrink:bool ->
+  ('s, 'a) subject ->
+  (cex, string) result

@@ -6,12 +6,16 @@ type entry =
       name : string;
       doc : string;
       max_states : int;
+      expected : Check.Shrink.failure option;
+      cex_seed : int array;
       subject : ('s, 'a) Analyzer.subject;
     }
       -> entry
 
 let name (Entry e) = e.name
 let doc (Entry e) = e.doc
+let expected (Entry e) = e.expected
+let cex_seed (Entry e) = e.cex_seed
 
 (* Every registry entry packages its automaton with [generative_pure]:
    all auxiliary randomness (view-membership proposals are [`All_subsets],
@@ -40,6 +44,8 @@ let vs_spec () =
       name = "vs-spec";
       doc = "VS service specification (Figure 1), invariants 3.1 + indices";
       max_states = 150_000;
+      expected = None;
+      cex_seed = [| 0 |];
       subject =
         {
           Analyzer.automaton = Vsg.generative_pure cfg;
@@ -63,6 +69,9 @@ let vs_spec () =
           exact_candidates = false;
           quiescent = None;
           allowed_dead = [];
+          check_step = None;
+          step_class = "step";
+          simplify_action = None;
         };
     }
 
@@ -87,6 +96,8 @@ let dvs_spec () =
       name = "dvs-spec";
       doc = "DVS service specification (Figure 2), invariants 4.1/4.2";
       max_states = 150_000;
+      expected = None;
+      cex_seed = [| 0 |];
       subject =
         {
           Analyzer.automaton = Dg.generative_pure cfg;
@@ -122,6 +133,9 @@ let dvs_spec () =
           exact_candidates = false;
           quiescent = None;
           allowed_dead = [];
+          check_step = None;
+          step_class = "step";
+          simplify_action = None;
         };
     }
 
@@ -148,6 +162,8 @@ let dvs_impl () =
       name = "dvs-impl";
       doc = "VS-TO-DVS nodes over the VS spec (Figure 3), invariants 5.1-5.6";
       max_states = 150_000;
+      expected = None;
+      cex_seed = [| 0 |];
       subject =
         {
           Analyzer.automaton = Sys.generative_pure cfg;
@@ -204,6 +220,9 @@ let dvs_impl () =
           exact_candidates = false;
           quiescent = None;
           allowed_dead = [];
+          check_step = None;
+          step_class = "step";
+          simplify_action = None;
         };
     }
 
@@ -222,6 +241,8 @@ let to_spec () =
       name = "to-spec";
       doc = "TO service specification (Section 6), exact generator";
       max_states = 50_000;
+      expected = None;
+      cex_seed = [| 0 |];
       subject =
         {
           Analyzer.automaton = Tog.generative cfg;
@@ -251,6 +272,9 @@ let to_spec () =
                      (fun p -> To.next_of s p = Seqs.length s.To.order + 1)
                      (List.init universe Fun.id));
           allowed_dead = [];
+          check_step = None;
+          step_class = "step";
+          simplify_action = None;
         };
     }
 
@@ -279,6 +303,8 @@ let to_impl () =
       name = "to-impl";
       doc = "DVS-TO-TO nodes over the DVS spec (Figure 5), invariants 6.1-6.3";
       max_states = 150_000;
+      expected = None;
+      cex_seed = [| 0 |];
       subject =
         {
           Analyzer.automaton = Timpl.generative_pure cfg;
@@ -330,6 +356,9 @@ let to_impl () =
           exact_candidates = false;
           quiescent = None;
           allowed_dead = [];
+          check_step = None;
+          step_class = "step";
+          simplify_action = None;
         };
     }
 
@@ -366,6 +395,8 @@ let vs_stack () =
       name = "vs-stack";
       doc = "VS engine stack (sequencer protocol over partitionable net)";
       max_states = 150_000;
+      expected = None;
+      cex_seed = [| 0 |];
       subject =
         {
           Analyzer.automaton = Stk.generative_pure cfg;
@@ -394,6 +425,9 @@ let vs_stack () =
           exact_candidates = true;
           quiescent = None;
           allowed_dead = [];
+          check_step = None;
+          step_class = "step";
+          simplify_action = None;
         };
     }
 
@@ -452,6 +486,8 @@ let vs_stack_faulty () =
       name = "vs-stack-faulty";
       doc = "VS engine stack under drop+duplicate+reorder faults";
       max_states = 150_000;
+      expected = None;
+      cex_seed = [| 0 |];
       subject =
         {
           Analyzer.automaton = Stk.generative_pure cfg;
@@ -495,6 +531,9 @@ let vs_stack_faulty () =
           exact_candidates = true;
           quiescent = Some stack_quiescent;
           allowed_dead = [];
+          check_step = None;
+          step_class = "step";
+          simplify_action = None;
         };
     }
 
@@ -518,6 +557,8 @@ let full_stack () =
       name = "full-stack";
       doc = "Full system: VS-TO-DVS nodes over the VS engine stack";
       max_states = 150_000;
+      expected = None;
+      cex_seed = [| 0 |];
       subject =
         {
           Analyzer.automaton = Full.generative_pure cfg;
@@ -576,6 +617,9 @@ let full_stack () =
           exact_candidates = true;
           quiescent = None;
           allowed_dead = [];
+          check_step = None;
+          step_class = "step";
+          simplify_action = None;
         };
     }
 
@@ -583,6 +627,191 @@ let full_stack () =
    Full_to) is deliberately not a registry entry: its documented safe-case
    gap (DESIGN.md finding #4) means the Section 6.2 invariants can
    legitimately fail under unrestricted exhaustive scheduling. *)
+
+(* ------------------------------------------------------------------ *)
+(* Seeded defects                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Sref = Vs_impl.Stack_refinement.Make (Msg)
+
+(* Per-transition refinement correspondence against the VS spec — how the
+   No_dedup variant manifests (a duplicated forward is sequenced twice,
+   which orders a message the spec no longer holds pending). *)
+let stack_check_step () =
+  let r = Sref.refinement () in
+  let spec =
+    (module Sref.Spec : Ioa.Automaton.S
+      with type state = Sref.Spec.state
+       and type action = Sref.Spec.action)
+  in
+  fun step ->
+    match Ioa.Refinement.check_step spec r 0 step with
+    | Ok () -> Ok ()
+    | Error f -> Error (Format.asprintf "%a" Ioa.Refinement.pp_failure f)
+
+(* Conservation of sequenced messages: every entry in a sequencer's log
+   corresponds to a distinct accepted forward, so per group the log can
+   never outgrow the total forwards sent.  The No_dedup variant violates
+   this the moment a duplicated forward is accepted a second time. *)
+let stack_seq_bounded =
+  Ioa.Invariant.make "ENGINE: sequenced entries bounded by forwards"
+    (fun (s : Stk.state) ->
+      Proc.Map.for_all
+        (fun _ se ->
+          Gid.Map.for_all
+            (fun g log ->
+              let fwds =
+                Proc.Map.fold
+                  (fun _ e n -> n + Seqs.length (Stk.E.fwd_log_of e g))
+                  s.engines 0
+              in
+              Seqs.length log <= fwds)
+            se.Stk.E.seq_log)
+        s.engines)
+
+(* Payload normalization for the shrinker's simplification pass: rewrite
+   any client send to the configuration's first payload. *)
+let stack_simplify cfg = function
+  | Stk.Gpsnd (p, m) -> (
+      match cfg.Stk.payloads with
+      | m0 :: _ when not (Msg.equal m0 m) -> [ Stk.Gpsnd (p, m0) ]
+      | _ -> [])
+  | _ -> []
+
+(* Environment restriction for the dedup defects: a transport that never
+   retransmits.  The engine's deterministic retransmission offers would
+   otherwise provide an ungated 5-step duplication path, leaving the BFS
+   witness nothing to detour around; with them suppressed (in [enabled]
+   too, so the shrinker cannot reintroduce them from its pool), the
+   probability-gated [Duplicate] fault is the only duplication mechanism. *)
+let suppress_retransmit
+    (module A : Ioa.Automaton.GENERATIVE
+      with type state = Stk.state
+       and type action = Stk.action) =
+  (module struct
+    include A
+
+    let transport_ok = function Stk.Retransmit _ -> false | _ -> true
+    let enabled s a = transport_ok a && A.enabled s a
+    let candidates rng s = List.filter transport_ok (A.candidates rng s)
+  end : Ioa.Automaton.GENERATIVE
+    with type state = Stk.state
+     and type action = Stk.action)
+
+(* Seeded-defect entries: engine variants with a known bug, packaged for
+   counterexample extraction ([bin/analyze --shrink]) and the committed
+   corpus regression in [test/test_corpus.ml].  Not part of [all ()], so
+   the @analyze CI gate stays green.  The fault probabilities are
+   deliberately below 1: the per-state gate draw then withholds the fault
+   proposal at most states, the BFS witness detours around the closed
+   gates, and shrinking — which validates by enabledness against the
+   salted candidate draws, not by membership in the explored subgraph —
+   has real slack to reclaim (DESIGN.md §10). *)
+let defect_stack_entry ~name ~doc ~expected ~cex_seed ~faults ?variant
+    ~invariants ?check_step ?(step_class = "step") ?quiescent
+    ?(no_retransmit_env = false) ?(max_sends = 2) () =
+  let cfg =
+    {
+      (Stk.default_config ~payloads:[ "a" ] ~universe:2) with
+      Stk.max_views = 0;
+      max_sends;
+    }
+  in
+  let automaton =
+    if no_retransmit_env then suppress_retransmit (Stk.generative_pure cfg)
+    else Stk.generative_pure cfg
+  in
+  Entry
+    {
+      name;
+      doc;
+      max_states = 50_000;
+      expected = Some expected;
+      cex_seed;
+      subject =
+        {
+          Analyzer.automaton;
+          init =
+            Stk.initial ?variant ~faults ~universe:2
+              ~p0:(Proc.Set.universe 2) ();
+          key = Stk.state_key;
+          equal_state = Some Stk.equal_state;
+          invariants;
+          pp_state = Stk.pp_state;
+          pp_action = Stk.pp_action;
+          action_class = stack_action_class;
+          all_classes =
+            [
+              "gpsnd";
+              "newview";
+              "gprcv";
+              "safe";
+              "createview";
+              "reconfigure";
+              "send";
+              "deliver";
+              "drop";
+              "duplicate";
+              "reorder";
+              "retransmit";
+            ];
+          (* sub-1 probabilities make the fault proposals deliberately
+             incomplete and the entry unsuitable for the soundness /
+             completeness gate — these entries exist to fail *)
+          complete_classes = [];
+          exact_candidates = false;
+          quiescent;
+          allowed_dead = [];
+          check_step;
+          step_class;
+          simplify_action = Some (stack_simplify cfg);
+        };
+    }
+
+let defect_no_dedup () =
+  defect_stack_entry ~name:"defect-no-dedup"
+    ~doc:"seeded defect: duplicated forwards accepted twice (refinement)"
+    ~expected:(Check.Shrink.Step "refinement") ~cex_seed:[| 3 |]
+    ~faults:
+      {
+        (Vs_impl.Fault.adversarial ~max_drops:0 ~max_reorders:0 ()) with
+        Vs_impl.Fault.duplicate = 0.5;
+      }
+    ~variant:Stk.E.No_dedup ~invariants:[]
+    ~check_step:(stack_check_step ()) ~step_class:"refinement"
+    ~no_retransmit_env:true ()
+
+let defect_no_retransmit () =
+  defect_stack_entry ~name:"defect-no-retransmit"
+    ~doc:"seeded defect: dropped packets never retransmitted (deadlock)"
+    ~expected:Check.Shrink.Deadlock ~cex_seed:[| 21 |]
+    ~faults:
+      {
+        (Vs_impl.Fault.adversarial ~max_drops:2 ~max_duplicates:1
+           ~max_reorders:0 ()) with
+        Vs_impl.Fault.drop = 0.5;
+        duplicate = 0.5;
+      }
+    ~variant:Stk.E.No_retransmit ~invariants:[] ~quiescent:stack_quiescent
+    ~max_sends:1 ()
+
+let defect_no_dedup_invariant () =
+  defect_stack_entry ~name:"defect-no-dedup-invariant"
+    ~doc:"seeded defect: duplicate acceptance breaks message conservation"
+    ~expected:
+      (Check.Shrink.Invariant "ENGINE: sequenced entries bounded by forwards")
+    ~cex_seed:[| 3 |]
+    ~faults:
+      {
+        (Vs_impl.Fault.adversarial ~max_drops:0 ~max_reorders:0 ()) with
+        Vs_impl.Fault.duplicate = 0.5;
+      }
+    ~variant:Stk.E.No_dedup
+    ~invariants:[ Ioa.Invariant.plain stack_seq_bounded ]
+    ~no_retransmit_env:true ()
+
+let defects () =
+  [ defect_no_dedup (); defect_no_retransmit (); defect_no_dedup_invariant () ]
 
 let all () =
   [

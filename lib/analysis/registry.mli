@@ -13,15 +13,31 @@ type entry =
       name : string;  (** CLI identifier, e.g. ["vs-spec"] *)
       doc : string;  (** one-line description *)
       max_states : int;  (** default exploration bound for this entry *)
+      expected : Check.Shrink.failure option;
+          (** for seeded-defect entries: the failure class exploration
+              must witness (None on the healthy entries of [all ()]) *)
+      cex_seed : int array;
+          (** default explorer seed for counterexample extraction; pinned
+              per defect entry so the BFS witness detours around closed
+              generator gates and shrinking has slack to reclaim *)
       subject : ('s, 'a) Analyzer.subject;
     }
       -> entry
 
 val name : entry -> string
 val doc : entry -> string
+val expected : entry -> Check.Shrink.failure option
+val cex_seed : entry -> int array
 
 (** Fresh entries (the generative modules carry RNG state, so each call
     rebuilds them; all seeds are fixed and runs reproducible). *)
 val all : unit -> entry list
+
+(** Seeded-defect entries ([defect-*]): engine variants carrying a known
+    bug, each with the failure class it must witness in [expected].  Kept
+    out of {!all} so the CI analysis gate stays green; [bin/analyze]
+    resolves names across both lists, and the corpus regression replays
+    their committed counterexamples. *)
+val defects : unit -> entry list
 
 val find : entry list -> string -> entry option

@@ -12,11 +12,18 @@ type ('s, 'a) observation = {
   obs_enabled : 'a list;
 }
 
+type trace = {
+  trace_parents : (Fingerprint.t * int) Fingerprint.Table.t;
+  trace_init : Fingerprint.t;
+}
+
 type ('s, 'a) outcome = {
   stats : stats;
   violation : 's Ioa.Invariant.violation option;
+  violation_step : ('s, 'a) Ioa.Exec.step option;
   step_failure : (('s, 'a) Ioa.Exec.step * string) option;
   key_clash : ('s * 's) option;
+  trace : trace option;
 }
 
 let component = "check.explorer"
@@ -41,8 +48,8 @@ let steal_block = 32
 let run (type s a)
     (module A : Ioa.Automaton.GENERATIVE with type state = s and type action = a)
     ~key ~invariants ?(seed = [| 0 |]) ?(max_states = 200_000) ?max_depth
-    ?(jobs = 1) ?state_rng ?check_step ?check_key ?observe ?sink ?metrics
-    ?(progress_every = 10_000) ~init () =
+    ?(jobs = 1) ?state_rng ?(trace = false) ?check_step ?check_key ?observe
+    ?sink ?metrics ?(progress_every = 10_000) ~init () =
   let jobs = max 1 jobs in
   (* Parallel exploration requires candidate sets that are a pure function
      of the state — visit order is scheduling-dependent — so [jobs > 1]
@@ -60,7 +67,9 @@ let run (type s a)
   in
   let fingerprint state = Fingerprint.of_string (key state) in
   let state_rng_of fp = Random.State.make (Fingerprint.seed fp seed) in
-  let finalize ~stats ~violation ~step_failure ~key_clash ~steals ~contention =
+  let init_fp = fingerprint init in
+  let finalize ~stats ~violation ~violation_step ~step_failure ~key_clash
+      ~trace:trace_opt ~steals ~contention =
     (match sink with
     | None -> ()
     | Some s ->
@@ -81,7 +90,17 @@ let run (type s a)
         Obs.Metrics.incr ~by:steals m "explorer.steals";
         Obs.Metrics.incr ~by:contention m "explorer.shard_contention";
         if stats.truncated then Obs.Metrics.incr m "explorer.truncated");
-    { stats; violation; step_failure; key_clash }
+    {
+      stats;
+      violation;
+      violation_step;
+      step_failure;
+      key_clash;
+      trace =
+        Option.map
+          (fun parents -> { trace_parents = parents; trace_init = init_fp })
+          trace_opt;
+    }
   in
   if jobs = 1 then begin
     (* ---------------- sequential engine ---------------------------- *)
@@ -91,14 +110,22 @@ let run (type s a)
        the explored graph is identical at every job count. *)
     let rng = Random.State.make seed in
     let seen : s Fingerprint.Table.t = Fingerprint.Table.create 4096 in
+    let parents =
+      if trace then Some (Fingerprint.Table.create 4096) else None
+    in
     let queue : (int * s * Fingerprint.t) Queue.t = Queue.create () in
     let stats =
       ref { states = 0; transitions = 0; depth = 0; truncated = false }
     in
     let violation = ref None in
+    let violation_step = ref None in
     let step_failure = ref None in
     let key_clash = ref None in
-    let push depth state =
+    (* [via] is how the state was first reached: the predecessor's
+       fingerprint, the action's index in the predecessor's enabled list
+       (the hint Cex reconstruction tries first), and the concrete
+       transition (for [violation_step]). *)
+    let push ?via depth state =
       let fp = fingerprint state in
       match Fingerprint.Table.find_opt seen fp with
       | Some rep ->
@@ -113,6 +140,10 @@ let run (type s a)
           | Some _ | None -> ())
       | None ->
           Fingerprint.Table.add seen fp (if retain then state else init);
+          (match (parents, via) with
+          | Some tbl, Some (pfp, idx, _, _) ->
+              Fingerprint.Table.replace tbl fp (pfp, idx)
+          | _ -> ());
           stats :=
             {
               !stats with
@@ -123,7 +154,13 @@ let run (type s a)
              it must be invariant-checked like every other visited state —
              it is only exempt from expansion. *)
           (match check_state !stats.states state with
-          | Some v -> violation := Some v
+          | Some v ->
+              violation := Some v;
+              violation_step :=
+                Option.map
+                  (fun (_, _, pre, action) ->
+                    { Ioa.Exec.pre; action; post = state })
+                  via
           | None ->
               if !stats.states > max_states then
                 stats := { !stats with truncated = true }
@@ -162,8 +199,8 @@ let run (type s a)
                   obs_candidates = candidates;
                   obs_enabled = actions;
                 });
-          List.iter
-            (fun action ->
+          List.iteri
+            (fun idx action ->
               if continue () then begin
                 let post = A.step state action in
                 stats := { !stats with transitions = !stats.transitions + 1 };
@@ -174,7 +211,8 @@ let run (type s a)
                     match f step with
                     | Ok () -> ()
                     | Error msg -> step_failure := Some (step, msg)));
-                if continue () then push (depth + 1) post
+                if continue () then
+                  push ~via:(fp, idx, state, action) (depth + 1) post
               end)
             actions
         end;
@@ -182,8 +220,9 @@ let run (type s a)
       end
     in
     loop ();
-    finalize ~stats:!stats ~violation:!violation ~step_failure:!step_failure
-      ~key_clash:!key_clash ~steals:0 ~contention:0
+    finalize ~stats:!stats ~violation:!violation
+      ~violation_step:!violation_step ~step_failure:!step_failure
+      ~key_clash:!key_clash ~trace:parents ~steals:0 ~contention:0
   end
   else begin
     (* ---------------- parallel engine ------------------------------ *)
@@ -197,6 +236,13 @@ let run (type s a)
     let shards =
       Array.init shard_count (fun _ -> (Mutex.create (), T.create 1024))
     in
+    (* Per-shard predecessor tables, guarded by the same shard mutex as the
+       seen-set entry they describe; merged into one table at the end. *)
+    let parent_shards =
+      if trace then
+        Some (Array.init shard_count (fun _ -> T.create 256))
+      else None
+    in
     let stop = Atomic.make false in
     let truncated = Atomic.make false in
     let states = Atomic.make 0 in
@@ -207,11 +253,23 @@ let run (type s a)
     let expanded = Atomic.make 0 in
     let result_mu = Mutex.create () in
     let violation = ref None in
+    let violation_step = ref None in
     let step_failure = ref None in
     let key_clash = ref None in
     let record cell v =
       Mutex.lock result_mu;
       if Option.is_none !cell then cell := Some v;
+      Mutex.unlock result_mu;
+      Atomic.set stop true
+    in
+    (* The violation and its incoming transition must be published as one
+       unit: a racing worker's violation must not pair with ours. *)
+    let record_violation v vstep =
+      Mutex.lock result_mu;
+      if Option.is_none !violation then begin
+        violation := Some v;
+        violation_step := vstep
+      end;
       Mutex.unlock result_mu;
       Atomic.set stop true
     in
@@ -230,11 +288,10 @@ let run (type s a)
        state: counted and invariant-checked, never expanded — exactly the
        sequential truncation semantics), then invariant-check.  Returns the
        frontier entry when the state belongs in the next level. *)
-    let admit depth state =
+    let admit ?via depth state =
       let fp = fingerprint state in
-      let mu, tbl =
-        shards.(Int64.to_int fp.Fingerprint.hi land (shard_count - 1))
-      in
+      let shard = Int64.to_int fp.Fingerprint.hi land (shard_count - 1) in
+      let mu, tbl = shards.(shard) in
       if not (Mutex.try_lock mu) then begin
         Atomic.incr contention;
         Mutex.lock mu
@@ -261,11 +318,19 @@ let run (type s a)
               None
           | Some n -> (
               T.add tbl fp (if retain then state else init);
+              (match (parent_shards, via) with
+              | Some ps, Some (pfp, idx, _, _) ->
+                  T.replace ps.(shard) fp (pfp, idx)
+              | _ -> ());
               Mutex.unlock mu;
               bump_depth depth;
               match check_state n state with
               | Some v ->
-                  record violation v;
+                  record_violation v
+                    (Option.map
+                       (fun (_, _, pre, action) ->
+                         { Ioa.Exec.pre; action; post = state })
+                       via);
                   None
               | None ->
                   if n > max_states then begin
@@ -306,8 +371,8 @@ let run (type s a)
                 obs_enabled = actions;
               };
             Mutex.unlock aux_mu);
-        List.iter
-          (fun action ->
+        List.iteri
+          (fun idx action ->
             if not (Atomic.get stop) then begin
               let post = A.step state action in
               transitions.(wid) <- transitions.(wid) + 1;
@@ -319,7 +384,7 @@ let run (type s a)
                   | Ok () -> ()
                   | Error msg -> record step_failure (step, msg)));
               if not (Atomic.get stop) then
-                match admit (depth + 1) post with
+                match admit ~via:(fp, idx, state, action) (depth + 1) post with
                 | Some entry -> buf := entry :: !buf
                 | None -> ()
             end)
@@ -400,7 +465,15 @@ let run (type s a)
         truncated = Atomic.get truncated;
       }
     in
-    finalize ~stats ~violation:!violation ~step_failure:!step_failure
-      ~key_clash:!key_clash ~steals:(Atomic.get steals)
-      ~contention:(Atomic.get contention)
+    let merged_parents =
+      Option.map
+        (fun ps ->
+          let all = T.create 4096 in
+          Array.iter (fun t -> T.iter (fun k v -> T.replace all k v) t) ps;
+          all)
+        parent_shards
+    in
+    finalize ~stats ~violation:!violation ~violation_step:!violation_step
+      ~step_failure:!step_failure ~key_clash:!key_clash ~trace:merged_parents
+      ~steals:(Atomic.get steals) ~contention:(Atomic.get contention)
   end

@@ -47,16 +47,33 @@ type ('s, 'a) observation = {
   obs_enabled : 'a list;  (** the [enabled]-filtered subset, as fired *)
 }
 
+(** Predecessor record kept when the search runs with [~trace:true]: for
+    every admitted state (except the initial one), the fingerprint of the
+    state it was first reached from and the index of the firing action in
+    the predecessor's enabled-candidate list.  {!Cex.reconstruct} walks this
+    table back to [trace_init] and re-executes the path.  The index is a
+    hint, exact under the per-state RNG discipline ([state_rng] or
+    [jobs > 1]); reconstruction falls back to a fingerprint-guided search
+    over candidate draws when it does not land on the recorded successor. *)
+type trace = {
+  trace_parents : (Fingerprint.t * int) Fingerprint.Table.t;
+  trace_init : Fingerprint.t;
+}
+
 type ('s, 'a) outcome = {
   stats : stats;
   violation : 's Ioa.Invariant.violation option;
       (** first invariant violation found, if any *)
+  violation_step : ('s, 'a) Ioa.Exec.step option;
+      (** the transition that produced the violating state — [None] only
+          when the initial state itself violates *)
   step_failure : (('s, 'a) Ioa.Exec.step * string) option;
       (** first per-step property failure, if any *)
   key_clash : ('s * 's) option;
       (** two states the dedup conflated that [check_key] distinguishes —
           either the key function is not injective or two keys share a
           fingerprint; in both cases the exploration is unsound *)
+  trace : trace option;  (** present iff the run was started with [~trace:true] *)
 }
 
 (** [run (module A) ~key ~invariants ~init ()] explores breadth-first.
@@ -82,6 +99,10 @@ type ('s, 'a) outcome = {
            [jobs > 1]).  Makes candidate sets visit-order-independent, so
            results agree across job counts; [lib/analysis] forces this on
            at every job count.
+    @param trace retain per-state predecessors (fingerprint + enabled-action
+           index) for counterexample path reconstruction (default false).
+           Costs ~24 bytes per state.  Under [jobs > 1] each seen-set shard
+           keeps its own slice, merged into one table on completion.
     @param check_step optional per-transition property; return [Error msg]
            to report.  Exploration stops at the first failure.
     @param check_key optional state equality used to audit the dedup: a
@@ -115,6 +136,7 @@ val run :
   ?max_depth:int ->
   ?jobs:int ->
   ?state_rng:bool ->
+  ?trace:bool ->
   ?check_step:(('s, 'a) Ioa.Exec.step -> (unit, string) result) ->
   ?check_key:('s -> 's -> bool) ->
   ?observe:(('s, 'a) observation -> unit) ->

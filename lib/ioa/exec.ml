@@ -69,7 +69,7 @@ let run (type s a) ?sink ?(component = "ioa.exec") ?classify
   in
   go init 0 []
 
-let replay (type s a) ?sink ?(component = "ioa.exec") ?classify
+let replay_prefix (type s a) ?sink ?(component = "ioa.exec") ?classify
     (module A : Automaton.S with type action = a and type state = s) ~init
     actions =
   let classify =
@@ -82,13 +82,17 @@ let replay (type s a) ?sink ?(component = "ioa.exec") ?classify
           [ ("actions", Obs.Trace.Int (List.length actions)) ])
       sink
   in
+  let finish i acc err =
+    close_span ?sink ~component ~cls:"replay" span ~taken:i Step_budget;
+    ({ init; steps = List.rev acc }, err)
+  in
   let rec go state i acc = function
-    | [] ->
-        close_span ?sink ~component ~cls:"replay" span ~taken:i Step_budget;
-        Ok { init; steps = List.rev acc }
+    | [] -> finish i acc None
     | action :: rest ->
         if not (A.enabled state action) then
-          Error (i, Format.asprintf "action %a not enabled" A.pp_action action)
+          finish i acc
+            (Some
+               (i, Format.asprintf "action %a not enabled" A.pp_action action))
         else begin
           let post = A.step state action in
           record ?sink ~component ~classify ~pp_action:A.pp_action i action;
@@ -96,6 +100,11 @@ let replay (type s a) ?sink ?(component = "ioa.exec") ?classify
         end
   in
   go init 0 [] actions
+
+let replay ?sink ?component ?classify automaton ~init actions =
+  match replay_prefix ?sink ?component ?classify automaton ~init actions with
+  | exec, None -> Ok exec
+  | _, Some err -> Error err
 
 let trace (type s a)
     (module A : Automaton.S with type action = a and type state = s) e =

@@ -47,10 +47,27 @@ val run :
   init:'s ->
   ('s, 'a) t * stop_reason
 
-(** [replay (module A) ~init actions] re-executes a recorded action sequence,
-    checking enabledness at every step.  Returns [Error (i, msg)] if the
-    [i]-th action (0-based) is not enabled.  [?sink] as in {!run} (span
-    class ["replay"]); no events are emitted past the failing action. *)
+(** [replay_prefix (module A) ~init actions] re-executes a recorded action
+    sequence, checking enabledness at every step, and keeps whatever prefix
+    succeeded: returns the execution of the successful prefix together with
+    [Some (i, msg)] when the [i]-th action (0-based) was not enabled, or
+    [None] when every action replayed.  [?sink] as in {!run} (span class
+    ["replay"]); point events are emitted per successful step only — none
+    past a failing action — and the span closes with the successful count
+    even on failure.  The counterexample shrinker uses this to classify
+    failures that occur {i before} a later unreplayable action. *)
+val replay_prefix :
+  ?sink:Obs.Trace.sink ->
+  ?component:string ->
+  ?classify:('a -> string) ->
+  (module Automaton.S with type action = 'a and type state = 's) ->
+  init:'s ->
+  'a list ->
+  ('s, 'a) t * (int * string) option
+
+(** [replay (module A) ~init actions] is {!replay_prefix} with the
+    all-or-nothing result shape: [Error (i, msg)] if the [i]-th action
+    (0-based) is not enabled, discarding the successful prefix. *)
 val replay :
   ?sink:Obs.Trace.sink ->
   ?component:string ->

@@ -109,10 +109,14 @@ let snapshot_json s =
 
 let snapshot_to_string s = Json.to_string (snapshot_json s)
 
+(* Write to a temp name in the same directory, then rename: a reader (or
+   a crash mid-write) never sees a partial snapshot. *)
 let write_file ~path s =
-  let oc = open_out path in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
       output_string oc (snapshot_to_string s);
-      output_char oc '\n')
+      output_char oc '\n');
+  Sys.rename tmp path

@@ -58,5 +58,7 @@ val snapshot_json : snapshot -> Json.t
 
 val snapshot_to_string : snapshot -> string
 
-(** Write [snapshot_to_string] (newline-terminated) to [path]. *)
+(** Write [snapshot_to_string] (newline-terminated) to [path],
+    atomically: the content goes to [path ^ ".tmp"] first and is renamed
+    into place, so readers never observe a partial snapshot. *)
 val write_file : path:string -> snapshot -> unit

@@ -97,6 +97,9 @@ let subject ?(key = string_of_int) ?(invariants = []) ?(complete = [])
     exact_candidates = exact;
     quiescent;
     allowed_dead;
+    check_step = None;
+    step_class = "step";
+    simplify_action = None;
   }
 
 let kinds r = List.map F.kind r.F.findings
@@ -359,6 +362,9 @@ let vstack_subject ?variant ~faults () =
     exact_candidates = false;
     quiescent = Some vstack_quiescent;
     allowed_dead = [];
+    check_step = None;
+    step_class = "step";
+    simplify_action = None;
   }
 
 let test_no_retransmit_deadlocks () =

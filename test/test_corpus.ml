@@ -1,0 +1,472 @@
+(* The counterexample subsystem (lib/check: Cex + Shrink) and the committed
+   corpus regression.
+
+   Every *.cex.jsonl under corpus/ is replayed through the registry entry it
+   names and must still exhibit exactly the recorded failure class, at the
+   pinned shrunk length — so a regression that un-fixes (or silently fixes)
+   a seeded defect, or a change to the candidate-draw discipline that breaks
+   schedule resolution, fails tier-1.  On top of that: codec round-trips,
+   ddmin/sweep/simplify unit tests on toy oracles, an end-to-end hunt per
+   seeded defect (shrunk strictly shorter than the raw BFS witness, and
+   1-minimal), and a QCheck property that shrinking is 1-minimal across
+   explorer seeds. *)
+
+module An = Analysis.Analyzer
+module Reg = Analysis.Registry
+
+(* ------------------------------------------------------------------ *)
+(* Toy oracles                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A counter with unit increments and decrements; the invariant caps it. *)
+module Count = struct
+  type state = int
+  type action = Incr | Decr
+
+  let equal_state = Int.equal
+  let pp_state = Format.pp_print_int
+
+  let pp_action ppf a =
+    Format.pp_print_string ppf (match a with Incr -> "incr" | Decr -> "decr")
+
+  let enabled s = function Incr -> s < 10 | Decr -> s > 0
+  let step s = function Incr -> s + 1 | Decr -> s - 1
+  let is_external _ = true
+  let candidates _rng s = List.filter (enabled s) [ Incr; Decr ]
+end
+
+let count_oracle ?quiescent ?simplify ?(invariants = []) () =
+  {
+    Check.Shrink.automaton =
+      (module Count : Ioa.Automaton.GENERATIVE
+        with type state = int
+         and type action = Count.action);
+    init = 0;
+    key = string_of_int;
+    seed = [| 0 |];
+    invariants;
+    check_step = None;
+    step_class = "step";
+    quiescent;
+    pp_action = Count.pp_action;
+    simplify;
+  }
+
+let below n = Ioa.Invariant.make (Printf.sprintf "below %d" n) (fun s -> s < n)
+
+(* Tagged unit steps: every action bumps the counter, the tag is payload
+   noise the simplification hook normalizes away. *)
+module Tagged = struct
+  type state = int
+  type action = Tag of string
+
+  let equal_state = Int.equal
+  let pp_state = Format.pp_print_int
+  let pp_action ppf (Tag t) = Format.fprintf ppf "tag:%s" t
+  let enabled _ _ = true
+  let step s _ = s + 1
+  let is_external _ = true
+  let candidates _rng _ = [ Tag "a"; Tag "zz" ]
+end
+
+(* ------------------------------------------------------------------ *)
+(* Shrink unit tests                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_replay_classifies () =
+  let o = count_oracle ~invariants:[ below 3 ] () in
+  let v = Check.Shrink.replay o [ "incr"; "incr"; "incr"; "incr" ] in
+  (match v.Check.Shrink.failure with
+  | Some (Check.Shrink.Invariant "below 3") -> ()
+  | _ -> Alcotest.fail "expected the invariant failure");
+  Alcotest.(check int) "violated after three steps" 3 v.Check.Shrink.used;
+  (* unresolvable entries stop the walk but keep the classified prefix *)
+  let v' = Check.Shrink.replay o [ "incr"; "warp"; "incr" ] in
+  Alcotest.(check bool) "no failure" true (v'.Check.Shrink.failure = None);
+  (match v'.Check.Shrink.error with
+  | Some (1, _) -> ()
+  | _ -> Alcotest.fail "unresolvable index reported");
+  (* a disabled entry likewise *)
+  let v'' = Check.Shrink.replay o [ "decr" ] in
+  match v''.Check.Shrink.error with
+  | Some (0, _) -> ()
+  | _ -> Alcotest.fail "disabled index reported"
+
+let test_shrink_removes_detours () =
+  let o = count_oracle ~invariants:[ below 3 ] () in
+  let target = Check.Shrink.Invariant "below 3" in
+  let raw =
+    [ "incr"; "decr"; "incr"; "incr"; "decr"; "incr"; "incr"; "incr" ]
+  in
+  Alcotest.(check bool) "raw reproduces" true
+    (Check.Shrink.reproduces o target raw);
+  let shrunk = Check.Shrink.shrink o target raw in
+  Alcotest.(check (list string))
+    "down to the three increments"
+    [ "incr"; "incr"; "incr" ]
+    shrunk;
+  Alcotest.(check bool) "1-minimal" true
+    (Check.Shrink.is_one_minimal o target shrunk)
+
+let test_shrink_truncates_tail () =
+  let o = count_oracle ~invariants:[ below 2 ] () in
+  let target = Check.Shrink.Invariant "below 2" in
+  (* the failure happens mid-schedule: everything after it must go *)
+  let raw = [ "incr"; "incr"; "decr"; "decr"; "incr" ] in
+  let shrunk = Check.Shrink.shrink o target raw in
+  Alcotest.(check (list string)) "failing prefix only" [ "incr"; "incr" ] shrunk
+
+let test_shrink_preserves_class () =
+  (* two invariants: the weaker one fails first on the long schedule; the
+     shrinker is asked to preserve the *stronger* one's class and must not
+     drift to the other *)
+  let o = count_oracle ~invariants:[ below 5; below 3 ] () in
+  let target = Check.Shrink.Invariant "below 5" in
+  let raw = [ "incr"; "incr"; "incr"; "incr"; "incr" ] in
+  (* [raw] classifies as "below 3" (the earlier failure), so it does not
+     reproduce "below 5" — shrink must return it unchanged *)
+  Alcotest.(check bool) "does not reproduce below 5" false
+    (Check.Shrink.reproduces o target raw);
+  Alcotest.(check (list string)) "unchanged" raw
+    (Check.Shrink.shrink o target raw)
+
+let test_shrink_non_reproducing_unchanged () =
+  let o = count_oracle ~invariants:[ below 3 ] () in
+  let raw = [ "incr" ] in
+  Alcotest.(check (list string))
+    "non-reproducing input returned as-is" raw
+    (Check.Shrink.shrink o (Check.Shrink.Invariant "below 3") raw)
+
+let test_shrink_deadlock_class () =
+  (* quiescent only at 0: a schedule ending at the cap with no enabled
+     proposal...  the counter never deadlocks (decr always enabled above
+     0), so use the quiescence predicate to show Deadlock is *not*
+     produced when candidates remain *)
+  let o = count_oracle ~quiescent:(fun s -> s = 0) () in
+  let v = Check.Shrink.replay o [ "incr" ] in
+  Alcotest.(check bool) "no spurious deadlock" true
+    (v.Check.Shrink.failure = None)
+
+let test_simplify_pass () =
+  let never_pos = Ioa.Invariant.make "never-positive" (fun s -> s < 1) in
+  let o =
+    {
+      Check.Shrink.automaton =
+        (module Tagged : Ioa.Automaton.GENERATIVE
+          with type state = int
+           and type action = Tagged.action);
+      init = 0;
+      key = string_of_int;
+      seed = [| 0 |];
+      invariants = [ never_pos ];
+      check_step = None;
+      step_class = "step";
+      quiescent = None;
+      pp_action = Tagged.pp_action;
+      simplify =
+        Some
+          (fun (Tagged.Tag t) -> if t = "a" then [] else [ Tagged.Tag "a" ]);
+    }
+  in
+  let target = Check.Shrink.Invariant "never-positive" in
+  let shrunk = Check.Shrink.shrink o target [ "tag:zz" ] in
+  Alcotest.(check (list string)) "payload normalized" [ "tag:a" ] shrunk
+
+let test_failure_string_roundtrip () =
+  List.iter
+    (fun f ->
+      match Check.Shrink.failure_of_string (Check.Shrink.failure_to_string f) with
+      | Ok f' ->
+          Alcotest.(check bool) "roundtrip" true (Check.Shrink.equal_failure f f')
+      | Error e -> Alcotest.fail e)
+    [
+      Check.Shrink.Invariant "VS 3.1";
+      Check.Shrink.Step "refinement";
+      Check.Shrink.Deadlock;
+    ];
+  match Check.Shrink.failure_of_string "nonsense" with
+  | Ok _ -> Alcotest.fail "must reject"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Cex codec                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_cex_roundtrip () =
+  let c =
+    {
+      Check.Cex.entry = "defect-no-dedup";
+      seed = [| 3; 14 |];
+      actions = [ "vs-gpsnd(a)_p0"; "[send p0\xe2\x86\x92p0: fwd]" ];
+      violation = "step:refinement";
+    }
+  in
+  match Check.Cex.of_string (Obs.Json.to_string (Check.Cex.to_json c)) with
+  | Error e -> Alcotest.fail e
+  | Ok c' ->
+      Alcotest.(check string) "entry" c.Check.Cex.entry c'.Check.Cex.entry;
+      Alcotest.(check (list int))
+        "seed"
+        (Array.to_list c.Check.Cex.seed)
+        (Array.to_list c'.Check.Cex.seed);
+      Alcotest.(check (list string))
+        "actions" c.Check.Cex.actions c'.Check.Cex.actions;
+      Alcotest.(check string) "violation" c.Check.Cex.violation
+        c'.Check.Cex.violation
+
+let test_cex_save_load () =
+  let path = Filename.temp_file "cex" ".jsonl" in
+  let cs =
+    [
+      { Check.Cex.entry = "a"; seed = [| 1 |]; actions = []; violation = "deadlock" };
+      {
+        Check.Cex.entry = "b";
+        seed = [| 2 |];
+        actions = [ "x"; "y" ];
+        violation = "invariant:i";
+      };
+    ]
+  in
+  Check.Cex.save ~path cs;
+  Alcotest.(check bool) "no temp file left" false
+    (Sys.file_exists (path ^ ".tmp"));
+  (match Check.Cex.load ~path with
+  | Error e -> Alcotest.fail e
+  | Ok cs' ->
+      Alcotest.(check int) "both entries" 2 (List.length cs');
+      Alcotest.(check (list string))
+        "names" [ "a"; "b" ]
+        (List.map (fun c -> c.Check.Cex.entry) cs'));
+  Sys.remove path
+
+let test_cex_load_rejects_garbage () =
+  let path = Filename.temp_file "cex" ".jsonl" in
+  let oc = open_out path in
+  output_string oc "{\"entry\":1}\n";
+  close_out oc;
+  (match Check.Cex.load ~path with
+  | Ok _ -> Alcotest.fail "must reject"
+  | Error _ -> ());
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* The committed corpus                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Pinned shrunk lengths per seeded defect: shortening one means the
+   shrinker got better (update the corpus); lengthening one is a
+   regression. *)
+let pinned_lengths =
+  [
+    ("defect-no-dedup", 5);
+    ("defect-no-retransmit", 3);
+    ("defect-no-dedup-invariant", 5);
+  ]
+
+let corpus_files () =
+  let dir = Filename.concat ".." "corpus" in
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".cex.jsonl")
+    |> List.sort compare
+    |> List.map (Filename.concat dir)
+
+let registry () = Reg.all () @ Reg.defects ()
+
+let check_record (r : Check.Cex.t) =
+  match Reg.find (registry ()) r.Check.Cex.entry with
+  | None -> Alcotest.failf "corpus names unknown entry %S" r.Check.Cex.entry
+  | Some (Reg.Entry e) -> (
+      match Check.Shrink.failure_of_string r.Check.Cex.violation with
+      | Error err -> Alcotest.failf "%s: bad failure class: %s" e.name err
+      | Ok failure ->
+          let o = An.oracle e.subject ~seed:r.Check.Cex.seed in
+          Alcotest.(check bool)
+            (e.name ^ " replays to " ^ r.Check.Cex.violation)
+            true
+            (Check.Shrink.reproduces o failure r.Check.Cex.actions);
+          Alcotest.(check bool)
+            (e.name ^ " entry is 1-minimal")
+            true
+            (Check.Shrink.is_one_minimal o failure r.Check.Cex.actions);
+          (match List.assoc_opt e.name pinned_lengths with
+          | Some n ->
+              Alcotest.(check int)
+                (e.name ^ " pinned shrunk length")
+                n
+                (List.length r.Check.Cex.actions)
+          | None -> ());
+          (match e.expected with
+          | Some f ->
+              Alcotest.(check bool)
+                (e.name ^ " matches the expected class")
+                true
+                (Check.Shrink.equal_failure f failure)
+          | None -> ()))
+
+let test_corpus_replays () =
+  let files = corpus_files () in
+  Alcotest.(check bool) "corpus present" true (files <> []);
+  let seen = ref [] in
+  List.iter
+    (fun path ->
+      match Check.Cex.load ~path with
+      | Error e -> Alcotest.failf "%s: %s" path e
+      | Ok records ->
+          Alcotest.(check bool) (path ^ " non-empty") true (records <> []);
+          List.iter
+            (fun r ->
+              seen := r.Check.Cex.entry :: !seen;
+              check_record r)
+            records)
+    files;
+  (* every seeded defect ships a corpus entry *)
+  List.iter
+    (fun (Reg.Entry e) ->
+      Alcotest.(check bool)
+        ("corpus covers " ^ e.name)
+        true
+        (List.mem e.name !seen))
+    (Reg.defects ())
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end hunts over the seeded defects                             *)
+(* ------------------------------------------------------------------ *)
+
+let hunt ~jobs (Reg.Entry e) =
+  match
+    An.find_cex ~max_states:e.max_states ~jobs ~seed:e.cex_seed ~shrink:true
+      e.subject
+  with
+  | Error err -> Alcotest.failf "%s: no counterexample: %s" e.name err
+  | Ok cex ->
+      let expected =
+        match e.expected with
+        | Some f -> f
+        | None -> Alcotest.failf "%s: defect entry without expected class" e.name
+      in
+      Alcotest.(check bool)
+        (e.name ^ " expected failure class")
+        true
+        (Check.Shrink.equal_failure expected cex.An.cex_failure);
+      let o = An.oracle e.subject ~seed:e.cex_seed in
+      Alcotest.(check bool)
+        (e.name ^ " raw replays")
+        true
+        (Check.Shrink.reproduces o cex.An.cex_failure cex.An.cex_raw);
+      Alcotest.(check bool)
+        (e.name ^ " shrunk replays")
+        true
+        (Check.Shrink.reproduces o cex.An.cex_failure cex.An.cex_shrunk);
+      Alcotest.(check bool)
+        (e.name ^ " shrunk strictly shorter than the raw BFS witness")
+        true
+        (List.length cex.An.cex_shrunk < List.length cex.An.cex_raw);
+      Alcotest.(check bool)
+        (e.name ^ " shrunk 1-minimal")
+        true
+        (Check.Shrink.is_one_minimal o cex.An.cex_failure cex.An.cex_shrunk);
+      cex
+
+let test_hunt_seeded_defects () =
+  List.iter
+    (fun (Reg.Entry e as entry) ->
+      let cex = hunt ~jobs:1 entry in
+      match List.assoc_opt e.name pinned_lengths with
+      | Some n ->
+          Alcotest.(check int)
+            (e.name ^ " shrunk length pinned")
+            n
+            (List.length cex.An.cex_shrunk)
+      | None -> Alcotest.failf "%s: no pinned length" e.name)
+    (Reg.defects ())
+
+let test_hunt_parallel () =
+  (* at jobs:n which same-class failure is witnessed is scheduling
+     dependent, so lengths are not pinned — but reconstruction must
+     still produce a replaying, shrinkable schedule *)
+  List.iter (fun entry -> ignore (hunt ~jobs:4 entry)) (Reg.defects ())
+
+let test_defect_registry_shape () =
+  let ds = Reg.defects () in
+  Alcotest.(check int) "three seeded defects" 3 (List.length ds);
+  List.iter
+    (fun (Reg.Entry e) ->
+      Alcotest.(check bool)
+        (e.name ^ " carries an expected class")
+        true
+        (Option.is_some e.expected);
+      Alcotest.(check bool)
+        (e.name ^ " namespaced")
+        true
+        (String.length e.name > 7 && String.sub e.name 0 7 = "defect-"))
+    ds;
+  (* defect entries are not part of the healthy registry (the CI analysis
+     gate must stay green) *)
+  List.iter
+    (fun (Reg.Entry e) ->
+      Alcotest.(check bool)
+        (e.name ^ " not in all()")
+        true
+        (Option.is_none (Reg.find (Reg.all ()) e.name)))
+    ds
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: shrinking is 1-minimal across explorer seeds                 *)
+(* ------------------------------------------------------------------ *)
+
+let prop_shrink_one_minimal =
+  QCheck.Test.make ~count:12 ~name:"ddmin output 1-minimal across seeds"
+    QCheck.(pair (int_bound 15) (int_bound 2))
+    (fun (seed, which) ->
+      let (Reg.Entry e) = List.nth (Reg.defects ()) which in
+      match
+        An.find_cex ~max_states:e.max_states ~jobs:1 ~seed:[| seed |]
+          ~shrink:true e.subject
+      with
+      | Error _ ->
+          (* some seeds gate the fault away entirely: nothing to shrink *)
+          true
+      | Ok cex ->
+          let o = An.oracle e.subject ~seed:[| seed |] in
+          Check.Shrink.is_one_minimal o cex.An.cex_failure cex.An.cex_shrunk
+          && List.length cex.An.cex_shrunk <= List.length cex.An.cex_raw)
+
+let () =
+  Alcotest.run "corpus"
+    [
+      ( "shrink",
+        [
+          Alcotest.test_case "replay classifies" `Quick test_replay_classifies;
+          Alcotest.test_case "removes detours" `Quick test_shrink_removes_detours;
+          Alcotest.test_case "truncates tail" `Quick test_shrink_truncates_tail;
+          Alcotest.test_case "preserves failure class" `Quick
+            test_shrink_preserves_class;
+          Alcotest.test_case "non-reproducing unchanged" `Quick
+            test_shrink_non_reproducing_unchanged;
+          Alcotest.test_case "no spurious deadlock" `Quick
+            test_shrink_deadlock_class;
+          Alcotest.test_case "simplify pass" `Quick test_simplify_pass;
+          Alcotest.test_case "failure class strings" `Quick
+            test_failure_string_roundtrip;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "json roundtrip" `Quick test_cex_roundtrip;
+          Alcotest.test_case "save/load" `Quick test_cex_save_load;
+          Alcotest.test_case "rejects garbage" `Quick test_cex_load_rejects_garbage;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "committed entries replay" `Quick test_corpus_replays;
+        ] );
+      ( "hunt",
+        [
+          Alcotest.test_case "registry shape" `Quick test_defect_registry_shape;
+          Alcotest.test_case "seeded defects shrink strictly" `Slow
+            test_hunt_seeded_defects;
+          Alcotest.test_case "parallel hunt (jobs 4)" `Slow test_hunt_parallel;
+          QCheck_alcotest.to_alcotest prop_shrink_one_minimal;
+        ] );
+    ]

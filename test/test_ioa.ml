@@ -65,6 +65,92 @@ let test_trace_hides_internal () =
       Alcotest.(check int) "reset invisible" 6 (List.length trace)
 
 (* ------------------------------------------------------------------ *)
+(* Replay failure paths                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_replay_truncated_schedule () =
+  (* a schedule whose middle action is disabled: Reset needs >= 5, the
+     prefix only reaches 2.  [replay] discards; [replay_prefix] keeps the
+     successful prefix and reports the failing index. *)
+  let actions = [ Counter.Incr; Incr; Reset; Incr ] in
+  (match Ioa.Exec.replay counter ~init:0 actions with
+  | Ok _ -> Alcotest.fail "reset at 2 must be rejected"
+  | Error (i, _) -> Alcotest.(check int) "failing index" 2 i);
+  let exec, err = Ioa.Exec.replay_prefix counter ~init:0 actions in
+  Alcotest.(check int) "prefix kept" 2 (Ioa.Exec.length exec);
+  Alcotest.(check int) "prefix final state" 2 (Ioa.Exec.last exec);
+  (match err with
+  | Some (2, _) -> ()
+  | Some (i, _) -> Alcotest.failf "wrong index %d" i
+  | None -> Alcotest.fail "must report the disabled action");
+  (* a clean schedule reports no error and keeps everything *)
+  let exec', err' = Ioa.Exec.replay_prefix counter ~init:0 [ Counter.Incr ] in
+  Alcotest.(check int) "full prefix" 1 (Ioa.Exec.length exec');
+  Alcotest.(check bool) "no error" true (err' = None)
+
+(* An automaton whose only enabled action at each state is derived from a
+   seed embedded in the initial state: replaying a schedule recorded under
+   one seed against an init carrying another fails immediately, the way a
+   corpus entry replayed with the wrong explorer seed does. *)
+module Lockstep = struct
+  type state = { seed : int; n : int }
+  type action = Tick of int
+
+  let equal_state a b = a.seed = b.seed && a.n = b.n
+  let pp_state ppf s = Format.fprintf ppf "%d@%d" s.seed s.n
+  let pp_action ppf (Tick k) = Format.fprintf ppf "tick%d" k
+  let expected s = ((s.seed * 31) + s.n) land 7
+  let enabled s (Tick k) = k = expected s
+  let step s (Tick _) = { s with n = s.n + 1 }
+  let is_external _ = true
+  let candidates _rng s = [ Tick (expected s) ]
+end
+
+let lockstep =
+  (module Lockstep : Ioa.Automaton.S
+    with type state = Lockstep.state
+     and type action = Lockstep.action)
+
+let test_replay_wrong_seed () =
+  let init seed = { Lockstep.seed; n = 0 } in
+  let rng = Random.State.make [| 0 |] in
+  let exec, _ =
+    Ioa.Exec.run
+      (module Lockstep : Ioa.Automaton.GENERATIVE
+        with type state = Lockstep.state
+         and type action = Lockstep.action)
+      ~rng ~steps:10 ~init:(init 1)
+  in
+  let actions = Ioa.Exec.actions exec in
+  (* same seed: replays in full *)
+  (match Ioa.Exec.replay lockstep ~init:(init 1) actions with
+  | Ok exec' ->
+      Alcotest.(check int) "full replay" 10 (Ioa.Exec.length exec')
+  | Error (i, msg) -> Alcotest.failf "replay failed at %d: %s" i msg);
+  (* wrong seed: the very first recorded action is not enabled *)
+  match Ioa.Exec.replay lockstep ~init:(init 2) actions with
+  | Ok _ -> Alcotest.fail "wrong seed must not replay"
+  | Error (i, _) -> Alcotest.(check int) "fails at the start" 0 i
+
+let test_replay_events_stop_at_failure () =
+  let sink, events = Obs.Trace.memory () in
+  let actions = [ Counter.Incr; Incr; Reset; Incr; Incr ] in
+  let exec, err = Ioa.Exec.replay_prefix ~sink counter ~init:0 actions in
+  Alcotest.(check int) "two steps replayed" 2 (Ioa.Exec.length exec);
+  Alcotest.(check bool) "failure reported" true (err <> None);
+  let evs = events () in
+  let points =
+    List.filter (fun e -> e.Obs.Trace.kind = Obs.Trace.Point) evs
+  in
+  (* one point event per successful step, none for or past the failing
+     action *)
+  Alcotest.(check int) "events stop at the failure" 2 (List.length points);
+  let closes =
+    List.filter (fun e -> e.Obs.Trace.kind = Obs.Trace.Span_close) evs
+  in
+  Alcotest.(check int) "replay span closed" 1 (List.length closes)
+
+(* ------------------------------------------------------------------ *)
 (* Invariant harness                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -204,6 +290,54 @@ let test_explorer_max_depth () =
   Alcotest.(check int) "only 0,1,2 reachable at depth 2" 3
     outcome.Check.Explorer.stats.Check.Explorer.states
 
+let test_explorer_violation_step () =
+  (* the violating transition itself must be recorded: 3 --incr--> 4 *)
+  let inv = Ioa.Invariant.make "below 4" (fun s -> s < 4) in
+  let outcome =
+    Check.Explorer.run counter_gen ~key:string_of_int ~invariants:[ inv ]
+      ~init:0 ()
+  in
+  match outcome.Check.Explorer.violation_step with
+  | Some st ->
+      Alcotest.(check int) "pre" 3 st.Ioa.Exec.pre;
+      Alcotest.(check int) "post" 4 st.Ioa.Exec.post;
+      Alcotest.(check bool) "action" true (st.Ioa.Exec.action = Counter.Incr)
+  | None -> Alcotest.fail "violating step must be recorded"
+
+let explorer_reconstruct ~jobs () =
+  let inv = Ioa.Invariant.make "below 4" (fun s -> s < 4) in
+  let outcome =
+    Check.Explorer.run counter_gen ~key:string_of_int ~invariants:[ inv ]
+      ~state_rng:true ~trace:true ~jobs ~init:0 ()
+  in
+  let trace =
+    match outcome.Check.Explorer.trace with
+    | Some t -> t
+    | None -> Alcotest.fail "trace requested"
+  in
+  let target =
+    match outcome.Check.Explorer.violation with
+    | Some v -> v.Ioa.Invariant.state
+    | None -> Alcotest.fail "violation expected"
+  in
+  match
+    Check.Cex.reconstruct counter_gen ~key:string_of_int ~trace ~init:0
+      ~target ()
+  with
+  | Error e -> Alcotest.failf "reconstruction failed: %s" e
+  | Ok path ->
+      (* BFS: the witness is the four increments, nothing else *)
+      Alcotest.(check int) "four actions" 4 (List.length path);
+      Alcotest.(check bool) "all increments" true
+        (List.for_all (fun a -> a = Counter.Incr) path);
+      (* and it replays to the target *)
+      (match Ioa.Exec.replay counter ~init:0 path with
+      | Ok exec -> Alcotest.(check int) "reaches target" target (Ioa.Exec.last exec)
+      | Error (i, msg) -> Alcotest.failf "replay failed at %d: %s" i msg)
+
+let test_explorer_trace_sequential () = explorer_reconstruct ~jobs:1 ()
+let test_explorer_trace_parallel () = explorer_reconstruct ~jobs:4 ()
+
 let test_explorer_step_property () =
   let check_step (st : (int, Counter.action) Ioa.Exec.step) =
     if st.Ioa.Exec.post - st.Ioa.Exec.pre > 1 then Error "jump" else Ok ()
@@ -252,6 +386,12 @@ let () =
           Alcotest.test_case "replay roundtrip" `Quick test_replay_roundtrip;
           Alcotest.test_case "replay rejects disabled" `Quick test_replay_rejects_disabled;
           Alcotest.test_case "trace hides internal" `Quick test_trace_hides_internal;
+          Alcotest.test_case "truncated schedule keeps prefix" `Quick
+            test_replay_truncated_schedule;
+          Alcotest.test_case "wrong seed fails replay" `Quick
+            test_replay_wrong_seed;
+          Alcotest.test_case "events stop at failure" `Quick
+            test_replay_events_stop_at_failure;
         ] );
       ( "invariant",
         [ Alcotest.test_case "reports first violation" `Quick test_invariant_reports_first ] );
@@ -269,6 +409,12 @@ let () =
           Alcotest.test_case "finds violations" `Quick test_explorer_finds_violation;
           Alcotest.test_case "max depth" `Quick test_explorer_max_depth;
           Alcotest.test_case "step property" `Quick test_explorer_step_property;
+          Alcotest.test_case "violation step recorded" `Quick
+            test_explorer_violation_step;
+          Alcotest.test_case "trace reconstruction (jobs 1)" `Quick
+            test_explorer_trace_sequential;
+          Alcotest.test_case "trace reconstruction (jobs 4)" `Quick
+            test_explorer_trace_parallel;
         ] );
       ( "stats",
         [
