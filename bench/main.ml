@@ -1027,11 +1027,145 @@ let e15 m =
      parallelism)\n"
 
 (* ================================================================== *)
+(* E16 — Reduced exploration: ample-set POR vs full, same verdicts      *)
+(* ================================================================== *)
+
+(* The registry's vs-stack and vs-stack-faulty entries explored twice to
+   the same depth — once fully, once under the ample-set filter derived
+   from each entry's declared footprint schema (the exact [?ample] the
+   analyzer's --reduce mode installs).  The depth cut is
+   level-synchronized, so both sides and every job count see the same
+   graph; the reduced side must reach the same
+   violation/step-failure/deadlock verdict on strictly fewer states
+   (lossless vs-stack) or honestly report ratio ~1 (vs-stack-faulty,
+   whose drop/duplicate/reorder classes clash with every channel push —
+   the schema certifies almost nothing, and the numbers say so). *)
+
+let e16 m =
+  section "E16 Reduced exploration: ample-set POR vs full, per declared schema";
+  let entries = Analysis.Registry.all () in
+  let jobs = max 1 (min 4 (Domain.recommended_domain_count ())) in
+  gauge m "e16.jobs" jobs;
+  (* depth picks: vs-stack's lossless graph keeps shrinking relative to
+     the full one as depth grows (0.71 @ 8, 0.50 @ 12, 0.38 @ 15); 15 is
+     the deepest cut that keeps the full side under a CI minute.  The
+     faulty entry branches much faster; 10 bounds its full side alike. *)
+  let subjects = [ ("vs-stack", 15); ("vs-stack-faulty", 10) ] in
+  row "%-16s | %-7s | %-8s | %-11s | %-7s | %-11s | %s\n" "entry" "mode"
+    "states" "states/sec" "B/state" "por-skipped" "verdicts";
+  row "%s\n" (String.make 86 '-');
+  List.iter
+    (fun (name, max_depth) ->
+      match Analysis.Registry.find entries name with
+      | None -> failwith ("e16: registry entry vanished: " ^ name)
+      | Some (Analysis.Registry.Entry e) ->
+          let sub = e.subject in
+          let invs =
+            List.map (fun c -> c.Ioa.Invariant.inv) sub.Analysis.Analyzer.invariants
+          in
+          let run_side ~mode ~ample =
+            let em = Obs.Metrics.create () in
+            let deadlock = ref false in
+            let observe o =
+              match sub.Analysis.Analyzer.quiescent with
+              | Some q
+                when o.Check.Explorer.obs_enabled = []
+                     && not (q o.Check.Explorer.obs_state) ->
+                  deadlock := true
+              | _ -> ()
+            in
+            let a0 = Gc.allocated_bytes () in
+            let t0 = Obs.Metrics.now_ms () in
+            let outcome =
+              Check.Explorer.run sub.Analysis.Analyzer.automaton
+                ~key:sub.Analysis.Analyzer.key ~invariants:invs
+                ~max_states:2_000_000 ~max_depth ~jobs ~state_rng:true
+                ?check_step:sub.Analysis.Analyzer.check_step ?ample ~observe
+                ~metrics:em ~init:sub.Analysis.Analyzer.init ()
+            in
+            let elapsed = Obs.Metrics.now_ms () -. t0 in
+            (* domain-local alloc: under jobs > 1 the main domain's share
+               only, a lower bound — same caveat as E15 *)
+            let alloc = Gc.allocated_bytes () -. a0 in
+            let stats = outcome.Check.Explorer.stats in
+            let sps =
+              if elapsed > 0. then
+                float_of_int stats.Check.Explorer.states /. (elapsed /. 1000.)
+              else 0.
+            in
+            let bytes_per_state =
+              if stats.Check.Explorer.states > 0 then
+                alloc /. float_of_int stats.Check.Explorer.states
+              else 0.
+            in
+            let verdict =
+              ( (match outcome.Check.Explorer.violation with
+                | Some v -> Some v.Ioa.Invariant.invariant
+                | None -> None),
+                Option.is_some outcome.Check.Explorer.step_failure,
+                !deadlock )
+            in
+            let pre = Printf.sprintf "e16.%s.%s" (slug name) mode in
+            gauge m (pre ^ ".states") stats.Check.Explorer.states;
+            gauge m (pre ^ ".transitions") stats.Check.Explorer.transitions;
+            gauge m (pre ^ ".depth") stats.Check.Explorer.depth;
+            Obs.Metrics.set m (pre ^ ".elapsed_ms") elapsed;
+            Obs.Metrics.set m (pre ^ ".states_per_sec") sps;
+            Obs.Metrics.set m (pre ^ ".bytes_per_state") bytes_per_state;
+            gauge m (pre ^ ".por_skipped") outcome.Check.Explorer.por_skipped;
+            (outcome, stats, sps, bytes_per_state, verdict)
+          in
+          let ample =
+            Option.map Analysis.Footprint.ample_of
+              sub.Analysis.Analyzer.footprint
+          in
+          let _, fstats, fsps, fbps, fverdict = run_side ~mode:"full" ~ample:None in
+          let red, rstats, rsps, rbps, rverdict = run_side ~mode:"reduced" ~ample in
+          let agrees = fverdict = rverdict in
+          let ratio =
+            if fstats.Check.Explorer.states = 0 then 1.0
+            else
+              float_of_int rstats.Check.Explorer.states
+              /. float_of_int fstats.Check.Explorer.states
+          in
+          let show_verdict (v, sf, dl) =
+            if v = None && (not sf) && not dl then "clean"
+            else
+              Printf.sprintf "%s%s%s"
+                (match v with Some n -> "violation:" ^ n | None -> "")
+                (if sf then " step-failure" else "")
+                (if dl then " deadlock" else "")
+          in
+          row "%-16s | %-7s | %-8d | %-11.0f | %-7.0f | %-11s | %s\n" name
+            "full" fstats.Check.Explorer.states fsps fbps "-"
+            (show_verdict fverdict);
+          row "%-16s | %-7s | %-8d | %-11.0f | %-7.0f | %-11d | %s\n" name
+            "reduced" rstats.Check.Explorer.states rsps rbps
+            red.Check.Explorer.por_skipped (show_verdict rverdict);
+          row "%-16s   ratio %.3f, verdict agreement %s\n" name ratio
+            (if agrees then "ok" else "FAILED");
+          Obs.Metrics.set m
+            (Printf.sprintf "e16.%s.reduction_ratio" (slug name))
+            ratio;
+          gauge m
+            (Printf.sprintf "e16.%s.agrees" (slug name))
+            (Bool.to_int agrees);
+          gauge m
+            (Printf.sprintf "e16.%s.peak_heap_bytes" (slug name))
+            ((Gc.quick_stat ()).Gc.top_heap_words * (Sys.word_size / 8)))
+    subjects;
+  row
+    "\nthe reduced side must agree on every verdict; vs-stack's lossless \
+     schema\ncertifies enough independence to drop the state count below \
+     40%%, while the\nfaulty entry's fault classes conflict with every \
+     push (ratio ~1, honest)\n"
+
+(* ================================================================== *)
 
 let all =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13);
-    ("e14", e14); ("e15", e15) ]
+    ("e14", e14); ("e15", e15); ("e16", e16) ]
 
 let () =
   let requested =

@@ -22,11 +22,13 @@ open Cmdliner
    compute-bound. *)
 let default_jobs () = max 1 (min 8 (Domain.recommended_domain_count ()))
 
-let run_entry ~max_states_override ~jobs (Analysis.Registry.Entry e) =
+let run_entry ~max_states_override ~max_depth ~jobs ~footprint ~reduce
+    (Analysis.Registry.Entry e) =
   let max_states =
     match max_states_override with Some n -> n | None -> e.max_states
   in
-  Analysis.Analyzer.analyze ~name:e.name ~max_states ~jobs e.subject
+  Analysis.Analyzer.analyze ~name:e.name ~max_states ?max_depth ~jobs
+    ~footprint ~reduce e.subject
 
 (* --------------------------------------------------------------------- *)
 (* Counterexample mode                                                    *)
@@ -101,13 +103,17 @@ let run_cex ~selected ~max_states_override ~jobs ~shrink ~cex_out =
   | Some _ | None -> ());
   if !failed then exit 1
 
-let run () names list json max_states jobs shrink cex_out =
+let run () names list json max_states max_depth jobs shrink cex_out footprint
+    reduce =
   let entries = Analysis.Registry.all () in
   let defect_entries = Analysis.Registry.defects () in
   if list then begin
     List.iter
       (fun e ->
-        Format.printf "%-24s %s@." (Analysis.Registry.name e)
+        Format.printf "%-24s %-6s %-20s %-42s %s@." (Analysis.Registry.name e)
+          (Analysis.Registry.layer e)
+          (Analysis.Registry.schema_kind e)
+          (Analysis.Registry.generator e)
           (Analysis.Registry.doc e))
       (entries @ defect_entries);
     exit 0
@@ -131,7 +137,10 @@ let run () names list json max_states jobs shrink cex_out =
     run_cex ~selected ~max_states_override:max_states ~jobs ~shrink ~cex_out
   else begin
     let reports =
-      List.map (run_entry ~max_states_override:max_states ~jobs) selected
+      List.map
+        (run_entry ~max_states_override:max_states ~max_depth ~jobs ~footprint
+           ~reduce)
+        selected
     in
     let total =
       List.fold_left
@@ -174,6 +183,17 @@ let () =
       & info [ "max-states" ]
           ~doc:"Override each entry's exploration bound (distinct states).")
   in
+  let max_depth =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-depth" ]
+          ~doc:
+            "Bound the exploration by BFS depth instead of (or in addition \
+             to) states.  A depth at which the graph exhausts makes the \
+             --reduce state-count comparison exact rather than \
+             truncation-limited.")
+  in
   let jobs =
     Arg.(
       value
@@ -203,10 +223,32 @@ let () =
              this JSONL corpus file (atomically, via a .tmp rename).  \
              Combine with --shrink to store minimized schedules.")
   in
+  let footprint =
+    Arg.(
+      value & flag
+      & info [ "footprint" ]
+          ~doc:
+            "Run the footprint/symmetry analyses on entries declaring a \
+             schema: derive the may-conflict relation, certify independent \
+             class pairs, audit write conformance, swap-replay commutation \
+             and permutation equivariance.  Unsound declarations become \
+             findings.")
+  in
+  let reduce =
+    Arg.(
+      value & flag
+      & info [ "reduce" ]
+          ~doc:
+            "Additionally run a second, reduced exploration (ample-set \
+             partial order reduction and/or orbit canonicalization, as the \
+             entry's declarations allow) and record the state-count ratio \
+             and verdict agreement in the report.  Implies the --footprint \
+             analyses.")
+  in
   let term =
     Term.(
-      const run $ Obs.Log_cli.setup $ names $ list $ json $ max_states $ jobs
-      $ shrink $ cex_out)
+      const run $ Obs.Log_cli.setup $ names $ list $ json $ max_states
+      $ max_depth $ jobs $ shrink $ cex_out $ footprint $ reduce)
   in
   let info =
     Cmd.info "analyze" ~version:"1.0.0"

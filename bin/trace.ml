@@ -23,8 +23,8 @@ open Cmdliner
 (* Worker-domain default for --explore, as in bin/analyze. *)
 let default_jobs () = max 1 (min 8 (Domain.recommended_domain_count ()))
 
-let run_entry (Analysis.Registry.Entry e) ~steps ~seed ~explore ~max_states
-    ~jobs metrics sink =
+let run_entry (Analysis.Registry.Entry e) ~steps ~seed ~explore ~reduce
+    ~max_states ~jobs metrics sink =
   let open Analysis.Analyzer in
   let sub = e.subject in
   if explore then begin
@@ -33,12 +33,21 @@ let run_entry (Analysis.Registry.Entry e) ~steps ~seed ~explore ~max_states
     in
     let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
     let r =
-      Analysis.Analyzer.analyze ~name:e.name ~max_states ~jobs ~sink ~metrics
-        sub
+      Analysis.Analyzer.analyze ~name:e.name ~max_states ~jobs ~reduce ~sink
+        ~metrics sub
     in
     Logs.info (fun m ->
         m "explored %s: %d states in %.1f ms" e.name
-          r.Analysis.Findings.states r.Analysis.Findings.elapsed_ms)
+          r.Analysis.Findings.states r.Analysis.Findings.elapsed_ms);
+    match r.Analysis.Findings.reduction with
+    | Some red ->
+        Logs.info (fun m ->
+            m "reduced %s: %d of %d states (ratio %.3f), verdicts %s" e.name
+              red.Analysis.Findings.red_reduced_states
+              red.Analysis.Findings.red_full_states
+              red.Analysis.Findings.red_ratio
+              (if red.Analysis.Findings.red_agrees then "agree" else "DIVERGE"))
+    | None -> ()
   end
   else begin
     let rng = Random.State.make [| seed |] in
@@ -145,8 +154,8 @@ let with_sink out f =
         (drain ());
       (r, Obs.Trace.emitted sink)
 
-let run () entry scenario list_ out json explore steps max_states jobs procs
-    epochs complete seed =
+let run () entry scenario list_ out json explore reduce steps max_states jobs
+    procs epochs complete seed =
   if list_ then begin
     List.iter
       (fun e ->
@@ -166,7 +175,8 @@ let run () entry scenario list_ out json explore steps max_states jobs procs
         match Analysis.Registry.find (Analysis.Registry.all ()) name with
         | Some e ->
             fun sink ->
-              run_entry e ~steps ~seed ~explore ~max_states ~jobs metrics sink
+              run_entry e ~steps ~seed ~explore ~reduce ~max_states ~jobs
+                metrics sink
         | None ->
             Format.eprintf "unknown entry %S (try --list)@." name;
             exit 2)
@@ -235,6 +245,16 @@ let () =
             "For --entry: run the analyzer's exhaustive exploration instead \
              of a random execution.")
   in
+  let reduce =
+    Arg.(
+      value & flag
+      & info [ "reduce" ]
+          ~doc:
+            "With --explore: also run the reduced exploration (ample-set \
+             partial-order reduction / orbit canonicalization, per the \
+             entry's declared schema) and log the state-count ratio and \
+             verdict agreement.  Composes with --jobs.")
+  in
   let steps =
     Arg.(
       value & opt int 400
@@ -271,7 +291,8 @@ let () =
   let term =
     Term.(
       const run $ Obs.Log_cli.setup $ entry $ scenario $ list_ $ out $ json
-      $ explore $ steps $ max_states $ jobs $ procs $ epochs $ complete $ seed)
+      $ explore $ reduce $ steps $ max_states $ jobs $ procs $ epochs
+      $ complete $ seed)
   in
   let info =
     Cmd.info "trace" ~version:"1.0.0"

@@ -8,6 +8,12 @@ let max_findings_per_kind = 10
    deterministic stride sample. *)
 let completeness_sample = 4_000
 
+(* Dynamic-audit sample budgets: observed states fed to the footprint
+   write-conformance / swap-replay audits and to the equivariance audit.
+   Stride-sampled so the audits stay a bounded tail on large runs. *)
+let audit_sample = 400
+let symmetry_sample = 150
+
 type ('s, 'a) subject = {
   automaton :
     (module Ioa.Automaton.GENERATIVE with type state = 's and type action = 'a);
@@ -26,15 +32,23 @@ type ('s, 'a) subject = {
   check_step : (('s, 'a) Ioa.Exec.step -> (unit, string) result) option;
   step_class : string;
   simplify_action : ('a -> 'a list) option;
+  layer : string;
+  generator : string;
+  footprint : ('s, 'a) Footprint.schema option;
+  symmetry : ('s, 'a) Symmetry.spec option;
 }
 
 let analyze (type s a) ~name ?(max_states = 20_000) ?max_depth ?(jobs = 1)
-    ?(seed = [| 0 |]) ?sink ?metrics (sub : (s, a) subject) =
+    ?(seed = [| 0 |]) ?(footprint = false) ?(reduce = false) ?sink ?metrics
+    (sub : (s, a) subject) =
   let (module A : Ioa.Automaton.GENERATIVE
         with type state = s
          and type action = a) =
     sub.automaton
   in
+  (* a reduced run is only as trustworthy as the schema it reduces by, so
+     [--reduce] always runs the footprint audits too *)
+  let footprint = footprint || reduce in
   let t0 = Obs.Metrics.now_ms () in
   let action_str a = Format.asprintf "%a" sub.pp_action a in
   let state_str s = Format.asprintf "@[<h>%a@]" sub.pp_state s in
@@ -95,18 +109,45 @@ let analyze (type s a) ~name ?(max_states = 20_000) ?max_depth ?(jobs = 1)
         })
       sub.invariants
   in
-  let vacuous =
-    if truncated || !n_obs = 0 then []
+  (* A bounded exploration cannot support absence claims ("this class is
+     dead", "this antecedent never fires"): the witness might live just past
+     the cut.  [max_states] sets [truncated]; a [max_depth] cut does not, so
+     it is detected from the reached depth.  Either way the would-be
+     findings are reported as inconclusive lines instead. *)
+  let depth_limited =
+    match max_depth with Some d -> stats.Check.Explorer.depth >= d | None -> false
+  in
+  let limited = truncated || depth_limited in
+  let limit_reason =
+    if truncated then
+      Printf.sprintf "exploration truncated at %d states"
+        stats.Check.Explorer.states
+    else Printf.sprintf "exploration depth-limited at %d" stats.Check.Explorer.depth
+  in
+  let vacuous, vacuous_inconclusive =
+    if !n_obs = 0 then ([], [])
     else
-      List.filter_map
-        (fun (c : Findings.coverage) ->
-          match c.cov_antecedent with
-          | Some 0 ->
-              Some
-                (Findings.Vacuous_invariant
-                   { invariant = c.cov_invariant; states = c.cov_states })
-          | Some _ | None -> None)
-        coverage
+      let zero =
+        List.filter
+          (fun (c : Findings.coverage) -> c.cov_antecedent = Some 0)
+          coverage
+      in
+      if limited then
+        ( [],
+          List.map
+            (fun (c : Findings.coverage) ->
+              Printf.sprintf
+                "vacuity of %S inconclusive: antecedent held in 0 of %d \
+                 observed states, but %s"
+                c.cov_invariant c.cov_states limit_reason)
+            zero )
+      else
+        ( List.map
+            (fun (c : Findings.coverage) ->
+              Findings.Vacuous_invariant
+                { invariant = c.cov_invariant; states = c.cov_states })
+            zero,
+          [] )
   in
 
   (* --- generator soundness: proposed ⊆ enabled (exact entries) ---- *)
@@ -191,15 +232,22 @@ let analyze (type s a) ~name ?(max_states = 20_000) ?max_depth ?(jobs = 1)
   in
 
   (* --- dead classes ----------------------------------------------- *)
-  let dead =
-    if truncated then []
-    else
+  let dead, dead_inconclusive =
+    let never =
       List.filter_map
         (fun (cls, n) ->
-          if n = 0 && not (List.mem cls sub.allowed_dead) then
-            Some (Findings.Dead_class { cls })
+          if n = 0 && not (List.mem cls sub.allowed_dead) then Some cls
           else None)
         classes
+    in
+    if limited then
+      ( [],
+        List.map
+          (fun cls ->
+            Printf.sprintf "dead-class %S inconclusive: never fired, but %s"
+              cls limit_reason)
+          never )
+    else (List.map (fun cls -> Findings.Dead_class { cls }) never, [])
   in
 
   (* --- deadlocks --------------------------------------------------- *)
@@ -256,6 +304,254 @@ let analyze (type s a) ~name ?(max_states = 20_000) ?max_depth ?(jobs = 1)
       ]
   in
 
+  (* --- static footprints, audits, symmetry ------------------------- *)
+  (* Deterministic enabled-candidate function matching the explorer's
+     per-state RNG discipline — what the audits replay against. *)
+  let candidates_of s =
+    let fp = Check.Fingerprint.of_string (sub.key s) in
+    let rng = Random.State.make (Check.Fingerprint.seed fp seed) in
+    List.filter (A.enabled s) (A.candidates rng s)
+  in
+  let sample target =
+    let stride = max 1 (!n_obs / target) in
+    let i = ref (-1) in
+    List.filter_map
+      (fun o ->
+        incr i;
+        if !i mod stride = 0 then
+          Some (o.Check.Explorer.obs_state, o.Check.Explorer.obs_enabled)
+        else None)
+      obs
+  in
+  let cap_per_kind fs =
+    let seen : (string, int) Hashtbl.t = Hashtbl.create 4 in
+    List.filter
+      (fun f ->
+        let k = Findings.kind f in
+        let n = 1 + Option.value ~default:0 (Hashtbl.find_opt seen k) in
+        Hashtbl.replace seen k n;
+        n <= max_findings_per_kind)
+      fs
+  in
+  let footprint_summary, footprint_findings =
+    if not footprint then (None, [])
+    else
+      match sub.footprint with
+      | None -> (None, [])
+      | Some sch ->
+          let confl =
+            List.map
+              (fun (c : Footprint.conflict_entry) ->
+                ( c.ce_a,
+                  c.ce_b,
+                  Format.asprintf "%a vs %a" Footprint.pp_eff c.ce_eff_a
+                    Footprint.pp_eff c.ce_eff_b ))
+              (Footprint.conflicts sch)
+          in
+          let indep = Footprint.independent_pairs sch in
+          let aud =
+            Footprint.audit sch
+              ~step:(fun s a -> A.step s a)
+              ~enabled:A.enabled ~candidates:candidates_of ~key:sub.key
+              ~pp_action:sub.pp_action ~samples:(sample audit_sample) ()
+          in
+          let fp_findings =
+            List.map
+              (function
+                | Footprint.Footprint_violation { fv_cls; fv_fam; fv_action } ->
+                    Findings.Footprint_violation
+                      { cls = fv_cls; fam = fv_fam; action = fv_action }
+                | Footprint.Unsound_certification { uc_a; uc_b; uc_detail } ->
+                    Findings.Unsound_certification
+                      { cls_a = uc_a; cls_b = uc_b; detail = uc_detail })
+              aud.Footprint.aud_violations
+          in
+          let sym_checked, sym_witness, sym_findings, equivariant =
+            match sub.symmetry with
+            | None -> (0, None, [], None)
+            | Some spec ->
+                let saud =
+                  Symmetry.audit spec
+                    ~step:(fun s a -> A.step s a)
+                    ~enabled:A.enabled ~candidates:(Some candidates_of)
+                    ~key:sub.key ~project:sch.Footprint.project
+                    ~pp_action:sub.pp_action
+                    ~checks:
+                      (List.map
+                         (fun (c : _ Ioa.Invariant.checked) ->
+                           (c.inv.Ioa.Invariant.name, c.inv.Ioa.Invariant.holds))
+                         sub.invariants)
+                    ~samples:(sample symmetry_sample) ()
+                in
+                let witness =
+                  match (spec.Symmetry.equivariant, saud.Symmetry.sym_violations)
+                  with
+                  | false, v :: _ ->
+                      Some
+                        (Printf.sprintf "[%s]%s %s" v.Symmetry.sv_perm
+                           (if v.sv_fam = "" then ""
+                            else Printf.sprintf " (family %s)" v.sv_fam)
+                           v.sv_detail)
+                  | _ -> None
+                in
+                let findings =
+                  if spec.Symmetry.equivariant then
+                    List.map
+                      (fun (v : Symmetry.violation) ->
+                        Findings.Symmetry_broken
+                          {
+                            perm = v.sv_perm;
+                            fam = v.sv_fam;
+                            detail = v.sv_detail;
+                          })
+                      saud.Symmetry.sym_violations
+                  else []
+                in
+                ( saud.Symmetry.sym_checked,
+                  witness,
+                  findings,
+                  Some spec.Symmetry.equivariant )
+          in
+          ( Some
+              {
+                Findings.fp_classes = List.length sch.Footprint.classes;
+                fp_conflicts = confl;
+                fp_independent = indep;
+                fp_audit_steps = aud.Footprint.aud_steps;
+                fp_audit_pairs = aud.Footprint.aud_pairs;
+                fp_audit_joined = aud.Footprint.aud_joined;
+                fp_equivariant = equivariant;
+                fp_sym_checked = sym_checked;
+                fp_sym_witness = sym_witness;
+              },
+            cap_per_kind (fp_findings @ sym_findings) )
+  in
+
+  (* --- reduced exploration (opt-in): POR + orbit canonicalization --- *)
+  (* The full run above stays authoritative for every analysis; the
+     reduced run only has to reach the same verdicts with fewer states.
+     Counterexample extraction ({!find_cex}) always runs unreduced —
+     canonicalization rewrites successors to orbit representatives, which
+     breaks predecessor-trace reconstruction. *)
+  let reduction, reduction_findings, reduction_inconclusive =
+    if not reduce then (None, [], [])
+    else begin
+      let ample = Option.map Footprint.ample_of sub.footprint in
+      let canon =
+        match sub.symmetry with
+        | Some spec when spec.Symmetry.equivariant && spec.Symmetry.deterministic
+          ->
+            Some (Symmetry.canonicalizer spec ~key:sub.key)
+        | _ -> None
+      in
+      match (ample, canon) with
+      | None, None ->
+          ( Some
+              {
+                Findings.red_full_states = stats.Check.Explorer.states;
+                red_reduced_states = stats.Check.Explorer.states;
+                red_ratio = 1.0;
+                red_por_skipped = 0;
+                red_orbit_collapsed = 0;
+                red_agrees = true;
+              },
+            [],
+            [
+              "reduction unavailable: no footprint schema and no \
+               equivariant+deterministic symmetry declared";
+            ] )
+      | _ ->
+          let red_deadlock = ref false in
+          let red_observe o =
+            match sub.quiescent with
+            | Some q
+              when o.Check.Explorer.obs_enabled = []
+                   && not (q o.Check.Explorer.obs_state) ->
+                red_deadlock := true
+            | _ -> ()
+          in
+          let red =
+            Check.Explorer.run sub.automaton ~key:sub.key
+              ~invariants:
+                (List.map (fun c -> c.Ioa.Invariant.inv) sub.invariants)
+              ~seed ~max_states ?max_depth ~jobs ~state_rng:true
+              ?check_step:sub.check_step ?ample ?canon ~observe:red_observe
+              ?metrics ~init:sub.init ()
+          in
+          let rstats = red.Check.Explorer.stats in
+          let v_name (o : _ Check.Explorer.outcome) =
+            match o.violation with
+            | Some v -> Some v.Ioa.Invariant.invariant
+            | None -> None
+          in
+          let full_deadlock = deadlocks <> [] in
+          let full_verdict =
+            ( v_name outcome,
+              Option.is_some outcome.Check.Explorer.step_failure,
+              full_deadlock )
+          in
+          let red_verdict =
+            ( v_name red,
+              Option.is_some red.Check.Explorer.step_failure,
+              !red_deadlock )
+          in
+          let agrees = full_verdict = red_verdict in
+          let red_limited =
+            rstats.Check.Explorer.truncated
+            || match max_depth with
+               | Some d -> rstats.Check.Explorer.depth >= d
+               | None -> false
+          in
+          let describe (v, sf, dl) =
+            Printf.sprintf "violation=%s step-failure=%b deadlock=%b"
+              (Option.value ~default:"none" v)
+              sf dl
+          in
+          let findings =
+            if agrees || limited || red_limited then []
+            else
+              [
+                Findings.Reduction_divergence
+                  {
+                    detail =
+                      Printf.sprintf "full: %s; reduced: %s"
+                        (describe full_verdict) (describe red_verdict);
+                  };
+              ]
+          in
+          let inconclusive =
+            if (not agrees) && (limited || red_limited) then
+              [
+                Printf.sprintf
+                  "reduction verdict comparison inconclusive (%s): full %s \
+                   vs reduced %s"
+                  limit_reason (describe full_verdict) (describe red_verdict);
+              ]
+            else []
+          in
+          let ratio =
+            if stats.Check.Explorer.states = 0 then 1.0
+            else
+              float_of_int rstats.Check.Explorer.states
+              /. float_of_int stats.Check.Explorer.states
+          in
+          (match metrics with
+          | None -> ()
+          | Some m -> Obs.Metrics.observe m "analyzer.reduction_ratio" ratio);
+          ( Some
+              {
+                Findings.red_full_states = stats.Check.Explorer.states;
+                red_reduced_states = rstats.Check.Explorer.states;
+                red_ratio = ratio;
+                red_por_skipped = red.Check.Explorer.por_skipped;
+                red_orbit_collapsed = red.Check.Explorer.orbit_collapsed;
+                red_agrees = agrees;
+              },
+            findings,
+            inconclusive )
+    end
+  in
+
   let elapsed_ms = Obs.Metrics.now_ms () -. t0 in
   let states_per_sec =
     if elapsed_ms > 0. then
@@ -274,7 +570,12 @@ let analyze (type s a) ~name ?(max_states = 20_000) ?max_depth ?(jobs = 1)
     classes;
     coverage;
     findings =
-      explorer_findings @ unsound @ missed @ dead @ vacuous @ deadlocks;
+      explorer_findings @ unsound @ missed @ dead @ vacuous @ deadlocks
+      @ footprint_findings @ reduction_findings;
+    inconclusive =
+      dead_inconclusive @ vacuous_inconclusive @ reduction_inconclusive;
+    footprint = footprint_summary;
+    reduction;
     elapsed_ms;
     states_per_sec;
   }

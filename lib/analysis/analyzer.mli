@@ -23,10 +23,26 @@
       representative state per dedup key and reports the first conflated
       pair (an injectivity bug in [key] invalidates every other number).
 
-    Coverage analyses (vacuity, dead classes) are suppressed when the
-    exploration was truncated by [max_states]/[max_depth]: absence of
-    evidence in a partial graph is not evidence of absence.  Soundness and
-    invariant checks remain valid on the explored region. *)
+    Coverage analyses (vacuity, dead classes) cannot conclude on an
+    exploration truncated by [max_states]/[max_depth]: absence of evidence
+    in a partial graph is not evidence of absence.  Their would-be findings
+    are reported in the report's [inconclusive] list instead of as findings,
+    so a truncated run can neither fail [@analyze] spuriously nor silently
+    drop the signal.  Soundness and invariant checks remain valid on the
+    explored region.
+
+    With [~footprint:true], entries declaring a {!Footprint.schema} get the
+    static conflict/independence derivation plus the dynamic
+    write-conformance and swap-replay audits, and entries declaring a
+    {!Symmetry.spec} get the equivariance audit; results land in the
+    report's [footprint] summary and any violations become findings.  With
+    [~reduce:true], a second exploration runs under ample-set POR (from the
+    schema) and/or orbit canonicalization (from an equivariant +
+    deterministic symmetry spec), and the report's [reduction] section
+    records the state-count ratio and whether the two runs reached the same
+    invariant / step-property / deadlock verdicts.  The full run stays
+    authoritative for every other analysis, and {!find_cex} always runs
+    unreduced (canonicalization breaks predecessor-trace reconstruction). *)
 
 type ('s, 'a) subject = {
   automaton :
@@ -60,6 +76,19 @@ type ('s, 'a) subject = {
   simplify_action : ('a -> 'a list) option;
       (** per-action simpler variants for {!Check.Shrink}'s simplification
           pass *)
+  layer : string;
+      (** which layer of the paper's architecture the entry exercises:
+          "spec", "impl", "stack" or "full" — shown by [bin/analyze --list] *)
+  generator : string;
+      (** one-line description of the candidate generator's kind (exact /
+          over-approximating, RNG-gated or deterministic) — shown by
+          [bin/analyze --list] *)
+  footprint : ('s, 'a) Footprint.schema option;
+      (** declared state-component schema and per-class footprints; enables
+          the footprint analyses and ample-set POR *)
+  symmetry : ('s, 'a) Symmetry.spec option;
+      (** declared permutation action; enables the equivariance audit and —
+          when equivariant and deterministic — orbit canonicalization *)
 }
 
 (** [?jobs] (default 1) runs the exploration on that many OCaml 5 domains
@@ -80,6 +109,8 @@ val analyze :
   ?max_depth:int ->
   ?jobs:int ->
   ?seed:int array ->
+  ?footprint:bool ->
+  ?reduce:bool ->
   ?sink:Obs.Trace.sink ->
   ?metrics:Obs.Metrics.t ->
   ('s, 'a) subject ->

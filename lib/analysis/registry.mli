@@ -29,6 +29,19 @@ val doc : entry -> string
 val expected : entry -> Check.Shrink.failure option
 val cex_seed : entry -> int array
 
+val layer : entry -> string
+(** architecture layer of the entry's subject ("spec" / "impl" / "stack" /
+    "full") *)
+
+val generator : entry -> string
+(** one-line generator-kind description from the subject *)
+
+val schema_kind : entry -> string
+(** what static-analysis declarations the entry carries: ["none"],
+    ["coarse"] (whole-state schema, audit only), ["footprint"] (decomposed
+    schema) — with ["+symmetry"] appended when a permutation action is
+    declared *)
+
 (** Fresh entries (the generative modules carry RNG state, so each call
     rebuilds them; all seeds are fixed and runs reproducible). *)
 val all : unit -> entry list

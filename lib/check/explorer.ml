@@ -24,6 +24,8 @@ type ('s, 'a) outcome = {
   step_failure : (('s, 'a) Ioa.Exec.step * string) option;
   key_clash : ('s * 's) option;
   trace : trace option;
+  por_skipped : int;
+  orbit_collapsed : int;
 }
 
 let component = "check.explorer"
@@ -48,8 +50,8 @@ let steal_block = 32
 let run (type s a)
     (module A : Ioa.Automaton.GENERATIVE with type state = s and type action = a)
     ~key ~invariants ?(seed = [| 0 |]) ?(max_states = 200_000) ?max_depth
-    ?(jobs = 1) ?state_rng ?(trace = false) ?check_step ?check_key ?observe
-    ?sink ?metrics ?(progress_every = 10_000) ~init () =
+    ?(jobs = 1) ?state_rng ?(trace = false) ?check_step ?check_key ?ample
+    ?canon ?observe ?sink ?metrics ?(progress_every = 10_000) ~init () =
   let jobs = max 1 jobs in
   (* Parallel exploration requires candidate sets that are a pure function
      of the state — visit order is scheduling-dependent — so [jobs > 1]
@@ -67,9 +69,14 @@ let run (type s a)
   in
   let fingerprint state = Fingerprint.of_string (key state) in
   let state_rng_of fp = Random.State.make (Fingerprint.seed fp seed) in
+  (* Orbit canonicalization rewrites every state to its representative
+     before fingerprinting, the initial state included.  Canonicalizers
+     return their argument physically when it already is the
+     representative, so the [!=] below counts genuine collapses only. *)
+  let init = match canon with Some f -> f init | None -> init in
   let init_fp = fingerprint init in
   let finalize ~stats ~violation ~violation_step ~step_failure ~key_clash
-      ~trace:trace_opt ~steals ~contention =
+      ~trace:trace_opt ~steals ~contention ~por_skipped ~orbit_collapsed =
     (match sink with
     | None -> ()
     | Some s ->
@@ -89,6 +96,13 @@ let run (type s a)
         Obs.Metrics.set m "explorer.workers" (float_of_int jobs);
         Obs.Metrics.incr ~by:steals m "explorer.steals";
         Obs.Metrics.incr ~by:contention m "explorer.shard_contention";
+        (match ample with
+        | None -> ()
+        | Some _ -> Obs.Metrics.incr ~by:por_skipped m "explorer.por_skipped");
+        (match canon with
+        | None -> ()
+        | Some _ ->
+            Obs.Metrics.incr ~by:orbit_collapsed m "explorer.orbit_collapsed");
         if stats.truncated then Obs.Metrics.incr m "explorer.truncated");
     {
       stats;
@@ -100,6 +114,8 @@ let run (type s a)
         Option.map
           (fun parents -> { trace_parents = parents; trace_init = init_fp })
           trace_opt;
+      por_skipped;
+      orbit_collapsed;
     }
   in
   if jobs = 1 then begin
@@ -121,11 +137,21 @@ let run (type s a)
     let violation_step = ref None in
     let step_failure = ref None in
     let key_clash = ref None in
+    let por_skipped = ref 0 in
+    let orbit_collapsed = ref 0 in
     (* [via] is how the state was first reached: the predecessor's
        fingerprint, the action's index in the predecessor's enabled list
        (the hint Cex reconstruction tries first), and the concrete
        transition (for [violation_step]). *)
     let push ?via depth state =
+      let state =
+        match canon with
+        | None -> state
+        | Some f ->
+            let rep = f state in
+            if rep != state then incr orbit_collapsed;
+            rep
+      in
       let fp = fingerprint state in
       match Fingerprint.Table.find_opt seen fp with
       | Some rep ->
@@ -199,6 +225,20 @@ let run (type s a)
                   obs_candidates = candidates;
                   obs_enabled = actions;
                 });
+          (* The ample filter sees the full enabled list (observers above
+             already did too) and returns the subset to fire; [None] means
+             the static facts were inconclusive here — expand fully. *)
+          let fired =
+            match ample with
+            | None -> actions
+            | Some f -> (
+                match f state actions with
+                | None -> actions
+                | Some sub ->
+                    por_skipped :=
+                      !por_skipped + (List.length actions - List.length sub);
+                    sub)
+          in
           List.iteri
             (fun idx action ->
               if continue () then begin
@@ -214,7 +254,7 @@ let run (type s a)
                 if continue () then
                   push ~via:(fp, idx, state, action) (depth + 1) post
               end)
-            actions
+            fired
         end;
         loop ()
       end
@@ -223,6 +263,7 @@ let run (type s a)
     finalize ~stats:!stats ~violation:!violation
       ~violation_step:!violation_step ~step_failure:!step_failure
       ~key_clash:!key_clash ~trace:parents ~steals:0 ~contention:0
+      ~por_skipped:!por_skipped ~orbit_collapsed:!orbit_collapsed
   end
   else begin
     (* ---------------- parallel engine ------------------------------ *)
@@ -251,6 +292,8 @@ let run (type s a)
     let steals = Atomic.make 0 in
     let contention = Atomic.make 0 in
     let expanded = Atomic.make 0 in
+    let por_skipped = Atomic.make 0 in
+    let orbit_collapsed = Atomic.make 0 in
     let result_mu = Mutex.create () in
     let violation = ref None in
     let violation_step = ref None in
@@ -289,6 +332,14 @@ let run (type s a)
        sequential truncation semantics), then invariant-check.  Returns the
        frontier entry when the state belongs in the next level. *)
     let admit ?via depth state =
+      let state =
+        match canon with
+        | None -> state
+        | Some f ->
+            let rep = f state in
+            if rep != state then Atomic.incr orbit_collapsed;
+            rep
+      in
       let fp = fingerprint state in
       let shard = Int64.to_int fp.Fingerprint.hi land (shard_count - 1) in
       let mu, tbl = shards.(shard) in
@@ -371,6 +422,18 @@ let run (type s a)
                 obs_enabled = actions;
               };
             Mutex.unlock aux_mu);
+        let fired =
+          match ample with
+          | None -> actions
+          | Some f -> (
+              match f state actions with
+              | None -> actions
+              | Some sub ->
+                  Atomic.fetch_and_add por_skipped
+                    (List.length actions - List.length sub)
+                  |> ignore;
+                  sub)
+        in
         List.iteri
           (fun idx action ->
             if not (Atomic.get stop) then begin
@@ -388,7 +451,7 @@ let run (type s a)
                 | Some entry -> buf := entry :: !buf
                 | None -> ()
             end)
-          actions
+          fired
       end
     in
     let run_level depth slices =
@@ -476,4 +539,6 @@ let run (type s a)
     finalize ~stats ~violation:!violation ~violation_step:!violation_step
       ~step_failure:!step_failure ~key_clash:!key_clash ~trace:merged_parents
       ~steals:(Atomic.get steals) ~contention:(Atomic.get contention)
+      ~por_skipped:(Atomic.get por_skipped)
+      ~orbit_collapsed:(Atomic.get orbit_collapsed)
   end

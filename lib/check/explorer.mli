@@ -74,6 +74,12 @@ type ('s, 'a) outcome = {
           either the key function is not injective or two keys share a
           fingerprint; in both cases the exploration is unsound *)
   trace : trace option;  (** present iff the run was started with [~trace:true] *)
+  por_skipped : int;
+      (** enabled actions the [ample] filter declined to fire; 0 without
+          [?ample] *)
+  orbit_collapsed : int;
+      (** successor states [canon] rewrote to a different (physically
+          non-identical) orbit representative; 0 without [?canon] *)
 }
 
 (** [run (module A) ~key ~invariants ~init ()] explores breadth-first.
@@ -111,6 +117,26 @@ type ('s, 'a) outcome = {
            [key_clash] and stops the search.  Costs memory proportional to
            the explored set — intended for the small instances of
            [lib/analysis].
+    @param ample partial-order reduction filter, called per expanded state
+           with the full enabled list ({i after} [observe], which always
+           sees the unreduced list).  Return [Some subset] to fire only
+           those actions — the caller must guarantee the subset is a valid
+           ample set (see [Analysis.Footprint]); return [None] when the
+           static facts are inconclusive at this state, which expands
+           fully.  Skipped actions are counted in [por_skipped] and, when
+           [?metrics] is given, the [explorer.por_skipped] counter.
+           Omitting the parameter leaves the explored graph byte-identical
+           to previous releases.
+    @param canon orbit canonicalization: applied to the initial state and
+           to every successor before fingerprinting, so exploration runs
+           over orbit representatives (symmetry reduction).  Must be
+           idempotent and return its argument {i physically} when the
+           argument already is the representative — the explorer counts a
+           collapse ([orbit_collapsed], metric [explorer.orbit_collapsed])
+           whenever the result is physically distinct.  Composes with
+           [?ample]; incompatible in spirit with [~trace:true]
+           reconstruction, which re-executes raw (uncanonicalized)
+           successors.
     @param observe called once per expanded state with the candidate set
            and its enabled subset, before the transitions fire.  Serialized
            under [jobs > 1] (calls arrive in scheduling order).
@@ -139,6 +165,8 @@ val run :
   ?trace:bool ->
   ?check_step:(('s, 'a) Ioa.Exec.step -> (unit, string) result) ->
   ?check_key:('s -> 's -> bool) ->
+  ?ample:('s -> 'a list -> 'a list option) ->
+  ?canon:('s -> 's) ->
   ?observe:(('s, 'a) observation -> unit) ->
   ?sink:Obs.Trace.sink ->
   ?metrics:Obs.Metrics.t ->

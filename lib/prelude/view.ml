@@ -16,6 +16,7 @@ let compare a b =
 let equal a b = compare a b = 0
 let intersects v w = not (Proc.Set.is_empty (Proc.Set.inter v.set w.set))
 let majority_intersects v ~of_:w = Proc.Set.majority_of ~part:v.set ~whole:w.set
+let permute pi v = { v with set = Proc.Set.map pi v.set }
 let pp ppf v = Format.fprintf ppf "⟨%a,%a⟩" Gid.pp v.id Proc.Set.pp v.set
 let to_string v = Format.asprintf "%a" pp v
 

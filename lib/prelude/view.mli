@@ -28,6 +28,10 @@ val intersects : t -> t -> bool
     local admission test of VS-TO-DVS (Figure 3). *)
 val majority_intersects : t -> of_:t -> bool
 
+(** [permute pi v] applies a processor permutation to the membership set,
+    keeping the identifier — used by the symmetry analysis. *)
+val permute : (Proc.t -> Proc.t) -> t -> t
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 

@@ -45,6 +45,25 @@ let is_external = function
   | Bcast _ | Brcv _ -> true
   | Order _ -> false
 
+(* Symmetry transport: processors appear only as map keys and order
+   attributions; the spec is equivariant (audited by Analysis.Symmetry)
+   and feeds orbit canonicalization. *)
+let permute pi s =
+  let rekey m =
+    Proc.Map.fold (fun p v acc -> Proc.Map.add (pi p) v acc) m Proc.Map.empty
+  in
+  {
+    pending = rekey s.pending;
+    order = Seqs.applytoall (fun (a, p) -> (a, pi p)) s.order;
+    next = rekey s.next;
+  }
+
+let permute_action pi = function
+  | Bcast (p, a) -> Bcast (pi p, a)
+  | Order (a, p) -> Order (a, pi p)
+  | Brcv { origin; dst; payload } ->
+      Brcv { origin = pi origin; dst = pi dst; payload }
+
 let equal_state a b =
   Proc.Map.equal (Seqs.equal String.equal) a.pending b.pending
   && Seqs.equal

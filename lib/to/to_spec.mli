@@ -36,6 +36,13 @@ val next_of : state -> Prelude.Proc.t -> int
     exploration. *)
 val state_key : state -> string
 
+(** Symmetry transport: apply a processor permutation to a state / an
+    action.  The specification is equivariant (audited by
+    [Analysis.Symmetry]), so these feed orbit canonicalization. *)
+
+val permute : (Prelude.Proc.t -> Prelude.Proc.t) -> state -> state
+val permute_action : (Prelude.Proc.t -> Prelude.Proc.t) -> action -> action
+
 (** Safety facts of the TO service, used as oracle checks. *)
 
 (** Every report pointer stays within the order. *)

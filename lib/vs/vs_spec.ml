@@ -134,6 +134,38 @@ module Make (M : Msg_intf.S) = struct
 
   let equal_state a b = compare_state a b = 0
 
+  (* Symmetry transport: the VS specification mentions processors only as
+     view members, map keys and message attributions, so a permutation
+     re-keys and re-labels.  The spec is equivariant — no transition
+     consults the *identity* of a processor — which the symmetry audit
+     verifies and the explorer exploits for orbit canonicalization. *)
+  let permute pi s =
+    let rekey_pg m =
+      Pg_map.fold (fun (p, g) v acc -> Pg_map.add (pi p, g) v acc) m Pg_map.empty
+    in
+    {
+      created = View.Set.map (View.permute pi) s.created;
+      current_viewid =
+        Proc.Map.fold
+          (fun p g acc -> Proc.Map.add (pi p) g acc)
+          s.current_viewid Proc.Map.empty;
+      queue =
+        Gid.Map.map (Seqs.applytoall (fun (m, p) -> (m, pi p))) s.queue;
+      pending = rekey_pg s.pending;
+      next = rekey_pg s.next;
+      next_safe = rekey_pg s.next_safe;
+    }
+
+  let permute_action pi = function
+    | Createview v -> Createview (View.permute pi v)
+    | Newview (v, p) -> Newview (View.permute pi v, pi p)
+    | Gpsnd (p, m) -> Gpsnd (pi p, m)
+    | Order (m, p, g) -> Order (m, pi p, g)
+    | Gprcv { src; dst; msg; gid } ->
+        Gprcv { src = pi src; dst = pi dst; msg; gid }
+    | Safe { src; dst; msg; gid } ->
+        Safe { src = pi src; dst = pi dst; msg; gid }
+
   (* Canonical full-state rendering for exhaustive-exploration dedup.
      Injective provided [M.pp] is injective on the payload alphabet used. *)
   let state_key s =

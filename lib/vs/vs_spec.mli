@@ -53,6 +53,13 @@ module Make (M : Prelude.Msg_intf.S) : sig
       exploration. *)
   val state_key : state -> string
 
+  (** Symmetry transport: apply a processor permutation to a state / an
+      action.  The specification is equivariant (audited by
+      [Analysis.Symmetry]), so these feed orbit canonicalization. *)
+
+  val permute : (Prelude.Proc.t -> Prelude.Proc.t) -> state -> state
+  val permute_action : (Prelude.Proc.t -> Prelude.Proc.t) -> action -> action
+
   (** Total lookups mirroring the paper's array conventions. *)
 
   val current_viewid_of : state -> Prelude.Proc.t -> Prelude.Gid.Bot.t

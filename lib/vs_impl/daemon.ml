@@ -45,6 +45,17 @@ let notify ?metrics t v p =
   | Some m -> Obs.Metrics.incr m "daemon.notifications");
   { t with notified = Proc.Map.add p (Gid.Bot.of_gid (View.id v)) t.notified }
 
+let permute pi t =
+  {
+    issued = View.Set.map (View.permute pi) t.issued;
+    next_id = t.next_id;
+    notified =
+      Proc.Map.fold
+        (fun p g acc -> Proc.Map.add (pi p) g acc)
+        t.notified Proc.Map.empty;
+    components = List.map (Proc.Set.map pi) t.components;
+  }
+
 let equal a b =
   View.Set.equal a.issued b.issued
   && Gid.equal a.next_id b.next_id

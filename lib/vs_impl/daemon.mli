@@ -44,6 +44,10 @@ val can_notify : t -> Prelude.View.t -> Prelude.Proc.t -> bool
 (** Record the notification.  [?metrics] bumps [daemon.notifications]. *)
 val notify : ?metrics:Obs.Metrics.t -> t -> Prelude.View.t -> Prelude.Proc.t -> t
 
+(** Apply a processor permutation to every processor-indexed field —
+    symmetry analysis support. *)
+val permute : (Prelude.Proc.t -> Prelude.Proc.t) -> t -> t
+
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
 

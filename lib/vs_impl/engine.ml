@@ -368,6 +368,28 @@ module Make (M : Msg_intf.S) = struct
         let g = View.id v in
         { st with next_safe = Gid.Map.add g (next_safe_of st g + 1) st.next_safe }
 
+  (* Apply a processor permutation to every processor-indexed field.
+     Note the two [Pg_map] shapes: the watermark/counter maps are keyed
+     (processor, view-id) and re-keyed, while [rcv_buf] is keyed
+     (view-id, sequence-number) and only its values' origins move. *)
+  let permute pi st =
+    let rekey m =
+      Pg_map.fold (fun (p, g) v acc -> Pg_map.add (pi p, g) v acc) m Pg_map.empty
+    in
+    {
+      st with
+      me = pi st.me;
+      cur = Option.map (View.permute pi) st.cur;
+      views_seen = Gid.Map.map (View.permute pi) st.views_seen;
+      seq_log =
+        Gid.Map.map (Seqs.applytoall (fun (m, p) -> (m, pi p))) st.seq_log;
+      fwd_seen = rekey st.fwd_seen;
+      bcast_sent = rekey st.bcast_sent;
+      acked_by = rekey st.acked_by;
+      stable_sent = rekey st.stable_sent;
+      rcv_buf = Pg_map.map (fun (m, p) -> (m, pi p)) st.rcv_buf;
+    }
+
   let equal a b =
     Proc.equal a.me b.me
     && Option.equal View.equal a.cur b.cur

@@ -142,6 +142,12 @@ module Make (M : Prelude.Msg_intf.S) : sig
 
   val safed : ?metrics:Obs.Metrics.t -> state -> state
 
+  (** Apply a processor permutation to every processor-indexed field —
+      symmetry analysis support.  Beware: the engine itself is {e not}
+      equivariant (the sequencer is the least view member), so this is a
+      state transport, not a proof of symmetry. *)
+  val permute : (Prelude.Proc.t -> Prelude.Proc.t) -> state -> state
+
   val equal : state -> state -> bool
   val pp : Format.formatter -> state -> unit
 

@@ -140,6 +140,17 @@ module Make (M : Msg_intf.S) = struct
     let s = set_channel s ~src ~dst q' in
     { s with reordered = s.reordered + 1 }
 
+  let permute pi s =
+    {
+      s with
+      channels =
+        Pg_map.fold
+          (fun (src, dst) q acc ->
+            Pg_map.add (pi src, pi dst) (Seqs.applytoall (Packet.permute pi) q) acc)
+          s.channels Pg_map.empty;
+      blocked = List.map (fun (p, q) -> (pi p, pi q)) s.blocked;
+    }
+
   let in_channel s ~src ~dst pkt =
     Seqs.exists
       (fun p -> Packet.compare M.compare p pkt = 0)

@@ -106,6 +106,11 @@ module Make (M : Prelude.Msg_intf.S) : sig
   val in_channel :
     state -> src:Prelude.Proc.t -> dst:Prelude.Proc.t -> packet -> bool
 
+  (** Apply a processor permutation: channels are re-keyed, packet
+      origins mapped, blocked pairs mapped — symmetry analysis support.
+      Fault budgets are processor-free and unchanged. *)
+  val permute : (Prelude.Proc.t -> Prelude.Proc.t) -> state -> state
+
   val equal : state -> state -> bool
   val pp : Format.formatter -> state -> unit
 

@@ -13,6 +13,10 @@ let is_fwd = function Fwd _ -> true | Seq _ | Ack _ | Stable _ -> false
 
 let tag = function Fwd _ -> 0 | Seq _ -> 1 | Ack _ -> 2 | Stable _ -> 3
 
+let permute pi = function
+  | Seq s -> Seq { s with origin = pi s.origin }
+  | (Fwd _ | Ack _ | Stable _) as p -> p
+
 let compare cmp a b =
   match (a, b) with
   | Fwd x, Fwd y -> (

@@ -30,6 +30,10 @@ type 'm t =
 
 val gid : 'm t -> Prelude.Gid.t
 val is_fwd : 'm t -> bool
+
+(** Apply a processor permutation to the one packet field that names a
+    processor ([Seq.origin]) — symmetry analysis support. *)
+val permute : (Prelude.Proc.t -> Prelude.Proc.t) -> 'm t -> 'm t
 val compare : ('m -> 'm -> int) -> 'm t -> 'm t -> int
 
 val pp :

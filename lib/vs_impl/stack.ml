@@ -184,6 +184,39 @@ module Make (M : Msg_intf.S) = struct
     Proc.Set.to_buffer buf s.p0;
     Buffer.contents buf
 
+  (* Apply a processor permutation to the whole composition — symmetry
+     analysis support.  Engines are re-keyed *and* internally permuted.
+     The stack is declared non-equivariant (the engine elects the least
+     view member as sequencer), so this is only the state transport the
+     symmetry audit needs to localize the broken component. *)
+  let permute pi s =
+    {
+      net = N.permute pi s.net;
+      daemon = Daemon.permute pi s.daemon;
+      engines =
+        Proc.Map.fold
+          (fun p e acc -> Proc.Map.add (pi p) (E.permute pi e) acc)
+          s.engines Proc.Map.empty;
+      p0 = Proc.Set.map pi s.p0;
+    }
+
+  let permute_action pi = function
+    | Gpsnd (p, m) -> Gpsnd (pi p, m)
+    | Newview (v, p) -> Newview (View.permute pi v, pi p)
+    | Gprcv { src; dst; msg } -> Gprcv { src = pi src; dst = pi dst; msg }
+    | Safe { src; dst; msg } -> Safe { src = pi src; dst = pi dst; msg }
+    | Createview v -> Createview (View.permute pi v)
+    | Reconfigure comps -> Reconfigure (List.map (Proc.Set.map pi) comps)
+    | Send { src; dst; pkt } ->
+        Send { src = pi src; dst = pi dst; pkt = Packet.permute pi pkt }
+    | Deliver { src; dst; pkt } ->
+        Deliver { src = pi src; dst = pi dst; pkt = Packet.permute pi pkt }
+    | Drop { src; dst } -> Drop { src = pi src; dst = pi dst }
+    | Duplicate { src; dst } -> Duplicate { src = pi src; dst = pi dst }
+    | Reorder { src; dst } -> Reorder { src = pi src; dst = pi dst }
+    | Retransmit { src; dst; pkt } ->
+        Retransmit { src = pi src; dst = pi dst; pkt = Packet.permute pi pkt }
+
   let pp_action ppf = function
     | Gpsnd (p, m) -> Format.fprintf ppf "vs-gpsnd(%a)_%a" M.pp m Proc.pp p
     | Newview (v, p) -> Format.fprintf ppf "vs-newview(%a)_%a" View.pp v Proc.pp p

@@ -88,6 +88,17 @@ module Make (M : Prelude.Msg_intf.S) : sig
       as the dedup key for exhaustive exploration. *)
   val state_key : state -> string
 
+  (** {2 Symmetry transport}
+
+      Apply a processor permutation to a whole composed state / to an
+      action.  The stack is {e not} equivariant — the engine elects the
+      least view member as sequencer — so these only give the symmetry
+      audit the transport it needs to exhibit and localize the broken
+      component; they are not used for reduction on stack entries. *)
+
+  val permute : (Prelude.Proc.t -> Prelude.Proc.t) -> state -> state
+  val permute_action : (Prelude.Proc.t -> Prelude.Proc.t) -> action -> action
+
   (** {2 Generation} *)
 
   type config = {

@@ -100,6 +100,10 @@ let subject ?(key = string_of_int) ?(invariants = []) ?(complete = [])
     check_step = None;
     step_class = "step";
     simplify_action = None;
+    layer = "test";
+    generator = "exact; deterministic";
+    footprint = None;
+    symmetry = None;
   }
 
 let kinds r = List.map F.kind r.F.findings
@@ -365,6 +369,10 @@ let vstack_subject ?variant ~faults () =
     check_step = None;
     step_class = "step";
     simplify_action = None;
+    layer = "test";
+    generator = "over-approx; rng-paced";
+    footprint = None;
+    symmetry = None;
   }
 
 let test_no_retransmit_deadlocks () =
