@@ -1161,11 +1161,160 @@ let e16 m =
      push (ratio ~1, honest)\n"
 
 (* ================================================================== *)
+(* E17 — Phase-attributed profile of the parallel explorer             *)
+(* ================================================================== *)
+
+(* Where does E15's jobs:4 slowdown go?  The scoped-phase profiler
+   charges every worker's wall time to expand / fingerprint / dedup /
+   barrier-wait / steal, so the jobs:1-vs-jobs:4 comparison names the
+   dominant cost instead of guessing at it.  Allocation is accrued
+   per-domain (worker deltas + the main domain's), so bytes/state here is
+   the total the search allocates, not E15's main-domain lower bound.
+   Profiling must not perturb the search: each profiled run's stats are
+   checked against an unprofiled reference ([.parity]).  A second section
+   profiles the engine paths (send / retransmit / deliver) under the
+   adversarial random vs-stack execution. *)
+
+let e17 m =
+  section "E17 Phase-attributed profile: where the parallel explorer spends time";
+  let universe = 2 and p0 = Proc.Set.universe 2 in
+  let cfg =
+    { (Stk.default_config ~payloads:[ "a" ] ~universe) with
+      Stk.max_views = 2; max_sends = 1 }
+  in
+  let init = Stk.initial ~universe ~p0 () in
+  let max_depth = 14 in
+  let gen = Stk.generative_pure cfg in
+  let ref_outcome =
+    Check.Explorer.run gen ~key:Stk.state_key ~invariants:[]
+      ~max_states:2_000_000 ~max_depth ~jobs:1 ~state_rng:true ~init ()
+  in
+  let ref_stats = ref_outcome.Check.Explorer.stats in
+  row "%-4s | %-8s | %-11s | %-8s | %-10s | %s\n" "jobs" "states"
+    "states/sec" "B/state" "attributed" "phase split (ms)";
+  row "%s\n" (String.make 100 '-');
+  List.iter
+    (fun jobs ->
+      let em = Obs.Metrics.create () in
+      let prof = Check.Explorer.profile ~jobs in
+      let t0 = Obs.Metrics.now_ms () in
+      let outcome =
+        Check.Explorer.run gen ~key:Stk.state_key ~invariants:[]
+          ~max_states:2_000_000 ~max_depth ~jobs ~state_rng:true ~metrics:em
+          ~prof ~init ()
+      in
+      let elapsed = Obs.Metrics.now_ms () -. t0 in
+      Obs.Prof.stop prof;
+      let r = Obs.Prof.report prof in
+      let stats = outcome.Check.Explorer.stats in
+      let states = stats.Check.Explorer.states in
+      let sps =
+        if elapsed > 0. then float_of_int states /. (elapsed /. 1000.) else 0.
+      in
+      let bps =
+        if states > 0 then r.Obs.Prof.alloc_bytes /. float_of_int states
+        else 0.
+      in
+      let pre = Printf.sprintf "e17.vs_stack.jobs%d" jobs in
+      gauge m (pre ^ ".states") states;
+      gauge m (pre ^ ".depth") stats.Check.Explorer.depth;
+      Obs.Metrics.set m (pre ^ ".elapsed_ms") elapsed;
+      Obs.Metrics.set m (pre ^ ".states_per_sec") sps;
+      Obs.Metrics.set m (pre ^ ".bytes_per_state") bps;
+      gauge m (pre ^ ".parity") (Bool.to_int (stats = ref_stats));
+      Obs.Prof.to_metrics prof ~prefix:pre m;
+      (* the explorer's histograms (frontier size per level, per-state
+         expand latency, stolen-batch size), summarized into the snapshot *)
+      List.iter
+        (fun (key, short) ->
+          match
+            List.assoc_opt key (Obs.Metrics.snapshot em).Obs.Metrics.histograms
+          with
+          | Some (Some s) ->
+              gauge m (Printf.sprintf "%s.%s.n" pre short) s.Stats.n;
+              Obs.Metrics.set m (Printf.sprintf "%s.%s.mean" pre short)
+                s.Stats.mean;
+              Obs.Metrics.set m (Printf.sprintf "%s.%s.p90" pre short)
+                s.Stats.p90;
+              Obs.Metrics.set m (Printf.sprintf "%s.%s.max" pre short)
+                s.Stats.max
+          | Some None | None -> ())
+        [
+          ("explorer.frontier", "frontier");
+          ("explorer.expand_latency_us", "expand_latency_us");
+          ("explorer.steal_batch", "steal_batch");
+        ];
+      let split =
+        String.concat ", "
+          (List.map
+             (fun t ->
+               Printf.sprintf "%s %.0f" t.Obs.Prof.phase
+                 (Int64.to_float t.Obs.Prof.ns /. 1e6))
+             r.Obs.Prof.totals)
+      in
+      row "%-4d | %-8d | %-11.0f | %-8.0f | %-10s | %s\n" jobs states sps bps
+        (Stats.pct r.Obs.Prof.attributed)
+        split;
+      if jobs > 1 then begin
+        let dominant =
+          List.fold_left
+            (fun acc t -> match acc with
+              | Some best when Int64.compare best.Obs.Prof.ns t.Obs.Prof.ns >= 0
+                -> acc
+              | _ -> Some t)
+            None r.Obs.Prof.totals
+        in
+        match dominant with
+        | Some t ->
+            row "       dominant phase at jobs:%d: %s (%.0f ms of %.0f ms \
+                 total worker time)\n"
+              jobs t.Obs.Prof.phase
+              (Int64.to_float t.Obs.Prof.ns /. 1e6)
+              (Int64.to_float r.Obs.Prof.wall_ns /. 1e6 *. float_of_int jobs)
+        | None -> ()
+      end)
+    [ 1; 4 ];
+  (* engine paths under the adversarial random execution: the generative
+     stack charges send / retransmit / deliver per transition *)
+  let eprof = Obs.Prof.create ~slots:1 () in
+  let rng = Random.State.make [| 17 |] in
+  let rng_views = Random.State.make [| 1017 |] in
+  let steps = 20_000 in
+  let fcfg =
+    { (Stk.default_config ~payloads:[ "a"; "b" ] ~universe:3) with
+      Stk.max_views = 2 }
+  in
+  let fgen = Stk.generative ~prof:eprof fcfg ~rng_views in
+  let finit =
+    Stk.initial
+      ~faults:(Vs_impl.Fault.storm ~steps ())
+      ~universe:3 ~p0:(Proc.Set.universe 3) ()
+  in
+  let exec, _ = Ioa.Exec.run fgen ~rng ~steps ~init:finit in
+  Obs.Prof.stop eprof;
+  let er = Obs.Prof.report eprof in
+  Obs.Prof.to_metrics eprof ~prefix:"e17.engine" m;
+  gauge m "e17.engine.steps" (Ioa.Exec.length exec);
+  row "\nengine (vs-stack-faulty, %d random steps): %s\n"
+    (Ioa.Exec.length exec)
+    (String.concat ", "
+       (List.map
+          (fun t ->
+            Printf.sprintf "%s %.1f ms/%d" t.Obs.Prof.phase
+              (Int64.to_float t.Obs.Prof.ns /. 1e6)
+              t.Obs.Prof.calls)
+          er.Obs.Prof.totals));
+  row
+    "\nparity: profiled runs must reproduce the unprofiled state counts \
+     exactly\n(attributed: fraction of summed worker wall time the five \
+     phases explain)\n"
+
+(* ================================================================== *)
 
 let all =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13);
-    ("e14", e14); ("e15", e15); ("e16", e16) ]
+    ("e14", e14); ("e15", e15); ("e16", e16); ("e17", e17) ]
 
 let () =
   let requested =

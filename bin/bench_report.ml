@@ -1,0 +1,129 @@
+(* bench_report: aggregate BENCH_E*.json experiment snapshots into one
+   states/sec + bytes/state trajectory and gate it against a committed
+   baseline.
+
+   Modes:
+     (default)   sweep --dir, print the trajectory, write --out
+     --check     additionally compare against --baseline; exit 1 on a
+                 regression (throughput below baseline × min-ratio,
+                 bytes/state above baseline × max-ratio, or a baselined
+                 metric missing from the sweep)
+     --update    rewrite the baseline from the current sweep, keeping the
+                 configured ratios — run locally after an intentional
+                 performance change, commit the result *)
+
+open Cmdliner
+
+let run () dir baseline_path check update out min_ratio max_ratio =
+  let points, warnings = Obs.Report.scan ~dir in
+  List.iter (fun w -> Logs.warn (fun m -> m "%s" w)) warnings;
+  if points = [] then
+    Logs.warn (fun m -> m "no trajectory metrics under %s" dir);
+  List.iter
+    (fun (name, v) -> Format.printf "%-52s %12.1f@." name v)
+    points;
+  (match out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc
+            (Obs.Json.to_string
+               (Obs.Report.trajectory_json ~points ~warnings));
+          output_char oc '\n');
+      Logs.info (fun m -> m "trajectory written to %s" path));
+  if update then begin
+    let b =
+      {
+        Obs.Report.min_ratio = Option.value min_ratio ~default:0.1;
+        max_ratio = Option.value max_ratio ~default:10.0;
+        metrics = points;
+      }
+    in
+    Obs.Report.write_baseline ~path:baseline_path b;
+    Format.printf "baseline updated: %s (%d metrics)@." baseline_path
+      (List.length points)
+  end;
+  if check then begin
+    match Obs.Report.load_baseline baseline_path with
+    | Error msg ->
+        Format.eprintf "cannot load baseline: %s@." msg;
+        exit 1
+    | Ok b ->
+        let r = Obs.Report.check ?min_ratio ?max_ratio b points in
+        Format.printf "%a@." Obs.Report.pp_check r;
+        if Obs.Report.passed r then
+          Format.printf "bench trajectory: ok (%d metrics gated)@."
+            (List.length r.Obs.Report.verdicts)
+        else begin
+          Format.eprintf "bench trajectory: REGRESSION@.";
+          exit 1
+        end
+  end
+
+let () =
+  let dir =
+    Arg.(
+      value & opt string "."
+      & info [ "dir"; "d" ] ~docv:"DIR"
+          ~doc:"Directory holding the $(b,BENCH_E*.json) snapshots.")
+  in
+  let baseline =
+    Arg.(
+      value
+      & opt string "bench/trajectory.json"
+      & info [ "baseline"; "b" ] ~docv:"FILE"
+          ~doc:"Committed baseline for --check / --update.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Gate the sweep against the baseline; exit 1 on a regression \
+             or a missing baselined metric.")
+  in
+  let update =
+    Arg.(
+      value & flag
+      & info [ "update" ] ~doc:"Rewrite the baseline from the current sweep.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Write the swept trajectory as JSON (the CI artifact).")
+  in
+  let min_ratio =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-ratio" ] ~docv:"R"
+          ~doc:
+            "Throughput floor factor: states/sec must stay at or above \
+             baseline × $(docv) (default: the baseline's, 0.1).")
+  in
+  let max_ratio =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-ratio" ] ~docv:"R"
+          ~doc:
+            "Footprint cap factor: bytes/state must stay at or below \
+             baseline × $(docv) (default: the baseline's, 10.0).")
+  in
+  let term =
+    Term.(
+      const run $ Obs.Log_cli.setup $ dir $ baseline $ check $ update $ out
+      $ min_ratio $ max_ratio)
+  in
+  let info =
+    Cmd.info "bench_report" ~version:"1.0.0"
+      ~doc:
+        "Aggregate bench snapshots into a states/sec + bytes/state \
+         trajectory and gate it against a committed baseline."
+  in
+  exit (Cmd.eval (Cmd.v info term))

@@ -23,8 +23,17 @@ open Cmdliner
 (* Worker-domain default for --explore, as in bin/analyze. *)
 let default_jobs () = max 1 (min 8 (Domain.recommended_domain_count ()))
 
+(* Finish a --profile run: freeze, fold into the metrics registry (so
+   --json carries the phase split) and print the human report. *)
+let finish_profile metrics ~prefix = function
+  | None -> ()
+  | Some p ->
+      Obs.Prof.stop p;
+      Obs.Prof.to_metrics p ~prefix metrics;
+      Format.printf "%a@." Obs.Prof.pp_report (Obs.Prof.report p)
+
 let run_entry (Analysis.Registry.Entry e) ~steps ~seed ~explore ~reduce
-    ~max_states ~jobs metrics sink =
+    ~max_states ~jobs ~profile metrics sink =
   let open Analysis.Analyzer in
   let sub = e.subject in
   if explore then begin
@@ -32,10 +41,12 @@ let run_entry (Analysis.Registry.Entry e) ~steps ~seed ~explore ~reduce
       match max_states with Some n -> n | None -> e.max_states
     in
     let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+    let prof = if profile then Some (Check.Explorer.profile ~jobs) else None in
     let r =
       Analysis.Analyzer.analyze ~name:e.name ~max_states ~jobs ~reduce ~sink
-        ~metrics sub
+        ~metrics ?prof sub
     in
+    finish_profile metrics ~prefix:"explorer" prof;
     Logs.info (fun m ->
         m "explored %s: %d states in %.1f ms" e.name
           r.Analysis.Findings.states r.Analysis.Findings.elapsed_ms);
@@ -86,33 +97,37 @@ let run_availability ~procs ~epochs ~seed ~complete metrics sink =
 module Vstack = Vs_impl.Stack.Make (Prelude.Msg_intf.String_msg)
 module Vref = Vs_impl.Stack_refinement.Make (Prelude.Msg_intf.String_msg)
 
-let run_vs_stack ~procs ~steps ~seed metrics sink =
+let run_vs_stack ~procs ~steps ~seed ~profile metrics sink =
   let p0 = Prelude.Proc.Set.universe procs in
   let cfg = Vstack.default_config ~payloads:[ "x"; "y" ] ~universe:procs in
   let rng = Random.State.make [| seed |] in
   let rng_views = Random.State.make [| seed + 1000 |] in
-  let gen = Vstack.generative ~metrics cfg ~rng_views in
+  let prof = if profile then Some (Obs.Prof.create ~slots:1 ()) else None in
+  let gen = Vstack.generative ~metrics ~sink ?prof cfg ~rng_views in
   let exec, _stop =
     Ioa.Exec.run ~sink ~component:"vs-stack" gen ~rng ~steps
       ~init:(Vstack.initial ~universe:procs ~p0 ())
   in
-  Obs.Metrics.incr metrics ~by:(Ioa.Exec.length exec) "exec.steps"
+  Obs.Metrics.incr metrics ~by:(Ioa.Exec.length exec) "exec.steps";
+  finish_profile metrics ~prefix:"vs_stack" prof
 
 (* The same composed stack under an adversarial transport (storm policy
    scaled to the run length), with the per-execution VS refinement checked
    at the end — a non-refining run exits nonzero so CI soaks catch it. *)
-let run_vs_stack_faulty ~procs ~steps ~seed metrics sink =
+let run_vs_stack_faulty ~procs ~steps ~seed ~profile metrics sink =
   let p0 = Prelude.Proc.Set.universe procs in
   let cfg = Vstack.default_config ~payloads:[ "x"; "y" ] ~universe:procs in
   let faults = Vs_impl.Fault.storm ~steps () in
   let rng = Random.State.make [| seed |] in
   let rng_views = Random.State.make [| seed + 1000 |] in
-  let gen = Vstack.generative ~metrics cfg ~rng_views in
+  let prof = if profile then Some (Obs.Prof.create ~slots:1 ()) else None in
+  let gen = Vstack.generative ~metrics ~sink ?prof cfg ~rng_views in
   let exec, _stop =
     Ioa.Exec.run ~sink ~component:"vs-stack-faulty" gen ~rng ~steps
       ~init:(Vstack.initial ~faults ~universe:procs ~p0 ())
   in
   Obs.Metrics.incr metrics ~by:(Ioa.Exec.length exec) "exec.steps";
+  finish_profile metrics ~prefix:"vs_stack" prof;
   match Obs.Metrics.time metrics "refine.elapsed_ms" (fun () ->
             Vref.check ~p0 exec)
   with
@@ -155,7 +170,7 @@ let with_sink out f =
       (r, Obs.Trace.emitted sink)
 
 let run () entry scenario list_ out json explore reduce steps max_states jobs
-    procs epochs complete seed =
+    procs epochs complete seed profile =
   if list_ then begin
     List.iter
       (fun e ->
@@ -176,16 +191,16 @@ let run () entry scenario list_ out json explore reduce steps max_states jobs
         | Some e ->
             fun sink ->
               run_entry e ~steps ~seed ~explore ~reduce ~max_states ~jobs
-                metrics sink
+                ~profile metrics sink
         | None ->
             Format.eprintf "unknown entry %S (try --list)@." name;
             exit 2)
     | None, Some "availability" ->
         fun sink -> run_availability ~procs ~epochs ~seed ~complete metrics sink
     | None, Some "vs-stack" ->
-        fun sink -> run_vs_stack ~procs ~steps ~seed metrics sink
+        fun sink -> run_vs_stack ~procs ~steps ~seed ~profile metrics sink
     | None, Some "vs-stack-faulty" ->
-        fun sink -> run_vs_stack_faulty ~procs ~steps ~seed metrics sink
+        fun sink -> run_vs_stack_faulty ~procs ~steps ~seed ~profile metrics sink
     | None, Some s ->
         Format.eprintf "unknown scenario %S (try --list)@." s;
         exit 2
@@ -288,11 +303,22 @@ let () =
           ~doc:"Probability a dynamic formation completes (availability).")
   in
   let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Random seed.") in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Attach the scoped-phase profiler: per-worker expand / \
+             fingerprint / dedup / barrier-wait / steal attribution for \
+             --entry --explore, send / retransmit / deliver for the \
+             vs-stack scenarios.  Prints the report and folds it into the \
+             metrics summary as gauges.")
+  in
   let term =
     Term.(
       const run $ Obs.Log_cli.setup $ entry $ scenario $ list_ $ out $ json
       $ explore $ reduce $ steps $ max_states $ jobs $ procs $ epochs
-      $ complete $ seed)
+      $ complete $ seed $ profile)
   in
   let info =
     Cmd.info "trace" ~version:"1.0.0"

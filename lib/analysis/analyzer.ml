@@ -40,7 +40,7 @@ type ('s, 'a) subject = {
 
 let analyze (type s a) ~name ?(max_states = 20_000) ?max_depth ?(jobs = 1)
     ?(seed = [| 0 |]) ?(footprint = false) ?(reduce = false) ?sink ?metrics
-    (sub : (s, a) subject) =
+    ?prof (sub : (s, a) subject) =
   let (module A : Ioa.Automaton.GENERATIVE
         with type state = s
          and type action = a) =
@@ -66,7 +66,7 @@ let analyze (type s a) ~name ?(max_states = 20_000) ?max_depth ?(jobs = 1)
       ~invariants:(List.map (fun c -> c.Ioa.Invariant.inv) sub.invariants)
       ~seed ~max_states ?max_depth ~jobs ~state_rng:true
       ?check_step:sub.check_step ?check_key:sub.equal_state ~observe ?sink
-      ?metrics ~init:sub.init ()
+      ?metrics ?prof ~init:sub.init ()
   in
   let obs = List.rev !observations in
   let stats = outcome.Check.Explorer.stats in

@@ -98,11 +98,12 @@ type ('s, 'a) subject = {
     automaton must then be thread-safe for [jobs > 1] (true of the
     [generative_pure]-packaged registry entries).
 
-    [?sink]/[?metrics] are forwarded to {!Check.Explorer.run} (progress
-    events, [explorer.*] counters); the analyzer additionally times the whole
-    pass — reported as [elapsed_ms]/[states_per_sec] in the result and
-    observed into the [analyzer.elapsed_ms] histogram when [?metrics] is
-    given.  Neither affects the explored graph or the findings. *)
+    [?sink]/[?metrics]/[?prof] are forwarded to {!Check.Explorer.run}
+    (progress events, [explorer.*] counters, the scoped-phase profile); the
+    analyzer additionally times the whole pass — reported as
+    [elapsed_ms]/[states_per_sec] in the result and observed into the
+    [analyzer.elapsed_ms] histogram when [?metrics] is given.  None of them
+    affects the explored graph or the findings. *)
 val analyze :
   name:string ->
   ?max_states:int ->
@@ -113,6 +114,7 @@ val analyze :
   ?reduce:bool ->
   ?sink:Obs.Trace.sink ->
   ?metrics:Obs.Metrics.t ->
+  ?prof:Obs.Prof.t ->
   ('s, 'a) subject ->
   Findings.report
 

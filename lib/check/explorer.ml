@@ -30,6 +30,17 @@ type ('s, 'a) outcome = {
 
 let component = "check.explorer"
 
+(* Phase vocabulary of the profiled explorer: candidate generation +
+   stepping ("expand"), key rendering + hashing ("fingerprint"), the
+   striped seen-set section ("dedup"), level-synchronization cost
+   ("barrier-wait": per-level domain spawn gap + end-of-level idle) and
+   cross-slice frontier claiming ("steal").  Nested phases pause the
+   enclosing one, so the five attributions are disjoint. *)
+let prof_phases = [ "expand"; "fingerprint"; "dedup"; "barrier-wait"; "steal" ]
+
+let profile ~jobs =
+  Obs.Prof.create ~phases:prof_phases ~slots:(max 1 jobs) ()
+
 let progress_event sink (stats : stats) ~frontier =
   Obs.Trace.point sink ~component ~cls:"progress"
     [
@@ -51,8 +62,45 @@ let run (type s a)
     (module A : Ioa.Automaton.GENERATIVE with type state = s and type action = a)
     ~key ~invariants ?(seed = [| 0 |]) ?(max_states = 200_000) ?max_depth
     ?(jobs = 1) ?state_rng ?(trace = false) ?check_step ?check_key ?ample
-    ?canon ?observe ?sink ?metrics ?(progress_every = 10_000) ~init () =
+    ?canon ?observe ?sink ?metrics ?prof ?(progress_every = 10_000) ~init () =
   let jobs = max 1 jobs in
+  (match prof with
+  | Some p when Obs.Prof.slots p < jobs ->
+      invalid_arg "Explorer.run: prof has fewer slots than jobs"
+  | Some _ | None -> ());
+  (* Profiling hooks: phase ids interned up front (no worker is running
+     yet), hot-path enter/leave resolved to no-ops when [?prof] is absent
+     so unprofiled runs stay byte-identical. *)
+  let ph_expand, ph_fp, ph_dedup, ph_barrier, ph_steal =
+    match prof with
+    | Some p ->
+        ( Obs.Prof.intern p "expand",
+          Obs.Prof.intern p "fingerprint",
+          Obs.Prof.intern p "dedup",
+          Obs.Prof.intern p "barrier-wait",
+          Obs.Prof.intern p "steal" )
+    | None -> (0, 0, 0, 0, 0)
+  in
+  let pf_enter, pf_leave =
+    match prof with
+    | Some p -> (Obs.Prof.enter p, Obs.Prof.leave p)
+    | None -> ((fun ~slot:_ _ -> ()), (fun ~slot:_ _ -> ()))
+  in
+  (* Per-state expansion latency costs two clock reads per state; only
+     recorded when both a profiler and a registry are attached. *)
+  let obs_latency =
+    match (prof, metrics) with
+    | Some _, Some m ->
+        fun t0 ->
+          Obs.Metrics.observe m "explorer.expand_latency_us"
+            (Int64.to_float (Int64.sub (Obs.Prof.now_ns ()) t0) /. 1e3)
+    | _ -> ignore
+  in
+  let latency_t0 () =
+    match (prof, metrics) with
+    | Some _, Some _ -> Obs.Prof.now_ns ()
+    | _ -> 0L
+  in
   (* Parallel exploration requires candidate sets that are a pure function
      of the state — visit order is scheduling-dependent — so [jobs > 1]
      forces the per-state RNG discipline on. *)
@@ -152,9 +200,16 @@ let run (type s a)
             if rep != state then incr orbit_collapsed;
             rep
       in
-      let fp = fingerprint state in
+      let fp =
+        pf_enter ~slot:0 ph_fp;
+        let fp = fingerprint state in
+        pf_leave ~slot:0 ph_fp;
+        fp
+      in
+      pf_enter ~slot:0 ph_dedup;
       match Fingerprint.Table.find_opt seen fp with
       | Some rep ->
+          pf_leave ~slot:0 ph_dedup;
           (* Audit the key function when an equality is available: a
              collision between states the equality distinguishes means the
              dedup merged genuinely different states — whether because [key]
@@ -170,6 +225,7 @@ let run (type s a)
           | Some tbl, Some (pfp, idx, _, _) ->
               Fingerprint.Table.replace tbl fp (pfp, idx)
           | _ -> ());
+          pf_leave ~slot:0 ph_dedup;
           stats :=
             {
               !stats with
@@ -204,14 +260,27 @@ let run (type s a)
       if continue () && not (Queue.is_empty queue) then begin
         let depth, state, fp = Queue.pop queue in
         incr expanded;
-        (match sink with
-        | Some s when !expanded mod progress_every = 0 ->
-            progress_event s !stats ~frontier:(Queue.length queue)
-        | Some _ | None -> ());
+        if !expanded mod progress_every = 0 then begin
+          (match sink with
+          | Some s ->
+              progress_event s !stats ~frontier:(Queue.length queue);
+              (match prof with
+              | Some p ->
+                  Obs.Prof.heartbeat p s ~component ~states:!stats.states
+              | None -> ())
+          | None -> ());
+          match metrics with
+          | Some m ->
+              Obs.Metrics.observe m "explorer.frontier"
+                (float_of_int (Queue.length queue))
+          | None -> ()
+        end;
         let expand =
           match max_depth with Some d -> depth < d | None -> true
         in
         if expand then begin
+          pf_enter ~slot:0 ph_expand;
+          let lat0 = latency_t0 () in
           let rng = if state_rng then state_rng_of fp else rng in
           let candidates = A.candidates rng state in
           let actions = List.filter (A.enabled state) candidates in
@@ -254,7 +323,9 @@ let run (type s a)
                 if continue () then
                   push ~via:(fp, idx, state, action) (depth + 1) post
               end)
-            fired
+            fired;
+          obs_latency lat0;
+          pf_leave ~slot:0 ph_expand
         end;
         loop ()
       end
@@ -331,7 +402,7 @@ let run (type s a)
        state: counted and invariant-checked, never expanded — exactly the
        sequential truncation semantics), then invariant-check.  Returns the
        frontier entry when the state belongs in the next level. *)
-    let admit ?via depth state =
+    let admit ?via ~wid depth state =
       let state =
         match canon with
         | None -> state
@@ -340,7 +411,13 @@ let run (type s a)
             if rep != state then Atomic.incr orbit_collapsed;
             rep
       in
-      let fp = fingerprint state in
+      let fp =
+        pf_enter ~slot:wid ph_fp;
+        let fp = fingerprint state in
+        pf_leave ~slot:wid ph_fp;
+        fp
+      in
+      pf_enter ~slot:wid ph_dedup;
       let shard = Int64.to_int fp.Fingerprint.hi land (shard_count - 1) in
       let mu, tbl = shards.(shard) in
       if not (Mutex.try_lock mu) then begin
@@ -350,6 +427,7 @@ let run (type s a)
       match T.find_opt tbl fp with
       | Some rep ->
           Mutex.unlock mu;
+          pf_leave ~slot:wid ph_dedup;
           (match check_key with
           | Some equal when not (equal rep state) ->
               record key_clash (rep, state)
@@ -366,6 +444,7 @@ let run (type s a)
           match reserve () with
           | None ->
               Mutex.unlock mu;
+              pf_leave ~slot:wid ph_dedup;
               None
           | Some n -> (
               T.add tbl fp (if retain then state else init);
@@ -374,6 +453,7 @@ let run (type s a)
                   T.replace ps.(shard) fp (pfp, idx)
               | _ -> ());
               Mutex.unlock mu;
+              pf_leave ~slot:wid ph_dedup;
               bump_depth depth;
               match check_state n state with
               | Some v ->
@@ -404,9 +484,15 @@ let run (type s a)
               truncated = Atomic.get truncated;
             }
             ~frontier:(frontier ());
+          (match prof with
+          | Some p ->
+              Obs.Prof.heartbeat p s ~component ~states:(Atomic.get states)
+          | None -> ());
           Mutex.unlock aux_mu
       | Some _ | None -> ());
       if expandable then begin
+        pf_enter ~slot:wid ph_expand;
+        let lat0 = latency_t0 () in
         let rng = state_rng_of fp in
         let candidates = A.candidates rng state in
         let actions = List.filter (A.enabled state) candidates in
@@ -447,11 +533,15 @@ let run (type s a)
                   | Ok () -> ()
                   | Error msg -> record step_failure (step, msg)));
               if not (Atomic.get stop) then
-                match admit ~via:(fp, idx, state, action) (depth + 1) post with
+                match
+                  admit ~via:(fp, idx, state, action) ~wid (depth + 1) post
+                with
                 | Some entry -> buf := entry :: !buf
                 | None -> ()
             end)
-          fired
+          fired;
+        obs_latency lat0;
+        pf_leave ~slot:wid ph_expand
       end
     in
     let run_level depth slices =
@@ -465,11 +555,37 @@ let run (type s a)
           slices;
         !left
       in
+      (match metrics with
+      | Some m ->
+          let total =
+            Array.fold_left (fun acc a -> acc + Array.length a) 0 slices
+          in
+          Obs.Metrics.observe m "explorer.frontier" (float_of_int total)
+      | None -> ());
+      let level_t0 =
+        match prof with Some _ -> Obs.Prof.now_ns () | None -> 0L
+      in
+      let drive_end = Array.make jobs 0L in
       let nexts = Array.make jobs [] in
       let expandable =
         match max_depth with Some d -> depth < d | None -> true
       in
       let worker wid () =
+        (* The spawn gap — worker start minus level start — is time this
+           slot spent waiting on domain startup, charged to barrier-wait.
+           Worker 0 runs on the spawning domain, whose allocation is
+           already covered by the main-domain delta sampled at
+           [Prof.stop]; sampling it here would double-count. *)
+        (match prof with
+        | Some p ->
+            Obs.Prof.add_ns p ~slot:wid ph_barrier
+              (Int64.sub (Obs.Prof.now_ns ()) level_t0)
+        | None -> ());
+        let alloc0 =
+          match prof with
+          | Some _ when wid > 0 -> Gc.allocated_bytes ()
+          | _ -> 0.
+        in
         let buf = ref [] in
         let own = wid mod nslices in
         let claim j =
@@ -478,8 +594,15 @@ let run (type s a)
           let base = Atomic.fetch_and_add cursors.(j) steal_block in
           if base >= n then false
           else begin
-            if j <> own then Atomic.incr steals;
             let stop_at = min n (base + steal_block) in
+            if j <> own then begin
+              Atomic.incr steals;
+              match metrics with
+              | Some m ->
+                  Obs.Metrics.observe m "explorer.steal_batch"
+                    (float_of_int (stop_at - base))
+              | None -> ()
+            end;
             for i = base to stop_at - 1 do
               if not (Atomic.get stop) then begin
                 let state, fp = a.(i) in
@@ -492,15 +615,28 @@ let run (type s a)
         let rec drive () =
           if not (Atomic.get stop) then
             if claim own then drive ()
-            else
+            else begin
+              (* Scanning the other slices for work is steal overhead;
+                 expanding a claimed batch re-enters the expand phase,
+                 which pauses this one — attribution stays disjoint. *)
+              pf_enter ~slot:wid ph_steal;
               let rec steal k =
-                if k < nslices then
-                  if claim ((own + k) mod nslices) then drive ()
-                  else steal (k + 1)
+                if k >= nslices then false
+                else if claim ((own + k) mod nslices) then true
+                else steal (k + 1)
               in
-              steal 1
+              let got = steal 1 in
+              pf_leave ~slot:wid ph_steal;
+              if got then drive ()
+            end
         in
         drive ();
+        (match prof with
+        | Some p ->
+            drive_end.(wid) <- Obs.Prof.now_ns ();
+            if wid > 0 then
+              Obs.Prof.add_alloc p ~slot:wid (Gc.allocated_bytes () -. alloc0)
+        | None -> ());
         nexts.(wid) <- !buf
       in
       let domains =
@@ -509,6 +645,16 @@ let run (type s a)
       in
       worker 0 ();
       Array.iter Domain.join domains;
+      (* Idle tail: a worker that drained its slices early sits at the
+         level barrier until the slowest one finishes. *)
+      (match prof with
+      | Some p ->
+          let level_end = Obs.Prof.now_ns () in
+          for wid = 0 to jobs - 1 do
+            Obs.Prof.add_ns p ~slot:wid ph_barrier
+              (Int64.sub level_end drive_end.(wid))
+          done
+      | None -> ());
       Array.map Array.of_list nexts
     in
     let rec levels depth slices =
@@ -517,7 +663,7 @@ let run (type s a)
         && Array.exists (fun a -> Array.length a > 0) slices
       then levels (depth + 1) (run_level depth slices)
     in
-    (match admit 0 init with
+    (match admit ~wid:0 0 init with
     | Some entry -> levels 0 [| [| entry |] |]
     | None -> ());
     let stats =

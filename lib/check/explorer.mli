@@ -151,7 +151,19 @@ type ('s, 'a) outcome = {
            gauge (the job count) and the [explorer.steals] /
            [explorer.shard_contention] counters (frontier blocks claimed
            from another worker's slice; seen-set shard locks that were
-           busy on first try).
+           busy on first try).  With [?prof] also given, records the
+           [explorer.frontier] (per-level frontier size),
+           [explorer.expand_latency_us] (per-state expansion latency) and
+           [explorer.steal_batch] (stolen block size) histograms.
+    @param prof scoped-phase profiler (see {!profile}): charges wall time
+           to the [expand] / [fingerprint] / [dedup] / [barrier-wait] /
+           [steal] phases, one slot per worker, and accrues per-domain
+           allocation.  Must have at least [jobs] slots
+           ([Invalid_argument] otherwise).  When [?sink] is also given,
+           each progress point is followed by an [Obs.Prof.heartbeat]
+           (states/sec, bytes/state, per-phase split so far).  Omitting
+           the parameter leaves the search byte-identical to unprofiled
+           runs — the hooks compile to nothing.
     @param progress_every progress-event stride (default 10_000). *)
 val run :
   (module Ioa.Automaton.GENERATIVE with type state = 's and type action = 'a) ->
@@ -170,7 +182,13 @@ val run :
   ?observe:(('s, 'a) observation -> unit) ->
   ?sink:Obs.Trace.sink ->
   ?metrics:Obs.Metrics.t ->
+  ?prof:Obs.Prof.t ->
   ?progress_every:int ->
   init:'s ->
   unit ->
   ('s, 'a) outcome
+
+(** A profiler pre-interned with the explorer's phase names ([expand],
+    [fingerprint], [dedup], [barrier-wait], [steal]) and one slot per
+    worker — the [?prof] argument for [run ~jobs]. *)
+val profile : jobs:int -> Obs.Prof.t

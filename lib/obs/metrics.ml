@@ -1,41 +1,74 @@
+(* Domain-safety: the registry mutex guards table structure (creation and
+   lookup of cells); counters are atomics bumped lock-free once located;
+   histogram recorders are sharded per domain (shard index = domain id mod
+   shard_count, each shard behind its own mutex) and merged at snapshot
+   time.  One registry can therefore be threaded through the parallel
+   explorer's worker domains directly. *)
+
+let series_shards = 8
+
+type shard = { smu : Mutex.t; mutable samples : float list (* newest first *) }
+
+type series = shard array
+
 type t = {
-  counters : (string, int ref) Hashtbl.t;
+  mu : Mutex.t;  (* guards the three tables' structure *)
+  counters : (string, int Atomic.t) Hashtbl.t;
   gauges : (string, float ref) Hashtbl.t;
-  series : (string, float list ref) Hashtbl.t;  (* newest sample first *)
+  series : (string, series) Hashtbl.t;
 }
 
 let create () =
   {
+    mu = Mutex.create ();
     counters = Hashtbl.create 16;
     gauges = Hashtbl.create 16;
     series = Hashtbl.create 16;
   }
 
-let cell table name mk =
-  match Hashtbl.find_opt table name with
-  | Some c -> c
-  | None ->
-      let c = mk () in
-      Hashtbl.add table name c;
-      c
+(* Find-or-create under the registry mutex: concurrent first uses of the
+   same name race to the lock, not the table. *)
+let cell t table name mk =
+  Mutex.lock t.mu;
+  let c =
+    match Hashtbl.find_opt table name with
+    | Some c -> c
+    | None ->
+        let c = mk () in
+        Hashtbl.add table name c;
+        c
+  in
+  Mutex.unlock t.mu;
+  c
+
+let find t table name =
+  Mutex.lock t.mu;
+  let c = Hashtbl.find_opt table name in
+  Mutex.unlock t.mu;
+  c
 
 let incr ?(by = 1) t name =
-  let c = cell t.counters name (fun () -> ref 0) in
-  c := !c + by
+  let c = cell t t.counters name (fun () -> Atomic.make 0) in
+  ignore (Atomic.fetch_and_add c by)
 
 let count t name =
-  match Hashtbl.find_opt t.counters name with Some c -> !c | None -> 0
+  match find t t.counters name with Some c -> Atomic.get c | None -> 0
 
 let set t name v =
-  let c = cell t.gauges name (fun () -> ref 0.) in
+  let c = cell t t.gauges name (fun () -> ref 0.) in
   c := v
 
-let gauge t name =
-  Option.map (fun c -> !c) (Hashtbl.find_opt t.gauges name)
+let gauge t name = Option.map (fun c -> !c) (find t t.gauges name)
+
+let mk_series () =
+  Array.init series_shards (fun _ -> { smu = Mutex.create (); samples = [] })
 
 let observe t name v =
-  let c = cell t.series name (fun () -> ref []) in
-  c := v :: !c
+  let s = cell t t.series name mk_series in
+  let sh = s.((Domain.self () :> int) land (series_shards - 1)) in
+  Mutex.lock sh.smu;
+  sh.samples <- v :: sh.samples;
+  Mutex.unlock sh.smu
 
 let now_ms () = Unix.gettimeofday () *. 1000.
 
@@ -49,16 +82,31 @@ type snapshot = {
   histograms : (string * Stats.summary option) list;
 }
 
-let sorted_bindings table read =
-  Hashtbl.fold (fun name c acc -> (name, read c) :: acc) table []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+(* Merge the per-domain shards into one sample list; shard order, newest
+   first within a shard.  Summaries are order-independent. *)
+let series_samples (s : series) =
+  Array.fold_left
+    (fun acc sh ->
+      Mutex.lock sh.smu;
+      let xs = sh.samples in
+      Mutex.unlock sh.smu;
+      List.rev_append xs acc)
+    [] s
 
 let snapshot (t : t) : snapshot =
+  let bindings table =
+    Mutex.lock t.mu;
+    let bs = Hashtbl.fold (fun name c acc -> (name, c) :: acc) table [] in
+    Mutex.unlock t.mu;
+    List.sort (fun (a, _) (b, _) -> String.compare a b) bs
+  in
   {
-    counters = sorted_bindings t.counters ( ! );
-    gauges = sorted_bindings t.gauges ( ! );
+    counters = List.map (fun (n, c) -> (n, Atomic.get c)) (bindings t.counters);
+    gauges = List.map (fun (n, c) -> (n, !c)) (bindings t.gauges);
     histograms =
-      sorted_bindings t.series (fun c -> Stats.summarize_opt !c);
+      List.map
+        (fun (n, s) -> (n, Stats.summarize_opt (series_samples s)))
+        (bindings t.series);
   }
 
 let pp_snapshot ppf s =

@@ -10,7 +10,15 @@
     ({!snapshot_json}), in the same style as [lib/analysis/findings.ml].
     Histogram summaries come from {!Stats.summarize_opt}, so a recorder
     that never observed a sample snapshots to [None] rather than
-    crashing the report. *)
+    crashing the report.
+
+    The registry is domain-safe: a mutex guards metric creation and
+    lookup, counters are atomics, gauges are written under the registry
+    mutex, and histogram recorders keep per-domain sample shards (merged
+    at snapshot time), so one registry may be passed to
+    [Check.Explorer.run ~jobs:n] and bumped from every worker domain.
+    [snapshot] taken concurrently with writers is a consistent read of
+    each metric, not an atomic cut across metrics. *)
 
 type t
 

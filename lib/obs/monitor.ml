@@ -1,0 +1,197 @@
+(* Online trace monitors, in the style of "Specification and Runtime
+   Checking of Derecho" (PAPERS.md): rules consume the live event stream
+   one event at a time, keep incremental state in closures, and flag the
+   first event that completes a violation — while the run is still in
+   flight, not from a post-mortem log scan.  A rule latches after its
+   first violation (the stream past a broken prefix proves nothing). *)
+
+type violation = { rule : string; at_seq : int; reason : string }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "[%s] at #%d: %s" v.rule v.at_seq v.reason
+
+type rule = { name : string; check : Trace.event -> string option }
+
+let rule ~name check = { name; check }
+
+type rstate = { r : rule; mutable tripped : bool }
+
+type t = {
+  mu : Mutex.t;
+  rules : rstate array;
+  mutable seen : int;
+  mutable latest : violation list;  (* newest first *)
+}
+
+let create rules =
+  {
+    mu = Mutex.create ();
+    rules = Array.of_list (List.map (fun r -> { r; tripped = false }) rules);
+    seen = 0;
+    latest = [];
+  }
+
+let feed t (e : Trace.event) =
+  Mutex.lock t.mu;
+  t.seen <- t.seen + 1;
+  let fresh = ref [] in
+  Array.iter
+    (fun rs ->
+      if not rs.tripped then
+        match rs.r.check e with
+        | None -> ()
+        | Some reason ->
+            rs.tripped <- true;
+            let v = { rule = rs.r.name; at_seq = e.Trace.seq; reason } in
+            t.latest <- v :: t.latest;
+            fresh := v :: !fresh)
+    t.rules;
+  Mutex.unlock t.mu;
+  List.rev !fresh
+
+let violations t =
+  Mutex.lock t.mu;
+  let vs = List.rev t.latest in
+  Mutex.unlock t.mu;
+  vs
+
+let ok t = violations t = []
+
+let events_seen t =
+  Mutex.lock t.mu;
+  let n = t.seen in
+  Mutex.unlock t.mu;
+  n
+
+(* The sink wrapper: every event feeds the monitor; fresh violations are
+   emitted Derecho-style as "violation" points on [out].  [out] must be
+   a different sink (the feed runs under this sink's mutex; emission
+   into [out] happens after it is released, but emitting back into the
+   monitored sink itself would deadlock). *)
+let sink ?out t =
+  Trace.callback (fun e ->
+      let fresh = feed t e in
+      match out with
+      | None -> ()
+      | Some o ->
+          List.iter
+            (fun v ->
+              Trace.point o ~component:"obs.monitor" ~cls:"violation"
+                [
+                  ("rule", Trace.Str v.rule);
+                  ("at_seq", Trace.Int v.at_seq);
+                  ("reason", Trace.Str v.reason);
+                ])
+            fresh)
+
+(* ------------------------------------------------------------------ *)
+(* Built-in rules over the vs.engine / check.explorer event vocabulary *)
+(* ------------------------------------------------------------------ *)
+
+let p_int key (e : Trace.event) =
+  match List.assoc_opt key e.Trace.payload with
+  | Some (Trace.Int n) -> Some n
+  | _ -> None
+
+let p_str key (e : Trace.event) =
+  match List.assoc_opt key e.Trace.payload with
+  | Some (Trace.Str s) -> Some s
+  | _ -> None
+
+(* Registry invariant "unique sequencing": a sequencer assigns each
+   accepted forward exactly one position — (receiver, gid, src, fsn)
+   sequenced twice is the No_dedup defect, visible online as a repeated
+   key.  (Faithful engines drop the duplicate at the watermark and never
+   emit the second event.) *)
+let unique_sequencing () =
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  rule ~name:"unique-sequencing" (fun e ->
+      if String.equal e.Trace.cls "sequenced" then
+        match (p_str "p" e, p_str "gid" e, p_str "src" e, p_int "fsn" e) with
+        | Some p, Some gid, Some src, Some fsn ->
+            let k = Printf.sprintf "%s|%s|%s|%d" p gid src fsn in
+            if Hashtbl.mem seen k then
+              Some
+                (Printf.sprintf
+                   "forward (src %s, view %s, fsn %d) sequenced twice at %s"
+                   src gid fsn p)
+            else begin
+              Hashtbl.add seen k ();
+              None
+            end
+        | _ -> None
+      else None)
+
+(* Deliveries per (process, view) must walk the positions 1, 2, 3, …
+   with no gap or repeat — the online shadow of the spec's
+   next-to-deliver index discipline. *)
+let contiguous_delivery () =
+  let last : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  rule ~name:"contiguous-delivery" (fun e ->
+      if String.equal e.Trace.cls "deliver" then
+        match (p_str "p" e, p_str "gid" e, p_int "sn" e) with
+        | Some p, Some gid, Some sn ->
+            let k = p ^ "|" ^ gid in
+            let prev = Option.value ~default:0 (Hashtbl.find_opt last k) in
+            if sn = prev + 1 then begin
+              Hashtbl.replace last k sn;
+              None
+            end
+            else
+              Some
+                (Printf.sprintf
+                   "%s delivered position %d of view %s after %d" p sn gid
+                   prev)
+        | _ -> None
+      else None)
+
+(* Refinement obligation, prefix consistency: all members of a view must
+   agree on what occupies each position of its total order. *)
+let prefix_consistent () =
+  let order : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  rule ~name:"prefix-consistent" (fun e ->
+      if String.equal e.Trace.cls "deliver" then
+        match (p_str "gid" e, p_int "sn" e, p_str "origin" e, p_str "msg" e)
+        with
+        | Some gid, Some sn, Some origin, Some msg ->
+            let k = Printf.sprintf "%s|%d" gid sn in
+            let entry = origin ^ ":" ^ msg in
+            (match Hashtbl.find_opt order k with
+            | Some prior when not (String.equal prior entry) ->
+                Some
+                  (Printf.sprintf
+                     "view %s position %d delivered as %s by one member and \
+                      %s by another"
+                     gid sn prior entry)
+            | Some _ -> None
+            | None ->
+                Hashtbl.add order k entry;
+                None)
+        | _ -> None
+      else None)
+
+(* The explorer's states counter (progress / heartbeat / done events)
+   never decreases within one run. *)
+let monotone_progress () =
+  let last = ref (-1) in
+  rule ~name:"monotone-progress" (fun e ->
+      if String.equal e.Trace.component "check.explorer" then
+        match p_int "states" e with
+        | Some s ->
+            if s < !last then
+              Some
+                (Printf.sprintf "states went backwards: %d after %d" s !last)
+            else begin
+              last := s;
+              None
+            end
+        | None -> None
+      else None)
+
+let standard () =
+  [
+    unique_sequencing ();
+    contiguous_delivery ();
+    prefix_consistent ();
+    monotone_progress ();
+  ]

@@ -1,0 +1,231 @@
+(* Bench-trajectory aggregation and regression gating.
+
+   Every experiment snapshot (BENCH_E*.json, written by bench/main.exe
+   via Metrics.write_file) carries its headline throughput and footprint
+   numbers as gauges named *.states_per_sec / *.bytes_per_state.  This
+   module sweeps a directory of snapshots into one trajectory — the
+   per-release record ROADMAP item 1 asks for — and checks it against a
+   committed baseline with ratio thresholds: throughput may not fall
+   below baseline × min_ratio, bytes/state may not rise above baseline ×
+   max_ratio.  Thresholds are deliberately loose (CI machines vary);
+   the gate exists to catch order-of-magnitude regressions, not noise. *)
+
+type kind = Throughput | Bytes
+
+let kind_of name =
+  let ends_with suf = Filename.check_suffix name suf in
+  if ends_with ".states_per_sec" then Some Throughput
+  else if ends_with ".bytes_per_state" then Some Bytes
+  else None
+
+(* Trajectory metrics of one parsed snapshot, labeled "E15:e15.…". *)
+let extract ~label json =
+  match Json.member "gauges" json with
+  | Some (Json.Obj gauges) ->
+      List.filter_map
+        (fun (name, v) ->
+          match (kind_of name, v) with
+          | Some _, Json.Float f -> Some (label ^ ":" ^ name, f)
+          | Some _, Json.Int n -> Some (label ^ ":" ^ name, float_of_int n)
+          | _ -> None)
+        gauges
+  | _ -> []
+
+let bench_label file =
+  (* "BENCH_E15.json" -> "E15" *)
+  Filename.chop_suffix (String.sub file 6 (String.length file - 6)) ".json"
+
+let is_bench_file name =
+  String.length name > 6
+  && String.sub name 0 6 = "BENCH_"
+  && Filename.check_suffix name ".json"
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Sweep [dir] for BENCH_E*.json; unparseable files become warnings, not
+   hard failures (the committed baseline decides what must be present). *)
+let scan ~dir =
+  let files =
+    Sys.readdir dir |> Array.to_list |> List.filter is_bench_file
+    |> List.sort String.compare
+  in
+  List.fold_left
+    (fun (points, warnings) file ->
+      let path = Filename.concat dir file in
+      match Json.of_string (read_file path) with
+      | Ok json -> (points @ extract ~label:(bench_label file) json, warnings)
+      | Error msg ->
+          (points, warnings @ [ Printf.sprintf "%s: %s" file msg ])
+      | exception Sys_error msg -> (points, warnings @ [ msg ]))
+    ([], []) files
+
+(* ------------------------------------------------------------------ *)
+(* Baseline                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type baseline = {
+  min_ratio : float;  (** throughput floor: value ≥ baseline × min_ratio *)
+  max_ratio : float;  (** bytes/state cap: value ≤ baseline × max_ratio *)
+  metrics : (string * float) list;
+}
+
+let baseline_json b =
+  Json.Obj
+    [
+      ("min_ratio", Json.Float b.min_ratio);
+      ("max_ratio", Json.Float b.max_ratio);
+      ( "metrics",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) b.metrics) );
+    ]
+
+let num = function
+  | Json.Float f -> Some f
+  | Json.Int n -> Some (float_of_int n)
+  | _ -> None
+
+let baseline_of_json j =
+  let ratio name default =
+    match Json.member name j with
+    | Some v -> Option.value ~default (num v)
+    | None -> default
+  in
+  match Json.member "metrics" j with
+  | Some (Json.Obj ms) ->
+      let metrics =
+        List.filter_map (fun (k, v) -> Option.map (fun f -> (k, f)) (num v)) ms
+      in
+      Ok
+        {
+          min_ratio = ratio "min_ratio" 0.1;
+          max_ratio = ratio "max_ratio" 10.0;
+          metrics;
+        }
+  | _ -> Error "baseline: missing \"metrics\" object"
+
+let load_baseline path =
+  match Json.of_string (read_file path) with
+  | Ok j -> baseline_of_json j
+  | Error msg -> Error (path ^ ": " ^ msg)
+  | exception Sys_error msg -> Error msg
+
+let write_baseline ~path b =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (baseline_json b));
+      output_char oc '\n')
+
+(* ------------------------------------------------------------------ *)
+(* Checking                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type verdict = {
+  metric : string;
+  kind : kind;
+  value : float;
+  base : float;
+  bound : float;  (** the floor (throughput) or cap (bytes) applied *)
+  ok : bool;
+}
+
+type check_result = {
+  verdicts : verdict list;
+  missing : string list;  (** in the baseline, absent from the sweep *)
+  fresh : string list;  (** in the sweep, absent from the baseline *)
+}
+
+let passed r = r.missing = [] && List.for_all (fun v -> v.ok) r.verdicts
+
+let check ?min_ratio ?max_ratio baseline current =
+  let min_ratio = Option.value min_ratio ~default:baseline.min_ratio in
+  let max_ratio = Option.value max_ratio ~default:baseline.max_ratio in
+  let verdicts, missing =
+    List.fold_left
+      (fun (vs, miss) (name, base) ->
+        match List.assoc_opt name current with
+        | None -> (vs, name :: miss)
+        | Some value ->
+            let kind =
+              Option.value ~default:Throughput
+                (kind_of
+                   (match String.index_opt name ':' with
+                   | Some i ->
+                       String.sub name (i + 1) (String.length name - i - 1)
+                   | None -> name))
+            in
+            let bound, ok =
+              if base <= 0. then (0., true) (* no meaningful baseline *)
+              else
+                match kind with
+                | Throughput ->
+                    let floor = base *. min_ratio in
+                    (floor, value >= floor)
+                | Bytes ->
+                    let cap = base *. max_ratio in
+                    (cap, value <= cap)
+            in
+            ({ metric = name; kind; value; base; bound; ok } :: vs, miss))
+      ([], []) baseline.metrics
+  in
+  let fresh =
+    List.filter_map
+      (fun (name, _) ->
+        if List.mem_assoc name baseline.metrics then None else Some name)
+      current
+  in
+  { verdicts = List.rev verdicts; missing = List.rev missing; fresh }
+
+let pp_check ppf r =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun v ->
+      Format.fprintf ppf "%-6s %-52s %12.1f  (baseline %.1f, %s %.1f)@,"
+        (if v.ok then "ok" else "FAIL")
+        v.metric v.value v.base
+        (match v.kind with Throughput -> "floor" | Bytes -> "cap")
+        v.bound)
+    r.verdicts;
+  List.iter
+    (fun name -> Format.fprintf ppf "%-6s %-52s (missing from sweep)@," "FAIL" name)
+    r.missing;
+  List.iter
+    (fun name -> Format.fprintf ppf "%-6s %-52s (new, not gated)@," "new" name)
+    r.fresh;
+  Format.fprintf ppf "@]"
+
+let check_json r =
+  let verdict v =
+    Json.Obj
+      [
+        ("metric", Json.Str v.metric);
+        ( "kind",
+          Json.Str
+            (match v.kind with
+            | Throughput -> "states_per_sec"
+            | Bytes -> "bytes_per_state") );
+        ("value", Json.Float v.value);
+        ("baseline", Json.Float v.base);
+        ("bound", Json.Float v.bound);
+        ("ok", Json.Bool v.ok);
+      ]
+  in
+  Json.Obj
+    [
+      ("passed", Json.Bool (passed r));
+      ("verdicts", Json.List (List.map verdict r.verdicts));
+      ("missing", Json.List (List.map (fun s -> Json.Str s) r.missing));
+      ("new", Json.List (List.map (fun s -> Json.Str s) r.fresh));
+    ]
+
+let trajectory_json ~points ~warnings =
+  Json.Obj
+    [
+      ( "trajectory",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) points) );
+      ("warnings", Json.List (List.map (fun s -> Json.Str s) warnings));
+    ]

@@ -1,0 +1,70 @@
+(** Bench-trajectory aggregation and regression gating (the library
+    behind [bin/bench_report]).
+
+    Sweeps a directory of experiment snapshots ([BENCH_E*.json]) for the
+    headline trajectory gauges — names ending in [.states_per_sec] or
+    [.bytes_per_state] — labels them ["E15:e15.…"], and checks the
+    result against a committed {!baseline} under ratio thresholds:
+    throughput must stay at or above baseline × [min_ratio], bytes/state
+    at or below baseline × [max_ratio].  A metric present in the
+    baseline but absent from the sweep fails the check (an experiment
+    silently dropped from CI is itself a regression). *)
+
+type kind = Throughput | Bytes
+
+(** [Some kind] iff the gauge name is a trajectory metric. *)
+val kind_of : string -> kind option
+
+(** Trajectory metrics of one parsed snapshot, keys ["<label>:<gauge>"]. *)
+val extract : label:string -> Json.t -> (string * float) list
+
+(** Sweep [dir] for [BENCH_E*.json]: (points, warnings) — unreadable or
+    unparseable files warn rather than fail (the baseline decides what
+    must be present). *)
+val scan : dir:string -> (string * float) list * string list
+
+type baseline = {
+  min_ratio : float;  (** throughput floor factor *)
+  max_ratio : float;  (** bytes/state cap factor *)
+  metrics : (string * float) list;
+}
+
+val baseline_json : baseline -> Json.t
+val baseline_of_json : Json.t -> (baseline, string) result
+val load_baseline : string -> (baseline, string) result
+val write_baseline : path:string -> baseline -> unit
+
+type verdict = {
+  metric : string;
+  kind : kind;
+  value : float;
+  base : float;
+  bound : float;  (** the floor (throughput) or cap (bytes) applied *)
+  ok : bool;
+}
+
+type check_result = {
+  verdicts : verdict list;
+  missing : string list;  (** in the baseline, absent from the sweep *)
+  fresh : string list;  (** in the sweep, absent from the baseline *)
+}
+
+(** [check baseline current] compares a sweep against the baseline;
+    [?min_ratio]/[?max_ratio] override the baseline's thresholds.
+    Baseline values ≤ 0 pass vacuously. *)
+val check :
+  ?min_ratio:float ->
+  ?max_ratio:float ->
+  baseline ->
+  (string * float) list ->
+  check_result
+
+(** No failed verdict and nothing missing. *)
+val passed : check_result -> bool
+
+val pp_check : Format.formatter -> check_result -> unit
+val check_json : check_result -> Json.t
+
+(** The report artifact body: the full swept trajectory + warnings. *)
+val trajectory_json :
+  points:(string * float) list -> warnings:string list -> Json.t

@@ -56,12 +56,21 @@ let equal_event a b =
 (* Sinks                                                               *)
 (* ------------------------------------------------------------------ *)
 
-type sink = { mutable next_seq : int; write : event -> unit }
+(* Each sink owns a mutex serializing sequence assignment and the write
+   itself, so one sink may be shared by several emitting domains (the
+   parallel explorer, engines stepped from worker domains) and still
+   produce a dense, monotone, interleaving-free event stream. *)
+type sink = { mu : Mutex.t; mutable next_seq : int; write : event -> unit }
+
+let make write = { mu = Mutex.create (); next_seq = 0; write }
 
 let emit sink ~kind ~component ~cls ?span payload =
+  Mutex.lock sink.mu;
   let seq = sink.next_seq in
   sink.next_seq <- seq + 1;
-  sink.write { seq; kind; component; cls; span; payload };
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock sink.mu)
+    (fun () -> sink.write { seq; kind; component; cls; span; payload });
   seq
 
 let point sink ~component ~cls payload =
@@ -73,24 +82,36 @@ let span_open sink ~component ~cls payload =
 let span_close sink ~component ~cls ~span payload =
   ignore (emit sink ~kind:Span_close ~component ~cls ~span payload)
 
-let emitted sink = sink.next_seq
+let emitted sink =
+  Mutex.lock sink.mu;
+  let n = sink.next_seq in
+  Mutex.unlock sink.mu;
+  n
 
 let memory ?(capacity = 65536) () =
   let q : event Queue.t = Queue.create () in
-  let write e =
-    Queue.add e q;
-    if Queue.length q > capacity then ignore (Queue.pop q)
+  let sink =
+    make (fun e ->
+        Queue.add e q;
+        if Queue.length q > capacity then ignore (Queue.pop q))
   in
-  ({ next_seq = 0; write }, fun () -> List.of_seq (Queue.to_seq q))
+  (* drain under the sink mutex: the queue is mutated by [write] only,
+     which always runs with the mutex held *)
+  ( sink,
+    fun () ->
+      Mutex.lock sink.mu;
+      let es = List.of_seq (Queue.to_seq q) in
+      Mutex.unlock sink.mu;
+      es )
 
 let reporter ?(level = Logs.Debug) ?src () =
-  let write e = Logs.msg ?src level (fun m -> m "%a" pp_event e) in
-  { next_seq = 0; write }
+  make (fun e -> Logs.msg ?src level (fun m -> m "%a" pp_event e))
 
-let tee sinks =
-  { next_seq = 0; write = (fun e -> List.iter (fun s -> s.write e) sinks) }
+let tee sinks = make (fun e -> List.iter (fun s -> s.write e) sinks)
 
-let null () = { next_seq = 0; write = ignore }
+let null () = make ignore
+
+let callback f = make f
 
 (* ------------------------------------------------------------------ *)
 (* JSONL codec                                                         *)
@@ -116,12 +137,10 @@ let event_json e =
 let event_to_string e = Json.to_string (event_json e)
 
 let to_channel oc =
-  let write e =
-    output_string oc (event_to_string e);
-    output_char oc '\n';
-    flush oc
-  in
-  { next_seq = 0; write }
+  make (fun e ->
+      output_string oc (event_to_string e);
+      output_char oc '\n';
+      flush oc)
 
 let ( let* ) r f = Result.bind r f
 

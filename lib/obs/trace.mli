@@ -11,7 +11,16 @@
     stack take [?sink:Trace.sink] defaulting to no hook at all, so
     uninstrumented runs are byte-for-byte identical to the pre-obs code.
     Provided sinks: an in-memory ring buffer, a JSONL channel writer, a
-    [Logs]-based reporter, and a tee. *)
+    [Logs]-based reporter, a tee, and an arbitrary callback.
+
+    Every sink is domain-safe: a per-sink mutex serializes sequence
+    assignment and the write itself, so one sink may be passed to
+    [Check.Explorer.run ~jobs:n] and emitted into from every worker
+    domain — the stream stays dense and monotone and writes never
+    interleave.  The mutex covers emission through the sink only: do not
+    also write to a [tee]'s child sink directly from another domain, and
+    do not emit into a sink from within its own write callback (the
+    mutex is not reentrant). *)
 
 type value = Str of string | Int of int | Float of float | Bool of bool
 
@@ -72,6 +81,11 @@ val tee : sink list -> sink
 
 (** A sink that drops everything (still counts sequence numbers). *)
 val null : unit -> sink
+
+(** [callback f] invokes [f] on every event, under the sink mutex —
+    [f] need not be thread-safe but must not emit back into this sink.
+    Building block for stream consumers such as {!Monitor}. *)
+val callback : (event -> unit) -> sink
 
 (** {2 JSONL codec} *)
 

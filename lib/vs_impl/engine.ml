@@ -101,7 +101,14 @@ module Make (M : Msg_intf.S) = struct
     | No_dedup -> true
     | Faithful | No_retransmit -> fsn = fwd_seen_of st ~src gid + 1
 
-  let on_packet ?metrics st ~src (pkt : packet) =
+  (* Trace vocabulary (component "vs.engine"): one "sequenced" point per
+     position assigned by the sequencer, one "deliver" / "safe" point per
+     gprcv / safe indication — the stream Obs.Monitor's built-in rules
+     check online.  [?sink] defaults to no hook: untraced runs are
+     byte-identical to the uninstrumented engine. *)
+  let trace_component = "vs.engine"
+
+  let on_packet ?metrics ?sink st ~src (pkt : packet) =
     (match metrics with
     | None -> ()
     | Some m -> Obs.Metrics.incr m "engine.packets_in");
@@ -124,7 +131,18 @@ module Make (M : Msg_intf.S) = struct
             | Some m -> Obs.Metrics.incr m "engine.dups_dropped");
             st
           end
-          else
+          else begin
+            (match sink with
+            | None -> ()
+            | Some s ->
+                Obs.Trace.point s ~component:trace_component ~cls:"sequenced"
+                  [
+                    ("p", Obs.Trace.Str (Proc.to_string st.me));
+                    ("gid", Obs.Trace.Str (Gid.to_string gid));
+                    ("src", Obs.Trace.Str (Proc.to_string src));
+                    ("fsn", Obs.Trace.Int fsn);
+                    ("sn", Obs.Trace.Int (Seqs.length (seq_log_of st gid) + 1));
+                  ]);
             {
               st with
               seq_log =
@@ -136,6 +154,7 @@ module Make (M : Msg_intf.S) = struct
                   (max (fwd_seen_of st ~src gid) fsn)
                   st.fwd_seen;
             }
+          end
       | Packet.Seq { gid; sn; origin; payload } ->
           { st with rcv_buf = Pg_map.add (gid, sn) (payload, origin) st.rcv_buf }
       | Packet.Ack { gid; upto } ->
@@ -333,7 +352,7 @@ module Make (M : Msg_intf.S) = struct
         | Some (m, origin) -> Some (origin, m)
         | None -> None)
 
-  let delivered ?metrics st =
+  let delivered ?metrics ?sink st =
     (match metrics with
     | None -> ()
     | Some m -> Obs.Metrics.incr m "engine.deliveries");
@@ -341,10 +360,24 @@ module Make (M : Msg_intf.S) = struct
     | None -> st
     | Some v ->
         let g = View.id v in
-        {
-          st with
-          next_deliver = Gid.Map.add g (next_deliver_of st g + 1) st.next_deliver;
-        }
+        let sn = next_deliver_of st g in
+        (match sink with
+        | None -> ()
+        | Some s ->
+            let origin, msg =
+              match Pg_map.find_opt (g, sn) st.rcv_buf with
+              | Some (m, o) -> (Proc.to_string o, Format.asprintf "%a" M.pp m)
+              | None -> ("?", "?")
+            in
+            Obs.Trace.point s ~component:trace_component ~cls:"deliver"
+              [
+                ("p", Obs.Trace.Str (Proc.to_string st.me));
+                ("gid", Obs.Trace.Str (Gid.to_string g));
+                ("sn", Obs.Trace.Int sn);
+                ("origin", Obs.Trace.Str origin);
+                ("msg", Obs.Trace.Str msg);
+              ]);
+        { st with next_deliver = Gid.Map.add g (sn + 1) st.next_deliver }
 
   let safe_ready st =
     match st.cur with
@@ -358,7 +391,7 @@ module Make (M : Msg_intf.S) = struct
           | Some (m, origin) -> Some (origin, m)
           | None -> None)
 
-  let safed ?metrics st =
+  let safed ?metrics ?sink st =
     (match metrics with
     | None -> ()
     | Some m -> Obs.Metrics.incr m "engine.safe_indications");
@@ -366,7 +399,17 @@ module Make (M : Msg_intf.S) = struct
     | None -> st
     | Some v ->
         let g = View.id v in
-        { st with next_safe = Gid.Map.add g (next_safe_of st g + 1) st.next_safe }
+        let sn = next_safe_of st g in
+        (match sink with
+        | None -> ()
+        | Some s ->
+            Obs.Trace.point s ~component:trace_component ~cls:"safe"
+              [
+                ("p", Obs.Trace.Str (Proc.to_string st.me));
+                ("gid", Obs.Trace.Str (Gid.to_string g));
+                ("sn", Obs.Trace.Int sn);
+              ]);
+        { st with next_safe = Gid.Map.add g (sn + 1) st.next_safe }
 
   (* Apply a processor permutation to every processor-indexed field.
      Note the two [Pg_map] shapes: the watermark/counter maps are keyed

@@ -93,14 +93,25 @@ module Make (M : Prelude.Msg_intf.S) : sig
 
       Every [?metrics] below only bumps a counter ([engine.newview],
       [engine.packets_in], [engine.deliveries],
-      [engine.safe_indications]); returned states never depend on it. *)
+      [engine.safe_indications]); returned states never depend on it.
+      [?sink] emits points on component ["vs.engine"]: a ["sequenced"]
+      event (p, gid, src, fsn, sn) whenever a [Fwd] is accepted and
+      assigned the next position — the stream
+      [Obs.Monitor.unique_sequencing] watches for duplicates — plus
+      ["deliver"] (p, gid, sn, origin, msg) and ["safe"] (p, gid, sn)
+      indications.  Returned states never depend on it either. *)
 
   val on_gpsnd : state -> M.t -> state
   val on_newview : ?metrics:Obs.Metrics.t -> state -> Prelude.View.t -> state
 
   (** Process a packet from the network (sender [src]). *)
   val on_packet :
-    ?metrics:Obs.Metrics.t -> state -> src:Prelude.Proc.t -> packet -> state
+    ?metrics:Obs.Metrics.t ->
+    ?sink:Obs.Trace.sink ->
+    state ->
+    src:Prelude.Proc.t ->
+    packet ->
+    state
 
   (** {2 Output candidates and their effects}
 
@@ -135,12 +146,12 @@ module Make (M : Prelude.Msg_intf.S) : sig
   (** The client delivery currently enabled: [vs-gprcv (origin, payload)]. *)
   val deliverable : state -> (Prelude.Proc.t * M.t) option
 
-  val delivered : ?metrics:Obs.Metrics.t -> state -> state
+  val delivered : ?metrics:Obs.Metrics.t -> ?sink:Obs.Trace.sink -> state -> state
 
   (** The safe indication currently enabled. *)
   val safe_ready : state -> (Prelude.Proc.t * M.t) option
 
-  val safed : ?metrics:Obs.Metrics.t -> state -> state
+  val safed : ?metrics:Obs.Metrics.t -> ?sink:Obs.Trace.sink -> state -> state
 
   (** Apply a processor permutation to every processor-indexed field —
       symmetry analysis support.  Beware: the engine itself is {e not}

@@ -104,15 +104,16 @@ module Make (M : Msg_intf.S) = struct
              (fun (d, p) -> Proc.equal d dst && pkt_equal p pkt)
              (E.retransmit_sends (engine s src))
 
-  (* [?metrics] only bumps counters in the Net/Engine/Daemon layers; the
-     returned state is identical with or without it. *)
-  let step ?metrics s = function
+  (* [?metrics] only bumps counters and [?sink] only emits trace points in
+     the Net/Engine/Daemon layers; the returned state is identical with or
+     without them. *)
+  let step ?metrics ?sink s = function
     | Gpsnd (p, m) -> with_engine s p (fun e -> E.on_gpsnd e m)
     | Newview (v, p) ->
         let s = { s with daemon = Daemon.notify ?metrics s.daemon v p } in
         with_engine s p (fun e -> E.on_newview ?metrics e v)
-    | Gprcv { dst; _ } -> with_engine s dst (E.delivered ?metrics)
-    | Safe { dst; _ } -> with_engine s dst (E.safed ?metrics)
+    | Gprcv { dst; _ } -> with_engine s dst (E.delivered ?metrics ?sink)
+    | Safe { dst; _ } -> with_engine s dst (E.safed ?metrics ?sink)
     | Createview v -> (
         match Daemon.create ?metrics s.daemon (View.set v) with
         | Some (daemon, _) -> { s with daemon }
@@ -135,7 +136,7 @@ module Make (M : Msg_intf.S) = struct
         { s with net = N.send ?metrics s.net ~src ~dst pkt }
     | Deliver { src; dst; pkt } ->
         let s = { s with net = N.pop ?metrics s.net ~src ~dst } in
-        with_engine s dst (fun e -> E.on_packet ?metrics e ~src pkt)
+        with_engine s dst (fun e -> E.on_packet ?metrics ?sink e ~src pkt)
     | Drop { src; dst } -> { s with net = N.drop ?metrics s.net ~src ~dst }
     | Duplicate { src; dst } ->
         { s with net = N.duplicate ?metrics s.net ~src ~dst }
@@ -446,7 +447,36 @@ module Make (M : Msg_intf.S) = struct
        else is possible, heal the partition so blocked traffic can flow *)
     if base = [] then merge_proposal () else base
 
-  let generative ?metrics cfg ~rng_views =
+  let generative ?metrics ?sink ?prof cfg ~rng_views =
+    (* With [?prof], transitions charge wall time to the engine-path
+       phases (slot 0 — generative runs are single-threaded): network
+       [send]s, [retransmit]s, and the [deliver] path (packet receipt plus
+       the client-side gprcv/safe indications).  Interned here, once. *)
+    let instrumented_step =
+      match prof with
+      | None -> fun s a -> step ?metrics ?sink s a
+      | Some p ->
+          let ph_send = Obs.Prof.intern p "send" in
+          let ph_retransmit = Obs.Prof.intern p "retransmit" in
+          let ph_deliver = Obs.Prof.intern p "deliver" in
+          fun s a ->
+            let ph =
+              match a with
+              | Send _ -> ph_send
+              | Retransmit _ -> ph_retransmit
+              | Deliver _ | Gprcv _ | Safe _ -> ph_deliver
+              | Gpsnd _ | Newview _ | Createview _ | Reconfigure _ | Drop _
+              | Duplicate _ | Reorder _ ->
+                  -1
+            in
+            if ph < 0 then step ?metrics ?sink s a
+            else begin
+              Obs.Prof.enter p ~slot:0 ph;
+              Fun.protect
+                ~finally:(fun () -> Obs.Prof.leave p ~slot:0 ph)
+                (fun () -> step ?metrics ?sink s a)
+            end
+    in
     (module struct
       type nonrec state = state
       type nonrec action = action
@@ -455,7 +485,7 @@ module Make (M : Msg_intf.S) = struct
       let pp_state = pp_state
       let pp_action = pp_action
       let enabled = enabled
-      let step s a = step ?metrics s a
+      let step s a = instrumented_step s a
       let is_external = is_external
       let candidates rng s = candidates cfg rng_views rng s
     end : Ioa.Automaton.GENERATIVE

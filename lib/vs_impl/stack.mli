@@ -71,17 +71,24 @@ module Make (M : Prelude.Msg_intf.S) : sig
   val engine : state -> Prelude.Proc.t -> E.state
 
   (** The {!Ioa.Automaton.S} surface, except that [step] takes an optional
-      metrics registry.  [?metrics] only bumps counters in the Net / Engine /
-      Daemon layers ([net.sent], [engine.deliveries], [daemon.notifications],
-      …); the returned state is identical with or without it, and total
-      application [step s a] erases the optional, so [step] still matches
-      [Ioa.Automaton.S] wherever the module is used unchanged. *)
+      metrics registry and trace sink.  [?metrics] only bumps counters in
+      the Net / Engine / Daemon layers ([net.sent], [engine.deliveries],
+      [daemon.notifications], …); [?sink] only forwards to the engines'
+      trace hooks (["sequenced"] / ["deliver"] / ["safe"] points on
+      component ["vs.engine"] — the stream {!Obs.Monitor}'s built-in rules
+      check online).  The returned state is identical with or without
+      them, and total application [step s a] erases the optionals, so
+      [step] still matches [Ioa.Automaton.S] wherever the module is used
+      unchanged. *)
 
   val equal_state : state -> state -> bool
   val pp_state : Format.formatter -> state -> unit
   val pp_action : Format.formatter -> action -> unit
   val enabled : state -> action -> bool
-  val step : ?metrics:Obs.Metrics.t -> state -> action -> state
+
+  val step :
+    ?metrics:Obs.Metrics.t -> ?sink:Obs.Trace.sink -> state -> action -> state
+
   val is_external : action -> bool
 
   (** Canonical full-state rendering — net, daemon and every engine — used
@@ -111,10 +118,18 @@ module Make (M : Prelude.Msg_intf.S) : sig
 
   val default_config : payloads:M.t list -> universe:int -> config
 
-  (** [?metrics] is captured by the packaged [step]; generation itself is
-      unobserved, so replayability is unaffected. *)
+  (** [?metrics] / [?sink] / [?prof] are captured by the packaged [step];
+      generation itself is unobserved, so replayability is unaffected.
+      [?prof] charges each transition's wall time to a phase on slot 0
+      (generative runs are single-threaded): ["send"] for network sends,
+      ["retransmit"] for re-sends, ["deliver"] for packet receipt and the
+      client-side gprcv/safe indications; phase names are interned at
+      construction, so pass the profiler before its workers (if any)
+      start. *)
   val generative :
     ?metrics:Obs.Metrics.t ->
+    ?sink:Obs.Trace.sink ->
+    ?prof:Obs.Prof.t ->
     config ->
     rng_views:Random.State.t ->
     (module Ioa.Automaton.GENERATIVE with type state = state and type action = action)

@@ -302,6 +302,365 @@ let test_summarize_opt_empty () =
     (Invalid_argument "Stats.summarize: empty sample") (fun () ->
       ignore (Stats.summarize []))
 
+(* ------------------------------------------------------------------ *)
+(* Domain-safety: 4 domains hammering one sink / one registry           *)
+(* ------------------------------------------------------------------ *)
+
+let stress_domains = 4
+let stress_events = 10_000
+
+let spawn_each f =
+  Array.init stress_domains (fun d -> Domain.spawn (fun () -> f d))
+  |> Array.iter Domain.join
+
+let test_sink_stress_jsonl () =
+  let path = Filename.temp_file "obs_stress" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let oc = open_out path in
+  let sink = T.to_channel oc in
+  spawn_each (fun d ->
+      for i = 0 to stress_events - 1 do
+        T.point sink ~component:"stress" ~cls:"tick"
+          [ ("d", T.Int d); ("i", T.Int i) ]
+      done);
+  close_out oc;
+  let ic = open_in path in
+  let events =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        match T.read_jsonl ic with
+        | Ok es -> es
+        | Error (line, msg) -> Alcotest.failf "line %d: %s" line msg)
+  in
+  let total = stress_domains * stress_events in
+  Alcotest.(check int) "every event written and parseable" total
+    (List.length events);
+  (* seqs are exactly 0 .. total-1: dense, no duplicates, no interleaved
+     half-writes *)
+  let seqs = List.sort compare (List.map (fun (e : T.event) -> e.T.seq) events) in
+  Alcotest.(check (list int)) "seqs dense" (List.init total Fun.id) seqs;
+  (* per-domain event order is preserved through the shared sink *)
+  for d = 0 to stress_domains - 1 do
+    let mine =
+      List.filter_map
+        (fun (e : T.event) ->
+          match (List.assoc_opt "d" e.T.payload, List.assoc_opt "i" e.T.payload)
+          with
+          | Some (T.Int d'), Some (T.Int i) when d' = d -> Some i
+          | _ -> None)
+        events
+    in
+    Alcotest.(check (list int))
+      (Printf.sprintf "domain %d in order" d)
+      (List.init stress_events Fun.id)
+      mine
+  done
+
+let test_metrics_stress () =
+  let m = M.create () in
+  spawn_each (fun d ->
+      let mine = Printf.sprintf "stress.domain%d" d in
+      for i = 0 to stress_events - 1 do
+        M.incr m "stress.total";
+        M.incr m mine;
+        M.observe m "stress.samples" (float_of_int i)
+      done);
+  let total = stress_domains * stress_events in
+  Alcotest.(check int) "no lost counter bumps" total (M.count m "stress.total");
+  let per_domain_sum =
+    List.init stress_domains (fun d ->
+        M.count m (Printf.sprintf "stress.domain%d" d))
+    |> List.fold_left ( + ) 0
+  in
+  Alcotest.(check int) "merged total equals per-domain sum" total per_domain_sum;
+  match List.assoc_opt "stress.samples" (M.snapshot m).M.histograms with
+  | Some (Some s) ->
+      Alcotest.(check int) "every sample merged" total s.Stats.n;
+      Alcotest.(check (float 1e-6))
+        "mean of 4 identical streams"
+        (float_of_int (stress_events - 1) /. 2.)
+        s.Stats.mean
+  | Some None | None -> Alcotest.fail "histogram missing"
+
+(* ------------------------------------------------------------------ *)
+(* Online monitors                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Vstack = Vs_impl.Stack.Make (Msg_intf.String_msg)
+
+(* Gpsnd → Send → Duplicate → Deliver → Deliver: the duplicated forward
+   reaches the sequencer twice.  [Faithful] drops the copy on its
+   watermark (no second "sequenced" event); [No_dedup] assigns it a
+   second position — which [unique_sequencing] must flag on the spot. *)
+let monitor_run variant =
+  let p0 = Proc.Set.universe 2 in
+  let s =
+    Vstack.initial
+      ~faults:(Vs_impl.Fault.adversarial ())
+      ~variant ~universe:2 ~p0 ()
+  in
+  let mon = Obs.Monitor.create (Obs.Monitor.standard ()) in
+  let out, drain = T.memory () in
+  let sink = Obs.Monitor.sink ~out mon in
+  let step s a = Vstack.step ~sink s a in
+  let s = step s (Vstack.Gpsnd (1, "x")) in
+  let dst, pkt =
+    match Vstack.E.fwd_send (Vstack.engine s 1) with
+    | Some dp -> dp
+    | None -> Alcotest.fail "no forward offered"
+  in
+  let s = step s (Vstack.Send { src = 1; dst; pkt }) in
+  let s = step s (Vstack.Duplicate { src = 1; dst }) in
+  let deliver s =
+    match Vstack.N.deliverable s.Vstack.net ~src:1 ~dst with
+    | Some pkt -> step s (Vstack.Deliver { src = 1; dst; pkt })
+    | None -> Alcotest.fail "channel empty"
+  in
+  let s = deliver s in
+  let (_ : Vstack.state) = deliver s in
+  (mon, drain)
+
+let test_monitor_clean_stream () =
+  let mon, drain = monitor_run Vstack.E.Faithful in
+  Alcotest.(check bool) "faithful stream passes" true (Obs.Monitor.ok mon);
+  Alcotest.(check int) "saw the sequencing events" 1
+    (Obs.Monitor.events_seen mon);
+  Alcotest.(check int) "no violation events on out" 0 (List.length (drain ()))
+
+let test_monitor_flags_no_dedup () =
+  let mon, drain = monitor_run Vstack.E.No_dedup in
+  Alcotest.(check bool) "defect stream flagged" false (Obs.Monitor.ok mon);
+  (match Obs.Monitor.violations mon with
+  | [ v ] ->
+      Alcotest.(check string) "right rule" "unique-sequencing"
+        v.Obs.Monitor.rule
+  | vs -> Alcotest.failf "expected 1 violation, got %d" (List.length vs));
+  (* the violation was also emitted online, as an event on [out] *)
+  match drain () with
+  | [ e ] ->
+      Alcotest.(check string) "violation event" "violation" e.T.cls;
+      Alcotest.(check string) "monitor component" "obs.monitor" e.T.component
+  | es -> Alcotest.failf "expected 1 out event, got %d" (List.length es)
+
+let test_monitor_monotone_progress () =
+  let feed states =
+    let mon = Obs.Monitor.create [ Obs.Monitor.monotone_progress () ] in
+    List.iteri
+      (fun i n ->
+        let (_ : Obs.Monitor.violation list) =
+          Obs.Monitor.feed mon
+            {
+              T.seq = i;
+              kind = T.Point;
+              component = "check.explorer";
+              cls = "progress";
+              span = None;
+              payload = [ ("states", T.Int n) ];
+            }
+        in
+        ())
+      states;
+    mon
+  in
+  Alcotest.(check bool) "increasing passes" true
+    (Obs.Monitor.ok (feed [ 1; 5; 5; 9 ]));
+  let mon = feed [ 1; 5; 3 ] in
+  Alcotest.(check bool) "regressing flagged" false (Obs.Monitor.ok mon);
+  match Obs.Monitor.violations mon with
+  | [ v ] -> Alcotest.(check int) "at the regressing event" 2 v.Obs.Monitor.at_seq
+  | vs -> Alcotest.failf "expected 1 violation, got %d" (List.length vs)
+
+(* ------------------------------------------------------------------ *)
+(* Profiler                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let spin () =
+  (* burn a little real time so phase totals are visibly nonzero *)
+  let t0 = Obs.Prof.now_ns () in
+  while Int64.sub (Obs.Prof.now_ns ()) t0 < 2_000_000L do
+    ()
+  done
+
+let test_prof_phases_disjoint () =
+  let p = Obs.Prof.create ~phases:[ "outer"; "inner" ] ~slots:2 () in
+  let outer = Obs.Prof.intern p "outer" in
+  let inner = Obs.Prof.intern p "inner" in
+  Alcotest.(check int) "intern idempotent" outer (Obs.Prof.intern p "outer");
+  Obs.Prof.enter p ~slot:0 outer;
+  spin ();
+  Obs.Prof.enter p ~slot:0 inner;
+  (* entering [inner] pauses [outer] *)
+  spin ();
+  Obs.Prof.leave p ~slot:0 inner;
+  Obs.Prof.leave p ~slot:0 outer;
+  (* an externally measured gap, within the wall the clock saw *)
+  Obs.Prof.add_ns p ~slot:1 outer 1_000_000L;
+  Obs.Prof.add_alloc p ~slot:1 1024.;
+  Obs.Prof.stop p;
+  let r = Obs.Prof.report p in
+  let total name =
+    match List.find_opt (fun t -> t.Obs.Prof.phase = name) r.Obs.Prof.totals with
+    | Some t -> t
+    | None -> Alcotest.failf "phase %s missing" name
+  in
+  let o = total "outer" and i = total "inner" in
+  Alcotest.(check bool) "outer accumulated" true (o.Obs.Prof.ns >= 3_000_000L);
+  Alcotest.(check bool) "inner accumulated" true (i.Obs.Prof.ns >= 2_000_000L);
+  Alcotest.(check int) "outer calls: scoped + add_ns" 2 o.Obs.Prof.calls;
+  (* disjoint attribution: phase totals can never exceed slots × wall *)
+  let budget = Int64.mul (Int64.of_int (Obs.Prof.slots p)) r.Obs.Prof.wall_ns in
+  Alcotest.(check bool) "sum within slots × wall" true
+    (Int64.add o.Obs.Prof.ns i.Obs.Prof.ns <= budget);
+  Alcotest.(check bool) "attributed fraction in [0,1]" true
+    (r.Obs.Prof.attributed >= 0. && r.Obs.Prof.attributed <= 1.);
+  Alcotest.(check bool) "accrued alloc counted" true
+    (r.Obs.Prof.alloc_bytes >= 1024.);
+  (* stop is idempotent: the clock stays frozen *)
+  let w = r.Obs.Prof.wall_ns in
+  Obs.Prof.stop p;
+  Alcotest.(check bool) "stop idempotent" true
+    ((Obs.Prof.report p).Obs.Prof.wall_ns = w)
+
+let test_prof_explorer_parity () =
+  (* profiled exploration returns byte-identical stats to unprofiled *)
+  let cfg =
+    { (Vstack.default_config ~payloads:[ "a" ] ~universe:2) with
+      Vstack.max_views = 1;
+      max_sends = 1;
+    }
+  in
+  let gen = Vstack.generative_pure cfg in
+  let init = Vstack.initial ~universe:2 ~p0:(Proc.Set.universe 2) () in
+  let explore ?prof () =
+    (Check.Explorer.run gen ~key:Vstack.state_key ~invariants:[] ~max_depth:8
+       ~jobs:2 ~state_rng:true ?prof ~init ())
+      .Check.Explorer.stats
+  in
+  let plain = explore () in
+  let prof = Check.Explorer.profile ~jobs:2 in
+  let profiled = explore ~prof () in
+  Obs.Prof.stop prof;
+  Alcotest.(check bool) "profiling does not perturb the search" true
+    (plain = profiled);
+  let r = Obs.Prof.report prof in
+  Alcotest.(check int) "one slot per worker" 2 r.Obs.Prof.worker_slots;
+  let expanded =
+    match
+      List.find_opt (fun t -> t.Obs.Prof.phase = "expand") r.Obs.Prof.totals
+    with
+    | Some t -> t.Obs.Prof.calls
+    | None -> 0
+  in
+  Alcotest.(check bool) "expansions were charged" true (expanded > 0);
+  (* a too-small profiler is rejected rather than racing on slots *)
+  Alcotest.check_raises "slots < jobs rejected"
+    (Invalid_argument "Explorer.run: prof has fewer slots than jobs")
+    (fun () ->
+      ignore (explore ~prof:(Obs.Prof.create ~slots:1 ()) ()))
+
+(* ------------------------------------------------------------------ *)
+(* Bench trajectory gate                                                *)
+(* ------------------------------------------------------------------ *)
+
+let with_bench_dir files f =
+  let dir = Filename.temp_file "obs_bench" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun n -> Sys.remove (Filename.concat dir n))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      List.iter
+        (fun (name, content) ->
+          let oc = open_out (Filename.concat dir name) in
+          output_string oc content;
+          close_out oc)
+        files;
+      f dir)
+
+let bench_snapshot ~sps ~bps =
+  Printf.sprintf
+    {|{"counters": {}, "gauges": {"e99.x.states_per_sec": %f, "e99.x.bytes_per_state": %f, "e99.x.states": 1000}, "histograms": {}}|}
+    sps bps
+
+let test_report_scan_and_check () =
+  with_bench_dir
+    [
+      ("BENCH_E99.json", bench_snapshot ~sps:50_000. ~bps:2_000.);
+      ("BENCH_E98.json", "{ not json");
+      ("unrelated.txt", "ignored");
+    ]
+  @@ fun dir ->
+  let points, warnings = Obs.Report.scan ~dir in
+  Alcotest.(check int) "unparseable snapshot warns, not fails" 1
+    (List.length warnings);
+  Alcotest.(check (list (pair string (float 1e-6))))
+    "trajectory metrics only, labeled"
+    [
+      ("E99:e99.x.bytes_per_state", 2_000.);
+      ("E99:e99.x.states_per_sec", 50_000.);
+    ]
+    (List.sort compare points);
+  let baseline =
+    {
+      Obs.Report.min_ratio = 0.1;
+      max_ratio = 10.0;
+      metrics =
+        [
+          ("E99:e99.x.states_per_sec", 40_000.);
+          ("E99:e99.x.bytes_per_state", 1_800.);
+        ];
+    }
+  in
+  let r = Obs.Report.check baseline points in
+  Alcotest.(check bool) "healthy sweep passes" true (Obs.Report.passed r);
+  (* injected regressions: throughput collapse and footprint blow-up *)
+  let slow = [ ("E99:e99.x.states_per_sec", 500.);
+               ("E99:e99.x.bytes_per_state", 2_000.) ] in
+  Alcotest.(check bool) "100x throughput drop fails" false
+    (Obs.Report.passed (Obs.Report.check baseline slow));
+  let fat = [ ("E99:e99.x.states_per_sec", 50_000.);
+              ("E99:e99.x.bytes_per_state", 50_000.) ] in
+  Alcotest.(check bool) "25x footprint growth fails" false
+    (Obs.Report.passed (Obs.Report.check baseline fat));
+  (* a baselined metric silently dropped from the sweep is a failure *)
+  let partial = [ ("E99:e99.x.states_per_sec", 50_000.) ] in
+  let r = Obs.Report.check baseline partial in
+  Alcotest.(check bool) "missing metric fails" false (Obs.Report.passed r);
+  Alcotest.(check (list string))
+    "and is named" [ "E99:e99.x.bytes_per_state" ] r.Obs.Report.missing;
+  (* a fresh, unbaselined metric is reported but not gated *)
+  let extra = ("E99:e99.y.states_per_sec", 1.) :: points in
+  let r = Obs.Report.check baseline extra in
+  Alcotest.(check bool) "fresh metric does not gate" true (Obs.Report.passed r);
+  Alcotest.(check (list string))
+    "but is listed" [ "E99:e99.y.states_per_sec" ] r.Obs.Report.fresh
+
+let test_report_baseline_roundtrip () =
+  let b =
+    {
+      Obs.Report.min_ratio = 0.25;
+      max_ratio = 4.0;
+      metrics = [ ("E1:a.states_per_sec", 123.5); ("E2:b.bytes_per_state", 9.) ];
+    }
+  in
+  let path = Filename.temp_file "obs_baseline" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Obs.Report.write_baseline ~path b;
+  match Obs.Report.load_baseline path with
+  | Error msg -> Alcotest.fail msg
+  | Ok b' ->
+      Alcotest.(check (float 1e-9)) "min_ratio" b.Obs.Report.min_ratio
+        b'.Obs.Report.min_ratio;
+      Alcotest.(check (float 1e-9)) "max_ratio" b.Obs.Report.max_ratio
+        b'.Obs.Report.max_ratio;
+      Alcotest.(check (list (pair string (float 1e-9))))
+        "metrics" b.Obs.Report.metrics b'.Obs.Report.metrics
+
 let () =
   Alcotest.run "obs"
     [
@@ -332,5 +691,35 @@ let () =
           Alcotest.test_case "snapshot + json" `Quick test_metrics_snapshot;
           Alcotest.test_case "summarize_opt on empty" `Quick
             test_summarize_opt_empty;
+        ] );
+      ( "domain-safety",
+        [
+          Alcotest.test_case "4 domains x 10k events through one sink" `Quick
+            test_sink_stress_jsonl;
+          Alcotest.test_case "4 domains x 10k bumps into one registry" `Quick
+            test_metrics_stress;
+        ] );
+      ( "monitor",
+        [
+          Alcotest.test_case "clean faithful stream passes" `Quick
+            test_monitor_clean_stream;
+          Alcotest.test_case "No_dedup flagged online" `Quick
+            test_monitor_flags_no_dedup;
+          Alcotest.test_case "monotone progress" `Quick
+            test_monitor_monotone_progress;
+        ] );
+      ( "prof",
+        [
+          Alcotest.test_case "scoped phases, disjoint attribution" `Quick
+            test_prof_phases_disjoint;
+          Alcotest.test_case "profiled explorer parity" `Quick
+            test_prof_explorer_parity;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "scan + regression gate" `Quick
+            test_report_scan_and_check;
+          Alcotest.test_case "baseline round-trip" `Quick
+            test_report_baseline_roundtrip;
         ] );
     ]
