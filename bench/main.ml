@@ -1309,12 +1309,114 @@ let e17 m =
      exactly\n(attributed: fraction of summed worker wall time the five \
      phases explain)\n"
 
+
+(* ================================================================== *)
+(* E18 — Flat codec fingerprinting and hash-compacted throughput mode *)
+(* ================================================================== *)
+
+(* E15/E17 put the vs-stack explorer near 180 KB allocated per state,
+   dominated by rendering every state to its canonical string key.  E18
+   re-runs the same depth-14 vs-stack search under three engines:
+
+     string    — the baseline: state_key strings, full seen-table;
+     flat-det  — Check.Codec flat encoding feeds the fingerprint, the
+                 deterministic seen-table is kept (CI-parity engine);
+     flat-thr  — same fingerprints, hash-compacted seen-set: only the
+                 128-bit fingerprint per visited state is retained.
+
+   The two flat engines compute identical fingerprints, so they must
+   visit identical graphs ([.parity] gates on it at both job counts).
+   The string baseline explores a slightly different graph on this entry
+   (the per-state RNG is seeded from the fingerprint and the generator is
+   rng-gated), so the headline bytes/state comparison is a
+   cost-per-visited-state ratio, not a bit-identical replay.  Allocation
+   is accrued per-domain via the profiler, as in E17. *)
+
+let e18 m =
+  section
+    "E18 Flat codec fingerprints + hash compaction: bytes/state, string vs flat";
+  let universe = 2 and p0 = Proc.Set.universe 2 in
+  let cfg =
+    { (Stk.default_config ~payloads:[ "a" ] ~universe) with
+      Stk.max_views = 2; max_sends = 1 }
+  in
+  let init = Stk.initial ~universe ~p0 () in
+  let max_depth = 14 in
+  let gen = Stk.generative_pure cfg in
+  let codec =
+    Check.Codec.make ~id:"vs-stack" ~version:1
+      (Stk.codec_state Check.Codec.string)
+  in
+  row "%-9s | %-4s | %-8s | %-11s | %-10s | %s\n" "engine" "jobs" "states"
+    "states/sec" "B/state" "verdict";
+  row "%s\n" (String.make 70 '-');
+  let run_engine ~engine ~jobs =
+    let use_codec = engine <> "string" in
+    let mode = if engine = "flat_thr" then `Throughput else `Deterministic in
+    let prof = Check.Explorer.profile ~jobs in
+    let t0 = Obs.Metrics.now_ms () in
+    let outcome =
+      Check.Explorer.run gen ~key:Stk.state_key ~invariants:[]
+        ~max_states:2_000_000 ~max_depth ~jobs ~state_rng:true
+        ?codec:(if use_codec then Some codec else None)
+        ~mode ~prof ~init ()
+    in
+    let elapsed = Obs.Metrics.now_ms () -. t0 in
+    Obs.Prof.stop prof;
+    let r = Obs.Prof.report prof in
+    let stats = outcome.Check.Explorer.stats in
+    let states = stats.Check.Explorer.states in
+    let sps =
+      if elapsed > 0. then float_of_int states /. (elapsed /. 1000.) else 0.
+    in
+    let bps =
+      if states > 0 then r.Obs.Prof.alloc_bytes /. float_of_int states else 0.
+    in
+    let verdict =
+      match outcome.Check.Explorer.violation with
+      | Some v -> "violation:" ^ v.Ioa.Invariant.invariant
+      | None -> "clean"
+    in
+    let pre = Printf.sprintf "e18.vs_stack.%s.jobs%d" engine jobs in
+    gauge m (pre ^ ".states") states;
+    gauge m (pre ^ ".transitions") stats.Check.Explorer.transitions;
+    gauge m (pre ^ ".depth") stats.Check.Explorer.depth;
+    Obs.Metrics.set m (pre ^ ".elapsed_ms") elapsed;
+    Obs.Metrics.set m (pre ^ ".states_per_sec") sps;
+    Obs.Metrics.set m (pre ^ ".bytes_per_state") bps;
+    row "%-9s | %-4d | %-8d | %-11.0f | %-10.0f | %s\n" engine jobs states
+      sps bps verdict;
+    (stats, sps, bps, verdict)
+  in
+  List.iter
+    (fun jobs ->
+      let _, _, string_bps, string_v = run_engine ~engine:"string" ~jobs in
+      let dstats, _, _, det_v = run_engine ~engine:"flat_det" ~jobs in
+      let tstats, _, thr_bps, thr_v = run_engine ~engine:"flat_thr" ~jobs in
+      let parity = dstats = tstats && det_v = thr_v in
+      gauge m (Printf.sprintf "e18.vs_stack.jobs%d.parity" jobs)
+        (Bool.to_int parity);
+      gauge m
+        (Printf.sprintf "e18.vs_stack.jobs%d.verdicts_agree" jobs)
+        (Bool.to_int (string_v = det_v && det_v = thr_v));
+      let ratio = if thr_bps > 0. then string_bps /. thr_bps else 0. in
+      Obs.Metrics.set m
+        (Printf.sprintf "e18.vs_stack.jobs%d.bytes_reduction" jobs)
+        ratio;
+      row "jobs %d: flat-det = flat-thr graph parity %b; bytes/state %.0f -> %.0f (%.1fx)\n"
+        jobs parity string_bps thr_bps ratio)
+    [ 1; 4 ];
+  row
+    "\nparity: the two codec-fed engines must visit identical graphs; \
+     bytes_reduction\nis the string-baseline allocation per visited state \
+     over the hash-compacted one\n"
+
 (* ================================================================== *)
 
 let all =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13);
-    ("e14", e14); ("e15", e15); ("e16", e16); ("e17", e17) ]
+    ("e14", e14); ("e15", e15); ("e16", e16); ("e17", e17); ("e18", e18) ]
 
 let () =
   let requested =

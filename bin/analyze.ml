@@ -31,6 +31,51 @@ let run_entry ~max_states_override ~max_depth ~jobs ~footprint ~reduce
     ~footprint ~reduce e.subject
 
 (* --------------------------------------------------------------------- *)
+(* Raw exploration mode (--mode deterministic|throughput)                 *)
+(* --------------------------------------------------------------------- *)
+
+(* One plain codec-fed exploration per entry: states, depth and verdict,
+   plus states/sec.  `deterministic` keeps the full seen-table (retained
+   keys, parity-auditable); `throughput` switches the explorer to the
+   hash-compacted fingerprint set.  Both fingerprint states from the flat
+   Check.Codec encoding when the entry ships one, so their explored
+   graphs — and verdicts — agree by construction. *)
+let run_raw ~selected ~max_states_override ~max_depth ~jobs ~mode =
+  let failed = ref false in
+  List.iter
+    (fun (Analysis.Registry.Entry e) ->
+      let max_states =
+        match max_states_override with Some n -> n | None -> e.max_states
+      in
+      let r =
+        Analysis.Analyzer.explore_raw ~max_states ?max_depth ~jobs ~mode
+          e.subject
+      in
+      let verdict =
+        match (r.Analysis.Analyzer.raw_violation, r.raw_step_failure) with
+        | Some inv, _ -> "violation:" ^ inv
+        | None, true -> "step-failure"
+        | None, false -> "clean"
+      in
+      (match Analysis.Registry.expected (Analysis.Registry.Entry e) with
+      | Some _ when verdict = "clean" ->
+          (* Seeded defects must still fail under either engine. *)
+          failed := true
+      | _ -> ());
+      let sps =
+        if r.raw_elapsed_ms > 0. then
+          float_of_int r.raw_states /. (r.raw_elapsed_ms /. 1000.)
+        else 0.
+      in
+      Format.printf
+        "%-24s %8d states %9d transitions  depth %3d%s  %10.0f st/s  %s@."
+        e.name r.raw_states r.raw_transitions r.raw_depth
+        (if r.raw_truncated then " (truncated)" else "")
+        sps verdict)
+    selected;
+  if !failed then exit 1
+
+(* --------------------------------------------------------------------- *)
 (* Counterexample mode                                                    *)
 (* --------------------------------------------------------------------- *)
 
@@ -52,6 +97,7 @@ let hunt_entry ~max_states_override ~jobs ~shrink (Analysis.Registry.Entry e) =
             actions = cex.Analysis.Analyzer.cex_shrunk;
             violation =
               Check.Shrink.failure_to_string cex.Analysis.Analyzer.cex_failure;
+            state = cex.Analysis.Analyzer.cex_state;
           } )
 
 let run_cex ~selected ~max_states_override ~jobs ~shrink ~cex_out =
@@ -104,7 +150,7 @@ let run_cex ~selected ~max_states_override ~jobs ~shrink ~cex_out =
   if !failed then exit 1
 
 let run () names list json max_states max_depth jobs shrink cex_out footprint
-    reduce =
+    reduce mode =
   let entries = Analysis.Registry.all () in
   let defect_entries = Analysis.Registry.defects () in
   if list then begin
@@ -133,6 +179,11 @@ let run () names list json max_states max_depth jobs shrink cex_out footprint
           ns
   in
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  match mode with
+  | ("deterministic" | "throughput") as m ->
+      run_raw ~selected ~max_states_override:max_states ~max_depth ~jobs
+        ~mode:(if m = "throughput" then `Throughput else `Deterministic)
+  | _ ->
   if cex_mode then
     run_cex ~selected ~max_states_override:max_states ~jobs ~shrink ~cex_out
   else begin
@@ -234,6 +285,21 @@ let () =
              and permutation equivariance.  Unsound declarations become \
              findings.")
   in
+  let mode =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("analysis", "analysis");
+               ("deterministic", "deterministic");
+               ("throughput", "throughput");
+             ])
+          "analysis"
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "Exploration engine.  $(b,analysis) (default) runs the full              static-analysis pass.  $(b,deterministic) and              $(b,throughput) instead run one plain codec-fed exploration              per entry and print states, depth, throughput and the              verdict: deterministic keeps the full seen-table, throughput              stores only 128-bit fingerprints (hash compaction).  Both              visit the same graph, so their counts and verdicts agree.")
+  in
   let reduce =
     Arg.(
       value & flag
@@ -248,7 +314,7 @@ let () =
   let term =
     Term.(
       const run $ Obs.Log_cli.setup $ names $ list $ json $ max_states
-      $ max_depth $ jobs $ shrink $ cex_out $ footprint $ reduce)
+      $ max_depth $ jobs $ shrink $ cex_out $ footprint $ reduce $ mode)
   in
   let info =
     Cmd.info "analyze" ~version:"1.0.0"

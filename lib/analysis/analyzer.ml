@@ -36,6 +36,7 @@ type ('s, 'a) subject = {
   generator : string;
   footprint : ('s, 'a) Footprint.schema option;
   symmetry : ('s, 'a) Symmetry.spec option;
+  codec : 's Check.Codec.t option;
 }
 
 let analyze (type s a) ~name ?(max_states = 20_000) ?max_depth ?(jobs = 1)
@@ -581,6 +582,45 @@ let analyze (type s a) ~name ?(max_states = 20_000) ?max_depth ?(jobs = 1)
   }
 
 (* ------------------------------------------------------------------ *)
+(* Raw exploration (codec-fed / throughput-mode runs)                  *)
+(* ------------------------------------------------------------------ *)
+
+type raw = {
+  raw_states : int;
+  raw_transitions : int;
+  raw_depth : int;
+  raw_truncated : bool;
+  raw_violation : string option;
+  raw_step_failure : bool;
+  raw_elapsed_ms : float;
+}
+
+let explore_raw (type s a) ?(max_states = 20_000) ?max_depth ?(jobs = 1)
+    ?(seed = [| 0 |]) ?(use_codec = true) ?(mode = `Deterministic) ?metrics
+    ?prof (sub : (s, a) subject) =
+  let codec = if use_codec then sub.codec else None in
+  let t0 = Obs.Metrics.now_ms () in
+  let outcome =
+    Check.Explorer.run sub.automaton ~key:sub.key
+      ~invariants:(List.map (fun c -> c.Ioa.Invariant.inv) sub.invariants)
+      ~seed ~max_states ?max_depth ~jobs ~state_rng:true
+      ?check_step:sub.check_step ?codec ~mode ?metrics ?prof ~init:sub.init ()
+  in
+  let stats = outcome.Check.Explorer.stats in
+  {
+    raw_states = stats.Check.Explorer.states;
+    raw_transitions = stats.Check.Explorer.transitions;
+    raw_depth = stats.Check.Explorer.depth;
+    raw_truncated = stats.Check.Explorer.truncated;
+    raw_violation =
+      Option.map
+        (fun v -> v.Ioa.Invariant.invariant)
+        outcome.Check.Explorer.violation;
+    raw_step_failure = Option.is_some outcome.Check.Explorer.step_failure;
+    raw_elapsed_ms = Obs.Metrics.now_ms () -. t0;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Counterexample extraction                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -602,6 +642,7 @@ type cex = {
   cex_failure : Check.Shrink.failure;
   cex_raw : string list;
   cex_shrunk : string list;
+  cex_state : string option;
 }
 
 let find_cex (type s a) ?(max_states = 20_000) ?max_depth ?(jobs = 1)
@@ -664,6 +705,14 @@ let find_cex (type s a) ?(max_states = 20_000) ?max_depth ?(jobs = 1)
   match target with
   | Error _ as e -> e
   | Ok (target, failure, suffix) -> (
+      (* The flat encoding of the failure state, when the entry ships a
+         codec — the wire form corpus entries carry alongside the
+         schedule. *)
+      let cex_state =
+        Option.map
+          (fun c -> Check.Codec.to_hex (Check.Codec.encode c target))
+          sub.codec
+      in
       match
         Check.Cex.reconstruct sub.automaton ~key:sub.key ~seed ~trace
           ~init:sub.init ~target ()
@@ -678,4 +727,6 @@ let find_cex (type s a) ?(max_states = 20_000) ?max_depth ?(jobs = 1)
             let shrunk =
               if shrink then Check.Shrink.shrink o failure raw else raw
             in
-            Ok { cex_failure = failure; cex_raw = raw; cex_shrunk = shrunk })
+            Ok
+              { cex_failure = failure; cex_raw = raw; cex_shrunk = shrunk;
+                cex_state })

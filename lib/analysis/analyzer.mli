@@ -89,6 +89,10 @@ type ('s, 'a) subject = {
   symmetry : ('s, 'a) Symmetry.spec option;
       (** declared permutation action; enables the equivariance audit and —
           when equivariant and deterministic — orbit canonicalization *)
+  codec : 's Check.Codec.t option;
+      (** versioned flat binary encoding of the state; enables codec-fed
+          fingerprinting ({!explore_raw}), hash-compacted throughput
+          exploration, and the counterexample wire form ([cex_state]) *)
 }
 
 (** [?jobs] (default 1) runs the exploration on that many OCaml 5 domains
@@ -118,6 +122,44 @@ val analyze :
   ('s, 'a) subject ->
   Findings.report
 
+(** One raw exploration's headline numbers — no analyses, no retained
+    observations; what [bin/analyze --mode] and the mode-parity tests
+    compare across engines. *)
+type raw = {
+  raw_states : int;
+  raw_transitions : int;
+  raw_depth : int;
+  raw_truncated : bool;
+  raw_violation : string option;  (** first violated invariant, if any *)
+  raw_step_failure : bool;
+  raw_elapsed_ms : float;
+}
+
+(** [explore_raw sub] runs one plain exploration of the subject (per-state
+    RNG forced, as everywhere in the analyzer) and returns its stats and
+    verdicts.  With [~use_codec:true] (the default) and a subject codec,
+    states are fingerprinted from their flat {!Check.Codec} encoding;
+    [~mode:`Throughput] additionally switches the explorer to the
+    hash-compacted seen-set ({!Check.Explorer.run}'s [?mode]) — the
+    explored graph and all verdicts are identical across the two modes by
+    construction, which is exactly what the parity suite asserts.
+    [~use_codec:false] is the string-keyed baseline; on entries with
+    RNG-gated generators its explored graph differs from the codec-fed one
+    (the per-state RNG is seeded from the fingerprint), so cross-source
+    state counts are only comparable on deterministic-generator
+    entries. *)
+val explore_raw :
+  ?max_states:int ->
+  ?max_depth:int ->
+  ?jobs:int ->
+  ?seed:int array ->
+  ?use_codec:bool ->
+  ?mode:[ `Deterministic | `Throughput ] ->
+  ?metrics:Obs.Metrics.t ->
+  ?prof:Obs.Prof.t ->
+  ('s, 'a) subject ->
+  raw
+
 (** The {!Check.Shrink} oracle for a subject: same automaton, invariants,
     step property and quiescence notion the analyzer explores with, so a
     replayed schedule is classified exactly as the exploration would. *)
@@ -132,6 +174,9 @@ type cex = {
   cex_failure : Check.Shrink.failure;
   cex_raw : string list;
   cex_shrunk : string list;
+  cex_state : string option;
+      (** hex of the framed flat encoding of the failure state, when the
+          subject ships a codec *)
 }
 
 (** [find_cex sub] explores with [~trace:true] (per-state RNG forced, as

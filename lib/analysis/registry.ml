@@ -250,6 +250,10 @@ let vs_spec () =
           generator = "over-approx; deterministic (all view subsets)";
           footprint = Some (vs_spec_schema ());
           symmetry = Some (vs_spec_symmetry ());
+          codec =
+            Some
+              (Check.Codec.make ~id:"vs-spec" ~version:1
+                   (Vsg.Spec.codec_state Check.Codec.string));
         };
     }
 
@@ -316,6 +320,10 @@ let dvs_spec () =
               (coarse_schema ~classes:dvs_spec_classes ~class_of:dvs_spec_class
                  ~key:Dg.Spec.state_key);
           symmetry = None;
+          codec =
+            Some
+              (Check.Codec.make ~id:"dvs-spec" ~version:1
+                   (Dg.Spec.codec_state Check.Codec.string));
         };
     }
 
@@ -413,6 +421,10 @@ let dvs_impl () =
               (coarse_schema ~classes:dvs_impl_classes ~class_of:dvs_impl_class
                  ~key:Sys.state_key);
           symmetry = None;
+          codec =
+            Some
+              (Check.Codec.make ~id:"dvs-impl" ~version:1
+                   (Sys.codec_state Check.Codec.string));
         };
     }
 
@@ -543,6 +555,9 @@ let to_spec () =
           generator = "exact; rng-free";
           footprint = Some (to_spec_schema ());
           symmetry = Some (to_spec_symmetry ());
+          codec =
+            Some
+              (Check.Codec.make ~id:"to-spec" ~version:1 To.codec_state);
         };
     }
 
@@ -637,6 +652,9 @@ let to_impl () =
               (coarse_schema ~classes:to_impl_classes ~class_of:to_impl_class
                  ~key:Timpl.state_key);
           symmetry = None;
+          codec =
+            Some
+              (Check.Codec.make ~id:"to-impl" ~version:1 Timpl.codec_state);
         };
     }
 
@@ -1214,6 +1232,10 @@ let vs_stack () =
           footprint =
             Some (stack_schema ~cfg ~faults:Vs_impl.Fault.none ());
           symmetry = Some (stack_symmetry ());
+          codec =
+            Some
+              (Check.Codec.make ~id:"vs-stack" ~version:1
+                   (Stk.codec_state Check.Codec.string));
         };
     }
 
@@ -1332,6 +1354,10 @@ let vs_stack_faulty () =
                  ~extra_classes:[ "drop"; "duplicate"; "reorder"; "retransmit" ]
                  ());
           symmetry = Some (stack_symmetry ());
+          codec =
+            Some
+              (Check.Codec.make ~id:"vs-stack-faulty" ~version:1
+                   (Stk.codec_state Check.Codec.string));
         };
     }
 
@@ -1431,6 +1457,10 @@ let full_stack () =
               (coarse_schema ~classes:full_stack_classes
                  ~class_of:full_stack_class ~key:Full.state_key);
           symmetry = None;
+          codec =
+            Some
+              (Check.Codec.make ~id:"full-stack" ~version:1
+                   (Full.codec_state Check.Codec.string));
         };
     }
 
@@ -1599,6 +1629,10 @@ let defect_stack_entry ~name ~doc ~expected ~cex_seed ~faults ?variant
                    else [])
                  ~invariant_reads:stack_refinement_reads ());
           symmetry = Some (stack_symmetry ());
+          codec =
+            Some
+              (Check.Codec.make ~id:name ~version:1
+                   (Stk.codec_state Check.Codec.string));
         };
     }
 

@@ -8,6 +8,7 @@ type t = {
   seed : int array;
   actions : string list;
   violation : string;
+  state : string option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -30,15 +31,24 @@ let render pp a =
 (* ------------------------------------------------------------------ *)
 
 let to_json t =
+  (* The flat-codec wire form of the failure state (hex of the framed
+     encoding) is emitted only when present, so pre-codec corpus lines
+     round-trip byte-identically. *)
+  let state_field =
+    match t.state with
+    | None -> []
+    | Some st -> [ ("state", Obs.Json.Str st) ]
+  in
   Obs.Json.Obj
-    [
-      ("entry", Obs.Json.Str t.entry);
-      ( "seed",
-        Obs.Json.List (Array.to_list (Array.map (fun n -> Obs.Json.Int n) t.seed))
-      );
-      ("actions", Obs.Json.List (List.map (fun a -> Obs.Json.Str a) t.actions));
-      ("violation", Obs.Json.Str t.violation);
-    ]
+    ([
+       ("entry", Obs.Json.Str t.entry);
+       ( "seed",
+         Obs.Json.List
+           (Array.to_list (Array.map (fun n -> Obs.Json.Int n) t.seed)) );
+       ("actions", Obs.Json.List (List.map (fun a -> Obs.Json.Str a) t.actions));
+       ("violation", Obs.Json.Str t.violation);
+     ]
+    @ state_field)
 
 let of_json j =
   let str = function Obs.Json.Str s -> Ok s | _ -> Error "expected string" in
@@ -77,7 +87,12 @@ let of_json j =
     | _ -> Error "actions: expected list"
   in
   let* violation = Result.bind (field "violation") str in
-  Ok { entry; seed; actions; violation }
+  let* state =
+    match Obs.Json.member "state" j with
+    | None -> Ok None
+    | Some v -> Result.map Option.some (str v)
+  in
+  Ok { entry; seed; actions; violation; state }
 
 let of_string line =
   match Obs.Json.of_string line with

@@ -19,6 +19,10 @@ type t = {
   seed : int array;  (** explorer run seed the schedule was found under *)
   actions : string list;  (** rendered action schedule, init to failure *)
   violation : string;  (** failure class, {!Shrink.failure_to_string} form *)
+  state : string option;
+      (** flat-codec wire form of the failure state — hex of the framed
+          {!Codec} encoding — when the entry ships a codec; [of_json]
+          defaults to [None] for pre-codec corpus lines *)
 }
 
 (** Margin-free rendering of one action — schedule entries are matched by

@@ -31,12 +31,15 @@ type ('s, 'a) outcome = {
 let component = "check.explorer"
 
 (* Phase vocabulary of the profiled explorer: candidate generation +
-   stepping ("expand"), key rendering + hashing ("fingerprint"), the
-   striped seen-set section ("dedup"), level-synchronization cost
-   ("barrier-wait": per-level domain spawn gap + end-of-level idle) and
-   cross-slice frontier claiming ("steal").  Nested phases pause the
-   enclosing one, so the five attributions are disjoint. *)
-let prof_phases = [ "expand"; "fingerprint"; "dedup"; "barrier-wait"; "steal" ]
+   stepping ("expand"), flat codec serialization ("encode" — only the
+   codec path spends time here; the string path renders inside
+   "fingerprint"), key digesting ("fingerprint"), the striped seen-set
+   section ("dedup"), level-synchronization cost ("barrier-wait":
+   per-level domain spawn gap + end-of-level idle) and cross-slice
+   frontier claiming ("steal").  Nested phases pause the enclosing one,
+   so the six attributions are disjoint. *)
+let prof_phases =
+  [ "expand"; "encode"; "fingerprint"; "dedup"; "barrier-wait"; "steal" ]
 
 let profile ~jobs =
   Obs.Prof.create ~phases:prof_phases ~slots:(max 1 jobs) ()
@@ -62,24 +65,33 @@ let run (type s a)
     (module A : Ioa.Automaton.GENERATIVE with type state = s and type action = a)
     ~key ~invariants ?(seed = [| 0 |]) ?(max_states = 200_000) ?max_depth
     ?(jobs = 1) ?state_rng ?(trace = false) ?check_step ?check_key ?ample
-    ?canon ?observe ?sink ?metrics ?prof ?(progress_every = 10_000) ~init () =
+    ?canon ?codec ?(mode = `Deterministic) ?observe ?sink ?metrics ?prof
+    ?(progress_every = 10_000) ~init () =
   let jobs = max 1 jobs in
   (match prof with
   | Some p when Obs.Prof.slots p < jobs ->
       invalid_arg "Explorer.run: prof has fewer slots than jobs"
   | Some _ | None -> ());
+  let throughput = mode = `Throughput in
+  (* Hash compaction keeps fingerprints only: no retained representatives
+     to audit keys against, no per-state table slots to hang a trace on. *)
+  if throughput && trace then
+    invalid_arg "Explorer.run: throughput mode cannot retain a trace";
+  if throughput && Option.is_some check_key then
+    invalid_arg "Explorer.run: throughput mode cannot audit keys";
   (* Profiling hooks: phase ids interned up front (no worker is running
      yet), hot-path enter/leave resolved to no-ops when [?prof] is absent
      so unprofiled runs stay byte-identical. *)
-  let ph_expand, ph_fp, ph_dedup, ph_barrier, ph_steal =
+  let ph_expand, ph_encode, ph_fp, ph_dedup, ph_barrier, ph_steal =
     match prof with
     | Some p ->
         ( Obs.Prof.intern p "expand",
+          Obs.Prof.intern p "encode",
           Obs.Prof.intern p "fingerprint",
           Obs.Prof.intern p "dedup",
           Obs.Prof.intern p "barrier-wait",
           Obs.Prof.intern p "steal" )
-    | None -> (0, 0, 0, 0, 0)
+    | None -> (0, 0, 0, 0, 0, 0)
   in
   let pf_enter, pf_leave =
     match prof with
@@ -115,14 +127,40 @@ let run (type s a)
     |> Option.map (fun inv ->
            { Ioa.Invariant.invariant = inv.Ioa.Invariant.name; index; state })
   in
-  let fingerprint state = Fingerprint.of_string (key state) in
+  (* Fingerprint source: the flat codec image when a codec is attached
+     (both modes, so throughput/deterministic parity is by construction —
+     the per-state RNG seeds and dedup classes agree), the rendered key
+     otherwise.  Codec scratches are single-threaded, so the parallel
+     engine indexes one per worker slot; the "encode" phase isolates
+     serialization cost from the digest proper. *)
+  let fingerprint =
+    match codec with
+    | None ->
+        fun ~slot state ->
+          pf_enter ~slot ph_fp;
+          let fp = Fingerprint.of_string (key state) in
+          pf_leave ~slot ph_fp;
+          fp
+    | Some c ->
+        let scratches = Array.init jobs (fun _ -> Codec.scratch ()) in
+        fun ~slot state ->
+          pf_enter ~slot ph_encode;
+          let scr = scratches.(slot) in
+          Codec.encode_into c scr state;
+          pf_leave ~slot ph_encode;
+          pf_enter ~slot ph_fp;
+          let buf, len = Codec.scratch_contents scr in
+          let fp = Fingerprint.of_bytes buf ~pos:0 ~len in
+          pf_leave ~slot ph_fp;
+          fp
+  in
   let state_rng_of fp = Random.State.make (Fingerprint.seed fp seed) in
   (* Orbit canonicalization rewrites every state to its representative
      before fingerprinting, the initial state included.  Canonicalizers
      return their argument physically when it already is the
      representative, so the [!=] below counts genuine collapses only. *)
   let init = match canon with Some f -> f init | None -> init in
-  let init_fp = fingerprint init in
+  let init_fp = fingerprint ~slot:0 init in
   let finalize ~stats ~violation ~violation_step ~step_failure ~key_clash
       ~trace:trace_opt ~steals ~contention ~por_skipped ~orbit_collapsed =
     (match sink with
@@ -173,7 +211,13 @@ let run (type s a)
        state's fingerprint (the discipline the parallel engine uses), so
        the explored graph is identical at every job count. *)
     let rng = Random.State.make seed in
-    let seen : s Fingerprint.Table.t = Fingerprint.Table.create 4096 in
+    let seen : s Fingerprint.Table.t =
+      Fingerprint.Table.create (if throughput then 1 else 4096)
+    in
+    let compacted =
+      if throughput then Some (Fingerprint.Set.create ~capacity:4096 ())
+      else None
+    in
     let parents =
       if trace then Some (Fingerprint.Table.create 4096) else None
     in
@@ -200,53 +244,60 @@ let run (type s a)
             if rep != state then incr orbit_collapsed;
             rep
       in
-      let fp =
-        pf_enter ~slot:0 ph_fp;
-        let fp = fingerprint state in
-        pf_leave ~slot:0 ph_fp;
-        fp
-      in
+      let fp = fingerprint ~slot:0 state in
       pf_enter ~slot:0 ph_dedup;
-      match Fingerprint.Table.find_opt seen fp with
-      | Some rep ->
-          pf_leave ~slot:0 ph_dedup;
-          (* Audit the key function when an equality is available: a
-             collision between states the equality distinguishes means the
-             dedup merged genuinely different states — whether because [key]
-             is not injective or because two keys share a fingerprint — and
-             the exploration is unsound. *)
-          (match check_key with
-          | Some equal when not (equal rep state) ->
-              key_clash := Some (rep, state)
-          | Some _ | None -> ())
-      | None ->
-          Fingerprint.Table.add seen fp (if retain then state else init);
-          (match (parents, via) with
-          | Some tbl, Some (pfp, idx, _, _) ->
-              Fingerprint.Table.replace tbl fp (pfp, idx)
-          | _ -> ());
-          pf_leave ~slot:0 ph_dedup;
-          stats :=
-            {
-              !stats with
-              states = !stats.states + 1;
-              depth = max !stats.depth depth;
-            };
-          (* The state that crosses [max_states] is counted in [stats], so
-             it must be invariant-checked like every other visited state —
-             it is only exempt from expansion. *)
-          (match check_state !stats.states state with
-          | Some v ->
-              violation := Some v;
-              violation_step :=
-                Option.map
-                  (fun (_, _, pre, action) ->
-                    { Ioa.Exec.pre; action; post = state })
-                  via
-          | None ->
-              if !stats.states > max_states then
-                stats := { !stats with truncated = true }
-              else Queue.add (depth, state, fp) queue)
+      let fresh =
+        match compacted with
+        | Some set ->
+            (* Hash compaction: membership on the bare fingerprint, no
+               representative retained.  A collision silently merges — the
+               mode trades the [check_key] audit away for 16 bytes/state. *)
+            Fingerprint.Set.add set fp
+        | None -> (
+            match Fingerprint.Table.find_opt seen fp with
+            | Some rep ->
+                (* Audit the key function when an equality is available: a
+                   collision between states the equality distinguishes means
+                   the dedup merged genuinely different states — whether
+                   because [key] is not injective or because two keys share a
+                   fingerprint — and the exploration is unsound. *)
+                (match check_key with
+                | Some equal when not (equal rep state) ->
+                    key_clash := Some (rep, state)
+                | Some _ | None -> ());
+                false
+            | None ->
+                Fingerprint.Table.add seen fp (if retain then state else init);
+                (match (parents, via) with
+                | Some tbl, Some (pfp, idx, _, _) ->
+                    Fingerprint.Table.replace tbl fp (pfp, idx)
+                | _ -> ());
+                true)
+      in
+      pf_leave ~slot:0 ph_dedup;
+      if fresh then begin
+        stats :=
+          {
+            !stats with
+            states = !stats.states + 1;
+            depth = max !stats.depth depth;
+          };
+        (* The state that crosses [max_states] is counted in [stats], so
+           it must be invariant-checked like every other visited state —
+           it is only exempt from expansion. *)
+        match check_state !stats.states state with
+        | Some v ->
+            violation := Some v;
+            violation_step :=
+              Option.map
+                (fun (_, _, pre, action) ->
+                  { Ioa.Exec.pre; action; post = state })
+                via
+        | None ->
+            if !stats.states > max_states then
+              stats := { !stats with truncated = true }
+            else Queue.add (depth, state, fp) queue
+      end
     in
     push 0 init;
     let continue () =
@@ -346,7 +397,17 @@ let run (type s a)
        when it runs dry. *)
     let module T = Fingerprint.Table in
     let shards =
-      Array.init shard_count (fun _ -> (Mutex.create (), T.create 1024))
+      Array.init shard_count (fun _ ->
+          (Mutex.create (), T.create (if throughput then 1 else 1024)))
+    in
+    (* Throughput mode swaps each shard's state table for a hash-compacted
+       fingerprint set, behind the same mutex stripe. *)
+    let compacted_shards =
+      if throughput then
+        Some
+          (Array.init shard_count (fun _ ->
+               Fingerprint.Set.create ~capacity:1024 ()))
+      else None
     in
     (* Per-shard predecessor tables, guarded by the same shard mutex as the
        seen-set entry they describe; merged into one table at the end. *)
@@ -411,12 +472,7 @@ let run (type s a)
             if rep != state then Atomic.incr orbit_collapsed;
             rep
       in
-      let fp =
-        pf_enter ~slot:wid ph_fp;
-        let fp = fingerprint state in
-        pf_leave ~slot:wid ph_fp;
-        fp
-      in
+      let fp = fingerprint ~slot:wid state in
       pf_enter ~slot:wid ph_dedup;
       let shard = Int64.to_int fp.Fingerprint.hi land (shard_count - 1) in
       let mu, tbl = shards.(shard) in
@@ -424,52 +480,69 @@ let run (type s a)
         Atomic.incr contention;
         Mutex.lock mu
       end;
-      match T.find_opt tbl fp with
-      | Some rep ->
-          Mutex.unlock mu;
-          pf_leave ~slot:wid ph_dedup;
-          (match check_key with
-          | Some equal when not (equal rep state) ->
-              record key_clash (rep, state)
-          | Some _ | None -> ());
-          None
-      | None -> (
-          let rec reserve () =
-            let cur = Atomic.get states in
-            if cur > max_states then None
-            else if Atomic.compare_and_set states cur (cur + 1) then
-              Some (cur + 1)
-            else reserve ()
-          in
-          match reserve () with
-          | None ->
-              Mutex.unlock mu;
-              pf_leave ~slot:wid ph_dedup;
-              None
-          | Some n -> (
-              T.add tbl fp (if retain then state else init);
-              (match (parent_shards, via) with
-              | Some ps, Some (pfp, idx, _, _) ->
-                  T.replace ps.(shard) fp (pfp, idx)
-              | _ -> ());
-              Mutex.unlock mu;
-              pf_leave ~slot:wid ph_dedup;
-              bump_depth depth;
-              match check_state n state with
-              | Some v ->
-                  record_violation v
-                    (Option.map
-                       (fun (_, _, pre, action) ->
-                         { Ioa.Exec.pre; action; post = state })
-                       via);
+      let rec reserve () =
+        let cur = Atomic.get states in
+        if cur > max_states then None
+        else if Atomic.compare_and_set states cur (cur + 1) then Some (cur + 1)
+        else reserve ()
+      in
+      (* Finishes admission of a state known fresh; the shard mutex is
+         still held on entry.  [insert] runs under it iff a slot was
+         reserved — the deterministic path records the representative (and
+         predecessor) there, the compacted path has nothing left to write. *)
+      let admit_reserved insert =
+        match reserve () with
+        | None ->
+            Mutex.unlock mu;
+            pf_leave ~slot:wid ph_dedup;
+            None
+        | Some n -> (
+            insert ();
+            Mutex.unlock mu;
+            pf_leave ~slot:wid ph_dedup;
+            bump_depth depth;
+            match check_state n state with
+            | Some v ->
+                record_violation v
+                  (Option.map
+                     (fun (_, _, pre, action) ->
+                       { Ioa.Exec.pre; action; post = state })
+                     via);
+                None
+            | None ->
+                if n > max_states then begin
+                  Atomic.set truncated true;
+                  Atomic.set stop true;
                   None
-              | None ->
-                  if n > max_states then begin
-                    Atomic.set truncated true;
-                    Atomic.set stop true;
-                    None
-                  end
-                  else Some (state, fp)))
+                end
+                else Some (state, fp))
+      in
+      match compacted_shards with
+      | Some cs ->
+          if Fingerprint.Set.add cs.(shard) fp then
+            admit_reserved (fun () -> ())
+          else begin
+            Mutex.unlock mu;
+            pf_leave ~slot:wid ph_dedup;
+            None
+          end
+      | None -> (
+          match T.find_opt tbl fp with
+          | Some rep ->
+              Mutex.unlock mu;
+              pf_leave ~slot:wid ph_dedup;
+              (match check_key with
+              | Some equal when not (equal rep state) ->
+                  record key_clash (rep, state)
+              | Some _ | None -> ());
+              None
+          | None ->
+              admit_reserved (fun () ->
+                  T.add tbl fp (if retain then state else init);
+                  match (parent_shards, via) with
+                  | Some ps, Some (pfp, idx, _, _) ->
+                      T.replace ps.(shard) fp (pfp, idx)
+                  | _ -> ()))
     in
     let expand ~wid ~depth ~expandable ~frontier state fp buf =
       let n = Atomic.fetch_and_add expanded 1 + 1 in

@@ -127,6 +127,25 @@ type ('s, 'a) outcome = {
            [?metrics] is given, the [explorer.por_skipped] counter.
            Omitting the parameter leaves the explored graph byte-identical
            to previous releases.
+    @param codec flat state codec ({!Codec}): fingerprints are computed
+           from the state's canonical byte image instead of the rendered
+           [key] string — no per-state string build, the E15/E17
+           bottleneck.  Dedup classes are unchanged wherever the codec is
+           injective up to the same equality as [key] (the registry
+           codecs are; [test/test_codec.ml] checks it differentially).
+           Note the per-state RNG is seeded from the fingerprint, so
+           entries whose generators draw from it explore a different —
+           equally valid — graph than the string path; omitting the
+           parameter reproduces the string path byte-identically.
+    @param mode [`Deterministic] (default) keeps the classic seen-set.
+           [`Throughput] switches to hash compaction: each seen-set shard
+           stores bare 128-bit fingerprints in flat lane arrays (16
+           bytes/state, no retained representatives), trading the
+           [check_key] audit and [trace] reconstruction — both rejected
+           with [Invalid_argument] — for footprint.  Visited-state counts
+           and verdicts match deterministic mode at every job count,
+           because both modes fingerprint the same images in the same
+           BFS order.
     @param canon orbit canonicalization: applied to the initial state and
            to every successor before fingerprinting, so exploration runs
            over orbit representatives (symmetry reduction).  Must be
@@ -156,8 +175,9 @@ type ('s, 'a) outcome = {
            [explorer.expand_latency_us] (per-state expansion latency) and
            [explorer.steal_batch] (stolen block size) histograms.
     @param prof scoped-phase profiler (see {!profile}): charges wall time
-           to the [expand] / [fingerprint] / [dedup] / [barrier-wait] /
-           [steal] phases, one slot per worker, and accrues per-domain
+           to the [expand] / [encode] / [fingerprint] / [dedup] /
+           [barrier-wait] / [steal] phases, one slot per worker, and
+           accrues per-domain
            allocation.  Must have at least [jobs] slots
            ([Invalid_argument] otherwise).  When [?sink] is also given,
            each progress point is followed by an [Obs.Prof.heartbeat]
@@ -179,6 +199,8 @@ val run :
   ?check_key:('s -> 's -> bool) ->
   ?ample:('s -> 'a list -> 'a list option) ->
   ?canon:('s -> 's) ->
+  ?codec:'s Codec.t ->
+  ?mode:[ `Deterministic | `Throughput ] ->
   ?observe:(('s, 'a) observation -> unit) ->
   ?sink:Obs.Trace.sink ->
   ?metrics:Obs.Metrics.t ->
@@ -189,6 +211,9 @@ val run :
   ('s, 'a) outcome
 
 (** A profiler pre-interned with the explorer's phase names ([expand],
-    [fingerprint], [dedup], [barrier-wait], [steal]) and one slot per
-    worker — the [?prof] argument for [run ~jobs]. *)
+    [encode], [fingerprint], [dedup], [barrier-wait], [steal]) and one
+    slot per worker — the [?prof] argument for [run ~jobs].  [encode]
+    accrues only on the [?codec] path (flat serialization), so an
+    E17-style string-path profile attributes the same work to
+    [fingerprint]. *)
 val profile : jobs:int -> Obs.Prof.t

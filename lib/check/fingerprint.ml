@@ -81,9 +81,41 @@ let finish c =
   let h2 = Int64.add h2 h1 in
   { hi = h1; lo = h2 }
 
+let feed_bytes c b ~pos ~len =
+  if pos < 0 || len < 0 || pos > Bytes.length b - len then
+    invalid_arg "Fingerprint.feed_bytes";
+  c.len <- c.len + len;
+  let i = ref pos in
+  let stop = pos + len in
+  if c.pfill > 0 then begin
+    while c.pfill < 8 && !i < stop do
+      Bytes.unsafe_set c.pending c.pfill (Bytes.unsafe_get b !i);
+      c.pfill <- c.pfill + 1;
+      incr i
+    done;
+    if c.pfill = 8 then begin
+      mix_word c (Bytes.get_int64_le c.pending 0);
+      c.pfill <- 0
+    end
+  end;
+  while !i + 8 <= stop do
+    mix_word c (Bytes.get_int64_le b !i);
+    i := !i + 8
+  done;
+  while !i < stop do
+    Bytes.unsafe_set c.pending c.pfill (Bytes.unsafe_get b !i);
+    c.pfill <- c.pfill + 1;
+    incr i
+  done
+
 let of_string s =
   let c = create () in
   feed c s;
+  finish c
+
+let of_bytes b ~pos ~len =
+  let c = create () in
+  feed_bytes c b ~pos ~len;
   finish c
 
 let seed t extra =
@@ -101,3 +133,101 @@ module Table = Hashtbl.Make (struct
   let equal = equal
   let hash = hash
 end)
+
+(* Hash-compacted fingerprint set: two parallel Int64 bigarrays hold the
+   lanes (16 flat bytes per entry, no boxing, no bucket lists), the
+   all-zero lane pair marks an empty slot — the all-zero digest itself,
+   vanishingly unlikely but legal, is tracked out of band.  Linear probe
+   on the low lane (already avalanched by the finalizer), doubling at 50%
+   load. *)
+module Set = struct
+  type elt = t
+
+  type lanes = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+  type nonrec t = {
+    mutable his : lanes;
+    mutable los : lanes;
+    mutable mask : int;
+    mutable count : int;  (* occupied slots, excluding the zero digest *)
+    mutable zero : bool;
+  }
+
+  let alloc cap =
+    let a = Bigarray.(Array1.create int64 c_layout cap) in
+    Bigarray.Array1.fill a 0L;
+    a
+
+  let create ?(capacity = 1024) () =
+    let cap = ref 16 in
+    while !cap < capacity do
+      cap := !cap * 2
+    done;
+    let cap = !cap in
+    { his = alloc cap; los = alloc cap; mask = cap - 1; count = 0; zero = false }
+
+  (* Slot where (fhi, flo) lives or belongs: [lnot i] when present at [i],
+     the empty slot index when absent.  Requires (fhi, flo) <> (0, 0) and a
+     table below full (guaranteed by the 50% growth threshold). *)
+  let probe s fhi flo =
+    let mask = s.mask in
+    let i = ref (Int64.to_int flo land mask) in
+    let r = ref 0 in
+    let searching = ref true in
+    while !searching do
+      let h = Bigarray.Array1.unsafe_get s.his !i
+      and l = Bigarray.Array1.unsafe_get s.los !i in
+      if Int64.equal h 0L && Int64.equal l 0L then begin
+        r := !i;
+        searching := false
+      end
+      else if Int64.equal h fhi && Int64.equal l flo then begin
+        r := lnot !i;
+        searching := false
+      end
+      else i := (!i + 1) land mask
+    done;
+    !r
+
+  let grow s =
+    let old_hi = s.his and old_lo = s.los in
+    let old_cap = s.mask + 1 in
+    let cap = old_cap * 2 in
+    s.his <- alloc cap;
+    s.los <- alloc cap;
+    s.mask <- cap - 1;
+    for j = 0 to old_cap - 1 do
+      let h = Bigarray.Array1.unsafe_get old_hi j
+      and l = Bigarray.Array1.unsafe_get old_lo j in
+      if not (Int64.equal h 0L && Int64.equal l 0L) then begin
+        let k = probe s h l in
+        Bigarray.Array1.unsafe_set s.his k h;
+        Bigarray.Array1.unsafe_set s.los k l
+      end
+    done
+
+  let mem s fp =
+    if Int64.equal fp.hi 0L && Int64.equal fp.lo 0L then s.zero
+    else probe s fp.hi fp.lo < 0
+
+  let add s fp =
+    if Int64.equal fp.hi 0L && Int64.equal fp.lo 0L then
+      if s.zero then false
+      else begin
+        s.zero <- true;
+        true
+      end
+    else begin
+      let k = probe s fp.hi fp.lo in
+      if k < 0 then false
+      else begin
+        Bigarray.Array1.unsafe_set s.his k fp.hi;
+        Bigarray.Array1.unsafe_set s.los k fp.lo;
+        s.count <- s.count + 1;
+        if 2 * s.count >= s.mask + 1 then grow s;
+        true
+      end
+    end
+
+  let cardinal s = s.count + Bool.to_int s.zero
+end

@@ -36,11 +36,22 @@ val pp : Format.formatter -> t -> unit
 (** [of_string s] digests the whole string in one pass. *)
 val of_string : string -> t
 
+(** [of_bytes b ~pos ~len] digests a byte range in one pass — same digest
+    as [of_string] on the equivalent string, with no copy.  This is the
+    flat-codec hot path: the explorer digests a state's scratch encoding
+    directly (see {!Codec.fingerprint}). *)
+val of_bytes : bytes -> pos:int -> len:int -> t
+
 (** Incremental digesting, for keys assembled from fragments. *)
 type ctx
 
 val create : unit -> ctx
 val feed : ctx -> string -> unit
+
+(** [feed_bytes c b ~pos ~len] feeds a byte range; chunking-independent
+    like {!feed}, so mixed [feed]/[feed_bytes] sequences digest the
+    concatenation. *)
+val feed_bytes : ctx -> bytes -> pos:int -> len:int -> unit
 
 (** Finalizes and returns the digest.  The context must not be fed again. *)
 val finish : ctx -> t
@@ -54,3 +65,26 @@ val seed : t -> int array -> int array
 
 (** Hash tables keyed by fingerprints. *)
 module Table : Hashtbl.S with type key = t
+
+(** Hash-compacted fingerprint sets for the explorer's throughput mode:
+    membership only, 16 flat bytes per entry in unboxed lane arrays —
+    no retained states, no per-entry allocation.  Not thread-safe; the
+    parallel explorer stripes one set per seen-shard behind the shard
+    mutex.  The dedup soundness caveat above applies with full force
+    here, since no [check_key] audit is possible without retained
+    representatives. *)
+module Set : sig
+  type elt = t
+  type t
+
+  (** [create ?capacity ()] — [capacity] is a hint, rounded up to a
+      power of two (minimum 16). *)
+  val create : ?capacity:int -> unit -> t
+
+  val mem : t -> elt -> bool
+
+  (** [add s fp] inserts [fp]; [true] iff it was not already present. *)
+  val add : t -> elt -> bool
+
+  val cardinal : t -> int
+end

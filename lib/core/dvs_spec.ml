@@ -223,6 +223,49 @@ module Make (M : Msg_intf.S) = struct
     Format.pp_print_flush ppf ();
     Buffer.contents buf
 
+  (* Flat canonical codec over the same eight components [state_key]
+     renders; injective up to [equal_state] whenever [m] is injective up
+     to [M.equal]. *)
+  let codec_state (m : M.t Check.Codec.f) : state Check.Codec.f =
+    let open Check.Codec in
+    let viewids_c = proc_map gid_bot in
+    let queue_c = gid_map (seqs (pair m proc)) in
+    let members_c = gid_map proc_set in
+    let pending_c = pg_map (seqs m) in
+    let counters_c = pg_map int in
+    {
+      wr =
+        (fun b s ->
+          view_set.wr b s.created;
+          viewids_c.wr b s.current_viewid;
+          queue_c.wr b s.queue;
+          members_c.wr b s.attempted;
+          members_c.wr b s.registered;
+          pending_c.wr b s.pending;
+          counters_c.wr b s.next;
+          counters_c.wr b s.next_safe);
+      rd =
+        (fun r ->
+          let created = view_set.rd r in
+          let current_viewid = viewids_c.rd r in
+          let queue = queue_c.rd r in
+          let attempted = members_c.rd r in
+          let registered = members_c.rd r in
+          let pending = pending_c.rd r in
+          let next = counters_c.rd r in
+          let next_safe = counters_c.rd r in
+          {
+            created;
+            current_viewid;
+            queue;
+            attempted;
+            registered;
+            pending;
+            next;
+            next_safe;
+          });
+    }
+
   let pp_action ppf = function
     | Createview v -> Format.fprintf ppf "dvs-createview(%a)" View.pp v
     | Newview (v, p) ->

@@ -61,6 +61,11 @@ module Make (M : Prelude.Msg_intf.S) : sig
       exploration. *)
   val state_key : state -> string
 
+  (** Flat canonical codec over the same components as [state_key]:
+      injective up to [equal_state] whenever the message codec is
+      injective up to [M.equal]. *)
+  val codec_state : M.t Check.Codec.f -> state Check.Codec.f
+
   (** Total lookups with the Figure 2 "init" defaults. *)
 
   val current_viewid_of : state -> Prelude.Proc.t -> Prelude.Gid.Bot.t

@@ -113,6 +113,24 @@ module Make (M : Msg_intf.S) = struct
       s.nodes;
     Buffer.contents buf
 
+  (* Flat canonical codec: the VS specification's codec over the wire
+     alphabet plus the per-process node codec, composed componentwise. *)
+  let codec_state (m : M.t Check.Codec.f) : state Check.Codec.f =
+    let open Check.Codec in
+    let vs_c = Vsw.codec_state (Wire.codec m) in
+    let nodes_c = proc_map (Node.codec_state m) in
+    {
+      wr =
+        (fun b s ->
+          vs_c.wr b s.vs;
+          nodes_c.wr b s.nodes);
+      rd =
+        (fun r ->
+          let vs = vs_c.rd r in
+          let nodes = nodes_c.rd r in
+          { vs; nodes });
+    }
+
   let pp_action ppf = function
     | Dvs_gpsnd (p, m) -> Format.fprintf ppf "dvs-gpsnd(%a)_%a" M.pp m Proc.pp p
     | Dvs_register p -> Format.fprintf ppf "dvs-register_%a" Proc.pp p

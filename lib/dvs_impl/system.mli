@@ -59,6 +59,10 @@ module Make (M : Prelude.Msg_intf.S) : sig
       exploration. *)
   val state_key : state -> string
 
+  (** Flat canonical codec composing the VS specification's codec (over
+      the wire alphabet) with the per-process node codecs. *)
+  val codec_state : M.t Check.Codec.f -> state Check.Codec.f
+
   val pp_state : Format.formatter -> state -> unit
   val pp_action : Format.formatter -> action -> unit
 

@@ -319,6 +319,67 @@ module Make (M : Msg_intf.S) = struct
     Format.pp_print_flush ppf ();
     Buffer.contents buf
 
+  (* Flat canonical codec over the same thirteen components [state_key]
+     renders; injective up to [equal_state] whenever [m] is injective up
+     to [M.equal]. *)
+  let codec_state (m : M.t Check.Codec.f) : state Check.Codec.f =
+    let open Check.Codec in
+    let wire_c = Wire.codec m in
+    let view_opt_c = option view in
+    let info_c = pair view view_set in
+    let info_pg_c = pg_map info_c in
+    let to_vs_c = gid_map (seqs wire_c) in
+    let from_vs_c = gid_map (seqs (pair m proc)) in
+    let rgst_c = pg_map unit in
+    let info_sent_c = gid_map info_c in
+    {
+      wr =
+        (fun b s ->
+          proc.wr b s.me;
+          view_opt_c.wr b s.cur;
+          view_opt_c.wr b s.client_cur;
+          view.wr b s.act;
+          view_set.wr b s.amb;
+          view_set.wr b s.attempted;
+          info_pg_c.wr b s.info_rcvd;
+          rgst_c.wr b s.rcvd_rgst;
+          to_vs_c.wr b s.msgs_to_vs;
+          from_vs_c.wr b s.msgs_from_vs;
+          from_vs_c.wr b s.safe_from_vs;
+          gid_set.wr b s.reg;
+          info_sent_c.wr b s.info_sent);
+      rd =
+        (fun r ->
+          let me = proc.rd r in
+          let cur = view_opt_c.rd r in
+          let client_cur = view_opt_c.rd r in
+          let act = view.rd r in
+          let amb = view_set.rd r in
+          let attempted = view_set.rd r in
+          let info_rcvd = info_pg_c.rd r in
+          let rcvd_rgst = rgst_c.rd r in
+          let msgs_to_vs = to_vs_c.rd r in
+          let msgs_from_vs = from_vs_c.rd r in
+          let safe_from_vs = from_vs_c.rd r in
+          let reg = gid_set.rd r in
+          let info_sent = info_sent_c.rd r in
+          {
+            me;
+            cur;
+            client_cur;
+            act;
+            amb;
+            attempted;
+            info_rcvd;
+            rcvd_rgst;
+            msgs_to_vs;
+            msgs_from_vs;
+            safe_from_vs;
+            reg;
+            info_sent;
+          });
+    }
+
   let pp_action ppf = function
     | Dvs_gpsnd m -> Format.fprintf ppf "dvs-gpsnd(%a)" M.pp m
     | Dvs_register -> Format.pp_print_string ppf "dvs-register"

@@ -99,6 +99,11 @@ module Make (M : Prelude.Msg_intf.S) : sig
       use — a dedup-key component for exhaustive exploration. *)
   val state_key : state -> string
 
+  (** Flat canonical codec over the same components as [state_key]:
+      injective up to [equal_state] whenever the client-message codec is
+      injective up to [M.equal]. *)
+  val codec_state : M.t Check.Codec.f -> state Check.Codec.f
+
   val pp_state : Format.formatter -> state -> unit
   val pp_action : Format.formatter -> action -> unit
 

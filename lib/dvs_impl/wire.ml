@@ -8,6 +8,33 @@ type 'c t =
 let is_client = function Client _ -> true | Info _ | Registered -> false
 let client_payload = function Client c -> Some c | Info _ | Registered -> None
 
+(* Flat canonical codec: tag byte + constructor payload.  Canonical
+   because the payload codecs are and tags are distinct. *)
+let codec (c : 'c Check.Codec.f) : 'c t Check.Codec.f =
+  let open Check.Codec in
+  {
+    wr =
+      (fun b -> function
+        | Client x ->
+            byte.wr b 0;
+            c.wr b x
+        | Info (v, vs) ->
+            byte.wr b 1;
+            view.wr b v;
+            view_set.wr b vs
+        | Registered -> byte.wr b 2);
+    rd =
+      (fun r ->
+        match byte.rd r with
+        | 0 -> Client (c.rd r)
+        | 1 ->
+            let v = view.rd r in
+            let vs = view_set.rd r in
+            Info (v, vs)
+        | 2 -> Registered
+        | _ -> raise (Malformed "wire tag"));
+  }
+
 module Make (M : Msg_intf.S) = struct
   type nonrec t = M.t t
 

@@ -14,6 +14,11 @@ type 'c t =
     these — Figure 4). *)
 val is_client : 'c t -> bool
 
+(** Flat canonical codec over a client-payload codec (tag byte +
+    payload); injective up to the [Make]d [equal] whenever the payload
+    codec is. *)
+val codec : 'c Check.Codec.f -> 'c t Check.Codec.f
+
 val client_payload : 'c t -> 'c option
 
 (** Package the wire alphabet over a client alphabet as a message module for

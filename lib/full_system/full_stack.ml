@@ -124,6 +124,24 @@ module Make (M : Msg_intf.S) = struct
       s.nodes;
     Buffer.contents buf
 
+  (* Flat canonical codec — the engine stack (over the DVS wire alphabet)
+     plus every node — mirroring [state_key]'s coverage. *)
+  let codec_state (m : M.t Check.Codec.f) : state Check.Codec.f =
+    let open Check.Codec in
+    let stk_c = Stk.codec_state (Dvs_impl.Wire.codec m) in
+    let nodes_c = proc_map (Node.codec_state m) in
+    {
+      wr =
+        (fun b s ->
+          stk_c.wr b s.stk;
+          nodes_c.wr b s.nodes);
+      rd =
+        (fun r ->
+          let stk = stk_c.rd r in
+          let nodes = nodes_c.rd r in
+          { stk; nodes });
+    }
+
   let pp_action ppf = function
     | Dvs_gpsnd (p, m) -> Format.fprintf ppf "dvs-gpsnd(%a)_%a" M.pp m Proc.pp p
     | Dvs_register p -> Format.fprintf ppf "dvs-register_%a" Proc.pp p

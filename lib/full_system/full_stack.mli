@@ -54,6 +54,10 @@ module Make (M : Prelude.Msg_intf.S) : sig
       node's — used as the dedup key for exhaustive exploration. *)
   val state_key : state -> string
 
+  (** Flat canonical codec — the engine stack plus every node — mirroring
+      {!state_key}'s coverage, given a client-payload codec. *)
+  val codec_state : M.t Check.Codec.f -> state Check.Codec.f
+
   (** Views attempted anywhere (= the DVS-level [created]). *)
   val created : state -> Prelude.View.Set.t
 

@@ -263,6 +263,89 @@ let state_key s =
   Format.pp_print_flush ppf ();
   Buffer.contents buf
 
+(* Flat canonical codec over the same seventeen fields [state_key]
+   renders; injective up to structural state equality. *)
+let codec_state : state Check.Codec.f =
+  let open Check.Codec in
+  let status_c =
+    {
+      wr =
+        (fun b st ->
+          byte.wr b
+            (match st with Normal -> 0 | Send -> 1 | Collect -> 2));
+      rd =
+        (fun r ->
+          match byte.rd r with
+          | 0 -> Normal
+          | 1 -> Send
+          | 2 -> Collect
+          | _ -> raise (Malformed "status tag"));
+    }
+  in
+  let content_c = label_map string in
+  let labels_c = seqs label in
+  let gotstate_c = proc_map summary in
+  let buildorder_c = gid_map (seqs label) in
+  {
+    wr =
+      (fun b s ->
+        proc.wr b s.me;
+        (option view).wr b s.current;
+        status_c.wr b s.status;
+        content_c.wr b s.content;
+        int.wr b s.nextseqno;
+        labels_c.wr b s.buffer;
+        label_set.wr b s.safe_labels;
+        labels_c.wr b s.order;
+        int.wr b s.nextconfirm;
+        int.wr b s.nextreport;
+        gid.wr b s.highprimary;
+        gotstate_c.wr b s.gotstate;
+        proc_set.wr b s.safe_exch;
+        gid_set.wr b s.registered;
+        (seqs string).wr b s.delay;
+        gid_set.wr b s.established;
+        buildorder_c.wr b s.buildorder);
+    rd =
+      (fun r ->
+        let me = proc.rd r in
+        let current = (option view).rd r in
+        let status = status_c.rd r in
+        let content = content_c.rd r in
+        let nextseqno = int.rd r in
+        let buffer = labels_c.rd r in
+        let safe_labels = label_set.rd r in
+        let order = labels_c.rd r in
+        let nextconfirm = int.rd r in
+        let nextreport = int.rd r in
+        let highprimary = gid.rd r in
+        let gotstate = gotstate_c.rd r in
+        let safe_exch = proc_set.rd r in
+        let registered = gid_set.rd r in
+        let delay = (seqs string).rd r in
+        let established = gid_set.rd r in
+        let buildorder = buildorder_c.rd r in
+        {
+          me;
+          current;
+          status;
+          content;
+          nextseqno;
+          buffer;
+          safe_labels;
+          order;
+          nextconfirm;
+          nextreport;
+          highprimary;
+          gotstate;
+          safe_exch;
+          registered;
+          delay;
+          established;
+          buildorder;
+        });
+  }
+
 let pp_action ppf = function
   | Bcast a -> Format.fprintf ppf "bcast(%s)" a
   | Label_msg a -> Format.fprintf ppf "label(%s)" a

@@ -68,6 +68,10 @@ include Ioa.Automaton.S with type state := state and type action := action
     dedup key for exhaustive exploration. *)
 val state_key : state -> string
 
+(** Flat canonical codec over the same seventeen fields, injective up to
+    structural state equality. *)
+val codec_state : state Check.Codec.f
+
 (** The summary this process would send in its next state exchange. *)
 val summary : state -> Prelude.Summary.t
 

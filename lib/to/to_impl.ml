@@ -106,6 +106,24 @@ let state_key s =
     s.nodes;
   Buffer.contents buf
 
+(* Flat canonical codec: the DVS specification's codec over the TO
+   message alphabet plus the per-process node codec. *)
+let codec_state : state Check.Codec.f =
+  let open Check.Codec in
+  let dvs_c = Dvs.codec_state To_msg.codec in
+  let nodes_c = proc_map Dvs_to_to.codec_state in
+  {
+    wr =
+      (fun b s ->
+        dvs_c.wr b s.dvs;
+        nodes_c.wr b s.nodes);
+    rd =
+      (fun r ->
+        let dvs = dvs_c.rd r in
+        let nodes = nodes_c.rd r in
+        { dvs; nodes });
+  }
+
 let pp_action ppf = function
   | Bcast (p, a) -> Format.fprintf ppf "bcast(%s)_%a" a Proc.pp p
   | Brcv { origin; dst; payload } ->

@@ -48,6 +48,10 @@ include Ioa.Automaton.S with type state := state and type action := action
     node's — used as the dedup key for exhaustive exploration. *)
 val state_key : state -> string
 
+(** Flat canonical codec composing the DVS specification's codec (over
+    {!To_msg.codec}) with the per-process node codecs. *)
+val codec_state : state Check.Codec.f
+
 (** {2 Derived variables (Section 6.2)} *)
 
 (** [allstate s]: every summary present anywhere — in DVS pending queues,

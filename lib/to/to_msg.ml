@@ -25,3 +25,28 @@ let pp ppf = function
   | Summ x -> Format.fprintf ppf "summary%a" Summary.pp x
 
 let is_summary = function Summ _ -> true | Data _ -> false
+
+(* Flat canonical codec: tag byte + constructor payload; canonical
+   because the label, summary and string codecs are. *)
+let codec : t Check.Codec.f =
+  let open Check.Codec in
+  {
+    wr =
+      (fun b -> function
+        | Data (l, x) ->
+            byte.wr b 0;
+            label.wr b l;
+            string.wr b x
+        | Summ s ->
+            byte.wr b 1;
+            summary.wr b s);
+    rd =
+      (fun r ->
+        match byte.rd r with
+        | 0 ->
+            let l = label.rd r in
+            let x = string.rd r in
+            Data (l, x)
+        | 1 -> Summ (summary.rd r)
+        | _ -> raise (Malformed "to-msg tag"));
+  }

@@ -15,3 +15,7 @@ val compare : t -> t -> int
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
 val is_summary : t -> bool
+
+(** Flat canonical codec (tag byte + payload), injective up to
+    [equal]. *)
+val codec : t Check.Codec.f

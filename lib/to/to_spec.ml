@@ -94,6 +94,27 @@ let state_key s =
          Format.fprintf ppf "%a=%d" Proc.pp p n))
     (Proc.Map.bindings s.next)
 
+(* Flat canonical codec over the same three components [state_key]
+   renders; injective up to structural state equality. *)
+let codec_state : state Check.Codec.f =
+  let open Check.Codec in
+  let pending_c = proc_map (seqs string) in
+  let order_c = seqs (pair string proc) in
+  let next_c = proc_map int in
+  {
+    wr =
+      (fun b s ->
+        pending_c.wr b s.pending;
+        order_c.wr b s.order;
+        next_c.wr b s.next);
+    rd =
+      (fun r ->
+        let pending = pending_c.rd r in
+        let order = order_c.rd r in
+        let next = next_c.rd r in
+        { pending; order; next });
+  }
+
 let pp_action ppf = function
   | Bcast (p, a) -> Format.fprintf ppf "bcast(%s)_%a" a Proc.pp p
   | Order (a, p) -> Format.fprintf ppf "to-order(%s,%a)" a Proc.pp p

@@ -36,6 +36,10 @@ val next_of : state -> Prelude.Proc.t -> int
     exploration. *)
 val state_key : state -> string
 
+(** Flat canonical codec over the same components as [state_key],
+    injective up to structural state equality. *)
+val codec_state : state Check.Codec.f
+
 (** Symmetry transport: apply a processor permutation to a state / an
     action.  The specification is equivariant (audited by
     [Analysis.Symmetry]), so these feed orbit canonicalization. *)

@@ -192,6 +192,36 @@ module Make (M : Msg_intf.S) = struct
     Format.pp_print_flush ppf ();
     Buffer.contents buf
 
+  (* Flat canonical codec over the same six components [state_key]
+     renders.  Every container combinator is canonical (sets/maps in
+     ascending order with cardinal prefixes), so the image is injective
+     up to [equal_state] whenever [m] is injective up to [M.equal]. *)
+  let codec_state (m : M.t Check.Codec.f) : state Check.Codec.f =
+    let open Check.Codec in
+    let viewids_c = proc_map gid_bot in
+    let queue_c = gid_map (seqs (pair m proc)) in
+    let pending_c = pg_map (seqs m) in
+    let counters_c = pg_map int in
+    {
+      wr =
+        (fun b s ->
+          view_set.wr b s.created;
+          viewids_c.wr b s.current_viewid;
+          queue_c.wr b s.queue;
+          pending_c.wr b s.pending;
+          counters_c.wr b s.next;
+          counters_c.wr b s.next_safe);
+      rd =
+        (fun r ->
+          let created = view_set.rd r in
+          let current_viewid = viewids_c.rd r in
+          let queue = queue_c.rd r in
+          let pending = pending_c.rd r in
+          let next = counters_c.rd r in
+          let next_safe = counters_c.rd r in
+          { created; current_viewid; queue; pending; next; next_safe });
+    }
+
   let pp_action ppf = function
     | Createview v -> Format.fprintf ppf "vs-createview(%a)" View.pp v
     | Newview (v, p) -> Format.fprintf ppf "vs-newview(%a)_%a" View.pp v Proc.pp p

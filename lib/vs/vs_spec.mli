@@ -53,6 +53,12 @@ module Make (M : Prelude.Msg_intf.S) : sig
       exploration. *)
   val state_key : state -> string
 
+  (** Flat canonical codec over the same components as [state_key]:
+      injective up to [equal_state] whenever the message codec is
+      injective up to [M.equal].  Feeds {!Check.Codec.make} for the
+      explorer's flat fingerprint path. *)
+  val codec_state : M.t Check.Codec.f -> state Check.Codec.f
+
   (** Symmetry transport: apply a processor permutation to a state / an
       action.  The specification is equivariant (audited by
       [Analysis.Symmetry]), so these feed orbit canonicalization. *)

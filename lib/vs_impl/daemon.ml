@@ -80,3 +80,25 @@ let state_key t =
     t.components;
   Format.pp_print_flush ppf ();
   Buffer.contents buf
+
+(* Flat canonical codec over the same four components [state_key]
+   renders; injective up to [equal]. *)
+let codec : t Check.Codec.f =
+  let open Check.Codec in
+  let notified_c = proc_map gid_bot in
+  let components_c = list proc_set in
+  {
+    wr =
+      (fun b t ->
+        view_set.wr b t.issued;
+        Check.Codec.gid.wr b t.next_id;
+        notified_c.wr b t.notified;
+        components_c.wr b t.components);
+    rd =
+      (fun r ->
+        let issued = view_set.rd r in
+        let next_id = Check.Codec.gid.rd r in
+        let notified = notified_c.rd r in
+        let components = components_c.rd r in
+        { issued; next_id; notified; components });
+  }

@@ -54,3 +54,7 @@ val pp : Format.formatter -> t -> unit
 (** Canonical full-state rendering — dedup-key component for exhaustive
     exploration. *)
 val state_key : t -> string
+
+(** Flat canonical codec over the same components {!state_key} renders;
+    injective up to [equal]. *)
+val codec : t Check.Codec.f

@@ -496,4 +496,93 @@ module Make (M : Msg_intf.S) = struct
       st.stable_upto;
     Format.pp_print_flush ppf ();
     Buffer.contents buf
+
+  (* Flat canonical codec over every field, in declaration order.
+     [variant] and [drop_stale] are fixed at construction and constant
+     across all reachable states of one exploration, so including them
+     keeps the encoding canonical there while making decode total. *)
+  let codec_state (m : M.t Check.Codec.f) : state Check.Codec.f =
+    let open Check.Codec in
+    let variant_c : variant f =
+      {
+        wr =
+          (fun b -> function
+            | Faithful -> byte.wr b 0
+            | No_dedup -> byte.wr b 1
+            | No_retransmit -> byte.wr b 2);
+        rd =
+          (fun r ->
+            match byte.rd r with
+            | 0 -> Faithful
+            | 1 -> No_dedup
+            | 2 -> No_retransmit
+            | _ -> raise (Malformed "engine variant tag"));
+      }
+    in
+    let gm_view = gid_map view in
+    let gm_seq = gid_map (seqs m) in
+    let gm_seqp = gid_map (seqs (pair m proc)) in
+    let pg_int = pg_map int in
+    let gm_int = gid_map int in
+    let rcv_c = pg_map (pair m proc) in
+    let cur_c = option view in
+    {
+      wr =
+        (fun b st ->
+          proc.wr b st.me;
+          cur_c.wr b st.cur;
+          gm_view.wr b st.views_seen;
+          gm_seq.wr b st.outq;
+          gm_seq.wr b st.fwd_log;
+          gm_seqp.wr b st.seq_log;
+          pg_int.wr b st.fwd_seen;
+          pg_int.wr b st.bcast_sent;
+          pg_int.wr b st.acked_by;
+          pg_int.wr b st.stable_sent;
+          rcv_c.wr b st.rcv_buf;
+          gm_int.wr b st.next_deliver;
+          gm_int.wr b st.next_safe;
+          gm_int.wr b st.acked_upto;
+          gm_int.wr b st.stable_upto;
+          variant_c.wr b st.variant;
+          bool.wr b st.drop_stale);
+      rd =
+        (fun r ->
+          let me = proc.rd r in
+          let cur = cur_c.rd r in
+          let views_seen = gm_view.rd r in
+          let outq = gm_seq.rd r in
+          let fwd_log = gm_seq.rd r in
+          let seq_log = gm_seqp.rd r in
+          let fwd_seen = pg_int.rd r in
+          let bcast_sent = pg_int.rd r in
+          let acked_by = pg_int.rd r in
+          let stable_sent = pg_int.rd r in
+          let rcv_buf = rcv_c.rd r in
+          let next_deliver = gm_int.rd r in
+          let next_safe = gm_int.rd r in
+          let acked_upto = gm_int.rd r in
+          let stable_upto = gm_int.rd r in
+          let variant = variant_c.rd r in
+          let drop_stale = bool.rd r in
+          {
+            me;
+            cur;
+            views_seen;
+            outq;
+            fwd_log;
+            seq_log;
+            fwd_seen;
+            bcast_sent;
+            acked_by;
+            stable_sent;
+            rcv_buf;
+            next_deliver;
+            next_safe;
+            acked_upto;
+            stable_upto;
+            variant;
+            drop_stale;
+          });
+    }
 end

@@ -165,4 +165,9 @@ module Make (M : Prelude.Msg_intf.S) : sig
   (** Canonical full-state rendering — dedup-key component for exhaustive
       exploration; injective whenever [M.pp] is. *)
   val state_key : state -> string
+
+  (** Flat canonical codec over every state field in declaration order,
+      given a payload codec; injective up to structural equality whenever
+      the payload codec is. *)
+  val codec_state : M.t Check.Codec.f -> state Check.Codec.f
 end

@@ -44,3 +44,26 @@ let pp ppf p =
   else
     Format.fprintf ppf "drop %.2f/%d dup %.2f/%d reorder %.2f/%d" p.drop
       p.max_drops p.duplicate p.max_duplicates p.reorder p.max_reorders
+
+(* Flat canonical codec over all six policy fields. *)
+let codec : policy Check.Codec.f =
+  let open Check.Codec in
+  {
+    wr =
+      (fun b p ->
+        float.wr b p.drop;
+        float.wr b p.duplicate;
+        float.wr b p.reorder;
+        int.wr b p.max_drops;
+        int.wr b p.max_duplicates;
+        int.wr b p.max_reorders);
+    rd =
+      (fun r ->
+        let drop = float.rd r in
+        let duplicate = float.rd r in
+        let reorder = float.rd r in
+        let max_drops = int.rd r in
+        let max_duplicates = int.rd r in
+        let max_reorders = int.rd r in
+        { drop; duplicate; reorder; max_drops; max_duplicates; max_reorders });
+  }

@@ -40,3 +40,6 @@ val is_faulty : policy -> bool
 
 val equal : policy -> policy -> bool
 val pp : Format.formatter -> policy -> unit
+
+(** Flat canonical codec over all six policy fields. *)
+val codec : policy Check.Codec.f

@@ -189,4 +189,33 @@ module Make (M : Msg_intf.S) = struct
       Format.fprintf ppf "|f[%d,%d,%d]" s.dropped s.duplicated s.reordered;
     Format.pp_print_flush ppf ();
     Buffer.contents buf
+
+  (* Flat canonical codec.  [blocked] is written sorted-deduplicated so
+     states equal under [equal] (order-insensitive on that field) encode
+     identically; the fault policy and budget counters are encoded in
+     full, which is canonical within any one exploration (the policy is
+     fixed at construction and never varies across reachable states). *)
+  let codec_state (m : M.t Check.Codec.f) : state Check.Codec.f =
+    let open Check.Codec in
+    let channels_c = pg_map (seqs (Packet.codec m)) in
+    let blocked_c = list (pair proc proc) in
+    {
+      wr =
+        (fun b s ->
+          channels_c.wr b s.channels;
+          blocked_c.wr b (List.sort_uniq compare s.blocked);
+          Fault.codec.wr b s.faults;
+          int.wr b s.dropped;
+          int.wr b s.duplicated;
+          int.wr b s.reordered);
+      rd =
+        (fun r ->
+          let channels = channels_c.rd r in
+          let blocked = blocked_c.rd r in
+          let faults = Fault.codec.rd r in
+          let dropped = int.rd r in
+          let duplicated = int.rd r in
+          let reordered = int.rd r in
+          { channels; blocked; faults; dropped; duplicated; reordered });
+    }
 end

@@ -120,4 +120,11 @@ module Make (M : Prelude.Msg_intf.S) : sig
       budgets are rendered only under a faulty policy, keeping lossless
       keys byte-identical to the pre-fault-model ones. *)
   val state_key : state -> string
+
+  (** Flat canonical codec, given a payload codec.  The blocked-pair list
+      is written sorted-deduplicated, so set-equal states encode
+      identically; the fault policy and consumed budgets are encoded in
+      full (both constant, respectively monotone, within one
+      exploration). *)
+  val codec_state : M.t Check.Codec.f -> state Check.Codec.f
 end

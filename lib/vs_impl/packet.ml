@@ -50,3 +50,54 @@ let pp pp_m ppf = function
         Proc.pp origin
   | Ack { gid; upto } -> Format.fprintf ppf "ack[%a]≤%d" Gid.pp gid upto
   | Stable { gid; upto } -> Format.fprintf ppf "stable[%a]≤%d" Gid.pp gid upto
+
+(* Flat canonical codec: tag byte + constructor fields in declaration
+   order; canonical because every field codec is. *)
+let codec (m : 'm Check.Codec.f) : 'm t Check.Codec.f =
+  let open Check.Codec in
+  {
+    wr =
+      (fun b -> function
+        | Fwd { gid; fsn; payload } ->
+            byte.wr b 0;
+            Check.Codec.gid.wr b gid;
+            int.wr b fsn;
+            m.wr b payload
+        | Seq { gid; sn; origin; payload } ->
+            byte.wr b 1;
+            Check.Codec.gid.wr b gid;
+            int.wr b sn;
+            proc.wr b origin;
+            m.wr b payload
+        | Ack { gid; upto } ->
+            byte.wr b 2;
+            Check.Codec.gid.wr b gid;
+            int.wr b upto
+        | Stable { gid; upto } ->
+            byte.wr b 3;
+            Check.Codec.gid.wr b gid;
+            int.wr b upto);
+    rd =
+      (fun r ->
+        match byte.rd r with
+        | 0 ->
+            let gid = Check.Codec.gid.rd r in
+            let fsn = int.rd r in
+            let payload = m.rd r in
+            Fwd { gid; fsn; payload }
+        | 1 ->
+            let gid = Check.Codec.gid.rd r in
+            let sn = int.rd r in
+            let origin = proc.rd r in
+            let payload = m.rd r in
+            Seq { gid; sn; origin; payload }
+        | 2 ->
+            let gid = Check.Codec.gid.rd r in
+            let upto = int.rd r in
+            Ack { gid; upto }
+        | 3 ->
+            let gid = Check.Codec.gid.rd r in
+            let upto = int.rd r in
+            Stable { gid; upto }
+        | _ -> raise (Malformed "packet tag"));
+  }

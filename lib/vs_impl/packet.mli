@@ -38,3 +38,8 @@ val compare : ('m -> 'm -> int) -> 'm t -> 'm t -> int
 
 val pp :
   (Format.formatter -> 'm -> unit) -> Format.formatter -> 'm t -> unit
+
+(** Flat canonical codec (tag byte + constructor fields), given a codec
+    for the payload; injective up to [compare] equality whenever the
+    payload codec is. *)
+val codec : 'm Check.Codec.f -> 'm t Check.Codec.f

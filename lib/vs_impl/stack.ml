@@ -185,6 +185,28 @@ module Make (M : Msg_intf.S) = struct
     Proc.Set.to_buffer buf s.p0;
     Buffer.contents buf
 
+  (* Flat canonical codec — net, daemon, every engine, and the initial
+     membership — mirroring [state_key]'s coverage. *)
+  let codec_state (m : M.t Check.Codec.f) : state Check.Codec.f =
+    let open Check.Codec in
+    let net_c = N.codec_state m in
+    let engines_c = proc_map (E.codec_state m) in
+    {
+      wr =
+        (fun b s ->
+          net_c.wr b s.net;
+          Daemon.codec.wr b s.daemon;
+          engines_c.wr b s.engines;
+          proc_set.wr b s.p0);
+      rd =
+        (fun r ->
+          let net = net_c.rd r in
+          let daemon = Daemon.codec.rd r in
+          let engines = engines_c.rd r in
+          let p0 = proc_set.rd r in
+          { net; daemon; engines; p0 });
+    }
+
   (* Apply a processor permutation to the whole composition — symmetry
      analysis support.  Engines are re-keyed *and* internally permuted.
      The stack is declared non-equivariant (the engine elects the least

@@ -95,6 +95,11 @@ module Make (M : Prelude.Msg_intf.S) : sig
       as the dedup key for exhaustive exploration. *)
   val state_key : state -> string
 
+  (** Flat canonical codec — net, daemon, every engine and the initial
+      membership — mirroring {!state_key}'s coverage, given a payload
+      codec. *)
+  val codec_state : M.t Check.Codec.f -> state Check.Codec.f
+
   (** {2 Symmetry transport}
 
       Apply a processor permutation to a whole composed state / to an

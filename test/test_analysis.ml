@@ -104,6 +104,7 @@ let subject ?(key = string_of_int) ?(invariants = []) ?(complete = [])
     generator = "exact; deterministic";
     footprint = None;
     symmetry = None;
+    codec = None;
   }
 
 let kinds r = List.map F.kind r.F.findings
@@ -373,6 +374,7 @@ let vstack_subject ?variant ~faults () =
     generator = "over-approx; rng-paced";
     footprint = None;
     symmetry = None;
+    codec = None;
   }
 
 let test_no_retransmit_deadlocks () =

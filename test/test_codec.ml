@@ -1,0 +1,464 @@
+(* Check.Codec: the versioned flat binary state encoding.
+
+   Per registry entry (every one ships a codec): QCheck round-trip
+   (decode ∘ encode = id up to the entry's state equality), canonicality /
+   injectivity over the observed reachable states (equal encodings ⇔ equal
+   dedup keys), a cross-check that flat-fed fingerprints dedup exactly what
+   the string path dedups, and a byte-level golden digest pin.  Framing:
+   wrong-version rejection, truncated-buffer rejection, and a single-byte
+   mutation fuzz (the 128-bit checksum must turn every corruption into a
+   clean [Error] — never a mis-decode).  A seeded codec defect (the vs-spec
+   encoder aliasing [next] into the [next_safe] slot) must be caught by the
+   injectivity sweep and by the dedup differential.  Registry-wide parity:
+   [`Throughput] (hash-compacted seen-set) visits exactly the states
+   [`Deterministic] does, with identical verdicts, at jobs:1 and jobs:4. *)
+
+module An = Analysis.Analyzer
+module Reg = Analysis.Registry
+module C = Check.Codec
+
+(* ------------------------------------------------------------------ *)
+(* Observed-state collection                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The states one exploration expands, in observation order.  Invariants
+   and step properties are deliberately dropped: defect entries must yield
+   their full (small) graph, not stop at the seeded failure. *)
+let observed (type s a) ?(max_states = 1200) (sub : (s, a) An.subject) :
+    s list =
+  let acc = ref [] in
+  let _ =
+    Check.Explorer.run sub.automaton ~key:sub.key ~invariants:[] ~seed:[| 0 |]
+      ~max_states ~jobs:1 ~state_rng:true
+      ~observe:(fun o -> acc := o.Check.Explorer.obs_state :: !acc)
+      ~init:sub.init ()
+  in
+  List.rev !acc
+
+let entry_equal (type s a) (sub : (s, a) An.subject) : s -> s -> bool =
+  match sub.An.equal_state with
+  | Some eq -> eq
+  | None -> fun a b -> String.equal (sub.An.key a) (sub.An.key b)
+
+let codec_of (type s a) (sub : (s, a) An.subject) name : s C.t =
+  match sub.An.codec with
+  | Some c -> c
+  | None -> Alcotest.failf "%s: registry entry ships no codec" name
+
+let all_entries () = Reg.all () @ Reg.defects ()
+
+(* ------------------------------------------------------------------ *)
+(* Round-trip                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let check_roundtrip (Reg.Entry e) =
+  let sub = e.subject in
+  let c = codec_of sub e.name in
+  let eq = entry_equal sub in
+  let states = observed ~max_states:400 sub in
+  Alcotest.(check bool) (e.name ^ ": walked some states") true (states <> []);
+  List.iter
+    (fun s ->
+      match C.decode c (C.encode c s) with
+      | Error err -> Alcotest.failf "%s: decode failed: %s" e.name err
+      | Ok s' ->
+          if not (eq s s') then
+            Alcotest.failf "%s: decode (encode s) <> s (key %s)" e.name
+              (sub.An.key s))
+    states
+
+let roundtrip_all () = List.iter check_roundtrip (all_entries ())
+
+(* QCheck wrapper: the walk depth (hence the sampled subgraph prefix) is
+   the generated input; every observed state along it must round-trip. *)
+let prop_roundtrip =
+  QCheck.Test.make ~count:8 ~name:"round-trip over sampled reachable prefixes"
+    QCheck.(int_range 20 300)
+    (fun n ->
+      List.iter
+        (fun (Reg.Entry e) ->
+          let sub = e.subject in
+          let c = codec_of sub e.name in
+          let eq = entry_equal sub in
+          List.iter
+            (fun s ->
+              match C.decode c (C.encode c s) with
+              | Ok s' when eq s s' -> ()
+              | Ok _ -> QCheck.Test.fail_reportf "%s: mis-decode" e.name
+              | Error err ->
+                  QCheck.Test.fail_reportf "%s: decode error %s" e.name err)
+            (observed ~max_states:n sub))
+        (all_entries ());
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Injectivity / canonicality and the fingerprint differential         *)
+(* ------------------------------------------------------------------ *)
+
+(* Over the observed states: the encoding must induce exactly the dedup
+   classes the (audited-injective) string key induces — same number of
+   distinct values, consistently mapped in both directions — and the
+   flat-fed fingerprint must agree with that partition.  This is the sweep
+   the seeded non-canonical encoder below must fail. *)
+let partition_agrees ~name ~key ~image states =
+  let by_key : (string, string) Hashtbl.t = Hashtbl.create 256 in
+  let by_img : (string, string) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun s ->
+      let k = key s and i = image s in
+      (match Hashtbl.find_opt by_key k with
+      | Some i' when i' <> i ->
+          Alcotest.failf "%s: one key, two encodings (key %s)" name k
+      | Some _ -> ()
+      | None -> Hashtbl.add by_key k i);
+      match Hashtbl.find_opt by_img i with
+      | Some k' when k' <> k ->
+          Alcotest.failf "%s: encoding collision between keys %s and %s" name
+            k' k
+      | Some _ -> ()
+      | None -> Hashtbl.add by_img i k)
+    states;
+  Alcotest.(check int)
+    (name ^ ": distinct encodings = distinct keys")
+    (Hashtbl.length by_key) (Hashtbl.length by_img)
+
+let check_injectivity (Reg.Entry e) =
+  let sub = e.subject in
+  let c = codec_of sub e.name in
+  let states = observed ~max_states:600 sub in
+  partition_agrees ~name:(e.name ^ "/bytes") ~key:sub.An.key
+    ~image:(fun s -> C.to_hex (C.encode c s))
+    states;
+  let scratch = C.scratch () in
+  partition_agrees ~name:(e.name ^ "/fingerprint") ~key:sub.An.key
+    ~image:(fun s -> Check.Fingerprint.to_hex (C.fingerprint c scratch s))
+    states
+
+let injectivity_all () = List.iter check_injectivity (all_entries ())
+
+(* ------------------------------------------------------------------ *)
+(* Golden digests                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Byte-level pin: the fingerprint of each entry's encoded initial state.
+   Any unversioned change to the wire layout — field order, varint width,
+   framing — lands here first; bump [~version] and regenerate instead of
+   editing silently. *)
+let golden =
+  [
+    ("vs-spec", "08f1b1a2e05a8d83074a3c79be81538c");
+    ("dvs-spec", "979b319875d41694898f1b137825841f");
+    ("dvs-impl", "9bb9294d385f01d0f90d839c6d64e366");
+    ("to-spec", "d9e38e2f8248a9f458aa7e49417646b7");
+    ("to-impl", "17fe41b36180e6fdd766f75b43ec79a2");
+    ("vs-stack", "d4a8d4ce2459d7aa9713e4f8dadda4c5");
+    ("vs-stack-faulty", "d699a31252685a7d7538e75378e54178");
+    ("full-stack", "4dc1256de82f5262437d63180014b7ea");
+    ("defect-no-dedup", "dacc721eb05939311d0d1bcc8f02f6fa");
+    ("defect-no-retransmit", "617146fa8a41a8e7ab3b74535c2ebf76");
+    ("defect-no-dedup-invariant", "0b4dd2e3718f072d904ca7b35edd25b4");
+  ]
+
+let golden_digests () =
+  List.iter
+    (fun (Reg.Entry e) ->
+      let c = codec_of e.subject e.name in
+      let got =
+        Check.Fingerprint.to_hex
+          (Check.Fingerprint.of_string (Bytes.to_string (C.encode c e.subject.An.init)))
+      in
+      match List.assoc_opt e.name golden with
+      | None -> Alcotest.failf "no golden digest pinned for %s" e.name
+      | Some want ->
+          Alcotest.(check string) (e.name ^ ": golden digest") want got)
+    (all_entries ())
+
+(* ------------------------------------------------------------------ *)
+(* Framing: version, truncation, mutation fuzz                         *)
+(* ------------------------------------------------------------------ *)
+
+let expect_error ~what name = function
+  | Ok _ -> Alcotest.failf "%s: %s decoded successfully" name what
+  | Error _ -> ()
+
+let check_version (Reg.Entry e) =
+  let sub = e.subject in
+  let c = codec_of sub e.name in
+  let bumped = C.with_version (C.version c + 1) c in
+  (match C.decode c (C.encode bumped sub.An.init) with
+  | Ok _ -> Alcotest.failf "%s: wrong version decoded" e.name
+  | Error msg ->
+      Alcotest.(check bool)
+        (e.name ^ ": error names the version mismatch")
+        true
+        (String.length msg > 0));
+  (* same payload under the matching version still decodes *)
+  match C.decode bumped (C.encode bumped sub.An.init) with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "%s: bumped self-decode failed: %s" e.name msg
+
+let version_all () = List.iter check_version (all_entries ())
+
+let check_truncation (Reg.Entry e) =
+  let sub = e.subject in
+  let c = codec_of sub e.name in
+  let b = C.encode c sub.An.init in
+  let n = Bytes.length b in
+  for len = 0 to n - 1 do
+    expect_error ~what:(Printf.sprintf "truncation to %d/%d bytes" len n)
+      e.name
+      (C.decode c (Bytes.sub b 0 len))
+  done
+
+let truncation_all () = List.iter check_truncation (all_entries ())
+
+(* Every single-byte corruption of a valid frame must be rejected: the
+   magic/length checks catch structural damage and the 128-bit checksum
+   catches everything else (a silent mis-decode needs a fingerprint
+   collision).  The XOR mask cycles deterministically so the sweep covers
+   varied corruption patterns without RNG plumbing. *)
+let check_mutation (Reg.Entry e) =
+  let sub = e.subject in
+  let c = codec_of sub e.name in
+  let states = observed ~max_states:3 sub in
+  List.iter
+    (fun s ->
+      let b = C.encode c s in
+      let n = Bytes.length b in
+      for pos = 0 to n - 1 do
+        let mask = 1 + ((pos * 37) mod 255) in
+        let orig = Char.code (Bytes.get b pos) in
+        Bytes.set b pos (Char.chr (orig lxor mask));
+        expect_error ~what:(Printf.sprintf "byte %d xor %#x" pos mask) e.name
+          (C.decode c b);
+        Bytes.set b pos (Char.chr orig)
+      done;
+      (* restored frame still decodes *)
+      match C.decode c b with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "%s: restored frame failed: %s" e.name msg)
+    states
+
+let mutation_all () = List.iter check_mutation (all_entries ())
+
+(* Appending trailing garbage must also be rejected (exact-consumption /
+   length discipline), not silently ignored. *)
+let check_trailing (Reg.Entry e) =
+  let sub = e.subject in
+  let c = codec_of sub e.name in
+  let b = C.encode c sub.An.init in
+  let b' = Bytes.cat b (Bytes.of_string "\x00") in
+  expect_error ~what:"frame with trailing garbage" e.name (C.decode c b')
+
+let trailing_all () = List.iter check_trailing (all_entries ())
+
+(* ------------------------------------------------------------------ *)
+(* Seeded codec defect: field aliasing in the vs-spec encoder          *)
+(* ------------------------------------------------------------------ *)
+
+module Msg = Prelude.Msg_intf.String_msg
+module Vsg = Vs.Vs_gen.Make (Msg)
+
+let vs_cfg () =
+  {
+    (Vsg.default_config ~payloads:[ "a" ] ~universe:2) with
+    Vsg.max_views = 2;
+    max_sends = 2;
+    view_proposals = `All_subsets;
+  }
+
+let vs_subject () =
+  let cfg = vs_cfg () in
+  ( Vsg.generative_pure cfg,
+    Vsg.Spec.initial (Prelude.Proc.Set.universe 2),
+    Vsg.Spec.state_key )
+
+(* The defect: the encoder writes [next] into the [next_safe] slot too,
+   so states differing only in [next_safe] collide.  Decode is the honest
+   one — this is precisely a non-canonical/non-injective encoder, the
+   failure class the injectivity sweep and the dedup differential exist
+   to catch. *)
+let defective_codec () : Vsg.Spec.state C.t =
+  let good = Vsg.Spec.codec_state C.string in
+  let wr b (s : Vsg.Spec.state) =
+    good.C.wr b { s with Vsg.Spec.next_safe = s.Vsg.Spec.next }
+  in
+  C.make ~id:"vs-spec" ~version:1 { C.wr; rd = good.C.rd }
+
+let observed_vs () =
+  let automaton, init, key = vs_subject () in
+  let acc = ref [] in
+  let _ =
+    Check.Explorer.run automaton ~key ~invariants:[] ~seed:[| 0 |]
+      ~max_states:2_500 ~jobs:1 ~state_rng:true
+      ~observe:(fun o -> acc := o.Check.Explorer.obs_state :: !acc)
+      ~init ()
+  in
+  (!acc, key)
+
+let seeded_defect_injectivity () =
+  let states, key = observed_vs () in
+  let c = defective_codec () in
+  (* the sweep must find a collision: two distinct keys, same bytes *)
+  let by_img : (string, string) Hashtbl.t = Hashtbl.create 256 in
+  let caught = ref false in
+  List.iter
+    (fun s ->
+      let i = C.to_hex (C.encode c s) and k = key s in
+      match Hashtbl.find_opt by_img i with
+      | Some k' when k' <> k -> caught := true
+      | Some _ -> ()
+      | None -> Hashtbl.add by_img i k)
+    states;
+  Alcotest.(check bool)
+    "aliasing encoder caught by the injectivity sweep" true !caught
+
+let seeded_defect_differential () =
+  let automaton, init, key = vs_subject () in
+  let run ?codec () =
+    let out =
+      Check.Explorer.run automaton ~key ~invariants:[] ~seed:[| 0 |]
+        ~max_states:10_000 ~jobs:1 ~state_rng:true ?codec ~init ()
+    in
+    let st = out.Check.Explorer.stats in
+    Alcotest.(check bool) "exhausted" false st.Check.Explorer.truncated;
+    st.Check.Explorer.states
+  in
+  let string_path = run () in
+  let good = run ~codec:(C.make ~id:"vs-spec" ~version:1 (Vsg.Spec.codec_state C.string)) () in
+  let bad = run ~codec:(defective_codec ()) () in
+  (* vs-spec's generator is deterministic, so the string-keyed and
+     codec-fed graphs are the same graph; the honest codec must dedup it
+     identically and the aliasing codec must conflate states. *)
+  Alcotest.(check int) "honest codec dedups like the string path"
+    string_path good;
+  Alcotest.(check bool)
+    (Printf.sprintf "aliasing codec conflates states (%d < %d)" bad
+       string_path)
+    true (bad < string_path)
+
+(* ------------------------------------------------------------------ *)
+(* Registry-wide mode parity                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* `Throughput drops retained states for a fingerprint-only seen-set; on
+   the same codec-fed fingerprints both modes must expand exactly the
+   same graph.  Verified per entry at jobs:1 and jobs:4; parity of the
+   cross-engine counts is only asserted on runs that exhausted (a
+   truncated parallel frontier is scheduling-dependent by design), and
+   the test demands most of the registry be exhaustible at this bound so
+   it can't silently go vacuous. *)
+let mode_parity () =
+  let exhausted = ref 0 and total = ref 0 in
+  List.iter
+    (fun (Reg.Entry e) ->
+      incr total;
+      let raw ~jobs ~mode =
+        An.explore_raw ~max_states:6_000 ~jobs ~mode e.subject
+      in
+      List.iter
+        (fun jobs ->
+          let det = raw ~jobs ~mode:`Deterministic in
+          let thr = raw ~jobs ~mode:`Throughput in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s jobs:%d — identical verdicts" e.name jobs)
+            true
+            (det.An.raw_violation = thr.An.raw_violation
+            && det.An.raw_step_failure = thr.An.raw_step_failure);
+          if not (det.An.raw_truncated || thr.An.raw_truncated) then begin
+            if jobs = 1 then incr exhausted;
+            Alcotest.(check int)
+              (Printf.sprintf "%s jobs:%d — same state count" e.name jobs)
+              det.An.raw_states thr.An.raw_states;
+            Alcotest.(check int)
+              (Printf.sprintf "%s jobs:%d — same transition count" e.name jobs)
+              det.An.raw_transitions thr.An.raw_transitions;
+            Alcotest.(check int)
+              (Printf.sprintf "%s jobs:%d — same depth" e.name jobs)
+              det.An.raw_depth thr.An.raw_depth
+          end)
+        [ 1; 4 ])
+    (all_entries ());
+  Alcotest.(check bool)
+    (Printf.sprintf "most entries exhaustible at this bound (%d/%d)"
+       !exhausted !total)
+    true
+    (!exhausted * 2 >= !total)
+
+(* ------------------------------------------------------------------ *)
+(* Corpus wire form                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Every corpus record now carries the failure state's framed encoding;
+   it must decode under its entry's current codec (a layout change that
+   breaks stored states must bump the version and regenerate). *)
+let corpus_states_decode () =
+  match Check.Cex.load ~path:"../corpus/defects.cex.jsonl" with
+  | Error e -> Alcotest.failf "corpus load failed: %s" e
+  | Ok records ->
+      let entries = all_entries () in
+      List.iter
+        (fun (r : Check.Cex.t) ->
+          match r.Check.Cex.state with
+          | None ->
+              Alcotest.failf "%s: corpus record has no state wire form"
+                r.Check.Cex.entry
+          | Some hex -> (
+              match Reg.find entries r.Check.Cex.entry with
+              | None -> Alcotest.failf "unknown entry %s" r.Check.Cex.entry
+              | Some (Reg.Entry e) -> (
+                  let c = codec_of e.subject e.name in
+                  match C.of_hex hex with
+                  | Error err ->
+                      Alcotest.failf "%s: bad hex: %s" e.name err
+                  | Ok bytes -> (
+                      match C.decode c bytes with
+                      | Ok _ -> ()
+                      | Error err ->
+                          Alcotest.failf "%s: stored state does not decode: %s"
+                            e.name err))))
+        records;
+      Alcotest.(check bool) "corpus non-empty" true (records <> [])
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "codec"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "decode (encode s) = s, every entry" `Quick
+            roundtrip_all;
+          QCheck_alcotest.to_alcotest prop_roundtrip;
+        ] );
+      ( "canonicality",
+        [
+          Alcotest.test_case
+            "encodings and flat fingerprints partition like the string key"
+            `Quick injectivity_all;
+          Alcotest.test_case "golden digest per entry" `Quick golden_digests;
+          Alcotest.test_case "corpus wire forms decode" `Quick
+            corpus_states_decode;
+        ] );
+      ( "framing",
+        [
+          Alcotest.test_case "wrong version rejected" `Quick version_all;
+          Alcotest.test_case "every truncation rejected" `Quick truncation_all;
+          Alcotest.test_case "every single-byte mutation rejected" `Quick
+            mutation_all;
+          Alcotest.test_case "trailing garbage rejected" `Quick trailing_all;
+        ] );
+      ( "seeded-defect",
+        [
+          Alcotest.test_case "aliasing encoder fails the injectivity sweep"
+            `Quick seeded_defect_injectivity;
+          Alcotest.test_case "aliasing encoder fails the dedup differential"
+            `Quick seeded_defect_differential;
+        ] );
+      ( "parity",
+        [
+          Alcotest.test_case
+            "throughput = deterministic, jobs 1 and 4, all entries" `Slow
+            mode_parity;
+        ] );
+    ]

@@ -199,6 +199,7 @@ let test_cex_roundtrip () =
       seed = [| 3; 14 |];
       actions = [ "vs-gpsnd(a)_p0"; "[send p0\xe2\x86\x92p0: fwd]" ];
       violation = "step:refinement";
+      state = None;
     }
   in
   match Check.Cex.of_string (Obs.Json.to_string (Check.Cex.to_json c)) with
@@ -218,12 +219,19 @@ let test_cex_save_load () =
   let path = Filename.temp_file "cex" ".jsonl" in
   let cs =
     [
-      { Check.Cex.entry = "a"; seed = [| 1 |]; actions = []; violation = "deadlock" };
+      {
+        Check.Cex.entry = "a";
+        seed = [| 1 |];
+        actions = [];
+        violation = "deadlock";
+        state = None;
+      };
       {
         Check.Cex.entry = "b";
         seed = [| 2 |];
         actions = [ "x"; "y" ];
         violation = "invariant:i";
+        state = Some "c500";
       };
     ]
   in
