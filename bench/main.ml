@@ -1412,11 +1412,141 @@ let e18 m =
      over the hash-compacted one\n"
 
 (* ================================================================== *)
+(* E19 — Barrier-free sharded parallel exploration: scaling sweep      *)
+(* ================================================================== *)
+
+(* The level-synchronized engine (E15/E17/E18) stops scaling once the
+   per-level barrier and the striped seen-set dominate: every level ends
+   with every domain waiting on the slowest.  E19 sweeps the barrier-free
+   sharded engine (jobs ∈ {1, 2, 4}) over two vs-stack instances —
+   a quota-capped clean run and an exhaustive faulty-transport run —
+   and records:
+
+     states_per_sec   per job count (jobs:1 is the sequential engine);
+     speedup          jobs:n states/sec over jobs:1 — the trajectory
+                      gauges the floor gate watches for scaling collapse;
+     handoff_batches / ring_full_stalls / parity
+                      cross-shard traffic, backpressure, and agreement
+                      with a deterministic jobs:1 reference run.
+
+   Speedups are only meaningful with real cores: e19.host_domains
+   records what the host offered (not gated — on a 1-core container the
+   sweep inverts; the honest number CI should see with >= 4 cores is a
+   multiple).  Parity is a hard expectation at every job count.  On the
+   exhaustive workload it means exact state/transition agreement with
+   the reference; on the capped workload the clean stack's graph is far
+   past what a bench step can exhaust, so it instead checks the atomic
+   quota-reservation guarantee — every engine at every job count stops
+   at exactly the same state count (visit order, and therefore the
+   transition tally at the cut, legitimately differs). *)
+
+let e19 m =
+  section "E19 Barrier-free sharded exploration: jobs sweep, parity, handoff";
+  let universe = 2 and p0 = Proc.Set.universe 2 in
+  let codec =
+    Check.Codec.make ~id:"vs-stack" ~version:1
+      (Stk.codec_state Check.Codec.string)
+  in
+  gauge m "e19.host_domains" (Domain.recommended_domain_count ());
+  let base_cfg = Stk.default_config ~payloads:[ "a" ] ~universe in
+  (* (name, cfg, init, max_states, exhaustive): the clean stack is far
+     bigger than a bench step can exhaust (>4M states even at
+     max_views=0), so it runs quota-capped; the faulty stack's fault
+     budgets close the graph and it runs to exhaustion. *)
+  let workloads =
+    [
+      ( "vs_stack",
+        { base_cfg with Stk.max_views = 1; max_sends = 1 },
+        Stk.initial ~universe ~p0 (),
+        400_000,
+        false );
+      ( "vs_stack_faulty",
+        { base_cfg with Stk.max_views = 1; max_sends = 1 },
+        Stk.initial ~faults:(Vs_impl.Fault.adversarial ()) ~universe ~p0 (),
+        4_000_000,
+        true );
+    ]
+  in
+  row "%-16s | %-4s | %-8s | %-11s | %-7s | %-8s | %-6s | %s\n" "workload"
+    "jobs" "states" "states/sec" "speedup" "handoffs" "stalls" "parity";
+  row "%s\n" (String.make 86 '-');
+  List.iter
+    (fun (wl, cfg, init, max_states, exhaustive) ->
+      let gen = Stk.generative_pure cfg in
+      let run ~jobs ~mode =
+        let rm = Obs.Metrics.create () in
+        let t0 = Obs.Metrics.now_ms () in
+        let outcome =
+          Check.Explorer.run gen ~key:Stk.state_key ~invariants:[]
+            ~max_states ~jobs ~state_rng:true ~codec ~mode ~metrics:rm ~init
+            ()
+        in
+        let elapsed = Obs.Metrics.now_ms () -. t0 in
+        let stats = outcome.Check.Explorer.stats in
+        if exhaustive && stats.Check.Explorer.truncated then
+          row "WARNING: %s truncated at %d states — not exhaustive\n" wl
+            stats.Check.Explorer.states;
+        let sps =
+          if elapsed > 0. then
+            float_of_int stats.Check.Explorer.states /. (elapsed /. 1000.)
+          else 0.
+        in
+        ( stats,
+          sps,
+          elapsed,
+          Obs.Metrics.count rm "explorer.handoff_batches",
+          Obs.Metrics.count rm "explorer.ring_full_stalls" )
+      in
+      (* Deterministic jobs:1 — the parity reference for the sweep. *)
+      let ref_stats, _, _, _, _ = run ~jobs:1 ~mode:`Deterministic in
+      let base_sps = ref 0. in
+      List.iter
+        (fun jobs ->
+          let stats, sps, elapsed, handoffs, stalls =
+            run ~jobs ~mode:`Throughput
+          in
+          if jobs = 1 then base_sps := sps;
+          let speedup = if !base_sps > 0. then sps /. !base_sps else 0. in
+          let parity =
+            if exhaustive then
+              stats.Check.Explorer.states = ref_stats.Check.Explorer.states
+              && stats.Check.Explorer.transitions
+                 = ref_stats.Check.Explorer.transitions
+              && (not stats.Check.Explorer.truncated)
+              && ref_stats.Check.Explorer.depth <= stats.Check.Explorer.depth
+            else
+              (* Quota-capped: the atomic reservation must make every
+                 engine stop at exactly the same count. *)
+              stats.Check.Explorer.truncated
+              && stats.Check.Explorer.states = ref_stats.Check.Explorer.states
+          in
+          let pre = Printf.sprintf "e19.%s.jobs%d" wl jobs in
+          gauge m (pre ^ ".states") stats.Check.Explorer.states;
+          gauge m (pre ^ ".transitions") stats.Check.Explorer.transitions;
+          gauge m (pre ^ ".depth") stats.Check.Explorer.depth;
+          gauge m (pre ^ ".parity") (Bool.to_int parity);
+          gauge m (pre ^ ".handoff_batches") handoffs;
+          gauge m (pre ^ ".ring_full_stalls") stalls;
+          Obs.Metrics.set m (pre ^ ".elapsed_ms") elapsed;
+          Obs.Metrics.set m (pre ^ ".states_per_sec") sps;
+          if jobs > 1 then Obs.Metrics.set m (pre ^ ".speedup") speedup;
+          row "%-16s | %-4d | %-8d | %-11.0f | %-7.2f | %-8d | %-6d | %b\n" wl
+            jobs stats.Check.Explorer.states sps speedup handoffs stalls
+            parity)
+        [ 1; 2; 4 ])
+    workloads;
+  row
+    "\nspeedup: sharded jobs:n over sharded jobs:1 (sequential engine); \
+     parity: exact\nstate/transition agreement with a deterministic jobs:1 \
+     reference (exhaustive\nruns) or exact quota-cut state counts (capped \
+     runs)\n"
+
+(* ================================================================== *)
 
 let all =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13);
-    ("e14", e14); ("e15", e15); ("e16", e16); ("e17", e17); ("e18", e18) ]
+    ("e14", e14); ("e15", e15); ("e16", e16); ("e17", e17); ("e18", e18); ("e19", e19) ]
 
 let () =
   let requested =

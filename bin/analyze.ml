@@ -34,12 +34,14 @@ let run_entry ~max_states_override ~max_depth ~jobs ~footprint ~reduce
 (* Raw exploration mode (--mode deterministic|throughput)                 *)
 (* --------------------------------------------------------------------- *)
 
-(* One plain codec-fed exploration per entry: states, depth and verdict,
-   plus states/sec.  `deterministic` keeps the full seen-table (retained
-   keys, parity-auditable); `throughput` switches the explorer to the
-   hash-compacted fingerprint set.  Both fingerprint states from the flat
-   Check.Codec encoding when the entry ships one, so their explored
-   graphs — and verdicts — agree by construction. *)
+(* One plain codec-fed exploration per entry: states, depth and verdict
+   (violation / step-failure / deadlock / clean), plus states/sec.
+   `deterministic` keeps the full seen-table (retained keys,
+   parity-auditable); `throughput` switches the explorer to the
+   hash-compacted fingerprint set and, at jobs > 1 without a depth bound,
+   to the barrier-free sharded engine.  Both fingerprint states from the
+   flat Check.Codec encoding when the entry ships one, so clean
+   exhaustive runs agree on counts and verdicts by construction. *)
 let run_raw ~selected ~max_states_override ~max_depth ~jobs ~mode =
   let failed = ref false in
   List.iter
@@ -55,7 +57,7 @@ let run_raw ~selected ~max_states_override ~max_depth ~jobs ~mode =
         match (r.Analysis.Analyzer.raw_violation, r.raw_step_failure) with
         | Some inv, _ -> "violation:" ^ inv
         | None, true -> "step-failure"
-        | None, false -> "clean"
+        | None, false -> if r.raw_deadlock then "deadlock" else "clean"
       in
       (match Analysis.Registry.expected (Analysis.Registry.Entry e) with
       | Some _ when verdict = "clean" ->
@@ -298,7 +300,15 @@ let () =
           "analysis"
       & info [ "mode" ] ~docv:"MODE"
           ~doc:
-            "Exploration engine.  $(b,analysis) (default) runs the full              static-analysis pass.  $(b,deterministic) and              $(b,throughput) instead run one plain codec-fed exploration              per entry and print states, depth, throughput and the              verdict: deterministic keeps the full seen-table, throughput              stores only 128-bit fingerprints (hash compaction).  Both              visit the same graph, so their counts and verdicts agree.")
+            "Exploration engine.  $(b,analysis) (default) runs the full \
+             static-analysis pass.  $(b,deterministic) and $(b,throughput) \
+             instead run one plain codec-fed exploration per entry and print \
+             states, depth, throughput and the verdict: deterministic keeps \
+             the full seen-table (level-synchronized parallel BFS), \
+             throughput stores only 128-bit fingerprints and, at --jobs > 1 \
+             without --max-depth, switches to the barrier-free sharded \
+             engine.  Clean exhaustive runs visit the same graph in every \
+             mode, so counts and verdicts agree.")
   in
   let reduce =
     Arg.(

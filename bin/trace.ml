@@ -33,10 +33,32 @@ let finish_profile metrics ~prefix = function
       Format.printf "%a@." Obs.Prof.pp_report (Obs.Prof.report p)
 
 let run_entry (Analysis.Registry.Entry e) ~steps ~seed ~explore ~reduce
-    ~max_states ~jobs ~profile metrics sink =
+    ~max_states ~jobs ~mode ~profile metrics sink =
   let open Analysis.Analyzer in
   let sub = e.subject in
-  if explore then begin
+  if explore && mode <> `Analysis then begin
+    (* Raw engine run, as bin/analyze --mode: no analysis passes, just the
+       exploration with the event stream, counters and profile attached —
+       `throughput` at jobs > 1 exercises the barrier-free sharded
+       engine. *)
+    let max_states =
+      match max_states with Some n -> n | None -> e.max_states
+    in
+    let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+    let prof = if profile then Some (Check.Explorer.profile ~jobs) else None in
+    let mode =
+      match mode with `Throughput -> `Throughput | _ -> `Deterministic
+    in
+    let r =
+      Analysis.Analyzer.explore_raw ~max_states ~jobs ~mode ~sink ~metrics
+        ?prof sub
+    in
+    finish_profile metrics ~prefix:"explorer" prof;
+    Logs.info (fun m ->
+        m "explored %s (raw): %d states, %d transitions, depth %d in %.1f ms"
+          e.name r.raw_states r.raw_transitions r.raw_depth r.raw_elapsed_ms)
+  end
+  else if explore then begin
     let max_states =
       match max_states with Some n -> n | None -> e.max_states
     in
@@ -170,7 +192,7 @@ let with_sink out f =
       (r, Obs.Trace.emitted sink)
 
 let run () entry scenario list_ out json explore reduce steps max_states jobs
-    procs epochs complete seed profile =
+    mode procs epochs complete seed profile =
   if list_ then begin
     List.iter
       (fun e ->
@@ -191,7 +213,7 @@ let run () entry scenario list_ out json explore reduce steps max_states jobs
         | Some e ->
             fun sink ->
               run_entry e ~steps ~seed ~explore ~reduce ~max_states ~jobs
-                ~profile metrics sink
+                ~mode ~profile metrics sink
         | None ->
             Format.eprintf "unknown entry %S (try --list)@." name;
             exit 2)
@@ -290,6 +312,27 @@ let () =
             "Worker domains for --explore (default: recommended domain \
              count, capped at 8).")
   in
+  let mode =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("analysis", `Analysis);
+               ("deterministic", `Deterministic);
+               ("throughput", `Throughput);
+             ])
+          `Analysis
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "With --explore: $(b,analysis) (default) runs the full analyzer \
+             pass; $(b,deterministic) and $(b,throughput) run one raw \
+             exploration on the corresponding engine instead — at --jobs > 1 \
+             throughput uses the barrier-free sharded engine, so its \
+             progress events, explorer.handoff_batches / ring_full_stalls \
+             counters and route/flush/idle profile phases show up in the \
+             stream and summary.")
+  in
   let procs =
     Arg.(value & opt int 10 & info [ "n"; "procs" ] ~docv:"N" ~doc:"Universe size.")
   in
@@ -317,7 +360,7 @@ let () =
   let term =
     Term.(
       const run $ Obs.Log_cli.setup $ entry $ scenario $ list_ $ out $ json
-      $ explore $ reduce $ steps $ max_states $ jobs $ procs $ epochs
+      $ explore $ reduce $ steps $ max_states $ jobs $ mode $ procs $ epochs
       $ complete $ seed $ profile)
   in
   let info =

@@ -592,19 +592,38 @@ type raw = {
   raw_truncated : bool;
   raw_violation : string option;
   raw_step_failure : bool;
+  raw_deadlock : bool;
   raw_elapsed_ms : float;
 }
 
 let explore_raw (type s a) ?(max_states = 20_000) ?max_depth ?(jobs = 1)
-    ?(seed = [| 0 |]) ?(use_codec = true) ?(mode = `Deterministic) ?metrics
-    ?prof (sub : (s, a) subject) =
+    ?(seed = [| 0 |]) ?(use_codec = true) ?(mode = `Deterministic) ?sink
+    ?metrics ?prof (sub : (s, a) subject) =
   let codec = if use_codec then sub.codec else None in
+  (* Same dead-end notion as [find_cex]: a state with no enabled candidate
+     that the subject does not declare quiescent.  Observation only — it
+     cannot perturb the explored graph, and the explorer serializes
+     [observe] calls on both parallel engines. *)
+  let deadlock = ref false in
+  let observe =
+    match sub.quiescent with
+    | None -> None
+    | Some q ->
+        Some
+          (fun o ->
+            if
+              (not !deadlock)
+              && o.Check.Explorer.obs_enabled = []
+              && not (q o.Check.Explorer.obs_state)
+            then deadlock := true)
+  in
   let t0 = Obs.Metrics.now_ms () in
   let outcome =
     Check.Explorer.run sub.automaton ~key:sub.key
       ~invariants:(List.map (fun c -> c.Ioa.Invariant.inv) sub.invariants)
       ~seed ~max_states ?max_depth ~jobs ~state_rng:true
-      ?check_step:sub.check_step ?codec ~mode ?metrics ?prof ~init:sub.init ()
+      ?check_step:sub.check_step ?codec ~mode ?observe ?sink ?metrics ?prof
+      ~init:sub.init ()
   in
   let stats = outcome.Check.Explorer.stats in
   {
@@ -617,6 +636,7 @@ let explore_raw (type s a) ?(max_states = 20_000) ?max_depth ?(jobs = 1)
         (fun v -> v.Ioa.Invariant.invariant)
         outcome.Check.Explorer.violation;
     raw_step_failure = Option.is_some outcome.Check.Explorer.step_failure;
+    raw_deadlock = !deadlock;
     raw_elapsed_ms = Obs.Metrics.now_ms () -. t0;
   }
 

@@ -132,6 +132,10 @@ type raw = {
   raw_truncated : bool;
   raw_violation : string option;  (** first violated invariant, if any *)
   raw_step_failure : bool;
+  raw_deadlock : bool;
+      (** a dead-end state (no enabled candidate) the subject does not
+          declare quiescent was expanded — always [false] on subjects
+          without a [quiescent] predicate *)
   raw_elapsed_ms : float;
 }
 
@@ -140,9 +144,12 @@ type raw = {
     verdicts.  With [~use_codec:true] (the default) and a subject codec,
     states are fingerprinted from their flat {!Check.Codec} encoding;
     [~mode:`Throughput] additionally switches the explorer to the
-    hash-compacted seen-set ({!Check.Explorer.run}'s [?mode]) — the
-    explored graph and all verdicts are identical across the two modes by
-    construction, which is exactly what the parity suite asserts.
+    hash-compacted seen-set ({!Check.Explorer.run}'s [?mode]), and — at
+    [jobs > 1] without a depth bound — to the barrier-free sharded engine.
+    On clean exhaustive runs the explored graph and all verdicts are
+    identical across the two modes by construction (what the parity suite
+    asserts); sharded truncated runs keep exact state counts but a
+    scheduling-dependent prefix, and sharded depths are discovery depths.
     [~use_codec:false] is the string-keyed baseline; on entries with
     RNG-gated generators its explored graph differs from the codec-fed one
     (the per-state RNG is seeded from the fingerprint), so cross-source
@@ -155,6 +162,7 @@ val explore_raw :
   ?seed:int array ->
   ?use_codec:bool ->
   ?mode:[ `Deterministic | `Throughput ] ->
+  ?sink:Obs.Trace.sink ->
   ?metrics:Obs.Metrics.t ->
   ?prof:Obs.Prof.t ->
   ('s, 'a) subject ->

@@ -1639,7 +1639,7 @@ let defect_stack_entry ~name ~doc ~expected ~cex_seed ~faults ?variant
 let defect_no_dedup () =
   defect_stack_entry ~name:"defect-no-dedup"
     ~doc:"seeded defect: duplicated forwards accepted twice (refinement)"
-    ~expected:(Check.Shrink.Step "refinement") ~cex_seed:[| 3 |]
+    ~expected:(Check.Shrink.Step "refinement") ~cex_seed:[| 14 |]
     ~faults:
       {
         (Vs_impl.Fault.adversarial ~max_drops:0 ~max_reorders:0 ()) with
@@ -1652,7 +1652,7 @@ let defect_no_dedup () =
 let defect_no_retransmit () =
   defect_stack_entry ~name:"defect-no-retransmit"
     ~doc:"seeded defect: dropped packets never retransmitted (deadlock)"
-    ~expected:Check.Shrink.Deadlock ~cex_seed:[| 21 |]
+    ~expected:Check.Shrink.Deadlock ~cex_seed:[| 9 |]
     ~faults:
       {
         (Vs_impl.Fault.adversarial ~max_drops:2 ~max_duplicates:1
@@ -1668,7 +1668,7 @@ let defect_no_dedup_invariant () =
     ~doc:"seeded defect: duplicate acceptance breaks message conservation"
     ~expected:
       (Check.Shrink.Invariant "ENGINE: sequenced entries bounded by forwards")
-    ~cex_seed:[| 3 |]
+    ~cex_seed:[| 25 |]
     ~faults:
       {
         (Vs_impl.Fault.adversarial ~max_drops:0 ~max_reorders:0 ()) with

@@ -33,13 +33,21 @@ let component = "check.explorer"
 (* Phase vocabulary of the profiled explorer: candidate generation +
    stepping ("expand"), flat codec serialization ("encode" — only the
    codec path spends time here; the string path renders inside
-   "fingerprint"), key digesting ("fingerprint"), the striped seen-set
-   section ("dedup"), level-synchronization cost ("barrier-wait":
-   per-level domain spawn gap + end-of-level idle) and cross-slice
-   frontier claiming ("steal").  Nested phases pause the enclosing one,
-   so the six attributions are disjoint. *)
+   "fingerprint"), key digesting ("fingerprint") and the seen-set
+   section ("dedup") are common to every engine.  The level-synchronized
+   engine adds its synchronization costs — "barrier-wait" (per-level
+   domain spawn gap + end-of-level idle) and "steal" (cross-slice
+   frontier claiming); the sharded barrier-free engine instead charges
+   "route" (pushing successor batches into other workers' rings,
+   including full-ring retries), "flush" (draining the own inbound ring)
+   and "idle" (spinning at an empty frontier waiting for handoffs or
+   global quiescence).  Nested phases pause the enclosing one, so the
+   attributions stay disjoint. *)
 let prof_phases =
-  [ "expand"; "encode"; "fingerprint"; "dedup"; "barrier-wait"; "steal" ]
+  [
+    "expand"; "encode"; "fingerprint"; "dedup"; "barrier-wait"; "steal";
+    "route"; "flush"; "idle";
+  ]
 
 let profile ~jobs =
   Obs.Prof.create ~phases:prof_phases ~slots:(max 1 jobs) ()
@@ -60,6 +68,16 @@ let progress_event sink (stats : stats) ~frontier =
    amortizes over many expansions. *)
 let shard_count = 64
 let steal_block = 32
+
+(* Sharded-engine tuning (the barrier-free throughput engine): successors
+   bound for another worker accumulate in a per-destination buffer until
+   [flush_batch] of them hand off as a single ring push; [ring_capacity]
+   bounds each worker's inbound ring in batches (a full ring reports a
+   stall instead of blocking); [expand_chunk] paces how many frontier
+   entries a worker expands between drains of its inbound ring. *)
+let flush_batch = 64
+let ring_capacity = 256
+let expand_chunk = 64
 
 let run (type s a)
     (module A : Ioa.Automaton.GENERATIVE with type state = s and type action = a)
@@ -82,17 +100,18 @@ let run (type s a)
   (* Profiling hooks: phase ids interned up front (no worker is running
      yet), hot-path enter/leave resolved to no-ops when [?prof] is absent
      so unprofiled runs stay byte-identical. *)
-  let ph_expand, ph_encode, ph_fp, ph_dedup, ph_barrier, ph_steal =
-    match prof with
-    | Some p ->
-        ( Obs.Prof.intern p "expand",
-          Obs.Prof.intern p "encode",
-          Obs.Prof.intern p "fingerprint",
-          Obs.Prof.intern p "dedup",
-          Obs.Prof.intern p "barrier-wait",
-          Obs.Prof.intern p "steal" )
-    | None -> (0, 0, 0, 0, 0, 0)
+  let iphase name =
+    match prof with Some p -> Obs.Prof.intern p name | None -> 0
   in
+  let ph_expand = iphase "expand" in
+  let ph_encode = iphase "encode" in
+  let ph_fp = iphase "fingerprint" in
+  let ph_dedup = iphase "dedup" in
+  let ph_barrier = iphase "barrier-wait" in
+  let ph_steal = iphase "steal" in
+  let ph_route = iphase "route" in
+  let ph_flush = iphase "flush" in
+  let ph_idle = iphase "idle" in
   let pf_enter, pf_leave =
     match prof with
     | Some p -> (Obs.Prof.enter p, Obs.Prof.leave p)
@@ -387,6 +406,361 @@ let run (type s a)
       ~key_clash:!key_clash ~trace:parents ~steals:0 ~contention:0
       ~por_skipped:!por_skipped ~orbit_collapsed:!orbit_collapsed
   end
+  else if throughput && max_depth = None then begin
+    (* ---------------- sharded barrier-free engine ------------------- *)
+    (* Throughput-mode parallel search without level barriers: the
+       fingerprint space is range-partitioned over the workers
+       ([Fingerprint.shard]), and each worker domain exclusively owns its
+       shard's seen-set — an unshared [Fingerprint.Set], no mutex, no
+       striping — plus a private frontier queue.  Successors that hash
+       into another worker's shard are batched per destination and handed
+       off through that worker's bounded MPSC {!Ring}; everything else
+       stays local.  Because admission always runs on the owning domain,
+       the dedup decision itself is single-threaded per shard; the only
+       shared-write hot path left is the state-count reservation, one
+       wait-free fetch-and-add per fresh state.
+
+       No barrier means no global depth discipline: a worker expands
+       whatever its frontier holds while handoffs stream in, so
+       [stats.depth] reports the maximum *discovery* depth — an upper
+       bound on the BFS eccentricity, tight only when shortest paths are
+       discovered first.  [max_depth] cuts need true BFS depths, so those
+       runs are routed to the level-synchronized engine (dispatch above).
+
+       Termination is distributed quiescence over one credit counter:
+       [pending] is incremented the moment a successor is routed (before
+       it becomes visible anywhere) and decremented when its processing
+       ends — duplicate, rejection, or completed expansion.  Workers
+       flush their buffered handoffs before idling, so [pending = 0]
+       means no frontier entry, ring entry, buffered handoff or in-flight
+       expansion exists anywhere: the global done condition.
+
+       On exhaustive runs the explored graph is the same state set and
+       transition multiset as the other engines': per-state RNG makes
+       candidate draws order-independent, codec/key fingerprints agree,
+       and dedup classes are engine-invariant.  Only discovery order —
+       and with it [depth], and which states a [max_states] cut happens
+       to admit — is scheduling-dependent. *)
+    let seen =
+      Array.init jobs (fun _ -> Fingerprint.Set.create ~capacity:4096 ())
+    in
+    let rings : (int * s * Fingerprint.t * (s * a) option) array Ring.t array
+        =
+      Array.init jobs (fun _ -> Ring.create ~capacity:ring_capacity)
+    in
+    let frontiers : (int * s * Fingerprint.t) Queue.t array =
+      Array.init jobs (fun _ -> Queue.create ())
+    in
+    let stop = Atomic.make false in
+    let truncated = Atomic.make false in
+    let states = Atomic.make 0 in
+    let pending = Atomic.make 0 in
+    let expanded = Atomic.make 0 in
+    let handoff_batches = Atomic.make 0 in
+    let ring_full_stalls = Atomic.make 0 in
+    let por_skipped = Atomic.make 0 in
+    let orbit_collapsed = Atomic.make 0 in
+    let transitions = Array.make jobs 0 in
+    let max_depths = Array.make jobs 0 in
+    let result_mu = Mutex.create () in
+    let violation = ref None in
+    let violation_step = ref None in
+    let step_failure = ref None in
+    let record cell v =
+      Mutex.lock result_mu;
+      if Option.is_none !cell then cell := Some v;
+      Mutex.unlock result_mu;
+      Atomic.set stop true
+    in
+    let record_violation v vstep =
+      Mutex.lock result_mu;
+      if Option.is_none !violation then begin
+        violation := Some v;
+        violation_step := vstep
+      end;
+      Mutex.unlock result_mu;
+      Atomic.set stop true
+    in
+    let aux_mu = Mutex.create () in
+    (* Admission, called only from the shard's owning domain (or from the
+       main domain for [init], before any worker is spawned).  Slot
+       [max_states + 1] is the crossing state — counted and
+       invariant-checked but never expanded, matching the other engines —
+       and any racing reservation beyond it is handed back, so the final
+       count is exact.  [true] iff the state belongs on the owner's
+       frontier. *)
+    let admit ~wid depth state fp via =
+      pf_enter ~slot:wid ph_dedup;
+      let fresh = Fingerprint.Set.add seen.(wid) fp in
+      pf_leave ~slot:wid ph_dedup;
+      fresh
+      && begin
+           let n = Atomic.fetch_and_add states 1 + 1 in
+           if n > max_states + 1 then begin
+             ignore (Atomic.fetch_and_add states (-1));
+             false
+           end
+           else begin
+             if depth > max_depths.(wid) then max_depths.(wid) <- depth;
+             match check_state n state with
+             | Some v ->
+                 record_violation v
+                   (Option.map
+                      (fun (pre, action) ->
+                        { Ioa.Exec.pre; action; post = state })
+                      via);
+                 false
+             | None ->
+                 if n > max_states then begin
+                   Atomic.set truncated true;
+                   Atomic.set stop true;
+                   false
+                 end
+                 else true
+           end
+         end
+    in
+    let worker wid () =
+      let alloc0 =
+        match prof with
+        | Some _ when wid > 0 -> Gc.allocated_bytes ()
+        | _ -> 0.
+      in
+      let frontier = frontiers.(wid) in
+      let ring = rings.(wid) in
+      let outbuf : (int * s * Fingerprint.t * (s * a) option) list array =
+        Array.make jobs []
+      in
+      let outcount = Array.make jobs 0 in
+      (* Drains the inbound ring: each popped batch is admitted against
+         the own shard; a fresh state keeps its credit (it now stands for
+         the frontier entry), everything else settles it here. *)
+      let drain_own () =
+        if not (Ring.is_empty ring) then begin
+          pf_enter ~slot:wid ph_flush;
+          let rec go () =
+            match Ring.try_pop ring with
+            | None -> ()
+            | Some batch ->
+                Array.iter
+                  (fun (depth, state, fp, via) ->
+                    if
+                      (not (Atomic.get stop))
+                      && admit ~wid depth state fp via
+                    then Queue.add (depth, state, fp) frontier
+                    else Atomic.decr pending)
+                  batch;
+                go ()
+          in
+          go ();
+          pf_leave ~slot:wid ph_flush
+        end
+      in
+      let flush_dest dest =
+        if outcount.(dest) > 0 then begin
+          pf_enter ~slot:wid ph_route;
+          let batch = Array.of_list outbuf.(dest) in
+          outbuf.(dest) <- [];
+          outcount.(dest) <- 0;
+          let rec push () =
+            if Atomic.get stop then
+              ignore (Atomic.fetch_and_add pending (-Array.length batch))
+            else if Ring.try_push rings.(dest) batch then begin
+              Atomic.incr handoff_batches;
+              match metrics with
+              | Some m ->
+                  Obs.Metrics.observe m "explorer.ring_occupancy"
+                    (float_of_int (Ring.occupancy rings.(dest)))
+              | None -> ()
+            end
+            else begin
+              Atomic.incr ring_full_stalls;
+              (* The destination may itself be stalled pushing into our
+                 ring; draining our inbox breaks the cycle, so a full
+                 ring never deadlocks producers against each other. *)
+              drain_own ();
+              Domain.cpu_relax ();
+              push ()
+            end
+          in
+          push ();
+          pf_leave ~slot:wid ph_route
+        end
+      in
+      let flush_all () =
+        for d = 0 to jobs - 1 do
+          flush_dest d
+        done
+      in
+      (* Routes one successor: credit first (before it becomes visible
+         anywhere), then local admission or a buffered handoff toward the
+         owning shard. *)
+      let route depth post via =
+        let post =
+          match canon with
+          | None -> post
+          | Some f ->
+              let rep = f post in
+              if rep != post then Atomic.incr orbit_collapsed;
+              rep
+        in
+        let fp = fingerprint ~slot:wid post in
+        let dest = Fingerprint.shard fp ~shards:jobs in
+        Atomic.incr pending;
+        if dest = wid then begin
+          if admit ~wid depth post fp (Some via) then
+            Queue.add (depth, post, fp) frontier
+          else Atomic.decr pending
+        end
+        else begin
+          outbuf.(dest) <- (depth, post, fp, Some via) :: outbuf.(dest);
+          outcount.(dest) <- outcount.(dest) + 1;
+          if outcount.(dest) >= flush_batch then flush_dest dest
+        end
+      in
+      let expand depth state fp =
+        let n = Atomic.fetch_and_add expanded 1 + 1 in
+        (match sink with
+        | Some s when n mod progress_every = 0 ->
+            Mutex.lock aux_mu;
+            progress_event s
+              {
+                states = Atomic.get states;
+                transitions = Array.fold_left ( + ) 0 transitions;
+                depth = Array.fold_left max 0 max_depths;
+                truncated = Atomic.get truncated;
+              }
+              ~frontier:(Queue.length frontier);
+            (match prof with
+            | Some p ->
+                Obs.Prof.heartbeat p s ~component ~states:(Atomic.get states)
+            | None -> ());
+            Mutex.unlock aux_mu
+        | Some _ | None -> ());
+        pf_enter ~slot:wid ph_expand;
+        let lat0 = latency_t0 () in
+        let rng = state_rng_of fp in
+        let candidates = A.candidates rng state in
+        let actions = List.filter (A.enabled state) candidates in
+        (match observe with
+        | None -> ()
+        | Some f ->
+            Mutex.lock aux_mu;
+            f
+              {
+                obs_state = state;
+                obs_depth = depth;
+                obs_candidates = candidates;
+                obs_enabled = actions;
+              };
+            Mutex.unlock aux_mu);
+        let fired =
+          match ample with
+          | None -> actions
+          | Some f -> (
+              match f state actions with
+              | None -> actions
+              | Some sub ->
+                  Atomic.fetch_and_add por_skipped
+                    (List.length actions - List.length sub)
+                  |> ignore;
+                  sub)
+        in
+        List.iter
+          (fun action ->
+            if not (Atomic.get stop) then begin
+              let post = A.step state action in
+              transitions.(wid) <- transitions.(wid) + 1;
+              (match check_step with
+              | None -> ()
+              | Some f -> (
+                  let step = { Ioa.Exec.pre = state; action; post } in
+                  match f step with
+                  | Ok () -> ()
+                  | Error msg -> record step_failure (step, msg)));
+              if not (Atomic.get stop) then
+                route (depth + 1) post (state, action)
+            end)
+          fired;
+        obs_latency lat0;
+        pf_leave ~slot:wid ph_expand
+      in
+      let rec loop () =
+        if not (Atomic.get stop) then begin
+          drain_own ();
+          if not (Queue.is_empty frontier) then begin
+            let k = ref 0 in
+            while
+              !k < expand_chunk
+              && (not (Queue.is_empty frontier))
+              && not (Atomic.get stop)
+            do
+              let depth, state, fp = Queue.pop frontier in
+              expand depth state fp;
+              Atomic.decr pending;
+              incr k
+            done;
+            flush_all ();
+            loop ()
+          end
+          else begin
+            flush_all ();
+            if Atomic.get pending > 0 then begin
+              (* Nothing local but work exists elsewhere: spin until a
+                 handoff arrives or the system quiesces.  Our outbufs
+                 were flushed above, so every credit we raised is
+                 visible to whoever holds the matching work. *)
+              pf_enter ~slot:wid ph_idle;
+              while
+                (not (Atomic.get stop))
+                && Atomic.get pending > 0
+                && Ring.is_empty ring
+              do
+                Domain.cpu_relax ()
+              done;
+              pf_leave ~slot:wid ph_idle;
+              loop ()
+            end
+          end
+        end
+      in
+      loop ();
+      match prof with
+      | Some p when wid > 0 ->
+          Obs.Prof.add_alloc p ~slot:wid (Gc.allocated_bytes () -. alloc0)
+      | _ -> ()
+    in
+    let init_owner = Fingerprint.shard init_fp ~shards:jobs in
+    Atomic.incr pending;
+    if admit ~wid:init_owner 0 init init_fp None then
+      Queue.add (0, init, init_fp) frontiers.(init_owner)
+    else Atomic.decr pending;
+    let domains =
+      Array.init (jobs - 1) (fun i ->
+          Domain.spawn (fun () -> worker (i + 1) ()))
+    in
+    worker 0 ();
+    Array.iter Domain.join domains;
+    (match metrics with
+    | Some m ->
+        Obs.Metrics.incr ~by:(Atomic.get handoff_batches) m
+          "explorer.handoff_batches";
+        Obs.Metrics.incr ~by:(Atomic.get ring_full_stalls) m
+          "explorer.ring_full_stalls"
+    | None -> ());
+    let stats =
+      {
+        states = Atomic.get states;
+        transitions = Array.fold_left ( + ) 0 transitions;
+        depth = Array.fold_left max 0 max_depths;
+        truncated = Atomic.get truncated;
+      }
+    in
+    finalize ~stats ~violation:!violation ~violation_step:!violation_step
+      ~step_failure:!step_failure ~key_clash:None ~trace:None ~steals:0
+      ~contention:0 ~por_skipped:(Atomic.get por_skipped)
+      ~orbit_collapsed:(Atomic.get orbit_collapsed)
+  end
   else begin
     (* ---------------- parallel engine ------------------------------ *)
     (* Level-synchronized BFS over OCaml 5 domains: all states at depth [d]
@@ -458,91 +832,97 @@ let run (type s a)
         bump_depth d
     in
     let total_transitions () = Array.fold_left ( + ) 0 transitions in
-    (* Admission: dedup against the sharded seen-set, reserve a slot in the
-       global count (the slot numbered [max_states + 1] is the crossing
-       state: counted and invariant-checked, never expanded — exactly the
-       sequential truncation semantics), then invariant-check.  Returns the
-       frontier entry when the state belongs in the next level. *)
-    let admit ?via ~wid depth state =
-      let state =
-        match canon with
-        | None -> state
-        | Some f ->
-            let rep = f state in
-            if rep != state then Atomic.incr orbit_collapsed;
-            rep
-      in
-      let fp = fingerprint ~slot:wid state in
-      pf_enter ~slot:wid ph_dedup;
-      let shard = Int64.to_int fp.Fingerprint.hi land (shard_count - 1) in
-      let mu, tbl = shards.(shard) in
-      if not (Mutex.try_lock mu) then begin
-        Atomic.incr contention;
-        Mutex.lock mu
-      end;
-      let rec reserve () =
-        let cur = Atomic.get states in
-        if cur > max_states then None
-        else if Atomic.compare_and_set states cur (cur + 1) then Some (cur + 1)
-        else reserve ()
-      in
-      (* Finishes admission of a state known fresh; the shard mutex is
-         still held on entry.  [insert] runs under it iff a slot was
-         reserved — the deterministic path records the representative (and
-         predecessor) there, the compacted path has nothing left to write. *)
-      let admit_reserved insert =
-        match reserve () with
-        | None ->
+    let rec reserve () =
+      let cur = Atomic.get states in
+      if cur > max_states then None
+      else if Atomic.compare_and_set states cur (cur + 1) then Some (cur + 1)
+      else reserve ()
+    in
+    (* Batched admission: one expansion's successors (already canonicalized
+       and fingerprinted) are grouped by seen-set stripe so each stripe
+       mutex is locked once per distinct stripe instead of once per
+       successor — with larger claim blocks this took the stripe mutexes
+       off the top of the profile.  Under the lock each state is deduped,
+       reserved (the slot numbered [max_states + 1] is the crossing state:
+       counted and invariant-checked, never expanded — exactly the
+       sequential truncation semantics) and inserted; invariant checks and
+       the key-clash audit run after the stripe unlocks.  Fresh states
+       that belong in the next level are pushed onto [buf].  The explored
+       graph and all counts on runs that do not stop early are identical
+       to per-successor admission — only lock traffic changes. *)
+    let admit_batch ~wid sdepth items buf =
+      let groups = ref [] in
+      List.iter
+        (fun ((fp, _, _) as it) ->
+          let sh = Int64.to_int fp.Fingerprint.hi land (shard_count - 1) in
+          match List.assq_opt sh !groups with
+          | Some r -> r := it :: !r
+          | None -> groups := (sh, ref [ it ]) :: !groups)
+        items;
+      List.iter
+        (fun (sh, ritems) ->
+          if not (Atomic.get stop) then begin
+            let mu, tbl = shards.(sh) in
+            pf_enter ~slot:wid ph_dedup;
+            if not (Mutex.try_lock mu) then begin
+              Atomic.incr contention;
+              Mutex.lock mu
+            end;
+            let outcomes =
+              List.rev_map
+                (fun (fp, state, via) ->
+                  let o =
+                    match compacted_shards with
+                    | Some cs ->
+                        if Fingerprint.Set.add cs.(sh) fp then
+                          `Fresh (reserve ())
+                        else `Dup None
+                    | None -> (
+                        match T.find_opt tbl fp with
+                        | Some rep -> `Dup (Some rep)
+                        | None -> (
+                            match reserve () with
+                            | None -> `Fresh None
+                            | Some n ->
+                                T.add tbl fp (if retain then state else init);
+                                (match (parent_shards, via) with
+                                | Some ps, Some (pfp, idx, _, _) ->
+                                    T.replace ps.(sh) fp (pfp, idx)
+                                | _ -> ());
+                                `Fresh (Some n)))
+                  in
+                  (fp, state, via, o))
+                !ritems
+            in
             Mutex.unlock mu;
             pf_leave ~slot:wid ph_dedup;
-            None
-        | Some n -> (
-            insert ();
-            Mutex.unlock mu;
-            pf_leave ~slot:wid ph_dedup;
-            bump_depth depth;
-            match check_state n state with
-            | Some v ->
-                record_violation v
-                  (Option.map
-                     (fun (_, _, pre, action) ->
-                       { Ioa.Exec.pre; action; post = state })
-                     via);
-                None
-            | None ->
-                if n > max_states then begin
-                  Atomic.set truncated true;
-                  Atomic.set stop true;
-                  None
-                end
-                else Some (state, fp))
-      in
-      match compacted_shards with
-      | Some cs ->
-          if Fingerprint.Set.add cs.(shard) fp then
-            admit_reserved (fun () -> ())
-          else begin
-            Mutex.unlock mu;
-            pf_leave ~slot:wid ph_dedup;
-            None
-          end
-      | None -> (
-          match T.find_opt tbl fp with
-          | Some rep ->
-              Mutex.unlock mu;
-              pf_leave ~slot:wid ph_dedup;
-              (match check_key with
-              | Some equal when not (equal rep state) ->
-                  record key_clash (rep, state)
-              | Some _ | None -> ());
-              None
-          | None ->
-              admit_reserved (fun () ->
-                  T.add tbl fp (if retain then state else init);
-                  match (parent_shards, via) with
-                  | Some ps, Some (pfp, idx, _, _) ->
-                      T.replace ps.(shard) fp (pfp, idx)
-                  | _ -> ()))
+            List.iter
+              (fun (fp, state, via, o) ->
+                match o with
+                | `Dup rep_opt -> (
+                    match (check_key, rep_opt) with
+                    | Some equal, Some rep when not (equal rep state) ->
+                        record key_clash (rep, state)
+                    | _ -> ())
+                | `Fresh None -> ()
+                | `Fresh (Some n) -> (
+                    bump_depth sdepth;
+                    match check_state n state with
+                    | Some v ->
+                        record_violation v
+                          (Option.map
+                             (fun (_, _, pre, action) ->
+                               { Ioa.Exec.pre; action; post = state })
+                             via)
+                    | None ->
+                        if n > max_states then begin
+                          Atomic.set truncated true;
+                          Atomic.set stop true
+                        end
+                        else buf := (state, fp) :: !buf))
+              outcomes
+          end)
+        !groups
     in
     let expand ~wid ~depth ~expandable ~frontier state fp buf =
       let n = Atomic.fetch_and_add expanded 1 + 1 in
@@ -593,6 +973,9 @@ let run (type s a)
                   |> ignore;
                   sub)
         in
+        (* Step and fingerprint every fired action first, then admit the
+           successors as one per-stripe batch (see [admit_batch]). *)
+        let succs = ref [] in
         List.iteri
           (fun idx action ->
             if not (Atomic.get stop) then begin
@@ -605,14 +988,21 @@ let run (type s a)
                   match f step with
                   | Ok () -> ()
                   | Error msg -> record step_failure (step, msg)));
-              if not (Atomic.get stop) then
-                match
-                  admit ~via:(fp, idx, state, action) ~wid (depth + 1) post
-                with
-                | Some entry -> buf := entry :: !buf
-                | None -> ()
+              if not (Atomic.get stop) then begin
+                let post =
+                  match canon with
+                  | None -> post
+                  | Some f ->
+                      let rep = f post in
+                      if rep != post then Atomic.incr orbit_collapsed;
+                      rep
+                in
+                let pfp = fingerprint ~slot:wid post in
+                succs := (pfp, post, Some (fp, idx, state, action)) :: !succs
+              end
             end)
           fired;
+        if !succs <> [] then admit_batch ~wid (depth + 1) (List.rev !succs) buf;
         obs_latency lat0;
         pf_leave ~slot:wid ph_expand
       end
@@ -628,13 +1018,18 @@ let run (type s a)
           slices;
         !left
       in
+      let total =
+        Array.fold_left (fun acc a -> acc + Array.length a) 0 slices
+      in
       (match metrics with
-      | Some m ->
-          let total =
-            Array.fold_left (fun acc a -> acc + Array.length a) 0 slices
-          in
-          Obs.Metrics.observe m "explorer.frontier" (float_of_int total)
+      | Some m -> Obs.Metrics.observe m "explorer.frontier" (float_of_int total)
       | None -> ());
+      (* Claim granularity scales with the level: tiny levels keep the
+         [steal_block] floor (work arrives fast after a spawn), large
+         levels hand out blocks big enough that cursor fetch-and-adds and
+         steal probes stay off the profile, capped so the end-of-level
+         imbalance stays bounded to one block per worker. *)
+      let claim_block = min 512 (max steal_block (total / (jobs * 4))) in
       let level_t0 =
         match prof with Some _ -> Obs.Prof.now_ns () | None -> 0L
       in
@@ -664,10 +1059,10 @@ let run (type s a)
         let claim j =
           let a = slices.(j) in
           let n = Array.length a in
-          let base = Atomic.fetch_and_add cursors.(j) steal_block in
+          let base = Atomic.fetch_and_add cursors.(j) claim_block in
           if base >= n then false
           else begin
-            let stop_at = min n (base + steal_block) in
+            let stop_at = min n (base + claim_block) in
             if j <> own then begin
               Atomic.incr steals;
               match metrics with
@@ -736,9 +1131,11 @@ let run (type s a)
         && Array.exists (fun a -> Array.length a > 0) slices
       then levels (depth + 1) (run_level depth slices)
     in
-    (match admit ~wid:0 0 init with
-    | Some entry -> levels 0 [| [| entry |] |]
-    | None -> ());
+    let buf0 = ref [] in
+    admit_batch ~wid:0 0 [ (init_fp, init, None) ] buf0;
+    (match !buf0 with
+    | [ entry ] -> levels 0 [| [| entry |] |]
+    | _ -> ());
     let stats =
       {
         states = Atomic.get states;

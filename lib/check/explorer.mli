@@ -8,15 +8,35 @@
     reachable state, and optionally checking a per-step property (used for
     exhaustive refinement checking).
 
-    With [~jobs:n] (n > 1) the search runs on OCaml 5 domains: a
-    level-synchronized parallel BFS with per-domain frontier slices, a
-    sharded mutex-striped seen-set, and block-wise work-stealing when a
-    local slice drains.  Parallel mode forces the {b per-state RNG}
-    discipline — the RNG handed to [candidates] is seeded from the state's
-    fingerprint, so the candidate set at a state is a pure function of
-    (run seed, state) and the explored graph is identical at every job
-    count and under every interleaving.  [jobs:1] without [state_rng]
-    reproduces the classic sequential stream-RNG search exactly.
+    With [~jobs:n] (n > 1) the search runs on OCaml 5 domains, on one of
+    two engines:
+
+    {ul
+    {- the {b level-synchronized} engine (the default, and always used
+       when [max_depth] is set): per-domain frontier slices over a
+       mutex-striped shared seen-set, block-wise work-stealing when a
+       local slice drains, and a barrier between BFS levels.  Fully
+       deterministic: states are admitted at their true BFS depth and the
+       explored graph is identical at every job count.}
+    {- the {b barrier-free sharded} engine ([~mode:`Throughput] without
+       [max_depth]): the 128-bit fingerprint space is range-partitioned
+       across domains ({!Fingerprint.shard}); each domain exclusively owns
+       its seen-set shard and private frontier — no locks on the hot path —
+       and successors owned elsewhere hand off through bounded lock-free
+       MPSC rings ({!Ring}) in batches.  Termination is detected by
+       distributed quiescence (an atomic in-flight credit counter).  On a
+       clean exhaustive run the visited set, counts and verdict are
+       identical to the level-synchronized engine; the reported [depth] is
+       a {i discovery} depth (≥ the true BFS eccentricity, and
+       scheduling-dependent), and truncated runs keep exact state counts
+       but a scheduling-dependent prefix.}}
+
+    Both parallel engines force the {b per-state RNG} discipline — the RNG
+    handed to [candidates] is seeded from the state's fingerprint, so the
+    candidate set at a state is a pure function of (run seed, state) and
+    the explored state graph is independent of visit order and
+    interleaving.  [jobs:1] without [state_rng] reproduces the classic
+    sequential stream-RNG search exactly.
 
     Unlike the random engine, candidates must over-approximate the enabled
     action set relative to the chosen finite environment.  Under [jobs > 1]
@@ -95,9 +115,10 @@ type ('s, 'a) outcome = {
            scheduling-dependent — bound parallel runs that must be
            reproducible state-for-state by [max_depth] instead.
     @param max_depth stop expanding beyond this depth (default unbounded).
-           Deterministic at every job count: the parallel engine is
-           level-synchronized, so states are admitted at their true BFS
-           depth.
+           Deterministic at every job count: a depth bound forces the
+           level-synchronized engine (even under [`Throughput]), which
+           admits states at their true BFS depth — the sharded engine only
+           knows discovery depths and cannot cut a BFS level exactly.
     @param jobs worker domains (default 1 = the sequential engine).
            [jobs > 1] implies [state_rng].
     @param state_rng seed the RNG handed to [candidates] from each state's
@@ -142,10 +163,15 @@ type ('s, 'a) outcome = {
            stores bare 128-bit fingerprints in flat lane arrays (16
            bytes/state, no retained representatives), trading the
            [check_key] audit and [trace] reconstruction — both rejected
-           with [Invalid_argument] — for footprint.  Visited-state counts
-           and verdicts match deterministic mode at every job count,
-           because both modes fingerprint the same images in the same
-           BFS order.
+           with [Invalid_argument] — for footprint.  Under [jobs > 1]
+           without [max_depth] it additionally selects the barrier-free
+           sharded engine (see the module header).  Visited-state counts
+           and verdicts match deterministic mode on every clean exhaustive
+           run; on truncated or violating runs the state count stays exact
+           ([max_states + 1] when truncated) but {i which} states the
+           sharded prefix covers — and hence transition counts, and
+           whether a violation is reached before the bound — is
+           scheduling-dependent.
     @param canon orbit canonicalization: applied to the initial state and
            to every successor before fingerprinting, so exploration runs
            over orbit representatives (symmetry reduction).  Must be
@@ -170,14 +196,21 @@ type ('s, 'a) outcome = {
            gauge (the job count) and the [explorer.steals] /
            [explorer.shard_contention] counters (frontier blocks claimed
            from another worker's slice; seen-set shard locks that were
-           busy on first try).  With [?prof] also given, records the
-           [explorer.frontier] (per-level frontier size),
-           [explorer.expand_latency_us] (per-state expansion latency) and
-           [explorer.steal_batch] (stolen block size) histograms.
+           busy on first try).  The sharded engine reports
+           [explorer.handoff_batches] (ring pushes) and
+           [explorer.ring_full_stalls] (pushes that found the destination
+           ring full, retried after a self-drain) instead, plus the
+           [explorer.ring_occupancy] histogram (destination occupancy
+           sampled at each push).  With [?prof] also given, the
+           level-synchronized engine records the [explorer.frontier]
+           (per-level frontier size), [explorer.expand_latency_us]
+           (per-state expansion latency) and [explorer.steal_batch]
+           (stolen block size) histograms.
     @param prof scoped-phase profiler (see {!profile}): charges wall time
-           to the [expand] / [encode] / [fingerprint] / [dedup] /
-           [barrier-wait] / [steal] phases, one slot per worker, and
-           accrues per-domain
+           to the [expand] / [encode] / [fingerprint] / [dedup] phases
+           plus [barrier-wait] / [steal] (level-synchronized engine) or
+           [route] / [flush] / [idle] (sharded engine), one slot per
+           worker, and accrues per-domain
            allocation.  Must have at least [jobs] slots
            ([Invalid_argument] otherwise).  When [?sink] is also given,
            each progress point is followed by an [Obs.Prof.heartbeat]
@@ -211,9 +244,11 @@ val run :
   ('s, 'a) outcome
 
 (** A profiler pre-interned with the explorer's phase names ([expand],
-    [encode], [fingerprint], [dedup], [barrier-wait], [steal]) and one
-    slot per worker — the [?prof] argument for [run ~jobs].  [encode]
-    accrues only on the [?codec] path (flat serialization), so an
-    E17-style string-path profile attributes the same work to
-    [fingerprint]. *)
+    [encode], [fingerprint], [dedup], [barrier-wait], [steal], [route],
+    [flush], [idle]) and one slot per worker — the [?prof] argument for
+    [run ~jobs].  [encode] accrues only on the [?codec] path (flat
+    serialization), so an E17-style string-path profile attributes the
+    same work to [fingerprint]; [barrier-wait]/[steal] accrue only on the
+    level-synchronized engine, [route]/[flush]/[idle] only on the sharded
+    one. *)
 val profile : jobs:int -> Obs.Prof.t

@@ -13,7 +13,16 @@ let pp ppf t = Format.pp_print_string ppf (to_hex t)
    multipliers are the usual odd constants (golden ratio, xxhash prime);
    lane 1 xors the word in, lane 2 adds it, so the lanes do not collide
    together.  Partial trailing words are zero-padded — unambiguous because
-   the finalizer mixes in the exact byte length. *)
+   the finalizer mixes in the exact byte length.
+
+   Each step ends with a shift-xor.  Without it the chain only carries
+   differences toward the MSB (multiplication and addition mod 2^64 never
+   propagate downward), which confines a top-byte difference to a 7-bit
+   subspace on the xor lane and cancels it outright on the additive lane
+   whenever the word distance is a multiple of 8 (mult2^8 = 1 mod 2^7) —
+   an observed two-byte transposition collision on a real state encoding,
+   not a theoretical one.  Folding the high bits back down restores full-
+   width diffusion at every word. *)
 let mult1 = 0x9E3779B97F4A7C15L
 let mult2 = 0xC2B2AE3D27D4EB4FL
 let basis1 = 0xcbf29ce484222325L
@@ -31,8 +40,10 @@ let create () =
   { h1 = basis1; h2 = basis2; len = 0; pending = Bytes.create 8; pfill = 0 }
 
 let[@inline] mix_word c w =
-  c.h1 <- Int64.mul (Int64.logxor c.h1 w) mult1;
-  c.h2 <- Int64.mul (Int64.add c.h2 w) mult2
+  let z1 = Int64.mul (Int64.logxor c.h1 w) mult1 in
+  c.h1 <- Int64.logxor z1 (Int64.shift_right_logical z1 29);
+  let z2 = Int64.mul (Int64.add c.h2 w) mult2 in
+  c.h2 <- Int64.logxor z2 (Int64.shift_right_logical z2 31)
 
 let feed c s =
   let n = String.length s in
@@ -117,6 +128,17 @@ let of_bytes b ~pos ~len =
   let c = create () in
   feed_bytes c b ~pos ~len;
   finish c
+
+(* Range partition of the high lane's top 16 bits.  The owner of a
+   fingerprint must be decorrelated from every other consumer of its
+   bits: the deterministic engine's mutex stripes index the *low* bits
+   of [hi], and [Set]'s linear probe folds [lo] — both untouched here,
+   so per-shard sets stay uniformly loaded. *)
+let shard t ~shards =
+  if shards <= 1 then 0
+  else
+    let top = Int64.to_int (Int64.shift_right_logical t.hi 48) in
+    top * shards / 65536
 
 let seed t extra =
   let lane v =

@@ -56,6 +56,16 @@ val feed_bytes : ctx -> bytes -> pos:int -> len:int -> unit
 (** Finalizes and returns the digest.  The context must not be fed again. *)
 val finish : ctx -> t
 
+(** [shard fp ~shards] maps the fingerprint to its owning shard in
+    [0 .. shards - 1] by range-partitioning the high lane's top 16 bits
+    (uniform after the finalizer's avalanche).  Deliberately reads bits
+    no other consumer folds: hash tables and {!Set} probe on the low
+    lane, the deterministic engine's mutex stripes take the high lane's
+    {i low} bits — so per-shard structures stay uniformly loaded.  The
+    sharded throughput explorer uses this as the domain-ownership map.
+    [shards <= 1] always returns 0; [shards] need not divide 65536. *)
+val shard : t -> shards:int -> int
+
 (** [seed fp extra] derives a [Random.State.make] seed array from the
     fingerprint, prefixed by [extra] (the run-level seed).  Used for the
     explorer's per-state deterministic RNG: the candidate set drawn at a

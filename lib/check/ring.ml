@@ -1,0 +1,67 @@
+(* Bounded lock-free MPSC ring for the sharded explorer's state handoff.
+
+   Producers CAS-reserve a monotonically increasing tail index, then
+   publish the value into the reserved cell; the single consumer reads
+   the cell at head, clears it, and only then advances head.  Because a
+   reservation is only granted while [tail - head < capacity] — and head
+   only ever advances — the reserved cell has always been cleared by the
+   consumer before the producer writes it, so a cell is never
+   overwritten while occupied.
+
+   A cell can be reserved but not yet published ([None] under the head
+   index while [head < tail]): the consumer treats it as "not ready" and
+   returns [None] rather than skipping ahead, preserving per-producer
+   FIFO order.  OCaml [Atomic] operations are sequentially consistent,
+   so the publish ([Atomic.set cell (Some v)]) is visible before any
+   later producer action the consumer could observe. *)
+
+type 'a t = {
+  cells : 'a option Atomic.t array;
+  mask : int;
+  head : int Atomic.t;  (* next index to pop; advanced only by the consumer *)
+  tail : int Atomic.t;  (* next index to reserve; CAS-advanced by producers *)
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Ring.create";
+  let cap = ref 1 in
+  while !cap < capacity do
+    cap := !cap * 2
+  done;
+  {
+    cells = Array.init !cap (fun _ -> Atomic.make None);
+    mask = !cap - 1;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+  }
+
+let capacity t = t.mask + 1
+
+(* Occupancy is a racy snapshot (head and tail are read separately) but
+   is exact whenever the ring is quiescent — which is when the sharded
+   explorer's termination check reads it. *)
+let occupancy t = max 0 (Atomic.get t.tail - Atomic.get t.head)
+let is_empty t = occupancy t = 0
+
+let rec try_push t v =
+  let tail = Atomic.get t.tail in
+  let head = Atomic.get t.head in
+  if tail - head >= t.mask + 1 then false
+  else if Atomic.compare_and_set t.tail tail (tail + 1) then begin
+    (* Slot [tail] is exclusively ours and already cleared (see above). *)
+    Atomic.set t.cells.(tail land t.mask) (Some v);
+    true
+  end
+  else try_push t v
+
+let try_pop t =
+  let head = Atomic.get t.head in
+  if head >= Atomic.get t.tail then None
+  else
+    let cell = t.cells.(head land t.mask) in
+    match Atomic.get cell with
+    | None -> None (* reserved, not yet published — not ready *)
+    | Some _ as v ->
+        Atomic.set cell None;
+        Atomic.set t.head (head + 1);
+        v

@@ -1,0 +1,42 @@
+(** Bounded lock-free multi-producer / single-consumer ring.
+
+    The handoff channel of the sharded throughput explorer: every worker
+    domain owns one ring, all other workers push batches of successor
+    states destined for its fingerprint shard, and only the owner pops.
+    Push and pop are wait-free for the consumer and lock-free for
+    producers (a CAS loop over the tail index); neither ever blocks, so
+    a full ring is reported to the caller ([try_push] = [false]) instead
+    of stalling the producer inside the channel — the explorer counts
+    these as [explorer.ring_full_stalls] and drains its own inbox before
+    retrying, which rules out producer/producer deadlock.
+
+    Elements are kept in ['a option Atomic.t] cells; the implementation
+    relies on OCaml 5's sequentially consistent atomics, not on mutexes.
+    Safety requires a {b single} consumer; any number of producers (the
+    consumer itself included) may push. *)
+
+type 'a t
+
+(** [create ~capacity] — [capacity] is rounded up to a power of two
+    (minimum 1).  Raises [Invalid_argument] on [capacity < 1]. *)
+val create : capacity:int -> 'a t
+
+(** The rounded-up capacity actually allocated. *)
+val capacity : 'a t -> int
+
+(** [try_push t v] enqueues [v]; [false] iff the ring was full.  Safe
+    from any domain. *)
+val try_push : 'a t -> 'a -> bool
+
+(** [try_pop t] dequeues the oldest published element; [None] when the
+    ring is empty {i or} the head slot is reserved by a producer that
+    has not yet published (retry later).  Must only be called from the
+    consumer domain. *)
+val try_pop : 'a t -> 'a option
+
+(** Racy size estimate — exact when no push/pop is concurrently in
+    flight (the quiescence check reads it only then). *)
+val occupancy : 'a t -> int
+
+(** [occupancy t = 0], same caveat. *)
+val is_empty : 'a t -> bool

@@ -10,12 +10,13 @@
    max_ratio.  Thresholds are deliberately loose (CI machines vary);
    the gate exists to catch order-of-magnitude regressions, not noise. *)
 
-type kind = Throughput | Bytes
+type kind = Throughput | Bytes | Speedup
 
 let kind_of name =
   let ends_with suf = Filename.check_suffix name suf in
   if ends_with ".states_per_sec" then Some Throughput
   else if ends_with ".bytes_per_state" then Some Bytes
+  else if ends_with ".speedup" then Some Speedup
   else None
 
 (* Trajectory metrics of one parsed snapshot, labeled "E15:e15.…". *)
@@ -162,7 +163,7 @@ let check ?min_ratio ?max_ratio baseline current =
               if base <= 0. then (0., true) (* no meaningful baseline *)
               else
                 match kind with
-                | Throughput ->
+                | Throughput | Speedup ->
                     let floor = base *. min_ratio in
                     (floor, value >= floor)
                 | Bytes ->
@@ -187,7 +188,7 @@ let pp_check ppf r =
       Format.fprintf ppf "%-6s %-52s %12.1f  (baseline %.1f, %s %.1f)@,"
         (if v.ok then "ok" else "FAIL")
         v.metric v.value v.base
-        (match v.kind with Throughput -> "floor" | Bytes -> "cap")
+        (match v.kind with Throughput | Speedup -> "floor" | Bytes -> "cap")
         v.bound)
     r.verdicts;
   List.iter
@@ -207,7 +208,8 @@ let check_json r =
           Json.Str
             (match v.kind with
             | Throughput -> "states_per_sec"
-            | Bytes -> "bytes_per_state") );
+            | Bytes -> "bytes_per_state"
+            | Speedup -> "speedup") );
         ("value", Json.Float v.value);
         ("baseline", Json.Float v.base);
         ("bound", Json.Float v.bound);

@@ -2,15 +2,23 @@
     behind [bin/bench_report]).
 
     Sweeps a directory of experiment snapshots ([BENCH_E*.json]) for the
-    headline trajectory gauges — names ending in [.states_per_sec] or
-    [.bytes_per_state] — labels them ["E15:e15.…"], and checks the
-    result against a committed {!baseline} under ratio thresholds:
-    throughput must stay at or above baseline × [min_ratio], bytes/state
-    at or below baseline × [max_ratio].  A metric present in the
-    baseline but absent from the sweep fails the check (an experiment
-    silently dropped from CI is itself a regression). *)
+    headline trajectory gauges — names ending in [.states_per_sec],
+    [.bytes_per_state] or [.speedup] — labels them ["E15:e15.…"], and
+    checks the result against a committed {!baseline} under ratio
+    thresholds: throughput and speedup must stay at or above baseline ×
+    [min_ratio], bytes/state at or below baseline × [max_ratio].  A
+    metric present in the baseline but absent from the sweep fails the
+    check (an experiment silently dropped from CI is itself a
+    regression).
 
-type kind = Throughput | Bytes
+    [.speedup] gauges carry parallel-scaling ratios (jobs:n states/sec
+    over jobs:1), so their floor gates scaling collapses — e.g. a
+    serialization bug that makes the sharded engine slower at every job
+    count — independently of the host's absolute throughput.  Absolute
+    host properties an experiment wants recorded but never gated (e.g.
+    [e19.host_domains]) simply use none of the trajectory suffixes. *)
+
+type kind = Throughput | Bytes | Speedup
 
 (** [Some kind] iff the gauge name is a trajectory metric. *)
 val kind_of : string -> kind option

@@ -143,20 +143,22 @@ let injectivity_all () = List.iter check_injectivity (all_entries ())
 (* Byte-level pin: the fingerprint of each entry's encoded initial state.
    Any unversioned change to the wire layout — field order, varint width,
    framing — lands here first; bump [~version] and regenerate instead of
-   editing silently. *)
+   editing silently.  (Regenerated once when the fingerprint mixer gained
+   its per-word shift-xor — a digest-algorithm change, not a layout one:
+   the encodings themselves are byte-identical.) *)
 let golden =
   [
-    ("vs-spec", "08f1b1a2e05a8d83074a3c79be81538c");
-    ("dvs-spec", "979b319875d41694898f1b137825841f");
-    ("dvs-impl", "9bb9294d385f01d0f90d839c6d64e366");
-    ("to-spec", "d9e38e2f8248a9f458aa7e49417646b7");
-    ("to-impl", "17fe41b36180e6fdd766f75b43ec79a2");
-    ("vs-stack", "d4a8d4ce2459d7aa9713e4f8dadda4c5");
-    ("vs-stack-faulty", "d699a31252685a7d7538e75378e54178");
-    ("full-stack", "4dc1256de82f5262437d63180014b7ea");
-    ("defect-no-dedup", "dacc721eb05939311d0d1bcc8f02f6fa");
-    ("defect-no-retransmit", "617146fa8a41a8e7ab3b74535c2ebf76");
-    ("defect-no-dedup-invariant", "0b4dd2e3718f072d904ca7b35edd25b4");
+    ("vs-spec", "ae4c61572e32f2d1b364984908037de1");
+    ("dvs-spec", "2c22e452ec575c192ff10efec778e96a");
+    ("dvs-impl", "76c5c319df90fa7a71c545a0a1348fc3");
+    ("to-spec", "489c3fe8c4975ec7870d0352d8dd97d5");
+    ("to-impl", "2006df8a2f34dd49290dcbee21ac1711");
+    ("vs-stack", "d6f05118b38887d07301201b026d930c");
+    ("vs-stack-faulty", "d684d735c9f33dae775e3a5916615963");
+    ("full-stack", "bea50210d99947c273f85849ae5fd990");
+    ("defect-no-dedup", "83fe641594ffbfe3d1e3a76c9d3ac7ba");
+    ("defect-no-retransmit", "aac4fdf08be84b8a3981e29e5f370250");
+    ("defect-no-dedup-invariant", "2f8f515f2057a1b0ad7935ad79920ca8");
   ]
 
 let golden_digests () =
@@ -343,11 +345,25 @@ let seeded_defect_differential () =
 
 (* `Throughput drops retained states for a fingerprint-only seen-set; on
    the same codec-fed fingerprints both modes must expand exactly the
-   same graph.  Verified per entry at jobs:1 and jobs:4; parity of the
-   cross-engine counts is only asserted on runs that exhausted (a
-   truncated parallel frontier is scheduling-dependent by design), and
-   the test demands most of the registry be exhaustible at this bound so
-   it can't silently go vacuous. *)
+   same graph.  Verified per entry at jobs:1 and jobs:4.  At jobs:4 the
+   throughput run additionally switches engines (barrier-free sharded vs
+   level-synchronized), which narrows what is comparable:
+
+   - counts: asserted only on runs where both engines exhausted cleanly
+     (no violation / step failure) — on a violating or truncated run the
+     set of states visited before stopping is scheduling-dependent;
+   - depth: exact at jobs:1; at jobs:4 the sharded engine reports a
+     discovery depth, which on an exhaustive run is >= the true BFS
+     eccentricity the deterministic engine reports;
+   - verdict: exactly equal at jobs:1; at jobs:4 the verdict *class* is
+     compared on non-truncated runs (which of several violated
+     invariants stops the run first is scheduling-dependent), and a
+     truncated sharded prefix may stop before the violation the
+     deterministic engine finds, so truncated jobs:4 verdicts are not
+     compared at all.
+
+   The test demands most of the registry be exhaustible at this bound so
+   the count assertions can't silently go vacuous. *)
 let mode_parity () =
   let exhausted = ref 0 and total = ref 0 in
   List.iter
@@ -360,12 +376,29 @@ let mode_parity () =
         (fun jobs ->
           let det = raw ~jobs ~mode:`Deterministic in
           let thr = raw ~jobs ~mode:`Throughput in
-          Alcotest.(check bool)
-            (Printf.sprintf "%s jobs:%d — identical verdicts" e.name jobs)
-            true
-            (det.An.raw_violation = thr.An.raw_violation
-            && det.An.raw_step_failure = thr.An.raw_step_failure);
-          if not (det.An.raw_truncated || thr.An.raw_truncated) then begin
+          let clean r =
+            r.An.raw_violation = None && not r.An.raw_step_failure
+          in
+          if jobs = 1 then
+            Alcotest.(check bool)
+              (Printf.sprintf "%s jobs:%d — identical verdicts" e.name jobs)
+              true
+              (det.An.raw_violation = thr.An.raw_violation
+              && det.An.raw_step_failure = thr.An.raw_step_failure)
+          else if not (det.An.raw_truncated || thr.An.raw_truncated) then
+            (* Cross-engine: both must fail the same way, but which of
+               several violated invariants is hit first is
+               scheduling-dependent. *)
+            Alcotest.(check bool)
+              (Printf.sprintf "%s jobs:%d — same verdict class" e.name jobs)
+              true
+              (Option.is_some det.An.raw_violation
+               = Option.is_some thr.An.raw_violation
+              && det.An.raw_step_failure = thr.An.raw_step_failure);
+          if
+            (not (det.An.raw_truncated || thr.An.raw_truncated))
+            && (jobs = 1 || (clean det && clean thr))
+          then begin
             if jobs = 1 then incr exhausted;
             Alcotest.(check int)
               (Printf.sprintf "%s jobs:%d — same state count" e.name jobs)
@@ -373,9 +406,17 @@ let mode_parity () =
             Alcotest.(check int)
               (Printf.sprintf "%s jobs:%d — same transition count" e.name jobs)
               det.An.raw_transitions thr.An.raw_transitions;
-            Alcotest.(check int)
-              (Printf.sprintf "%s jobs:%d — same depth" e.name jobs)
-              det.An.raw_depth thr.An.raw_depth
+            if jobs = 1 then
+              Alcotest.(check int)
+                (Printf.sprintf "%s jobs:%d — same depth" e.name jobs)
+                det.An.raw_depth thr.An.raw_depth
+            else
+              Alcotest.(check bool)
+                (Printf.sprintf
+                   "%s jobs:%d — discovery depth bounds BFS depth (%d <= %d)"
+                   e.name jobs det.An.raw_depth thr.An.raw_depth)
+                true
+                (det.An.raw_depth <= thr.An.raw_depth)
           end)
         [ 1; 4 ])
     (all_entries ());

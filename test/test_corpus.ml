@@ -342,7 +342,12 @@ let test_corpus_replays () =
 (* End-to-end hunts over the seeded defects                             *)
 (* ------------------------------------------------------------------ *)
 
-let hunt ~jobs (Reg.Entry e) =
+(* [strict] asserts shrunk < raw.  That only holds deterministically at
+   jobs:1, where the cex seeds are tuned so the BFS witness is not
+   already minimal; at jobs:n which same-class witness gets
+   reconstructed is scheduling dependent, and an already-minimal raw
+   witness legitimately shrinks to itself. *)
+let hunt ?(strict = true) ~jobs (Reg.Entry e) =
   match
     An.find_cex ~max_states:e.max_states ~jobs ~seed:e.cex_seed ~shrink:true
       e.subject
@@ -367,10 +372,16 @@ let hunt ~jobs (Reg.Entry e) =
         (e.name ^ " shrunk replays")
         true
         (Check.Shrink.reproduces o cex.An.cex_failure cex.An.cex_shrunk);
-      Alcotest.(check bool)
-        (e.name ^ " shrunk strictly shorter than the raw BFS witness")
-        true
-        (List.length cex.An.cex_shrunk < List.length cex.An.cex_raw);
+      (if strict then
+         Alcotest.(check bool)
+           (e.name ^ " shrunk strictly shorter than the raw BFS witness")
+           true
+           (List.length cex.An.cex_shrunk < List.length cex.An.cex_raw)
+       else
+         Alcotest.(check bool)
+           (e.name ^ " shrunk no longer than the raw witness")
+           true
+           (List.length cex.An.cex_shrunk <= List.length cex.An.cex_raw));
       Alcotest.(check bool)
         (e.name ^ " shrunk 1-minimal")
         true
@@ -392,9 +403,12 @@ let test_hunt_seeded_defects () =
 
 let test_hunt_parallel () =
   (* at jobs:n which same-class failure is witnessed is scheduling
-     dependent, so lengths are not pinned — but reconstruction must
-     still produce a replaying, shrinkable schedule *)
-  List.iter (fun entry -> ignore (hunt ~jobs:4 entry)) (Reg.defects ())
+     dependent, so lengths are not pinned and strict shrinkage is not
+     guaranteed (the witness may come out minimal) — but reconstruction
+     must still produce a replaying, 1-minimal schedule *)
+  List.iter
+    (fun entry -> ignore (hunt ~strict:false ~jobs:4 entry))
+    (Reg.defects ())
 
 let test_defect_registry_shape () =
   let ds = Reg.defects () in

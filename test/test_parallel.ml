@@ -30,7 +30,7 @@ let known_key = "net||daemon#p0:engine|p0{p0,p1}"
    gated candidate set — change too. *)
 let test_pinned_digest () =
   Alcotest.(check string)
-    "digest of known key" "43f4514535796a950f0be14aacbe6cd3"
+    "digest of known key" "09e7ee0b947fb0c066136b75a915864e"
     (Fp.to_hex (Fp.of_string known_key))
 
 let test_incremental_matches_whole () =
@@ -58,6 +58,45 @@ let test_distinct_strings_distinct_digests () =
     (fun (a, b) ->
       QCheck.assume (a <> b);
       not (Fp.equal (Fp.of_string a) (Fp.of_string b)))
+
+(* Regression for a collision class the original mixer missed: moving a
+   byte value between the MSBs of two words a multiple of 8 apart
+   cancelled exactly on the additive lane (mult2^8 = 1 mod 2^7) and with
+   probability ~2^-7 on the xor lane.  A real vs-stack-faulty run hit it
+   — two states differing in the net's duplicated-budget counter and one
+   engine's stable_sent key shared a digest, which surfaced as a
+   scheduling-dependent transition count under the sharded engine.  The
+   sweep plants a single byte at the top of word [i] vs word [j] across
+   many (i, j, filler) combinations; every pair must digest apart. *)
+let test_msb_transposition_resists () =
+  let mk ~words ~at ~v filler =
+    let b = Bytes.make (words * 8) filler in
+    Bytes.set b ((at * 8) + 7) (Char.chr v);
+    Bytes.to_string b
+  in
+  let checked = ref 0 in
+  for words = 2 to 24 do
+    List.iter
+      (fun filler ->
+        List.iter
+          (fun v ->
+            for i = 0 to words - 2 do
+              for j = i + 1 to words - 1 do
+                let a = mk ~words ~at:i ~v filler
+                and b = mk ~words ~at:j ~v filler in
+                (* v = filler plants the filler byte: a and b coincide *)
+                if a <> b then incr checked;
+                if a <> b && Fp.equal (Fp.of_string a) (Fp.of_string b) then
+                  Alcotest.failf
+                    "MSB transposition collides: %d words, byte %#x moved \
+                     from word %d to %d (filler %#x)"
+                    words v i j (Char.code filler)
+              done
+            done)
+          [ 1; 2; 0x80; 0xff ])
+      [ '\000'; '\002' ]
+  done;
+  Alcotest.(check bool) "swept some pairs" true (!checked > 10_000)
 
 (* Collision audit over a real exploration: every expanded vs-stack state's
    key must round-trip — fingerprint equality coincides with key equality —
@@ -181,6 +220,8 @@ let () =
           Alcotest.test_case "pinned digest" `Quick test_pinned_digest;
           qcheck_case (test_incremental_matches_whole ());
           qcheck_case (test_distinct_strings_distinct_digests ());
+          Alcotest.test_case "MSB transpositions digest apart" `Quick
+            test_msb_transposition_resists;
           Alcotest.test_case "injective over vs-stack exploration" `Slow
             test_fingerprint_injective_vs_stack;
         ] );
