@@ -37,6 +37,7 @@ type ('s, 'a) subject = {
   footprint : ('s, 'a) Footprint.schema option;
   symmetry : ('s, 'a) Symmetry.spec option;
   codec : 's Check.Codec.t option;
+  instrumented_step : (Obs.Trace.sink -> 's -> 'a -> 's) option;
 }
 
 let analyze (type s a) ~name ?(max_states = 20_000) ?max_depth ?(jobs = 1)

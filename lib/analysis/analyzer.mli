@@ -93,6 +93,14 @@ type ('s, 'a) subject = {
       (** versioned flat binary encoding of the state; enables codec-fed
           fingerprinting ({!explore_raw}), hash-compacted throughput
           exploration, and the counterexample wire form ([cex_state]) *)
+  instrumented_step : (Obs.Trace.sink -> 's -> 'a -> 's) option;
+      (** a trace-emitting re-step: apply one action to a state while
+          emitting the entry's runtime trace vocabulary into the sink
+          (e.g. [Stack.step ~sink]).  Must compute the same post-state as
+          the automaton's transition.  Lets counterexample schedules from
+          {!find_cex} / corpus replay be re-driven through the online
+          {!Obs.Monitor} rules — the monitor false-positive/negative
+          audit.  [None] for entries without a runtime trace vocabulary. *)
 }
 
 (** [?jobs] (default 1) runs the exploration on that many OCaml 5 domains

@@ -254,6 +254,7 @@ let vs_spec () =
             Some
               (Check.Codec.make ~id:"vs-spec" ~version:1
                    (Vsg.Spec.codec_state Check.Codec.string));
+          instrumented_step = None;
         };
     }
 
@@ -324,6 +325,7 @@ let dvs_spec () =
             Some
               (Check.Codec.make ~id:"dvs-spec" ~version:1
                    (Dg.Spec.codec_state Check.Codec.string));
+          instrumented_step = None;
         };
     }
 
@@ -425,6 +427,7 @@ let dvs_impl () =
             Some
               (Check.Codec.make ~id:"dvs-impl" ~version:1
                    (Sys.codec_state Check.Codec.string));
+          instrumented_step = None;
         };
     }
 
@@ -558,6 +561,7 @@ let to_spec () =
           codec =
             Some
               (Check.Codec.make ~id:"to-spec" ~version:1 To.codec_state);
+          instrumented_step = None;
         };
     }
 
@@ -655,6 +659,7 @@ let to_impl () =
           codec =
             Some
               (Check.Codec.make ~id:"to-impl" ~version:1 Timpl.codec_state);
+          instrumented_step = None;
         };
     }
 
@@ -1236,6 +1241,7 @@ let vs_stack () =
             Some
               (Check.Codec.make ~id:"vs-stack" ~version:1
                    (Stk.codec_state Check.Codec.string));
+          instrumented_step = Some (fun sink s a -> Stk.step ~sink s a);
         };
     }
 
@@ -1358,6 +1364,7 @@ let vs_stack_faulty () =
             Some
               (Check.Codec.make ~id:"vs-stack-faulty" ~version:1
                    (Stk.codec_state Check.Codec.string));
+          instrumented_step = Some (fun sink s a -> Stk.step ~sink s a);
         };
     }
 
@@ -1461,6 +1468,7 @@ let full_stack () =
             Some
               (Check.Codec.make ~id:"full-stack" ~version:1
                    (Full.codec_state Check.Codec.string));
+          instrumented_step = None;
         };
     }
 
@@ -1633,6 +1641,7 @@ let defect_stack_entry ~name ~doc ~expected ~cex_seed ~faults ?variant
             Some
               (Check.Codec.make ~id:name ~version:1
                    (Stk.codec_state Check.Codec.string));
+          instrumented_step = Some (fun sink s a -> Stk.step ~sink s a);
         };
     }
 

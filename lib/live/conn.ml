@@ -1,0 +1,104 @@
+type t = {
+  fd : Unix.file_descr;
+  reader : Wire.Reader.t;
+  scratch : bytes;
+  outq : bytes Queue.t;
+  mutable out_off : int;  (* bytes of [Queue.peek outq] already written *)
+  mutable out_len : int;  (* total unwritten bytes across the queue *)
+  mutable alive : bool;
+  mutable err : string option;
+  mutable closed : bool;
+}
+
+let create fd =
+  Unix.set_nonblock fd;
+  {
+    fd;
+    reader = Wire.Reader.create ();
+    scratch = Bytes.create 65536;
+    outq = Queue.create ();
+    out_off = 0;
+    out_len = 0;
+    alive = true;
+    err = None;
+    closed = false;
+  }
+
+let fd t = t.fd
+let alive t = t.alive
+let error t = t.err
+let pending_out t = t.out_len
+
+let die t reason =
+  if t.alive then begin
+    t.alive <- false;
+    t.err <- Some reason
+  end
+
+let send t frame =
+  if t.alive then begin
+    let b = Wire.to_wire frame in
+    Queue.add b t.outq;
+    t.out_len <- t.out_len + Bytes.length b
+  end
+
+let flush t =
+  if t.alive then
+    let rec go () =
+      match Queue.peek_opt t.outq with
+      | None -> ()
+      | Some b -> (
+          let len = Bytes.length b - t.out_off in
+          match Unix.write t.fd b t.out_off len with
+          | 0 -> ()
+          | n ->
+              t.out_len <- t.out_len - n;
+              if n = len then begin
+                ignore (Queue.pop t.outq);
+                t.out_off <- 0;
+                go ()
+              end
+              else t.out_off <- t.out_off + n
+          | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _)
+            ->
+              ()
+          | exception Unix.Unix_error (e, _, _) ->
+              die t (Unix.error_message e))
+    in
+    go ()
+
+let recv t =
+  if not t.alive then []
+  else begin
+    let frames = ref [] in
+    let drain_frames () =
+      let rec go () =
+        match Wire.Reader.next t.reader with
+        | Ok (Some f) ->
+            frames := f :: !frames;
+            go ()
+        | Ok None -> ()
+        | Error e -> die t ("framing: " ^ e)
+      in
+      go ()
+    in
+    let rec read_all () =
+      match Unix.read t.fd t.scratch 0 (Bytes.length t.scratch) with
+      | 0 -> die t "eof"
+      | n ->
+          Wire.Reader.feed t.reader t.scratch 0 n;
+          drain_frames ();
+          if t.alive then read_all ()
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+      | exception Unix.Unix_error (e, _, _) -> die t (Unix.error_message e)
+    in
+    read_all ();
+    List.rev !frames
+  end
+
+let close t =
+  die t "closed";
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end

@@ -1,0 +1,42 @@
+(** A non-blocking framed connection: one socket carrying {!Wire}
+    frames in both directions.
+
+    Sends are buffered ({!send} never blocks and never raises); {!flush}
+    pushes as much as the kernel accepts.  {!recv} drains whatever is
+    readable and returns the complete frames it reassembled.  A peer
+    death — EOF, [EPIPE]/[ECONNRESET], or a corrupt stream — marks the
+    connection dead ({!alive} false, {!error} says why); all later
+    operations are no-ops, so callers detect disconnection at their
+    next poll instead of handling exceptions mid-loop. *)
+
+type t
+
+(** Takes ownership of the descriptor and switches it to non-blocking.
+    Ignore [SIGPIPE] process-wide before using connections. *)
+val create : Unix.file_descr -> t
+
+val fd : t -> Unix.file_descr
+val alive : t -> bool
+
+(** Why the connection died (["eof"], a syscall error, or a framing
+    error), once [not (alive t)]. *)
+val error : t -> string option
+
+(** Queue a frame for writing.  Silently dropped on a dead
+    connection. *)
+val send : t -> Wire.frame -> unit
+
+(** Bytes queued but not yet accepted by the kernel. *)
+val pending_out : t -> int
+
+(** Write queued bytes until the kernel pushes back ([EAGAIN]) or the
+    queue empties. *)
+val flush : t -> unit
+
+(** Read until [EAGAIN] (or EOF / error) and return the complete frames
+    received, in order.  Frames already reassembled are returned even on
+    the read that detects death. *)
+val recv : t -> Wire.frame list
+
+(** Close the descriptor (idempotent); marks the connection dead. *)
+val close : t -> unit

@@ -1,0 +1,87 @@
+open Prelude
+
+type t = {
+  rng : Random.State.t;
+  metrics : Obs.Metrics.t option;
+  mutable intensity : Sim.Faults.intensity;
+  mutable partition : Sim.Partition.t option;  (* None = fully connected *)
+  stash : (Proc.t * Proc.t, Wire.frame) Hashtbl.t;
+}
+
+let create ?metrics ~seed () =
+  {
+    rng = Random.State.make [| seed; 0x11fe |];
+    metrics;
+    intensity = Sim.Faults.calm;
+    partition = None;
+    stash = Hashtbl.create 16;
+  }
+
+let count t name =
+  match t.metrics with None -> () | Some m -> Obs.Metrics.incr m name
+
+let set_phase t (ph : Sim.Faults.phase) =
+  t.intensity <- ph.Sim.Faults.intensity;
+  t.partition <- Some ph.Sim.Faults.partition
+
+let clear t =
+  t.intensity <- Sim.Faults.calm;
+  t.partition <- None
+
+let connected t src dst =
+  match t.partition with
+  | None -> true
+  | Some part -> (
+      match Sim.Partition.component_of part src with
+      | None -> false
+      | Some comp -> Proc.Set.mem dst comp)
+
+let route t ~src ~dst frame =
+  match frame with
+  | Wire.Pkt _ ->
+      if not (connected t src dst) then begin
+        count t "proxy.partitioned";
+        []
+      end
+      else begin
+        count t "proxy.routed";
+        let held =
+          match Hashtbl.find_opt t.stash (src, dst) with
+          | Some h ->
+              Hashtbl.remove t.stash (src, dst);
+              [ h ]
+          | None -> []
+        in
+        (* a channel releasing a held packet skips fresh fault draws: the
+           swap is the fault *)
+        if held <> [] then frame :: held
+        else
+          let i = t.intensity in
+          let u = Random.State.float t.rng 1.0 in
+          if u < i.Sim.Faults.drop then begin
+            count t "proxy.dropped";
+            []
+          end
+          else if u < i.Sim.Faults.drop +. i.Sim.Faults.duplicate then begin
+            count t "proxy.duplicated";
+            [ frame; frame ]
+          end
+          else if
+            u
+            < i.Sim.Faults.drop +. i.Sim.Faults.duplicate
+              +. i.Sim.Faults.reorder
+          then begin
+            count t "proxy.reordered";
+            Hashtbl.replace t.stash (src, dst) frame;
+            []
+          end
+          else [ frame ]
+      end
+  | _ -> [ frame ]
+
+let flush t =
+  let held =
+    Hashtbl.fold (fun (src, dst) f acc -> (src, dst, f) :: acc) t.stash []
+  in
+  Hashtbl.reset t.stash;
+  held

@@ -1,0 +1,40 @@
+(** The faultable forwarding plane: every engine packet the hub routes
+    between endpoints passes through one {!route} call, which executes
+    the active {!Sim.Faults} phase on live traffic — per-channel drop,
+    duplicate and reorder draws from a seeded RNG, plus partition
+    enforcement (packets crossing component boundaries are dropped).
+
+    Only [Pkt] frames are ever faulted; the control plane (views,
+    client injections, trace shipping, snapshots) stays reliable — the
+    service being torture-tested is the protocol, not the harness.
+
+    Reordering is a per-channel one-slot stash: a reorder draw holds the
+    packet, and the channel's next packet is delivered ahead of it (a
+    pairwise swap, mirroring [Vs_impl.Fault]'s in-flight transposition).
+    {!flush} releases every held packet — call it on phase changes and
+    when draining, so a calm tail sees the whole stream. *)
+
+type t
+
+val create : ?metrics:Obs.Metrics.t -> seed:int -> unit -> t
+
+(** Install a phase's intensity and partition.  Does not flush the
+    reorder stash — do that explicitly and deliver the result. *)
+val set_phase : t -> Sim.Faults.phase -> unit
+
+(** Back to lossless fully-connected routing. *)
+val clear : t -> unit
+
+(** The copies of [frame] to deliver to [dst] now, in order: [] (drop,
+    partition cut, or held for reordering), one, or two (duplicate).  A
+    channel with a held packet delivers [frame] first and the held
+    packet second. *)
+val route :
+  t ->
+  src:Prelude.Proc.t ->
+  dst:Prelude.Proc.t ->
+  Wire.frame ->
+  Wire.frame list
+
+(** Release all held packets as [(src, dst, frame)] triples. *)
+val flush : t -> (Prelude.Proc.t * Prelude.Proc.t * Wire.frame) list

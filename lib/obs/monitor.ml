@@ -170,23 +170,35 @@ let prefix_consistent () =
         | _ -> None
       else None)
 
-(* The explorer's states counter (progress / heartbeat / done events)
-   never decreases within one run. *)
-let monotone_progress () =
+(* A named integer payload key on a component's events never decreases
+   within one run — the generic liveness shadow: explorer state counts,
+   the live hub's delivered counter, any monotone progress signal. *)
+let monotone ?name ~component ~key () =
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "monotone-%s.%s" component key
+  in
   let last = ref (-1) in
-  rule ~name:"monotone-progress" (fun e ->
-      if String.equal e.Trace.component "check.explorer" then
-        match p_int "states" e with
+  rule ~name (fun e ->
+      if String.equal e.Trace.component component then
+        match p_int key e with
         | Some s ->
             if s < !last then
               Some
-                (Printf.sprintf "states went backwards: %d after %d" s !last)
+                (Printf.sprintf "%s went backwards: %d after %d" key s !last)
             else begin
               last := s;
               None
             end
         | None -> None
       else None)
+
+(* The explorer's states counter (progress / heartbeat / done events)
+   never decreases within one run. *)
+let monotone_progress () =
+  monotone ~name:"monotone-progress" ~component:"check.explorer" ~key:"states"
+    ()
 
 let standard () =
   [

@@ -60,7 +60,13 @@ val contiguous_delivery : unit -> rule
     view's total order. *)
 val prefix_consistent : unit -> rule
 
-(** The explorer's states count never decreases. *)
+(** A named integer payload key on events of [component] never
+    decreases — the generic monotone-progress shape.  [?name] defaults
+    to ["monotone-<component>.<key>"]. *)
+val monotone : ?name:string -> component:string -> key:string -> unit -> rule
+
+(** The explorer's states count never decreases
+    ([monotone ~component:"check.explorer" ~key:"states"]). *)
 val monotone_progress : unit -> rule
 
 val standard : unit -> rule list

@@ -15,6 +15,7 @@ type kind = Throughput | Bytes | Speedup
 let kind_of name =
   let ends_with suf = Filename.check_suffix name suf in
   if ends_with ".states_per_sec" then Some Throughput
+  else if ends_with ".msgs_per_sec" then Some Throughput
   else if ends_with ".bytes_per_state" then Some Bytes
   else if ends_with ".speedup" then Some Speedup
   else None

@@ -3,7 +3,9 @@
 
     Sweeps a directory of experiment snapshots ([BENCH_E*.json]) for the
     headline trajectory gauges — names ending in [.states_per_sec],
-    [.bytes_per_state] or [.speedup] — labels them ["E15:e15.…"], and
+    [.msgs_per_sec] (live-service delivery throughput, gated like
+    states/sec), [.bytes_per_state] or [.speedup] — labels them
+    ["E15:e15.…"], and
     checks the result against a committed {!baseline} under ratio
     thresholds: throughput and speedup must stay at or above baseline ×
     [min_ratio], bytes/state at or below baseline × [max_ratio].  A

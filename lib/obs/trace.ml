@@ -136,10 +136,14 @@ let event_json e =
 
 let event_to_string e = Json.to_string (event_json e)
 
+(* Crash-safe: the whole line (terminator included) is assembled first
+   and handed to the channel as one write, then flushed, so the channel
+   buffer is empty between events and a killed writer tears at most the
+   line in flight — every preceding line is a complete event
+   ([read_jsonl_prefix] recovers the prefix). *)
 let to_channel oc =
   make (fun e ->
-      output_string oc (event_to_string e);
-      output_char oc '\n';
+      output_string oc (event_to_string e ^ "\n");
       flush oc)
 
 let ( let* ) r f = Result.bind r f
@@ -214,5 +218,21 @@ let read_jsonl ic =
         match event_of_string line with
         | Ok e -> go (lineno + 1) (e :: acc)
         | Error msg -> Error (lineno, msg))
+  in
+  go 1 []
+
+(* Crash-tolerant variant: a SIGKILL'd writer leaves a file whose last
+   line may be torn mid-write (the [to_channel] sink flushes per event,
+   so every earlier line is complete).  Decode the valid prefix and
+   report where it stopped instead of failing the whole file. *)
+let read_jsonl_prefix ic =
+  let rec go lineno acc =
+    match input_line ic with
+    | exception End_of_file -> (List.rev acc, None)
+    | "" -> go (lineno + 1) acc
+    | line -> (
+        match event_of_string line with
+        | Ok e -> go (lineno + 1) (e :: acc)
+        | Error msg -> (List.rev acc, Some (lineno, msg)))
   in
   go 1 []

@@ -100,3 +100,12 @@ val event_of_string : string -> (event, string) result
 (** Parse a JSONL trace, one event per non-empty line.  Fails on the
     first malformed line ([Error (line_number, msg)], 1-based). *)
 val read_jsonl : in_channel -> (event list, int * string) result
+
+(** Crash-tolerant parse: decode the longest valid event prefix and
+    return it together with the position and reason of the first
+    malformed line, if any.  The {!to_channel} sink builds each line in
+    full and flushes per event, so a SIGKILL'd writer tears at most the
+    final line — the prefix is still a faithful trace of everything the
+    process observed before it died, which is what the online monitors
+    replay. *)
+val read_jsonl_prefix : in_channel -> event list * (int * string) option

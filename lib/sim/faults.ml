@@ -70,6 +70,18 @@ let schedule ?(storm = storm) rng ~universe ~phases ~steps_per_phase =
          :: last :: rest)
   | [] -> plan
 
+(* Wall-clock view of a plan for live (non-step-counted) consumers:
+   phase k is active on [k·phase_seconds, (k+1)·phase_seconds); the
+   final phase persists past the end — it is calm and fully healed by
+   construction, so an over-running soak drains under clean conditions. *)
+let timeline ~phase_seconds phases =
+  if phase_seconds <= 0. then invalid_arg "Faults.timeline: phase_seconds <= 0";
+  if phases = [] then invalid_arg "Faults.timeline: empty plan";
+  let arr = Array.of_list phases in
+  fun t ->
+    let k = if t <= 0. then 0 else int_of_float (t /. phase_seconds) in
+    arr.(min k (Array.length arr - 1))
+
 let pp_intensity ppf i =
   Format.fprintf ppf "{drop=%.2f dup=%.2f reord=%.2f}" i.drop i.duplicate
     i.reorder

@@ -46,5 +46,14 @@ val schedule :
   steps_per_phase:int ->
   phase list
 
+(** [timeline ~phase_seconds plan] maps a plan onto the wall clock for
+    live consumers that have no scheduler step counter: the returned
+    function gives the phase active at elapsed time [t] seconds — phase
+    [k] covers [k·phase_seconds, (k+1)·phase_seconds), and the final
+    phase (calm and healed by {!schedule}'s construction) persists past
+    the end of the plan.  Raises [Invalid_argument] on a non-positive
+    [phase_seconds] or an empty plan. *)
+val timeline : phase_seconds:float -> phase list -> float -> phase
+
 val pp_intensity : Format.formatter -> intensity -> unit
 val pp_phase : Format.formatter -> phase -> unit

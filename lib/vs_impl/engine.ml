@@ -379,6 +379,16 @@ module Make (M : Msg_intf.S) = struct
               ]);
         { st with next_deliver = Gid.Map.add g (sn + 1) st.next_deliver }
 
+  (* The delivered prefix of a view's total order, in delivery order —
+     positions (g, 1 .. next_deliver-1) of [rcv_buf].  Everything
+     delivered is necessarily buffered (delivery reads the buffer and
+     nothing evicts), so the walk is total over the prefix.  Live
+     runtime snapshots compare these byte-for-byte across members. *)
+  let delivered_prefix st g =
+    let upto = next_deliver_of st g - 1 in
+    List.init upto (fun i -> Pg_map.find_opt (g, i + 1) st.rcv_buf)
+    |> List.filter_map Fun.id
+
   let safe_ready st =
     match st.cur with
     | None -> None

@@ -148,6 +148,14 @@ module Make (M : Prelude.Msg_intf.S) : sig
 
   val delivered : ?metrics:Obs.Metrics.t -> ?sink:Obs.Trace.sink -> state -> state
 
+  (** The delivered prefix of view [g]'s total order, oldest first:
+      the (payload, origin) at positions [1 .. next_deliver_of st g - 1].
+      What two members of the same view must agree on byte-for-byte up
+      to the shorter length (prefix consistency) — live runtime
+      snapshots encode this list for cross-process comparison. *)
+  val delivered_prefix :
+    state -> Prelude.Gid.t -> (M.t * Prelude.Proc.t) list
+
   (** The safe indication currently enabled. *)
   val safe_ready : state -> (Prelude.Proc.t * M.t) option
 

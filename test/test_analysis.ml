@@ -105,6 +105,7 @@ let subject ?(key = string_of_int) ?(invariants = []) ?(complete = [])
     footprint = None;
     symmetry = None;
     codec = None;
+    instrumented_step = None;
   }
 
 let kinds r = List.map F.kind r.F.findings
@@ -375,6 +376,7 @@ let vstack_subject ?variant ~faults () =
     footprint = None;
     symmetry = None;
     codec = None;
+    instrumented_step = None;
   }
 
 let test_no_retransmit_deadlocks () =

@@ -1,0 +1,458 @@
+(* lib/live: the wire protocol (framed codec round-trips, every
+   truncation and mutation rejected, incremental Reader reassembly under
+   pathological chunking), the faultable proxy's routing semantics, the
+   MPSC ring under multi-domain torture with poison-pill shutdown, Conn
+   over a real socketpair (short writes, EOF detection), and a small
+   in-process (domain-mode) live run that must drain with clean
+   monitors and byte-identical snapshots. *)
+
+open Prelude
+module W = Live.Wire
+module P = Vs_impl.Packet
+
+let frame = Alcotest.testable W.pp (fun a b ->
+    String.equal
+      (Format.asprintf "%a" W.pp a)
+      (Format.asprintf "%a" W.pp b))
+
+let sample_view = View.make ~id:(Gid.succ Gid.g0) ~set:(Proc.Set.universe 3)
+
+let sample_frames : W.frame list =
+  [
+    W.Hello { proc = 2 };
+    W.Pkt { src = 0; dst = 1; pkt = P.Fwd { gid = Gid.g0; fsn = 1; payload = "hello" } };
+    W.Pkt
+      {
+        src = 1;
+        dst = 2;
+        pkt = P.Seq { gid = Gid.succ Gid.g0; sn = 7; origin = 0; payload = "" };
+      };
+    W.Pkt { src = 2; dst = 0; pkt = P.Ack { gid = Gid.g0; upto = 41 } };
+    W.Pkt { src = 0; dst = 2; pkt = P.Stable { gid = Gid.g0; upto = 12 } };
+    W.View_note sample_view;
+    W.Client "payload with \"quotes\" and \x00 bytes \xff";
+    W.Trace_line "{\"seq\":1,\"kind\":\"point\"}";
+    W.Snapshot_req;
+    W.Snapshot
+      {
+        proc = 1;
+        views =
+          [
+            (Gid.g0, [ ("a", 0); ("b", 2) ]);
+            (Gid.succ Gid.g0, [ ("", 1) ]);
+          ];
+      };
+    W.Shutdown;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Framed codec                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_wire_roundtrip () =
+  List.iter
+    (fun f ->
+      match W.decode (W.encode f) with
+      | Ok f' -> Alcotest.check frame "round-trips" f f'
+      | Error e ->
+          Alcotest.failf "%s: decode failed: %s"
+            (Format.asprintf "%a" W.pp f)
+            e)
+    sample_frames
+
+(* every strict prefix of a frame image is rejected — short reads can
+   never mis-decode *)
+let test_wire_truncation () =
+  List.iter
+    (fun f ->
+      let b = W.encode f in
+      for len = 0 to Bytes.length b - 1 do
+        match W.decode (Bytes.sub b 0 len) with
+        | Error _ -> ()
+        | Ok f' ->
+            Alcotest.failf "truncation to %d bytes mis-decoded as %a" len W.pp
+              f'
+      done)
+    sample_frames
+
+(* every single-byte mutation is rejected (128-bit checksum) *)
+let test_wire_mutation () =
+  List.iter
+    (fun f ->
+      let b = W.encode f in
+      for i = 0 to Bytes.length b - 1 do
+        let m = Bytes.copy b in
+        Bytes.set m i (Char.chr (Char.code (Bytes.get m i) lxor 0x5a));
+        match W.decode m with
+        | Error _ -> ()
+        | Ok f' ->
+            if Format.asprintf "%a" W.pp f' <> Format.asprintf "%a" W.pp f
+            then
+              Alcotest.failf "mutating byte %d mis-decoded as %a" i W.pp f'
+            else Alcotest.failf "mutating byte %d went undetected" i
+      done)
+    sample_frames
+
+(* ------------------------------------------------------------------ *)
+(* Incremental Reader                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let stream_of frames =
+  let b = Buffer.create 256 in
+  List.iter (fun f -> Buffer.add_bytes b (W.to_wire f)) frames;
+  Buffer.to_bytes b
+
+let drain_reader r =
+  let rec go acc =
+    match W.Reader.next r with
+    | Ok (Some f) -> go (f :: acc)
+    | Ok None -> List.rev acc
+    | Error e -> Alcotest.failf "reader error: %s" e
+  in
+  go []
+
+let test_reader_byte_at_a_time () =
+  let stream = stream_of sample_frames in
+  let r = W.Reader.create () in
+  let got = ref [] in
+  Bytes.iteri
+    (fun i _ ->
+      W.Reader.feed r stream i 1;
+      got := !got @ drain_reader r)
+    stream;
+  Alcotest.(check (list frame)) "all frames reassembled" sample_frames !got;
+  Alcotest.(check int) "nothing left over" 0 (W.Reader.pending r)
+
+let test_reader_random_chunks () =
+  let rng = Random.State.make [| 0xC0FFEE |] in
+  for _ = 1 to 50 do
+    let stream = stream_of (sample_frames @ List.rev sample_frames) in
+    let r = W.Reader.create () in
+    let got = ref [] in
+    let off = ref 0 in
+    let n = Bytes.length stream in
+    while !off < n do
+      let k = min (n - !off) (1 + Random.State.int rng 23) in
+      W.Reader.feed r stream !off k;
+      off := !off + k;
+      got := !got @ drain_reader r
+    done;
+    Alcotest.(check (list frame))
+      "all frames reassembled"
+      (sample_frames @ List.rev sample_frames)
+      !got
+  done
+
+(* a truncated stream never yields a frame; a corrupted body is a sticky
+   error *)
+let test_reader_truncation_and_corruption () =
+  let image = W.to_wire (List.nth sample_frames 1) in
+  for len = 0 to Bytes.length image - 1 do
+    let r = W.Reader.create () in
+    W.Reader.feed r image 0 len;
+    match W.Reader.next r with
+    | Ok None -> ()
+    | Ok (Some f) ->
+        Alcotest.failf "prefix of %d bytes yielded %a" len W.pp f
+    | Error e -> Alcotest.failf "prefix of %d bytes errored: %s" len e
+  done;
+  (* flip one body byte past the length prefix *)
+  let m = Bytes.copy image in
+  Bytes.set m 10 (Char.chr (Char.code (Bytes.get m 10) lxor 0xff));
+  let r = W.Reader.create () in
+  W.Reader.feed r m 0 (Bytes.length m);
+  (match W.Reader.next r with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "corrupt frame image not rejected");
+  (* and the error is sticky *)
+  W.Reader.feed r image 0 (Bytes.length image);
+  (match W.Reader.next r with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "reader recovered from a corrupt stream");
+  (* an out-of-range length is rejected without allocating *)
+  let big = Bytes.create 4 in
+  Bytes.set_int32_be big 0 (Int32.of_int (W.max_frame + 1));
+  let r = W.Reader.create () in
+  W.Reader.feed r big 0 4;
+  match W.Reader.next r with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversize frame length accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Proxy routing semantics                                             *)
+(* ------------------------------------------------------------------ *)
+
+let pkt_frame payload : W.frame =
+  W.Pkt { src = 0; dst = 1; pkt = P.Fwd { gid = Gid.g0; fsn = 1; payload } }
+
+let phase ?(drop = 0.) ?(duplicate = 0.) ?(reorder = 0.) ?partition () =
+  {
+    Sim.Faults.label = "test";
+    intensity = { drop; duplicate; reorder };
+    partition =
+      (match partition with
+      | Some p -> p
+      | None -> Sim.Partition.whole (Proc.Set.universe 3));
+    steps = 1;
+  }
+
+let test_proxy_faults () =
+  let p = Live.Proxy.create ~seed:42 () in
+  let f = pkt_frame "x" in
+  (* calm: exactly one copy *)
+  Alcotest.(check (list frame)) "calm" [ f ]
+    (Live.Proxy.route p ~src:0 ~dst:1 f);
+  (* certain drop *)
+  Live.Proxy.set_phase p (phase ~drop:1. ());
+  Alcotest.(check (list frame)) "dropped" []
+    (Live.Proxy.route p ~src:0 ~dst:1 f);
+  (* certain duplicate *)
+  Live.Proxy.set_phase p (phase ~duplicate:1. ());
+  Alcotest.(check (list frame)) "duplicated" [ f; f ]
+    (Live.Proxy.route p ~src:0 ~dst:1 f);
+  (* certain reorder: pairwise swap per channel *)
+  Live.Proxy.set_phase p (phase ~reorder:1. ());
+  let f1 = pkt_frame "first" and f2 = pkt_frame "second" in
+  Alcotest.(check (list frame)) "held" []
+    (Live.Proxy.route p ~src:0 ~dst:1 f1);
+  Alcotest.(check (list frame)) "swapped" [ f2; f1 ]
+    (Live.Proxy.route p ~src:0 ~dst:1 f2);
+  (* flush releases a held packet *)
+  Alcotest.(check (list frame)) "held again" []
+    (Live.Proxy.route p ~src:0 ~dst:1 f1);
+  (match Live.Proxy.flush p with
+  | [ (0, 1, g) ] -> Alcotest.check frame "flushed the held packet" f1 g
+  | l -> Alcotest.failf "flush returned %d packets" (List.length l));
+  (* control frames are never faulted *)
+  Live.Proxy.set_phase p (phase ~drop:1. ());
+  let note = W.View_note sample_view in
+  Alcotest.(check (list frame)) "control plane reliable" [ note ]
+    (Live.Proxy.route p ~src:0 ~dst:1 note);
+  (* partition cut *)
+  let cut =
+    Sim.Partition.of_components
+      [ Proc.Set.of_list [ 0; 1 ]; Proc.Set.of_list [ 2 ] ]
+  in
+  Live.Proxy.clear p;
+  Live.Proxy.set_phase p (phase ~partition:cut ());
+  Alcotest.(check (list frame)) "cross-component cut" []
+    (Live.Proxy.route p ~src:0 ~dst:2 f);
+  Alcotest.(check (list frame)) "same component flows" [ f ]
+    (Live.Proxy.route p ~src:0 ~dst:1 f)
+
+(* ------------------------------------------------------------------ *)
+(* Ring torture                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Randomized producer domains hammer one small ring; each finishes with
+   a poison pill.  The consumer must see every value exactly once, in
+   per-producer FIFO order, and exactly one pill per producer. *)
+let test_ring_torture () =
+  let producers = 4 and per_producer = 5_000 in
+  let ring = Check.Ring.create ~capacity:64 in
+  let encode p i = (p * per_producer) + i in
+  let poison p = -(p + 1) in
+  let spawn p =
+    Domain.spawn (fun () ->
+        let rng = Random.State.make [| 0xBEEF; p |] in
+        for i = 0 to per_producer - 1 do
+          (* randomized pacing widens the interleavings exercised *)
+          if Random.State.int rng 16 = 0 then Domain.cpu_relax ();
+          while not (Check.Ring.try_push ring (encode p i)) do
+            Domain.cpu_relax ()
+          done
+        done;
+        while not (Check.Ring.try_push ring (poison p)) do
+          Domain.cpu_relax ()
+        done)
+  in
+  let doms = List.init producers spawn in
+  let next = Array.make producers 0 in
+  let pills = ref 0 in
+  let popped = ref 0 in
+  while !pills < producers do
+    match Check.Ring.try_pop ring with
+    | None -> Domain.cpu_relax ()
+    | Some v ->
+        incr popped;
+        if v < 0 then incr pills
+        else begin
+          let p = v / per_producer and i = v mod per_producer in
+          if next.(p) <> i then
+            Alcotest.failf "producer %d: got item %d, expected %d" p i
+              next.(p);
+          next.(p) <- i + 1
+        end
+  done;
+  List.iter Domain.join doms;
+  Alcotest.(check (list int))
+    "every producer's items all arrived"
+    (List.init producers (fun _ -> per_producer))
+    (Array.to_list next);
+  Alcotest.(check int) "exactly one pill each + all items"
+    ((producers * per_producer) + producers)
+    !popped;
+  Alcotest.(check bool) "ring drained" true (Check.Ring.is_empty ring)
+
+(* ------------------------------------------------------------------ *)
+(* Conn over a socketpair                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_conn_socketpair () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let a, b = Unix.socketpair PF_UNIX SOCK_STREAM 0 in
+  let ca = Live.Conn.create a and cb = Live.Conn.create b in
+  (* a large frame forces multiple short writes through the kernel
+     buffer; interleave flush and recv like a real event loop *)
+  let big = W.Trace_line (String.make 300_000 'x') in
+  let outgoing = sample_frames @ [ big ] @ sample_frames in
+  List.iter (Live.Conn.send ca) outgoing;
+  let got = ref [] in
+  let deadline = Unix.gettimeofday () +. 10. in
+  while
+    List.length !got < List.length outgoing
+    && Unix.gettimeofday () < deadline
+  do
+    Live.Conn.flush ca;
+    (match Unix.select [ Live.Conn.fd cb ] [] [] 0.05 with
+    | rd, _, _ -> if rd <> [] then got := !got @ Live.Conn.recv cb
+    | exception Unix.Unix_error (EINTR, _, _) -> ())
+  done;
+  Alcotest.(check (list frame)) "all frames crossed the socket" outgoing !got;
+  (* EOF detection *)
+  Live.Conn.close ca;
+  let _ = Live.Conn.recv cb in
+  Alcotest.(check bool) "peer death detected" false (Live.Conn.alive cb);
+  Live.Conn.close cb
+
+(* ------------------------------------------------------------------ *)
+(* In-process live run (domain mode)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_live_domains () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dvs-test-live-%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (EEXIST, _, _) -> ());
+  let sock = Filename.concat dir "hub.sock" in
+  (try Unix.unlink sock with Unix.Unix_error _ -> ());
+  let universe = Proc.Set.universe 3 in
+  let hub =
+    Live.Hub.create
+      { Live.Hub.sock_path = sock; universe; seed = 11; merged_path = None }
+  in
+  let doms =
+    List.init 3 (fun p ->
+        Live.Endpoint.spawn_domain
+          {
+            Live.Endpoint.me = p;
+            sock_path = sock;
+            trace_path = None;
+            retransmit_s = 0.05;
+          })
+  in
+  let deadline = Unix.gettimeofday () +. 10. in
+  let full () =
+    match Live.Hub.primary hub with
+    | Some v -> Proc.Set.cardinal (View.set v) = 3
+    | None -> false
+  in
+  while (not (full ())) && Unix.gettimeofday () < deadline do
+    Live.Hub.poll hub ~timeout:0.01
+  done;
+  Alcotest.(check bool) "full view formed" true (full ());
+  let target = 500 in
+  let injected = ref 0 in
+  let drained () =
+    match Live.Hub.primary hub with
+    | None -> false
+    | Some v ->
+        let g = View.id v in
+        let want = Live.Hub.injected_in hub g in
+        want > 0
+        && Proc.Set.for_all
+             (fun p -> Live.Hub.delivered_in hub ~proc:p ~gid:g = want)
+             (View.set v)
+  in
+  let deadline = Unix.gettimeofday () +. 30. in
+  while
+    ((!injected < target) || not (drained ()))
+    && Unix.gettimeofday () < deadline
+  do
+    if !injected < target then
+      if Live.Hub.inject hub (Printf.sprintf "m%d" !injected) then
+        incr injected;
+    Live.Hub.poll hub ~timeout:0.002
+  done;
+  Alcotest.(check int) "all injected" target !injected;
+  Alcotest.(check bool) "drained" true (drained ());
+  Alcotest.(check bool)
+    "every endpoint delivered the full load" true
+    (Live.Hub.delivered_total hub >= 3 * target);
+  (* snapshots agree byte-for-byte *)
+  Live.Hub.request_snapshots hub;
+  let deadline = Unix.gettimeofday () +. 5. in
+  while
+    List.length (Live.Hub.snapshots hub) < 3
+    && Unix.gettimeofday () < deadline
+  do
+    Live.Hub.poll hub ~timeout:0.01
+  done;
+  let snaps = Live.Hub.snapshots hub in
+  Alcotest.(check int) "three snapshots" 3 (List.length snaps);
+  let images =
+    List.map
+      (fun (p, views) ->
+        ( p,
+          List.map
+            (fun (g, prefix) ->
+              (g, Check.Codec.encode W.prefix_codec prefix))
+            views ))
+      snaps
+  in
+  List.iter
+    (fun (p1, vs1) ->
+      List.iter
+        (fun (p2, vs2) ->
+          if p1 < p2 then
+            List.iter
+              (fun (g, b1) ->
+                match List.assoc_opt g vs2 with
+                | Some b2 ->
+                    Alcotest.(check bool)
+                      (Printf.sprintf "prefix of %s agrees between %d and %d"
+                         (Gid.to_string g) p1 p2)
+                      true (Bytes.equal b1 b2)
+                | None -> ())
+              vs1)
+        images)
+    images;
+  Alcotest.(check bool) "monitors clean" true (Live.Hub.ok hub);
+  Live.Hub.shutdown hub;
+  List.iter Domain.join doms
+
+let () =
+  Alcotest.run "live"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_wire_roundtrip;
+          Alcotest.test_case "truncation" `Quick test_wire_truncation;
+          Alcotest.test_case "mutation" `Quick test_wire_mutation;
+        ] );
+      ( "reader",
+        [
+          Alcotest.test_case "byte-at-a-time" `Quick
+            test_reader_byte_at_a_time;
+          Alcotest.test_case "random-chunks" `Quick test_reader_random_chunks;
+          Alcotest.test_case "truncation-and-corruption" `Quick
+            test_reader_truncation_and_corruption;
+        ] );
+      ("proxy", [ Alcotest.test_case "faults" `Quick test_proxy_faults ]);
+      ("ring", [ Alcotest.test_case "torture" `Quick test_ring_torture ]);
+      ("conn", [ Alcotest.test_case "socketpair" `Quick test_conn_socketpair ]);
+      ( "runtime",
+        [ Alcotest.test_case "domain-mode-soak" `Quick test_live_domains ] );
+    ]

@@ -1,0 +1,240 @@
+(* Monitor false-positive/false-negative audit.
+
+   The online rules ([Obs.Monitor.standard]) are only trustworthy if
+   (a) clean executions — including ones over a faulty transport, where
+   drops, duplicates and reorders are the *channel's* business, not a
+   protocol violation — never latch anything, and (b) the seeded
+   defects still latch when their counterexample schedules are
+   re-driven through the instrumented stack online.
+
+   Golden streams come from random generative executions of every
+   registry entry that ships an [instrumented_step]; defect streams
+   come from replaying the committed [corpus/*.cex.jsonl] schedules and
+   re-stepping the resolved actions through the same hook with a
+   monitor sink attached. *)
+
+module An = Analysis.Analyzer
+module Reg = Analysis.Registry
+
+let registry () = Reg.all () @ Reg.defects ()
+
+let instrumented (Reg.Entry e) = e.subject.An.instrumented_step <> None
+
+(* Re-drive an execution's steps through the entry's instrumented step
+   with [sink] attached; checks the re-step agrees with the recorded
+   post-states (the hook's contract). *)
+let restep (type s a) (sub : (s, a) An.subject) sink
+    (exec : (s, a) Ioa.Exec.t) =
+  match sub.An.instrumented_step with
+  | None -> Alcotest.fail "entry ships no instrumented_step"
+  | Some step ->
+      List.iter
+        (fun (st : (s, a) Ioa.Exec.step) ->
+          let post = step sink st.pre st.action in
+          Alcotest.(check string)
+            "instrumented re-step agrees with the recorded transition"
+            (sub.An.key st.post) (sub.An.key post))
+        exec.steps
+
+(* ------------------------------------------------------------------ *)
+(* Golden clean runs: zero latches                                     *)
+(* ------------------------------------------------------------------ *)
+
+let audit_clean (Reg.Entry e) =
+  let sub = e.subject in
+  let fed = ref 0 in
+  (* several seeds, decent length: the stream must include real
+     sequencing and delivery activity or the audit is vacuous *)
+  List.iter
+    (fun seed ->
+      let m = Obs.Monitor.create (Obs.Monitor.standard ()) in
+      let sink = Obs.Monitor.sink m in
+      let rng = Random.State.make [| seed |] in
+      let exec, _ =
+        Ioa.Exec.run sub.An.automaton ~rng ~steps:400 ~init:sub.An.init
+      in
+      restep sub sink exec;
+      fed := !fed + Obs.Monitor.events_seen m;
+      match Obs.Monitor.violations m with
+      | [] -> ()
+      | v :: _ ->
+          Alcotest.failf "%s (seed %d): spurious latch: %s" e.name seed
+            (Format.asprintf "%a" Obs.Monitor.pp_violation v))
+    [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check bool)
+    (e.name ^ ": audit actually saw events")
+    true (!fed > 0)
+
+let test_clean_runs () =
+  let entries = List.filter instrumented (Reg.all ()) in
+  Alcotest.(check bool)
+    "some clean entries ship the instrumentation hook" true (entries <> []);
+  List.iter audit_clean entries
+
+(* the faulty-transport entry is the critical false-positive case:
+   channel drops/duplicates/reorders must never read as protocol bugs *)
+let test_faulty_transport_is_clean () =
+  match Reg.find (Reg.all ()) "vs-stack-faulty" with
+  | None -> Alcotest.fail "vs-stack-faulty entry missing"
+  | Some e ->
+      Alcotest.(check bool) "ships the hook" true (instrumented e);
+      audit_clean e
+
+(* ------------------------------------------------------------------ *)
+(* Corpus replay: seeded defects must (only) latch as expected         *)
+(* ------------------------------------------------------------------ *)
+
+let corpus_files () =
+  let dir = Filename.concat ".." "corpus" in
+  if Sys.file_exists dir then
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".cex.jsonl")
+    |> List.map (Filename.concat dir)
+    |> List.sort String.compare
+  else []
+
+(* per corpus entry: which standard rule (if any) must latch when the
+   schedule runs under online monitoring *)
+let expected_latch = function
+  | "defect-no-dedup" | "defect-no-dedup-invariant" ->
+      Some "unique-sequencing"
+  | _ -> None (* e.g. defect-no-retransmit: a deadlock, not a trace bug *)
+
+let audit_record (r : Check.Cex.t) =
+  match Reg.find (registry ()) r.Check.Cex.entry with
+  | None -> Alcotest.failf "corpus names unknown entry %S" r.Check.Cex.entry
+  | Some (Reg.Entry e) ->
+      let sub = e.subject in
+      let o = An.oracle sub ~seed:r.Check.Cex.seed in
+      let v = Check.Shrink.replay o r.Check.Cex.actions in
+      (match v.Check.Shrink.error with
+      | Some (i, msg) ->
+          Alcotest.failf "%s: schedule no longer resolves at %d: %s" e.name i
+            msg
+      | None -> ());
+      let m = Obs.Monitor.create (Obs.Monitor.standard ()) in
+      let sink = Obs.Monitor.sink m in
+      restep sub sink v.Check.Shrink.exec;
+      match expected_latch e.name with
+      | Some rule -> (
+          Alcotest.(check bool)
+            (e.name ^ ": audit saw events")
+            true
+            (Obs.Monitor.events_seen m > 0);
+          match Obs.Monitor.violations m with
+          | [] ->
+              Alcotest.failf
+                "%s: the defect schedule did not latch %s online" e.name rule
+          | vs ->
+              Alcotest.(check bool)
+                (e.name ^ ": latched the expected rule")
+                true
+                (List.exists
+                   (fun v -> String.equal v.Obs.Monitor.rule rule)
+                   vs))
+      | None -> (
+          match Obs.Monitor.violations m with
+          | [] -> ()
+          | v :: _ ->
+              Alcotest.failf "%s: spurious latch on a liveness defect: %s"
+                e.name
+                (Format.asprintf "%a" Obs.Monitor.pp_violation v))
+
+let test_corpus_audit () =
+  let files = corpus_files () in
+  Alcotest.(check bool) "corpus present" true (files <> []);
+  let audited = ref 0 in
+  List.iter
+    (fun path ->
+      match Check.Cex.load ~path with
+      | Error e -> Alcotest.failf "%s: %s" path e
+      | Ok rs ->
+          List.iter
+            (fun r ->
+              audit_record r;
+              incr audited)
+            rs)
+    files;
+  Alcotest.(check bool) "audited at least the three seeded defects" true
+    (!audited >= 3)
+
+(* the no-dedup latch must fire *online* — on the violating event, not
+   only at end of stream *)
+let test_no_dedup_latches_mid_stream () =
+  let r =
+    corpus_files ()
+    |> List.concat_map (fun path ->
+           match Check.Cex.load ~path with Ok rs -> rs | Error _ -> [])
+    |> List.find_opt (fun r ->
+           String.equal r.Check.Cex.entry "defect-no-dedup")
+  in
+  match r with
+  | None -> Alcotest.fail "defect-no-dedup not in the corpus"
+  | Some r -> (
+      match Reg.find (registry ()) "defect-no-dedup" with
+      | None -> Alcotest.fail "defect-no-dedup entry missing"
+      | Some (Reg.Entry e) -> (
+          let sub = e.subject in
+          let o = An.oracle sub ~seed:r.Check.Cex.seed in
+          let v = Check.Shrink.replay o r.Check.Cex.actions in
+          let m = Obs.Monitor.create (Obs.Monitor.standard ()) in
+          let tripped_at = ref None in
+          let seen = ref 0 in
+          let sink =
+            Obs.Trace.callback (fun ev ->
+                incr seen;
+                match (Obs.Monitor.feed m ev, !tripped_at) with
+                | [], _ | _, Some _ -> ()
+                | _ :: _, None -> tripped_at := Some !seen)
+          in
+          (match sub.An.instrumented_step with
+          | Some step ->
+              List.iter
+                (fun (st : _ Ioa.Exec.step) ->
+                  ignore (step sink st.pre st.action))
+                v.Check.Shrink.exec.steps
+          | None -> Alcotest.fail "no instrumented_step");
+          match !tripped_at with
+          | None -> Alcotest.fail "never latched"
+          | Some at ->
+              (* [feed] flagged the violating event the moment it arrived
+                 (not a post-mortem scan), and the rule stays latched:
+                 later events complete no further violations *)
+              Alcotest.(check bool) "flagged on an event in the stream" true
+                (at >= 1 && at <= !seen);
+              let benign =
+                {
+                  Obs.Trace.seq = 999_999;
+                  kind = Obs.Trace.Point;
+                  component = "vs.engine";
+                  cls = "sequenced";
+                  span = None;
+                  payload =
+                    [
+                      ("p", Obs.Trace.Str "p0");
+                      ("gid", Obs.Trace.Str "g9");
+                      ("src", Obs.Trace.Str "p0");
+                      ("fsn", Obs.Trace.Int 1);
+                      ("sn", Obs.Trace.Int 1);
+                    ];
+                }
+              in
+              Alcotest.(check int) "latched: no further reports" 0
+                (List.length (Obs.Monitor.feed m benign))))
+
+let () =
+  Alcotest.run "monitor-audit"
+    [
+      ( "clean",
+        [
+          Alcotest.test_case "golden-runs" `Quick test_clean_runs;
+          Alcotest.test_case "faulty-transport" `Quick
+            test_faulty_transport_is_clean;
+        ] );
+      ( "defects",
+        [
+          Alcotest.test_case "corpus-replay" `Quick test_corpus_audit;
+          Alcotest.test_case "latches-online" `Quick
+            test_no_dedup_latches_mid_stream;
+        ] );
+    ]
